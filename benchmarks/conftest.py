@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Makes ``repro`` importable from the source tree and provides the shared
+evaluation harness.  The harness caches compiled workloads for the whole
+session, so each ``test_table_*`` / ``test_figure_*`` benchmark measures the
+experiment-generation step of its table or figure rather than recompiling
+all eight kernels every iteration.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest
+
+from repro.eval import EvaluationHarness
+
+
+@pytest.fixture(scope="session")
+def harness():
+    """Session-wide evaluation harness over all eight workloads."""
+    h = EvaluationHarness.shared()
+    h.run_all()
+    return h

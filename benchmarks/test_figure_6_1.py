@@ -1,0 +1,13 @@
+"""Figure 6.1 — power consumption normalised to the pure MicroBlaze implementation."""
+
+from repro.eval.experiments import figure_6_1
+
+
+def test_figure_6_1(benchmark, harness):
+    data = benchmark(figure_6_1, harness)
+    print("\n" + data["table"])
+    for row in data["rows"]:
+        # Paper ordering: pure HW is the most efficient, Twill sits between
+        # pure HW and the pure MicroBlaze implementation.
+        assert row["pure_hw"] < row["twill"]
+        assert row["twill"] <= row["pure_sw"] + 0.25

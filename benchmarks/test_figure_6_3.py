@@ -1,0 +1,13 @@
+"""Figure 6.3 — MIPS benchmark performance vs targeted partition split point."""
+
+from repro.eval.experiments import figure_6_3
+
+
+def test_figure_6_3(benchmark, harness):
+    data = benchmark(figure_6_3, harness)
+    print("\n" + data["table"])
+    assert len(data["rows"]) >= 5
+    speedups = [row["speedup_vs_sw"] for row in data["rows"]]
+    # The split point matters: the sweep is not flat.
+    assert max(speedups) > 0
+    assert all(row["cycles"] > 0 for row in data["rows"])

@@ -1,0 +1,11 @@
+"""Figure 6.4 — Blowfish benchmark performance vs targeted partition split point."""
+
+from repro.eval.experiments import figure_6_4
+
+
+def test_figure_6_4(benchmark, harness):
+    data = benchmark(figure_6_4, harness)
+    print("\n" + data["table"])
+    assert len(data["rows"]) >= 5
+    assert all(row["cycles"] > 0 for row in data["rows"])
+    assert all(row["queues"] >= 0 for row in data["rows"])

@@ -1,0 +1,17 @@
+"""Figure 6.5 — Twill speedup normalised to the 2-cycle queue-latency configuration."""
+
+from repro.eval.experiments import QUEUE_LATENCIES, figure_6_5
+
+
+def test_figure_6_5(benchmark, harness):
+    data = benchmark(figure_6_5, harness)
+    print("\n" + data["table"])
+    for row in data["rows"]:
+        assert abs(row["latency_2"] - 1.0) < 1e-9
+        # Higher queue latency never helps; at 128 cycles the thesis reports
+        # a ~27% average slowdown, ours should at least not speed up.
+        previous = row[f"latency_{QUEUE_LATENCIES[0]}"]
+        for latency in QUEUE_LATENCIES[1:]:
+            assert row[f"latency_{latency}"] <= previous + 1e-9
+            previous = row[f"latency_{latency}"]
+    assert data["mean_slowdown_at_128"] >= 0.0

@@ -1,0 +1,13 @@
+"""Figure 6.6 — Twill speedup normalised to the 8-entry-queue configuration."""
+
+from repro.eval.experiments import figure_6_6
+
+
+def test_figure_6_6(benchmark, harness):
+    data = benchmark(figure_6_6, harness)
+    print("\n" + data["table"])
+    for row in data["rows"]:
+        assert abs(row["depth_8"] - 1.0) < 1e-9
+        # Shorter queues can only slow the pipeline down, longer ones can only help.
+        assert row["depth_2"] <= 1.0 + 1e-9
+        assert row["depth_32"] >= 1.0 - 1e-9

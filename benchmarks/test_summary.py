@@ -1,0 +1,15 @@
+"""§6.7 results overview — the headline aggregates, measured vs paper."""
+
+from repro.eval.experiments import summary
+
+
+def test_summary(benchmark, harness):
+    data = benchmark(summary, harness)
+    print("\n" + data["table"])
+    # Shape assertions (the absolute factors differ from the Virtex-5 board,
+    # see EXPERIMENTS.md): Twill beats pure SW by a large factor and pure HW
+    # on average; the HW-thread area shrinks relative to LegUp's translation.
+    assert data["mean_speedup_vs_sw"] > 3.0
+    assert data["mean_speedup_vs_hw"] > 1.0
+    assert data["mean_hw_area_reduction"] > 1.0
+    assert data["mean_total_area_increase"] > 1.0

@@ -1,0 +1,12 @@
+"""Table 6.1 — DSWP results: queues, semaphores and hardware threads per benchmark."""
+
+from repro.eval.experiments import table_6_1
+
+
+def test_table_6_1(benchmark, harness):
+    data = benchmark(table_6_1, harness)
+    print("\n" + data["table"])
+    for row in data["rows"]:
+        assert row["queues"] >= 1
+        assert row["hw_threads"] >= 1
+        assert row["semaphores"] >= 0

@@ -1,0 +1,13 @@
+"""Table 6.2 — FPGA LUTs used by LegUp pure HW vs the Twill hybrid."""
+
+from repro.eval.experiments import table_6_2
+
+
+def test_table_6_2(benchmark, harness):
+    data = benchmark(table_6_2, harness)
+    print("\n" + data["table"])
+    for row in data["rows"]:
+        assert row["legup_luts"] > 0
+        assert row["twill_hwthreads_luts"] > 0
+        # Twill + Microblaze is always the largest column, as in the thesis.
+        assert row["twill_plus_microblaze_luts"] > row["twill_luts"] > row["twill_hwthreads_luts"]

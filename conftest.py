@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Makes the ``repro`` package importable directly from the source tree so the
+test and benchmark suites work even in fully offline environments where
+``pip install -e .`` cannot build an editable wheel.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Run the full CHStone-style evaluation and print every table and figure.
+
+This is the scripted version of the benchmark harness: it compiles all eight
+workloads, checks their outputs against the Python references, and prints
+the reproduction of Tables 6.1/6.2 and Figures 6.1-6.6 plus the headline
+summary, exactly as recorded in EXPERIMENTS.md.
+"""
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.eval import (
+    EvaluationHarness,
+    figure_6_1,
+    figure_6_2,
+    figure_6_3,
+    figure_6_4,
+    figure_6_5,
+    figure_6_6,
+    summary,
+    table_6_1,
+    table_6_2,
+)
+
+
+def main() -> int:
+    started = time.time()
+    harness = EvaluationHarness()
+    print("Compiling and simulating all eight workloads...\n")
+    for run in harness.run_all():
+        status = "ok" if run.functional_outputs_match() else "MISMATCH"
+        print(f"  {run.name:10s} functional outputs: {status}")
+    print()
+
+    for generator in (table_6_1, table_6_2, figure_6_1, figure_6_2, figure_6_3, figure_6_4, figure_6_5, figure_6_6):
+        print(generator(harness)["table"])
+        print()
+    print(summary(harness)["table"])
+    print(f"\ntotal wall time: {time.time() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Explore how the targeted HW/SW split point and queue geometry affect one benchmark.
+
+Reproduces the methodology behind Figures 6.3-6.6 for a single workload of
+your choice (default: blowfish, the benchmark the thesis singles out for its
+partitioning pathology), so you can see where the crossover points fall.
+
+Usage:  python examples/partition_explorer.py [workload-name]
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.config import RuntimeConfig
+from repro.core.report import format_result_table
+from repro.eval import EvaluationHarness
+
+
+def main() -> int:
+    name = sys.argv[1] if len(sys.argv) > 1 else "blowfish"
+    harness = EvaluationHarness()
+    run = harness.run(name)
+    baseline_sw = run.result.system.pure_software.cycles
+    baseline_hw = run.result.system.pure_hardware.cycles
+
+    print(f"=== {name}: pure SW {baseline_sw:,.0f} cycles, pure HW {baseline_hw:,.0f} cycles ===\n")
+
+    rows = []
+    for split in (0.05, 0.1, 0.25, 0.4, 0.5, 0.6, 0.75):
+        data = harness.twill_cycles_with_split(name, split)
+        rows.append(
+            [split, data["cycles"], int(data["queues"]), baseline_sw / data["cycles"], baseline_hw / data["cycles"]]
+        )
+    print(
+        format_result_table(
+            ["SW share target", "Twill cycles", "queues", "speedup vs SW", "speedup vs HW"],
+            rows,
+            title=f"{name}: targeted partition split sweep (Figures 6.3/6.4 methodology)",
+        )
+    )
+    print()
+
+    rows = []
+    for latency in (2, 8, 32, 128):
+        for depth in (2, 8, 32):
+            cycles = harness.twill_cycles_with_runtime(name, RuntimeConfig(queue_latency=latency, queue_depth=depth))
+            rows.append([latency, depth, cycles, baseline_sw / cycles])
+    print(
+        format_result_table(
+            ["queue latency", "queue depth", "Twill cycles", "speedup vs SW"],
+            rows,
+            title=f"{name}: queue geometry sweep (Figures 6.5/6.6 methodology)",
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""Twill reproduction: hybrid MCU/FPGA parallelization of single-threaded C.
+
+This package reproduces the system described in *Twill: A Hybrid
+Microcontroller-FPGA Framework for Parallelizing Single-Threaded C Programs*
+(Gallatin, 2014).  The public entry point is :class:`repro.core.TwillCompiler`
+which chains the C front end, the SSA IR passes, the DSWP partitioner, the
+LegUp-style HLS scheduler, and the hybrid timing simulator.
+
+Typical use::
+
+    from repro import TwillCompiler, CompilerConfig
+    result = TwillCompiler(CompilerConfig()).compile_and_simulate(c_source)
+    print(result.report())
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TwillCompiler",
+    "CompilationResult",
+    "CompilerConfig",
+    "RuntimeConfig",
+    "PartitionConfig",
+    "__version__",
+]
+
+# The heavyweight subpackages are imported lazily so that low-level pieces
+# (e.g. repro.ir, repro.frontend) can be used without pulling in the whole
+# compiler/simulator stack.
+_LAZY_EXPORTS = {
+    "TwillCompiler": ("repro.core.compiler", "TwillCompiler"),
+    "CompilationResult": ("repro.core.compiler", "CompilationResult"),
+    "CompilerConfig": ("repro.core.config", "CompilerConfig"),
+    "RuntimeConfig": ("repro.core.config", "RuntimeConfig"),
+    "PartitionConfig": ("repro.core.config", "PartitionConfig"),
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        module_name, attr = _LAZY_EXPORTS[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

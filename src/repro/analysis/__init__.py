@@ -1,0 +1,30 @@
+"""Static analyses over the IR (the LLVM analysis-pass analogues)."""
+
+from repro.analysis.cfg import (
+    postorder,
+    reachable_blocks,
+    reverse_postorder,
+    successors_map,
+    predecessors_map,
+)
+from repro.analysis.dominators import DominatorTree, PostDominatorTree
+from repro.analysis.loops import Loop, LoopInfo
+from repro.analysis.alias import AliasAnalysis, AliasResult
+from repro.analysis.liveness import LivenessInfo
+from repro.analysis.callgraph import CallGraph
+
+__all__ = [
+    "postorder",
+    "reachable_blocks",
+    "reverse_postorder",
+    "successors_map",
+    "predecessors_map",
+    "DominatorTree",
+    "PostDominatorTree",
+    "Loop",
+    "LoopInfo",
+    "AliasAnalysis",
+    "AliasResult",
+    "LivenessInfo",
+    "CallGraph",
+]

@@ -1,0 +1,121 @@
+"""Flow-insensitive alias analysis ("basicaa" analogue).
+
+The PDG builder needs to know which loads/stores may touch the same memory
+so it can add memory-dependence edges.  The rules here are conservative but
+precise enough for the CHStone-style kernels:
+
+* pointers derived (through GEPs) from *different* allocas or *different*
+  globals never alias;
+* pointers derived from the same base may alias (MAY), unless both are GEPs
+  of the same base with provably different constant indices (NO);
+* pointers derived from function arguments may alias anything not proven to
+  come from a distinct local alloca (arguments may point into globals).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional, Tuple
+
+from repro.ir.instructions import Alloca, GetElementPtr, Instruction
+from repro.ir.values import Argument, Constant, GlobalVariable, Value
+
+
+class AliasResult(Enum):
+    """Tri-state alias answer."""
+
+    NO = "no"
+    MAY = "may"
+    MUST = "must"
+
+
+class AliasAnalysis:
+    """Answers may-alias queries between two pointer values."""
+
+    def underlying_object(self, ptr: Value) -> Value:
+        """Strip GEPs and casts to find the allocation site / root object."""
+        visited = 0
+        current = ptr
+        while visited < 1000:
+            visited += 1
+            if isinstance(current, GetElementPtr):
+                current = current.base
+                continue
+            if isinstance(current, Instruction) and current.is_cast():
+                current = current.get_operand(0)
+                continue
+            return current
+        return current  # pragma: no cover - cycle guard
+
+    def _constant_index_path(self, ptr: Value) -> Optional[Tuple[Value, Tuple[int, ...]]]:
+        """If ``ptr`` is a chain of constant-index GEPs, return (root, indices)."""
+        indices: list[int] = []
+        current = ptr
+        while isinstance(current, GetElementPtr):
+            for idx in reversed(current.indices):
+                if not isinstance(idx, Constant):
+                    return None
+                indices.append(idx.value)
+            current = current.base
+        indices.reverse()
+        return current, tuple(indices)
+
+    def alias(self, a: Value, b: Value) -> AliasResult:
+        """May ``a`` and ``b`` point to overlapping memory?"""
+        if a is b:
+            return AliasResult.MUST
+        root_a = self.underlying_object(a)
+        root_b = self.underlying_object(b)
+
+        if root_a is root_b:
+            # Same base object: compare constant GEP paths when available.
+            path_a = self._constant_index_path(a)
+            path_b = self._constant_index_path(b)
+            if path_a is not None and path_b is not None:
+                if path_a[1] == path_b[1]:
+                    return AliasResult.MUST
+                # Same length constant paths that differ cannot overlap
+                # (all our element types are scalars of equal size).
+                if len(path_a[1]) == len(path_b[1]):
+                    return AliasResult.NO
+            return AliasResult.MAY
+
+        # Distinct identified objects never alias.
+        def is_identified(v: Value) -> bool:
+            return isinstance(v, (Alloca, GlobalVariable))
+
+        if is_identified(root_a) and is_identified(root_b):
+            return AliasResult.NO
+
+        # An alloca whose address never escapes cannot alias an argument or
+        # another function's memory.
+        for local, other in ((root_a, root_b), (root_b, root_a)):
+            if isinstance(local, Alloca) and isinstance(other, (Argument, GlobalVariable)):
+                if not self._address_escapes(local):
+                    return AliasResult.NO
+
+        return AliasResult.MAY
+
+    def _address_escapes(self, alloca: Alloca) -> bool:
+        """Does the address of ``alloca`` escape (passed to a call or stored)?"""
+        from repro.ir.instructions import Call, Store  # local import to avoid cycle
+
+        worklist: list[Value] = [alloca]
+        seen: set[int] = set()
+        while worklist:
+            value = worklist.pop()
+            if id(value) in seen:
+                continue
+            seen.add(id(value))
+            for user, index in value.uses:
+                if isinstance(user, Call):
+                    return True
+                if isinstance(user, Store) and index == 0:
+                    # the pointer itself is being stored somewhere
+                    return True
+                if isinstance(user, GetElementPtr) or (isinstance(user, Instruction) and user.is_cast()):
+                    worklist.append(user)
+        return False
+
+    def may_alias(self, a: Value, b: Value) -> bool:
+        return self.alias(a, b) is not AliasResult.NO

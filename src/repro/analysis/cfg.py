@@ -1,0 +1,85 @@
+"""Control-flow-graph traversal utilities.
+
+Blocks store their successors implicitly through terminator instructions;
+these helpers compute the derived structures (orderings, predecessor maps)
+that the dominator / loop analyses and the transforms need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+
+
+def successors_map(fn: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    """Map every block to its successor list (in terminator order)."""
+    return {block: block.successors() for block in fn.blocks}
+
+
+def predecessors_map(fn: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    """Map every block to its predecessor list (in function block order)."""
+    preds: Dict[BasicBlock, List[BasicBlock]] = {block: [] for block in fn.blocks}
+    for block in fn.blocks:
+        for succ in block.successors():
+            if succ in preds:
+                preds[succ].append(block)
+    return preds
+
+
+def reachable_blocks(fn: Function) -> List[BasicBlock]:
+    """Blocks reachable from the entry, in depth-first discovery order."""
+    entry = fn.entry_block
+    if entry is None:
+        return []
+    seen: Set[int] = set()
+    order: List[BasicBlock] = []
+    stack = [entry]
+    while stack:
+        block = stack.pop()
+        if id(block) in seen:
+            continue
+        seen.add(id(block))
+        order.append(block)
+        # Push successors in reverse so traversal visits them in order.
+        for succ in reversed(block.successors()):
+            if id(succ) not in seen:
+                stack.append(succ)
+    return order
+
+
+def postorder(fn: Function) -> List[BasicBlock]:
+    """Post-order traversal of reachable blocks (children before parents)."""
+    entry = fn.entry_block
+    if entry is None:
+        return []
+    seen: Set[int] = set()
+    order: List[BasicBlock] = []
+
+    # Iterative DFS with an explicit "children processed" marker to avoid
+    # recursion limits on long CFG chains.
+    stack: List[tuple[BasicBlock, bool]] = [(entry, False)]
+    while stack:
+        block, processed = stack.pop()
+        if processed:
+            order.append(block)
+            continue
+        if id(block) in seen:
+            continue
+        seen.add(id(block))
+        stack.append((block, True))
+        for succ in reversed(block.successors()):
+            if id(succ) not in seen:
+                stack.append((succ, False))
+    return order
+
+
+def reverse_postorder(fn: Function) -> List[BasicBlock]:
+    """Reverse post-order — the canonical forward-dataflow iteration order."""
+    return list(reversed(postorder(fn)))
+
+
+def exit_blocks(fn: Function) -> List[BasicBlock]:
+    """Blocks whose terminator is a return (the CFG sinks)."""
+    return [b for b in fn.blocks if not b.successors() and b.has_terminator()]

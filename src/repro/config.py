@@ -1,0 +1,128 @@
+"""Configuration dataclasses for the whole Twill pipeline.
+
+Defaults reproduce the evaluation configuration of the thesis (§6): 8-entry
+32-bit queues, a single area-optimised MicroBlaze at 100 MHz, a targeted
+75%/25% hardware/software work split, and the runtime cycle costs of
+Chapter 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class PartitionConfig:
+    """DSWP partitioner knobs (thesis §5.2)."""
+
+    # Targeted fraction of work placed on the software (processor) partition.
+    # The thesis reports the partitioner settles around a 75%/25% HW/SW split.
+    sw_fraction: float = 0.25
+    # Maximum pipeline partitions per function (1 software + N-1 hardware).
+    max_partitions_per_function: int = 4
+    # Minimum software-cycle weight that justifies opening another partition.
+    work_per_partition: float = 2_000.0
+    # Keep the master of main() on the processor (required for SoC boot flow, §5.3).
+    master_in_software: bool = True
+    # Use the dynamic profile for weights (True) or the static loop-depth
+    # estimate the thesis uses (False).
+    use_profile_weights: bool = True
+    # Number of DSWP refinement iterations (the thesis caps this at two).
+    max_refinement_iterations: int = 2
+
+    def validate(self) -> None:
+        if not 0.0 <= self.sw_fraction <= 1.0:
+            raise ConfigError(f"sw_fraction must be in [0, 1], got {self.sw_fraction}")
+        if self.max_partitions_per_function < 1:
+            raise ConfigError("max_partitions_per_function must be >= 1")
+        if self.work_per_partition <= 0:
+            raise ConfigError("work_per_partition must be positive")
+
+
+@dataclass
+class RuntimeConfig:
+    """Twill runtime architecture parameters (thesis Chapter 4)."""
+
+    # Queue geometry (§6: "All of the tests were run with only 8x32 sized queues").
+    queue_depth: int = 8
+    queue_width_bits: int = 32
+    # Extra latency cycles a dequeued value spends in flight (swept in Fig 6.5).
+    queue_latency: int = 2
+    # Bus: one-cycle latency, one message per cycle (§4.1).
+    bus_latency: int = 1
+    # Memory bus: writes one cycle, reads two (§4.1); cross-domain visibility 2 cycles.
+    memory_write_cycles: int = 1
+    memory_read_cycles: int = 2
+    coherency_delay: int = 2
+    # Processor interface: five cycles for any runtime operation (§4.5).
+    processor_op_cycles: int = 5
+    # Number of MicroBlaze processors attached (the evaluation uses one).
+    num_processors: int = 1
+    # Semaphore costs (§4.2).
+    semaphore_raise_cycles: int = 1
+    semaphore_lower_cycles: int = 2
+    # System clock for both domains (§6).
+    clock_mhz: float = 100.0
+
+    def validate(self) -> None:
+        if self.queue_depth < 1:
+            raise ConfigError("queue_depth must be >= 1")
+        if self.queue_width_bits not in (1, 8, 16, 32):
+            raise ConfigError("queue_width_bits must be one of 1, 8, 16, 32 (§4.3)")
+        if self.queue_latency < 1:
+            raise ConfigError("queue_latency must be >= 1")
+        if self.num_processors < 1:
+            raise ConfigError("num_processors must be >= 1")
+
+    def with_queue_latency(self, latency: int) -> "RuntimeConfig":
+        return replace(self, queue_latency=latency)
+
+    def with_queue_depth(self, depth: int) -> "RuntimeConfig":
+        return replace(self, queue_depth=depth)
+
+
+@dataclass
+class HLSConfig:
+    """LegUp-analogue scheduler knobs."""
+
+    # Peak operations issued per FSM state (functional-unit budget per state).
+    issue_width: int = 8
+    # Allow chaining of cheap combinational ops within one state.
+    enable_chaining: bool = True
+    # Allow hardware threads to overlap successive basic-block executions
+    # (iterative-modulo-scheduling-style loop pipelining).  LegUp's FSMs do
+    # not overlap blocks in general, so the baseline keeps this off.
+    loop_pipelining: bool = False
+
+    def validate(self) -> None:
+        if self.issue_width < 1:
+            raise ConfigError("issue_width must be >= 1")
+
+
+@dataclass
+class CompilerConfig:
+    """Top-level configuration of the Twill compiler + simulator."""
+
+    partition: PartitionConfig = field(default_factory=PartitionConfig)
+    runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+    hls: HLSConfig = field(default_factory=HLSConfig)
+    # Inliner threshold (IR instructions) used by the pre-DSWP pipeline.
+    inline_threshold: int = 60
+    # Run Twill's globals-to-arguments pass before DSWP (thesis §5.2 pass 1).
+    globals_to_arguments: bool = True
+    # Materialise partition threads as IR functions (produce/consume form).
+    extract_threads: bool = False
+    # Verify IR after each transform pass.
+    verify_passes: bool = True
+    # Functional-interpreter step budget.
+    max_interpreter_steps: int = 20_000_000
+
+    def validate(self) -> None:
+        self.partition.validate()
+        self.runtime.validate()
+        self.hls.validate()
+        if self.inline_threshold < 0:
+            raise ConfigError("inline_threshold must be non-negative")

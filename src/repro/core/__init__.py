@@ -1,0 +1,15 @@
+"""Public API of the Twill reproduction: the compiler driver and its configuration."""
+
+from repro.core.config import CompilerConfig, HLSConfig, PartitionConfig, RuntimeConfig
+from repro.core.compiler import CompilationResult, TwillCompiler
+from repro.core.report import format_result_table
+
+__all__ = [
+    "CompilerConfig",
+    "HLSConfig",
+    "PartitionConfig",
+    "RuntimeConfig",
+    "CompilationResult",
+    "TwillCompiler",
+    "format_result_table",
+]

@@ -1,0 +1,197 @@
+"""The Twill compiler driver: C source in, hybrid-system evaluation out.
+
+This is the public entry point of the reproduction.  It chains every stage
+the thesis describes (Figure 5.1):
+
+1. front end — parse + lower the C subset to SSA IR (``repro.frontend``);
+2. the standard LLVM-style pass pipeline (``repro.transforms``);
+3. Twill's globals-to-arguments pass;
+4. functional execution to obtain outputs, a dynamic trace and a profile;
+5. DSWP partitioning, queue/semaphore allocation and (optionally) thread
+   extraction;
+6. LegUp-style HLS scheduling and area estimation;
+7. hybrid timing simulation of the pure-SW, pure-HW and Twill
+   configurations, plus the power model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.callgraph import CallGraph
+from repro.config import CompilerConfig, RuntimeConfig
+from repro.dswp.pipeline import DSWPResult, run_dswp
+from repro.frontend.lowering import compile_c
+from repro.hls.legup import LegUpFlow, LegUpResult
+from repro.interp.interpreter import ExecutionResult, Interpreter
+from repro.interp.profile import Profile
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+from repro.sim.assignment import ThreadAssignment
+from repro.sim.system import HybridSystem, SystemResult
+from repro.sim.timing import TimingResult, TimingSimulator
+from repro.transforms.globals_to_args import GlobalsToArguments
+from repro.transforms.pass_manager import default_pipeline
+
+
+@dataclass
+class CompilationResult:
+    """Everything produced by one compile-and-simulate run."""
+
+    name: str
+    module: Module
+    execution: ExecutionResult
+    profile: Profile
+    dswp: DSWPResult
+    legup: LegUpResult
+    system: SystemResult
+
+    # -- convenience accessors --------------------------------------------------------
+
+    @property
+    def outputs(self) -> List[int]:
+        return self.execution.outputs
+
+    @property
+    def return_value(self) -> Optional[int]:
+        return self.execution.return_value
+
+    @property
+    def speedup_vs_software(self) -> float:
+        return self.system.speedup_vs_software
+
+    @property
+    def speedup_vs_hardware(self) -> float:
+        return self.system.speedup_vs_hardware
+
+    def dswp_summary(self) -> Dict[str, float]:
+        return self.dswp.summary()
+
+    def report(self) -> str:
+        """Human-readable one-benchmark report."""
+        s = self.system
+        lines = [
+            f"benchmark             : {self.name}",
+            f"functional outputs    : {len(self.outputs)} values, checksum 0x{self.execution.output_checksum:08x}",
+            f"dynamic instructions  : {len(self.execution.trace) if self.execution.trace else 0}",
+            f"queues / semaphores   : {self.dswp.partitioning.total_queues} / {self.dswp.partitioning.total_semaphores}",
+            f"hardware threads      : {self.dswp.partitioning.hardware_thread_count}",
+            f"pure SW cycles        : {s.pure_software.cycles:,.0f}",
+            f"pure HW cycles        : {s.pure_hardware.cycles:,.0f}",
+            f"Twill cycles          : {s.twill.cycles:,.0f}",
+            f"speedup vs pure SW    : {s.speedup_vs_software:.2f}x",
+            f"speedup vs pure HW    : {s.speedup_vs_hardware:.2f}x",
+            f"LegUp LUTs            : {s.pure_hardware.area.luts:,}",
+            f"Twill HWThread LUTs   : {s.hw_thread_area.luts:,}",
+            f"Twill LUTs (+runtime) : {s.twill.area.luts - self.system.twill.area.detail.get('microblaze', 0):,}",
+            f"power (norm. to SW)   : HW {s.power_normalised()['pure_hw']:.2f}, Twill {s.power_normalised()['twill']:.2f}",
+        ]
+        return "\n".join(lines)
+
+
+class TwillCompiler:
+    """Drives the full compile → partition → schedule → simulate pipeline."""
+
+    def __init__(self, config: Optional[CompilerConfig] = None):
+        self.config = config or CompilerConfig()
+        self.config.validate()
+
+    # -- stage 1-3: front end and IR pipeline ----------------------------------------------
+
+    def compile_module(self, source: str, name: str = "program") -> Module:
+        """Parse, lower and optimise C source into a DSWP-ready IR module."""
+        module = compile_c(source, module_name=name)
+        CallGraph(module).check_no_recursion()
+        pipeline = default_pipeline(
+            inline_threshold=self.config.inline_threshold,
+            verify_each=self.config.verify_passes,
+        )
+        pipeline.run(module)
+        if self.config.globals_to_arguments:
+            GlobalsToArguments().run(module)
+        verify_module(module)
+        return module
+
+    # -- stage 4: functional execution --------------------------------------------------------
+
+    def execute(self, module: Module, args: Sequence[int] = ()) -> ExecutionResult:
+        interpreter = Interpreter(
+            module, record_trace=True, max_steps=self.config.max_interpreter_steps
+        )
+        return interpreter.run("main", args)
+
+    # -- stage 5-7: partition, schedule, simulate ----------------------------------------------
+
+    def compile_and_simulate(
+        self,
+        source: str,
+        name: str = "program",
+        args: Sequence[int] = (),
+        sw_fraction: Optional[float] = None,
+    ) -> CompilationResult:
+        """Run the entire pipeline on a C source string."""
+        module = self.compile_module(source, name)
+        execution = self.execute(module, args)
+        assert execution.trace is not None
+        profile = (
+            Profile.from_trace(module, execution.trace)
+            if self.config.partition.use_profile_weights
+            else Profile.static_estimate(module)
+        )
+        dswp = run_dswp(
+            module,
+            profile=profile,
+            config=self.config.partition,
+            extract_threads=self.config.extract_threads,
+            sw_fraction=sw_fraction,
+        )
+        legup = LegUpFlow(self.config.hls).run(module)
+        system = HybridSystem(self.config).evaluate(name, module, execution.trace, dswp, legup)
+        return CompilationResult(
+            name=name,
+            module=module,
+            execution=execution,
+            profile=profile,
+            dswp=dswp,
+            legup=legup,
+            system=system,
+        )
+
+    # -- parameter sweeps used by the evaluation ---------------------------------------------------
+
+    def simulate_with_runtime(
+        self, result: CompilationResult, runtime: RuntimeConfig
+    ) -> TimingResult:
+        """Re-run only the Twill timing simulation with a different runtime config
+        (used for the queue latency / queue size sweeps of Figures 6.5 and 6.6)."""
+        assert result.execution.trace is not None
+        simulator = TimingSimulator(runtime, self.config.hls)
+        assignment = ThreadAssignment.from_partitioning(result.module, result.dswp.partitioning)
+        return simulator.simulate(result.execution.trace, assignment)
+
+    def resimulate_with_split(
+        self, result: CompilationResult, sw_fraction: float
+    ) -> CompilationResult:
+        """Re-partition with a different targeted SW/HW split and re-simulate
+        (used for the partition-split sweeps of Figures 6.3 and 6.4)."""
+        assert result.execution.trace is not None
+        dswp = run_dswp(
+            result.module,
+            profile=result.profile,
+            config=self.config.partition,
+            extract_threads=False,
+            sw_fraction=sw_fraction,
+        )
+        system = HybridSystem(self.config).evaluate(
+            result.name, result.module, result.execution.trace, dswp, result.legup
+        )
+        return CompilationResult(
+            name=result.name,
+            module=result.module,
+            execution=result.execution,
+            profile=result.profile,
+            dswp=dswp,
+            legup=result.legup,
+            system=system,
+        )

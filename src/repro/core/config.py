@@ -1,0 +1,10 @@
+"""Re-export of the configuration dataclasses under the public ``repro.core`` namespace.
+
+The dataclasses themselves live in :mod:`repro.config` so that low-level
+packages (``repro.dswp``, ``repro.sim``) can import them without pulling in
+the full compiler driver.
+"""
+
+from repro.config import CompilerConfig, HLSConfig, PartitionConfig, RuntimeConfig
+
+__all__ = ["CompilerConfig", "HLSConfig", "PartitionConfig", "RuntimeConfig"]

@@ -1,0 +1,74 @@
+"""Plain-text table formatting shared by the examples and the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Union
+
+Number = Union[int, float]
+
+
+def format_result_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Union[str, Number]]],
+    title: str = "",
+    float_format: str = "{:.2f}",
+) -> str:
+    """Format a list of rows into an aligned monospace table.
+
+    Numbers are right-aligned (floats via ``float_format``), strings are
+    left-aligned.  Used by every ``benchmarks/test_*`` harness so its output
+    mirrors the corresponding table/figure of the thesis.
+    """
+    rows = [list(r) for r in rows]
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells: List[str] = []
+        for value in row:
+            if isinstance(value, bool):
+                cells.append(str(value))
+            elif isinstance(value, float):
+                cells.append(float_format.format(value))
+            elif isinstance(value, int):
+                cells.append(f"{value:,}")
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in rendered:
+        for i, cell in enumerate(cells):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str], row_values: Sequence[object] = ()) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            numeric = i < len(row_values) and isinstance(row_values[i], (int, float)) and not isinstance(row_values[i], bool)
+            parts.append(cell.rjust(widths[i]) if numeric else cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells, row in zip(rendered, rows):
+        lines.append(fmt_row(cells, row))
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the aggregation the thesis uses for speedups)."""
+    filtered = [v for v in values if v > 0]
+    if not filtered:
+        return 0.0
+    product = 1.0
+    for v in filtered:
+        product *= v
+    return product ** (1.0 / len(filtered))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

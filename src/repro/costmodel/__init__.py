@@ -1,0 +1,27 @@
+"""Cycle-cost and area models for the software (Microblaze) and hardware
+(FPGA / LegUp-style) execution domains.
+
+These tables are the quantitative backbone of the reproduction: the DSWP
+partitioner weighs PDG nodes with them (thesis §5.2, pass 2), the HLS
+scheduler uses the hardware latencies and area figures, the Microblaze model
+uses the software latencies, and the area/power reports aggregate them.
+"""
+
+from repro.costmodel.software import SoftwareCostModel, MICROBLAZE_CYCLES
+from repro.costmodel.hardware import (
+    HardwareCostModel,
+    HW_LATENCY,
+    HW_AREA_LUTS,
+    HW_AREA_DSP,
+    RUNTIME_PRIMITIVE_AREA,
+)
+
+__all__ = [
+    "SoftwareCostModel",
+    "MICROBLAZE_CYCLES",
+    "HardwareCostModel",
+    "HW_LATENCY",
+    "HW_AREA_LUTS",
+    "HW_AREA_DSP",
+    "RUNTIME_PRIMITIVE_AREA",
+]

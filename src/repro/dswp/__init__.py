@@ -1,0 +1,47 @@
+"""Modified Decoupled Software Pipelining (DSWP) — Twill's thread extractor.
+
+The pipeline implemented here follows thesis §5.2/§5.2.1/§5.3:
+
+1. build the PDG of every function (``repro.pdg``);
+2. condense it into SCCs and weight them (software cycles vs hardware
+   cycle·area product);
+3. greedily assign SCCs to partitions against targeted work percentages,
+   never splitting an SCC and never creating a cross-partition cycle;
+4. split partitions across the HW/SW domains (the master of ``main`` always
+   stays in software);
+5. allocate queues for every cross-partition value and branch condition,
+   applying the loop-matching placement rules, and allocate semaphores for
+   reused function threads;
+6. (optionally) materialise the partition threads as new IR functions with
+   ``produce``/``consume`` instructions.
+"""
+
+from repro.dswp.partitioner import (
+    DSWPPartitioner,
+    FunctionPartitioning,
+    Partition,
+    PartitionKind,
+)
+from repro.dswp.queues import CrossPartitionDep, QueueAllocation, QueueSpec, allocate_queues
+from repro.dswp.loop_matching import LoopMatchCase, classify_loop_match, placement_blocks
+from repro.dswp.thread_extraction import ThreadExtractor, ExtractedThread
+from repro.dswp.pipeline import DSWPResult, ModulePartitioning, run_dswp
+
+__all__ = [
+    "DSWPPartitioner",
+    "FunctionPartitioning",
+    "Partition",
+    "PartitionKind",
+    "CrossPartitionDep",
+    "QueueAllocation",
+    "QueueSpec",
+    "allocate_queues",
+    "LoopMatchCase",
+    "classify_loop_match",
+    "placement_blocks",
+    "ThreadExtractor",
+    "ExtractedThread",
+    "DSWPResult",
+    "ModulePartitioning",
+    "run_dswp",
+]

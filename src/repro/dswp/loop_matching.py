@@ -1,0 +1,122 @@
+"""Enqueue/dequeue loop-matching rules (thesis §5.2.1, Figure 5.3).
+
+When a value defined in one partition is used in another, the produce and
+consume calls must be placed so that for any control-flow path each loop
+iteration enqueues exactly as many values as the consumer dequeues.  The
+thesis distinguishes four cases based on the innermost loops of the
+``defined`` and ``use`` instructions relative to their common loop:
+
+* (d) same loop — produce right after the definition, consume right before
+  the use;
+* (a) the use sits in a sub-loop — produce after the definition, consume in
+  the use loop's preheader(s);
+* (b) the definition sits in a sub-loop — produce in the definition loop's
+  exit block(s), consume right before the use;
+* (c) definition and use sit in distinct (sibling) loops — produce in the
+  definition loop's exits, consume in the use loop's preheaders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from repro.analysis.loops import Loop, LoopInfo
+from repro.ir.basicblock import BasicBlock
+from repro.ir.instructions import Instruction
+
+
+class LoopMatchCase(str, Enum):
+    """The four cases of Figure 5.3."""
+
+    SAME_LOOP = "same_loop"                 # (d)
+    USE_IN_SUBLOOP = "use_in_subloop"       # (a)
+    DEF_IN_SUBLOOP = "def_in_subloop"       # (b)
+    DISTINCT_LOOPS = "distinct_loops"       # (c)
+
+
+@dataclass
+class Placement:
+    """Where the produce and consume instructions should be inserted."""
+
+    case: LoopMatchCase
+    produce_blocks: List[BasicBlock]
+    consume_blocks: List[BasicBlock]
+    produce_after_def: bool
+    consume_before_use: bool
+
+
+def _loop_chain(loop: Optional[Loop]) -> List[Loop]:
+    chain: List[Loop] = []
+    while loop is not None:
+        chain.append(loop)
+        loop = loop.parent
+    return chain
+
+
+def _loop_below(common: Optional[Loop], loop: Optional[Loop]) -> Optional[Loop]:
+    """The outermost loop strictly below ``common`` on the chain of ``loop``."""
+    chain = _loop_chain(loop)
+    if common is None:
+        return chain[-1] if chain else None
+    below: Optional[Loop] = None
+    for candidate in chain:
+        if candidate is common:
+            break
+        below = candidate
+    return below
+
+
+def classify_loop_match(
+    defined: Instruction,
+    use: Instruction,
+    loop_info: LoopInfo,
+) -> LoopMatchCase:
+    """Classify a cross-partition def/use pair into one of the four cases."""
+    assert defined.parent is not None and use.parent is not None
+    def_loop = loop_info.innermost_loop_of(defined.parent)
+    use_loop = loop_info.innermost_loop_of(use.parent)
+    if def_loop is use_loop:
+        return LoopMatchCase.SAME_LOOP
+    common = loop_info.common_loop(defined.parent, use.parent)
+    def_below = _loop_below(common, def_loop)
+    use_below = _loop_below(common, use_loop)
+    if def_below is None and use_below is not None:
+        return LoopMatchCase.USE_IN_SUBLOOP
+    if def_below is not None and use_below is None:
+        return LoopMatchCase.DEF_IN_SUBLOOP
+    if def_below is not None and use_below is not None:
+        return LoopMatchCase.DISTINCT_LOOPS
+    return LoopMatchCase.SAME_LOOP
+
+
+def placement_blocks(
+    defined: Instruction,
+    use: Instruction,
+    loop_info: LoopInfo,
+) -> Placement:
+    """Compute produce/consume placement per Figure 5.3."""
+    assert defined.parent is not None and use.parent is not None
+    case = classify_loop_match(defined, use, loop_info)
+    def_loop = loop_info.innermost_loop_of(defined.parent)
+    use_loop = loop_info.innermost_loop_of(use.parent)
+    common = loop_info.common_loop(defined.parent, use.parent)
+    def_below = _loop_below(common, def_loop)
+    use_below = _loop_below(common, use_loop)
+
+    if case is LoopMatchCase.SAME_LOOP:
+        return Placement(case, [defined.parent], [use.parent], True, True)
+    if case is LoopMatchCase.USE_IN_SUBLOOP:
+        assert use_below is not None
+        consume_blocks = use_below.preheaders() or [use_below.header]
+        return Placement(case, [defined.parent], consume_blocks, True, False)
+    if case is LoopMatchCase.DEF_IN_SUBLOOP:
+        assert def_below is not None
+        produce_blocks = def_below.exit_blocks() or [defined.parent]
+        return Placement(case, produce_blocks, [use.parent], False, True)
+    # DISTINCT_LOOPS
+    assert def_below is not None and use_below is not None
+    produce_blocks = def_below.exit_blocks() or [defined.parent]
+    consume_blocks = use_below.preheaders() or [use_below.header]
+    return Placement(case, produce_blocks, consume_blocks, False, False)

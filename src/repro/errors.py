@@ -1,0 +1,73 @@
+"""Exception hierarchy shared by every subsystem of the Twill reproduction.
+
+Each stage of the pipeline raises a dedicated subclass of
+:class:`ReproError` so callers can distinguish "the input C program is
+malformed" from "the compiler itself violated one of its invariants".
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class FrontendError(ReproError):
+    """Base class for errors raised while processing C source text."""
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        self.line = line
+        self.col = col
+        if line is not None:
+            message = f"line {line}" + (f", col {col}" if col is not None else "") + f": {message}"
+        super().__init__(message)
+
+
+class LexerError(FrontendError):
+    """Raised when the lexer encounters a character sequence it cannot tokenize."""
+
+
+class ParseError(FrontendError):
+    """Raised when the parser encounters an unexpected token."""
+
+
+class SemanticError(FrontendError):
+    """Raised for type errors, undeclared identifiers, and other semantic problems."""
+
+
+class UnsupportedFeatureError(FrontendError):
+    """Raised for C constructs outside the supported subset (e.g. recursion,
+    function pointers, 64-bit values) — the same restrictions Twill documents."""
+
+
+class IRError(ReproError):
+    """Raised when the IR is manipulated in an inconsistent way."""
+
+
+class VerificationError(IRError):
+    """Raised by the IR verifier when a module violates an IR invariant."""
+
+
+class InterpreterError(ReproError):
+    """Raised when functional execution of an IR module fails."""
+
+
+class InterpreterTrap(InterpreterError):
+    """Raised for runtime traps during interpretation (division by zero,
+    out-of-bounds memory access, etc.)."""
+
+
+class PartitionError(ReproError):
+    """Raised when the DSWP partitioner cannot produce a legal partition."""
+
+
+class SchedulingError(ReproError):
+    """Raised when the HLS scheduler cannot schedule a function."""
+
+
+class SimulationError(ReproError):
+    """Raised when the timing simulator reaches an inconsistent state."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid configuration values."""

@@ -1,0 +1,28 @@
+"""Evaluation harness: regenerates every table and figure of thesis Chapter 6."""
+
+from repro.eval.harness import EvaluationHarness, BenchmarkRun
+from repro.eval.experiments import (
+    table_6_1,
+    table_6_2,
+    figure_6_1,
+    figure_6_2,
+    figure_6_3,
+    figure_6_4,
+    figure_6_5,
+    figure_6_6,
+    summary,
+)
+
+__all__ = [
+    "EvaluationHarness",
+    "BenchmarkRun",
+    "table_6_1",
+    "table_6_2",
+    "figure_6_1",
+    "figure_6_2",
+    "figure_6_3",
+    "figure_6_4",
+    "figure_6_5",
+    "figure_6_6",
+    "summary",
+]

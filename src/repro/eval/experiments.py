@@ -1,0 +1,273 @@
+"""Generators for every table and figure of thesis Chapter 6.
+
+Each function returns a dictionary with a ``rows`` list (one entry per
+benchmark / sweep point) and a ``table`` string rendered with
+:func:`repro.core.report.format_result_table`, so the benchmark harness can
+both assert on the numbers and print output that mirrors the corresponding
+artefact of the thesis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.config import RuntimeConfig
+from repro.core.report import arithmetic_mean, format_result_table, geometric_mean
+from repro.eval.harness import EvaluationHarness
+
+
+# Sweep points used by the thesis.
+QUEUE_LATENCIES = [2, 8, 32, 128]          # Figure 6.5
+QUEUE_DEPTHS = [2, 8, 32]                  # Figure 6.6
+SPLIT_POINTS = [0.1, 0.25, 0.4, 0.5, 0.6, 0.75]   # Figures 6.3 / 6.4
+
+
+def _harness(harness: Optional[EvaluationHarness]) -> EvaluationHarness:
+    return harness or EvaluationHarness.shared()
+
+
+# ---------------------------------------------------------------------------
+# Table 6.1 — DSWP results: queues, semaphores, hardware threads
+# ---------------------------------------------------------------------------
+
+
+def table_6_1(harness: Optional[EvaluationHarness] = None) -> Dict:
+    harness = _harness(harness)
+    rows = []
+    for run in harness.run_all():
+        summary = run.result.dswp_summary()
+        rows.append(
+            {
+                "benchmark": run.name,
+                "queues": int(summary["queues"]),
+                "semaphores": int(summary["semaphores"]),
+                "hw_threads": int(summary["hw_threads"]),
+                "paper_queues": run.workload.paper_queues,
+                "paper_semaphores": run.workload.paper_semaphores,
+                "paper_hw_threads": run.workload.paper_hw_threads,
+                "sw_fraction": summary["sw_fraction"],
+            }
+        )
+    table = format_result_table(
+        ["benchmark", "queues", "semaphores", "HW threads", "paper queues", "paper HW threads"],
+        [
+            [r["benchmark"], r["queues"], r["semaphores"], r["hw_threads"], r["paper_queues"] or 0, r["paper_hw_threads"] or 0]
+            for r in rows
+        ],
+        title="Table 6.1 — DSWP results (measured vs paper)",
+    )
+    return {"rows": rows, "table": table}
+
+
+# ---------------------------------------------------------------------------
+# Table 6.2 — LUT area
+# ---------------------------------------------------------------------------
+
+
+def table_6_2(harness: Optional[EvaluationHarness] = None) -> Dict:
+    harness = _harness(harness)
+    rows = []
+    for run in harness.run_all():
+        system = run.result.system
+        microblaze = system.twill.area.detail.get("microblaze", 0)
+        twill_luts = system.twill.area.luts - microblaze
+        rows.append(
+            {
+                "benchmark": run.name,
+                "legup_luts": system.pure_hardware.area.luts,
+                "twill_hwthreads_luts": system.hw_thread_area.luts,
+                "twill_luts": twill_luts,
+                "twill_plus_microblaze_luts": system.twill.area.luts,
+                "hw_thread_area_reduction": system.area_ratio_hw_threads,
+            }
+        )
+    table = format_result_table(
+        ["benchmark", "LegUp", "Twill HWThreads", "Twill", "Twill + Microblaze"],
+        [
+            [r["benchmark"], r["legup_luts"], r["twill_hwthreads_luts"], r["twill_luts"], r["twill_plus_microblaze_luts"]]
+            for r in rows
+        ],
+        title="Table 6.2 — FPGA LUTs: LegUp pure HW vs Twill",
+    )
+    return {"rows": rows, "table": table}
+
+
+# ---------------------------------------------------------------------------
+# Figure 6.1 — power normalised to pure software
+# ---------------------------------------------------------------------------
+
+
+def figure_6_1(harness: Optional[EvaluationHarness] = None) -> Dict:
+    harness = _harness(harness)
+    rows = []
+    for run in harness.run_all():
+        norm = run.result.system.power_normalised()
+        rows.append(
+            {
+                "benchmark": run.name,
+                "pure_sw": norm["pure_sw"],
+                "pure_hw": norm["pure_hw"],
+                "twill": norm["twill"],
+            }
+        )
+    table = format_result_table(
+        ["benchmark", "pure SW", "pure HW (LegUp)", "Twill"],
+        [[r["benchmark"], r["pure_sw"], r["pure_hw"], r["twill"]] for r in rows],
+        title="Figure 6.1 — power normalised to the pure MicroBlaze implementation",
+    )
+    return {"rows": rows, "table": table}
+
+
+# ---------------------------------------------------------------------------
+# Figure 6.2 — performance speedups normalised to pure software
+# ---------------------------------------------------------------------------
+
+
+def figure_6_2(harness: Optional[EvaluationHarness] = None) -> Dict:
+    harness = _harness(harness)
+    rows = []
+    for run in harness.run_all():
+        system = run.result.system
+        rows.append(
+            {
+                "benchmark": run.name,
+                "pure_hw_speedup": system.hw_speedup_vs_software,
+                "twill_speedup": system.speedup_vs_software,
+                "twill_vs_hw": system.speedup_vs_hardware,
+            }
+        )
+    mean_twill_vs_hw = arithmetic_mean([r["twill_vs_hw"] for r in rows])
+    mean_twill_vs_sw = arithmetic_mean([r["twill_speedup"] for r in rows])
+    table = format_result_table(
+        ["benchmark", "LegUp HW speedup", "Twill speedup", "Twill vs HW"],
+        [[r["benchmark"], r["pure_hw_speedup"], r["twill_speedup"], r["twill_vs_hw"]] for r in rows],
+        title="Figure 6.2 — speedups normalised to the pure SW implementation",
+    )
+    return {
+        "rows": rows,
+        "table": table,
+        "mean_twill_vs_hw": mean_twill_vs_hw,
+        "mean_twill_vs_sw": mean_twill_vs_sw,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figures 6.3 / 6.4 — partition-split sweeps (MIPS and Blowfish)
+# ---------------------------------------------------------------------------
+
+
+def _split_sweep(benchmark: str, harness: Optional[EvaluationHarness]) -> Dict:
+    harness = _harness(harness)
+    baseline = harness.run(benchmark).result.system.pure_software.cycles
+    rows = []
+    for split in SPLIT_POINTS:
+        data = harness.twill_cycles_with_split(benchmark, split)
+        rows.append(
+            {
+                "sw_fraction": split,
+                "cycles": data["cycles"],
+                "queues": int(data["queues"]),
+                "speedup_vs_sw": baseline / max(data["cycles"], 1e-9),
+            }
+        )
+    table = format_result_table(
+        ["targeted SW share", "Twill cycles", "queues", "speedup vs SW"],
+        [[r["sw_fraction"], r["cycles"], r["queues"], r["speedup_vs_sw"]] for r in rows],
+        title=f"{benchmark} performance vs targeted partition split point",
+    )
+    return {"benchmark": benchmark, "rows": rows, "table": table}
+
+
+def figure_6_3(harness: Optional[EvaluationHarness] = None) -> Dict:
+    """MIPS benchmark performance with various targeted partition split points."""
+    return _split_sweep("mips", harness)
+
+
+def figure_6_4(harness: Optional[EvaluationHarness] = None) -> Dict:
+    """Blowfish benchmark performance with various targeted partition split points."""
+    return _split_sweep("blowfish", harness)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6.5 — queue latency sensitivity
+# ---------------------------------------------------------------------------
+
+
+def figure_6_5(harness: Optional[EvaluationHarness] = None) -> Dict:
+    harness = _harness(harness)
+    rows = []
+    for name in harness.benchmark_names:
+        base_cycles = harness.twill_cycles_with_runtime(name, RuntimeConfig(queue_latency=QUEUE_LATENCIES[0]))
+        entry = {"benchmark": name}
+        for latency in QUEUE_LATENCIES:
+            cycles = harness.twill_cycles_with_runtime(name, RuntimeConfig(queue_latency=latency))
+            entry[f"latency_{latency}"] = base_cycles / max(cycles, 1e-9)
+        rows.append(entry)
+    mean_slowdown_128 = 1.0 - arithmetic_mean([r[f"latency_{QUEUE_LATENCIES[-1]}"] for r in rows])
+    table = format_result_table(
+        ["benchmark"] + [f"lat {latency}" for latency in QUEUE_LATENCIES],
+        [[r["benchmark"]] + [r[f"latency_{latency}"] for latency in QUEUE_LATENCIES] for r in rows],
+        title="Figure 6.5 — Twill speedup normalised to 2-cycle queue latency",
+    )
+    return {"rows": rows, "table": table, "mean_slowdown_at_128": mean_slowdown_128}
+
+
+# ---------------------------------------------------------------------------
+# Figure 6.6 — queue length sensitivity
+# ---------------------------------------------------------------------------
+
+
+def figure_6_6(harness: Optional[EvaluationHarness] = None) -> Dict:
+    harness = _harness(harness)
+    rows = []
+    for name in harness.benchmark_names:
+        base_cycles = harness.twill_cycles_with_runtime(name, RuntimeConfig(queue_depth=8))
+        entry = {"benchmark": name}
+        for depth in QUEUE_DEPTHS:
+            cycles = harness.twill_cycles_with_runtime(name, RuntimeConfig(queue_depth=depth))
+            entry[f"depth_{depth}"] = base_cycles / max(cycles, 1e-9)
+        rows.append(entry)
+    mean_slowdown_short = 1.0 - arithmetic_mean([r[f"depth_{QUEUE_DEPTHS[0]}"] for r in rows])
+    table = format_result_table(
+        ["benchmark"] + [f"depth {d}" for d in QUEUE_DEPTHS],
+        [[r["benchmark"]] + [r[f"depth_{d}"] for d in QUEUE_DEPTHS] for r in rows],
+        title="Figure 6.6 — Twill speedup normalised to 8-entry queues",
+    )
+    return {"rows": rows, "table": table, "mean_slowdown_at_depth_2": mean_slowdown_short}
+
+
+# ---------------------------------------------------------------------------
+# §6.7 — headline aggregates
+# ---------------------------------------------------------------------------
+
+
+def summary(harness: Optional[EvaluationHarness] = None) -> Dict:
+    harness = _harness(harness)
+    runs = harness.run_all()
+    twill_vs_sw = [r.result.system.speedup_vs_software for r in runs]
+    twill_vs_hw = [r.result.system.speedup_vs_hardware for r in runs]
+    area_reduction = [r.result.system.area_ratio_hw_threads for r in runs]
+    area_increase = [r.result.system.area_ratio_total for r in runs]
+    result = {
+        "mean_speedup_vs_sw": arithmetic_mean(twill_vs_sw),
+        "geomean_speedup_vs_sw": geometric_mean(twill_vs_sw),
+        "mean_speedup_vs_hw": arithmetic_mean(twill_vs_hw),
+        "mean_hw_area_reduction": arithmetic_mean(area_reduction),
+        "mean_total_area_increase": arithmetic_mean(area_increase),
+        "paper_speedup_vs_sw": 22.2,
+        "paper_speedup_vs_hw": 1.63,
+        "paper_hw_area_reduction": 1.73,
+        "paper_total_area_increase": 1.35,
+    }
+    table = format_result_table(
+        ["metric", "measured", "paper"],
+        [
+            ["Twill speedup vs pure SW (mean)", result["mean_speedup_vs_sw"], result["paper_speedup_vs_sw"]],
+            ["Twill speedup vs pure HW (mean)", result["mean_speedup_vs_hw"], result["paper_speedup_vs_hw"]],
+            ["HW-thread area reduction", result["mean_hw_area_reduction"], result["paper_hw_area_reduction"]],
+            ["Total area increase w/ runtime", result["mean_total_area_increase"], result["paper_total_area_increase"]],
+        ],
+        title="Results overview (§6.7): measured vs paper",
+    )
+    result["table"] = table
+    return result

@@ -1,0 +1,96 @@
+"""Shared evaluation harness.
+
+Compiling a workload (front end, passes, functional trace, DSWP, HLS, three
+timing replays) is the expensive part of every experiment, and most
+tables/figures need the same compiled artefacts.  The harness therefore
+caches one :class:`BenchmarkRun` per workload per configuration for the
+lifetime of the process, so the eight experiment generators in
+``repro.eval.experiments`` can share them (and so the pytest-benchmark
+harness measures the interesting part of each experiment rather than
+recompiling the world every time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.config import CompilerConfig, RuntimeConfig
+from repro.core.compiler import CompilationResult, TwillCompiler
+from repro.sim.timing import TimingResult
+from repro.workloads import all_workloads, get_workload
+from repro.workloads.base import Workload
+
+
+@dataclass
+class BenchmarkRun:
+    """One compiled-and-simulated workload."""
+
+    workload: Workload
+    result: CompilationResult
+
+    @property
+    def name(self) -> str:
+        return self.workload.name
+
+    def functional_outputs_match(self) -> bool:
+        return self.result.outputs == self.workload.expected_outputs()
+
+
+class EvaluationHarness:
+    """Compiles workloads on demand and caches the results."""
+
+    _shared: Optional["EvaluationHarness"] = None
+
+    def __init__(self, config: Optional[CompilerConfig] = None, benchmarks: Optional[List[str]] = None):
+        self.config = config or CompilerConfig()
+        self.compiler = TwillCompiler(self.config)
+        self.benchmark_names = benchmarks or [w.name for w in all_workloads()]
+        self._runs: Dict[str, BenchmarkRun] = {}
+
+    # -- shared instance --------------------------------------------------------------
+
+    @classmethod
+    def shared(cls) -> "EvaluationHarness":
+        """Process-wide harness (used by the benchmark suite and the examples)."""
+        if cls._shared is None:
+            cls._shared = cls()
+        return cls._shared
+
+    # -- runs ------------------------------------------------------------------------------
+
+    def run(self, name: str) -> BenchmarkRun:
+        """Compile and simulate one workload (cached)."""
+        cached = self._runs.get(name)
+        if cached is not None:
+            return cached
+        workload = get_workload(name)
+        result = self.compiler.compile_and_simulate(workload.source, name=name)
+        run = BenchmarkRun(workload=workload, result=result)
+        if not run.functional_outputs_match():
+            raise AssertionError(
+                f"functional outputs of '{name}' do not match the reference implementation"
+            )
+        self._runs[name] = run
+        return run
+
+    def run_all(self) -> List[BenchmarkRun]:
+        return [self.run(name) for name in self.benchmark_names]
+
+    # -- sweeps -----------------------------------------------------------------------------
+
+    def twill_cycles_with_runtime(self, name: str, runtime: RuntimeConfig) -> float:
+        """Twill cycle count for one workload under a modified runtime configuration."""
+        run = self.run(name)
+        timing: TimingResult = self.compiler.simulate_with_runtime(run.result, runtime)
+        return timing.total_cycles
+
+    def twill_cycles_with_split(self, name: str, sw_fraction: float) -> Dict[str, float]:
+        """Re-partition with a different targeted SW share and report cycles + queues."""
+        run = self.run(name)
+        new_result = self.compiler.resimulate_with_split(run.result, sw_fraction)
+        return {
+            "cycles": new_result.system.twill.cycles,
+            "queues": float(new_result.dswp.partitioning.total_queues),
+            "speedup_vs_sw": new_result.system.speedup_vs_software,
+        }

@@ -1,0 +1,23 @@
+"""C front end: lexer, parser, AST and lowering to the SSA IR.
+
+The supported language is the C subset Twill itself supports (no recursion,
+no function pointers, no values wider than 32 bits) restricted further to the
+constructs the CHStone-style kernels use: integer scalars and arrays,
+functions, globals with initializers, the usual operators and control-flow
+statements.
+"""
+
+from repro.frontend.lexer import Lexer, Token, TokenKind, tokenize
+from repro.frontend.parser import Parser, parse
+from repro.frontend.lowering import lower_to_ir, compile_c
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "Parser",
+    "parse",
+    "lower_to_ir",
+    "compile_c",
+]

@@ -1,0 +1,273 @@
+"""Abstract syntax tree node definitions for the C subset.
+
+The AST is deliberately plain: dataclasses with a ``line`` field for
+diagnostics.  Types at the AST level are represented by :class:`CType`
+(base name + signedness + array dimensions + pointer flag); the lowering
+pass converts these into IR types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+
+# ---------------------------------------------------------------------------
+# Types as written in source
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CType:
+    """A source-level type: base integer kind, array dims and pointer depth."""
+
+    base: str = "int"            # one of: void, char, short, int, long
+    signed: bool = True
+    is_const: bool = False
+    pointer: int = 0             # levels of pointer indirection
+    array_dims: List[int] = field(default_factory=list)
+
+    def is_void(self) -> bool:
+        return self.base == "void" and self.pointer == 0 and not self.array_dims
+
+    def is_array(self) -> bool:
+        return bool(self.array_dims)
+
+    def is_pointer(self) -> bool:
+        return self.pointer > 0
+
+    def element_type(self) -> "CType":
+        """Type after one level of array indexing or pointer dereference."""
+        if self.array_dims:
+            return CType(self.base, self.signed, self.is_const, self.pointer, self.array_dims[1:])
+        if self.pointer:
+            return CType(self.base, self.signed, self.is_const, self.pointer - 1, [])
+        return CType(self.base, self.signed, self.is_const, 0, [])
+
+    def bit_width(self) -> int:
+        return {"char": 8, "short": 16, "int": 32, "long": 32, "void": 0}.get(self.base, 32)
+
+    def __str__(self) -> str:  # pragma: no cover - diagnostics only
+        s = ("unsigned " if not self.signed else "") + self.base
+        s += "*" * self.pointer
+        for d in self.array_dims:
+            s += f"[{d}]"
+        return s
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base class for expressions."""
+
+    line: int = 0
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class Identifier(Expr):
+    name: str = ""
+
+
+@dataclass
+class UnaryOp(Expr):
+    """Prefix unary operator: one of - + ! ~ & * ++ --."""
+
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class PostfixOp(Expr):
+    """Postfix ++ / -- (value is the pre-mutation value, as in C)."""
+
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class BinaryExpr(Expr):
+    op: str = ""
+    lhs: Optional[Expr] = None
+    rhs: Optional[Expr] = None
+
+
+@dataclass
+class Assignment(Expr):
+    """Simple or compound assignment: op is '=', '+=', '<<=', ..."""
+
+    op: str = "="
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Conditional(Expr):
+    """Ternary ``cond ? then : otherwise``."""
+
+    cond: Optional[Expr] = None
+    then: Optional[Expr] = None
+    otherwise: Optional[Expr] = None
+
+
+@dataclass
+class CallExpr(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class IndexExpr(Expr):
+    """Array subscript ``base[index]`` (possibly chained for 2-D arrays)."""
+
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class CastExpr(Expr):
+    """C-style cast to an integer type: ``(unsigned char) x``."""
+
+    target_type: Optional[CType] = None
+    operand: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    """Base class for statements."""
+
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class DeclStmt(Stmt):
+    """A local variable declaration (one declarator; the parser splits lists)."""
+
+    name: str = ""
+    type: Optional[CType] = None
+    init: Optional[Union[Expr, List]] = None    # scalar expr or nested list for arrays
+
+
+@dataclass
+class CompoundStmt(Stmt):
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Optional[Expr] = None
+    then: Optional[Stmt] = None
+    otherwise: Optional[Stmt] = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class DoWhileStmt(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt] = None          # ExprStmt, DeclStmt or None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class SwitchCase:
+    """One ``case`` (value is None for ``default``)."""
+
+    value: Optional[int] = None
+    body: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class SwitchStmt(Stmt):
+    cond: Optional[Expr] = None
+    cases: List[SwitchCase] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Top-level declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    """A function parameter.  Array parameters decay to pointers."""
+
+    name: str = ""
+    type: Optional[CType] = None
+    line: int = 0
+
+
+@dataclass
+class FunctionDef:
+    name: str = ""
+    return_type: Optional[CType] = None
+    params: List[Param] = field(default_factory=list)
+    body: Optional[CompoundStmt] = None     # None for prototypes
+    line: int = 0
+
+
+@dataclass
+class GlobalDecl:
+    name: str = ""
+    type: Optional[CType] = None
+    init: Optional[Union[Expr, List]] = None
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit:
+    """A parsed source file: ordered globals and functions."""
+
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FunctionDef] = field(default_factory=list)
+
+    def function(self, name: str) -> FunctionDef:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)

@@ -1,0 +1,274 @@
+"""Lexer for the supported C subset.
+
+Produces a flat list of :class:`Token` objects with line/column information
+used by the parser for error reporting.  Comments (both styles) and
+preprocessor-style line directives are skipped; ``#define NAME value`` object
+macros with integer values are expanded (CHStone-style kernels use them for
+table sizes), every other preprocessor line is rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Dict, List, Optional
+
+from repro.errors import LexerError
+
+
+class TokenKind(Enum):
+    """Lexical category of a token."""
+
+    IDENT = auto()
+    KEYWORD = auto()
+    INT_LITERAL = auto()
+    CHAR_LITERAL = auto()
+    STRING_LITERAL = auto()
+    PUNCT = auto()
+    EOF = auto()
+
+
+KEYWORDS = {
+    "int",
+    "unsigned",
+    "signed",
+    "char",
+    "short",
+    "long",
+    "void",
+    "const",
+    "static",
+    "volatile",
+    "if",
+    "else",
+    "while",
+    "do",
+    "for",
+    "return",
+    "break",
+    "continue",
+    "switch",
+    "case",
+    "default",
+    "struct",
+    "typedef",
+    "sizeof",
+    "float",
+    "double",
+}
+
+# Multi-character punctuators, longest first so maximal munch works.
+PUNCTUATORS = [
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":", ".",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: TokenKind
+    text: str
+    value: Optional[int] = None
+    line: int = 0
+    col: int = 0
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text in names
+
+    def is_punct(self, *texts: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text in texts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, line={self.line})"
+
+
+class Lexer:
+    """Converts C source text into a token list."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+        self.defines: Dict[str, int] = {}
+
+    # -- character helpers -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.source[idx] if idx < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+        self.pos += count
+        return text
+
+    def _error(self, message: str) -> LexerError:
+        return LexerError(message, line=self.line, col=self.col)
+
+    # -- whitespace / comments / preprocessor ------------------------------------
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(self.source):
+                    raise self._error("unterminated block comment")
+                self._advance(2)
+            elif ch == "#" and self.col == 1 or (ch == "#" and self._at_line_start()):
+                self._lex_preprocessor_line()
+            else:
+                return
+
+    def _at_line_start(self) -> bool:
+        i = self.pos - 1
+        while i >= 0 and self.source[i] in " \t":
+            i -= 1
+        return i < 0 or self.source[i] == "\n"
+
+    def _lex_preprocessor_line(self) -> None:
+        start_line = self.line
+        text = ""
+        while self.pos < len(self.source) and self._peek() != "\n":
+            text += self._advance()
+        parts = text[1:].strip().split(None, 2)
+        if not parts:
+            return
+        directive = parts[0]
+        if directive == "define" and len(parts) >= 3:
+            name = parts[1]
+            value_text = parts[2].strip()
+            try:
+                self.defines[name] = int(value_text, 0)
+            except ValueError as exc:
+                raise LexerError(
+                    f"only integer object macros are supported: #define {name} {value_text}",
+                    line=start_line,
+                ) from exc
+        elif directive in ("include", "ifdef", "ifndef", "endif", "pragma", "undef", "if", "else", "elif", "define"):
+            # Includes and conditional compilation are ignored: workloads are
+            # self-contained single translation units.
+            return
+        else:
+            raise LexerError(f"unsupported preprocessor directive: #{directive}", line=start_line)
+
+    # -- token scanners --------------------------------------------------------------
+
+    def _lex_number(self) -> Token:
+        line, col = self.line, self.col
+        text = ""
+        if self._peek() == "0" and self._peek(1) in "xX":
+            text += self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                text += self._advance()
+            value = int(text, 16)
+        else:
+            while self._peek().isdigit():
+                text += self._advance()
+            value = int(text)
+        # Integer suffixes are accepted and ignored (u, U, l, L combinations).
+        while self._peek() in "uUlL" and self._peek():
+            text += self._advance()
+        return Token(TokenKind.INT_LITERAL, text, value=value, line=line, col=col)
+
+    def _lex_ident(self) -> Token:
+        line, col = self.line, self.col
+        text = ""
+        while self._peek() and (self._peek().isalnum() or self._peek() == "_"):
+            text += self._advance()
+        if text in self.defines:
+            return Token(TokenKind.INT_LITERAL, text, value=self.defines[text], line=line, col=col)
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, line=line, col=col)
+
+    _ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34}
+
+    def _lex_char(self) -> Token:
+        line, col = self.line, self.col
+        self._advance()  # opening quote
+        ch = self._peek()
+        if ch == "\\":
+            self._advance()
+            esc = self._advance()
+            if esc not in self._ESCAPES:
+                raise self._error(f"unsupported escape sequence: \\{esc}")
+            value = self._ESCAPES[esc]
+        else:
+            value = ord(self._advance())
+        if self._peek() != "'":
+            raise self._error("unterminated character literal")
+        self._advance()
+        return Token(TokenKind.CHAR_LITERAL, chr(value), value=value, line=line, col=col)
+
+    def _lex_string(self) -> Token:
+        line, col = self.line, self.col
+        self._advance()  # opening quote
+        text = ""
+        while self._peek() and self._peek() != '"':
+            if self._peek() == "\\":
+                self._advance()
+                esc = self._advance()
+                text += chr(self._ESCAPES.get(esc, ord(esc)))
+            else:
+                text += self._advance()
+        if self._peek() != '"':
+            raise self._error("unterminated string literal")
+        self._advance()
+        return Token(TokenKind.STRING_LITERAL, text, line=line, col=col)
+
+    def _lex_punct(self) -> Token:
+        line, col = self.line, self.col
+        for punct in PUNCTUATORS:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token(TokenKind.PUNCT, punct, line=line, col=col)
+        raise self._error(f"unexpected character {self._peek()!r}")
+
+    # -- main loop ----------------------------------------------------------------------
+
+    def tokenize(self) -> List[Token]:
+        """Return the full token stream, terminated by a single EOF token."""
+        tokens: List[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.source):
+                break
+            ch = self._peek()
+            if ch.isdigit():
+                tokens.append(self._lex_number())
+            elif ch.isalpha() or ch == "_":
+                tokens.append(self._lex_ident())
+            elif ch == "'":
+                tokens.append(self._lex_char())
+            elif ch == '"':
+                tokens.append(self._lex_string())
+            else:
+                tokens.append(self._lex_punct())
+        tokens.append(Token(TokenKind.EOF, "", line=self.line, col=self.col))
+        return tokens
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` and return the token list (convenience wrapper)."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,30 @@
+"""LegUp-analogue high-level synthesis: FSM scheduling, binding and area.
+
+Twill uses LegUp's pure-hardware flow to turn the hardware partitions into
+Verilog state machines (thesis §3.1.2, §5.4).  This package reproduces the
+parts of that flow the evaluation depends on:
+
+* list scheduling of each basic block into FSM states, with operator
+  chaining and a configurable issue width (the ILP LegUp exploits);
+* functional-unit binding with resource sharing, which drives the LUT/DSP
+  area accounting (Table 6.2);
+* the pure-hardware "LegUp baseline" flow used as the comparison point in
+  every figure of Chapter 6.
+"""
+
+from repro.hls.scheduling import FSMSchedule, ScheduledState, HLSScheduler
+from repro.hls.binding import BindingResult, bind_function
+from repro.hls.area import AreaEstimate, AreaModel
+from repro.hls.legup import LegUpFlow, LegUpResult
+
+__all__ = [
+    "FSMSchedule",
+    "ScheduledState",
+    "HLSScheduler",
+    "BindingResult",
+    "bind_function",
+    "AreaEstimate",
+    "AreaModel",
+    "LegUpFlow",
+    "LegUpResult",
+]

@@ -1,0 +1,408 @@
+"""Functional interpreter for the SSA IR.
+
+Executes a module starting from ``main`` (or any named function), producing
+the program outputs, an optional dynamic :class:`~repro.interp.trace.Trace`
+and memory statistics.  Semantics follow C on a 32-bit machine: two's
+complement wrap-around, truncation toward zero for division, and traps on
+division by zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import InterpreterError, InterpreterTrap
+from repro.interp.memory import SimulatedMemory
+from repro.interp.trace import Trace, TraceEvent
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    CondBranch,
+    Consume,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Opcode,
+    Phi,
+    Produce,
+    Return,
+    Select,
+    Store,
+    Switch,
+    evaluate_binary,
+    evaluate_icmp,
+)
+from repro.ir.module import Module
+from repro.ir.types import ArrayType, IntType, PointerType
+from repro.ir.values import Argument, Constant, GlobalVariable, UndefValue, Value
+
+
+DEFAULT_MAX_STEPS = 20_000_000
+
+
+@dataclass
+class ExecutionResult:
+    """Everything produced by one functional run."""
+
+    return_value: Optional[int]
+    outputs: List[int]
+    steps: int
+    trace: Optional[Trace]
+    memory: SimulatedMemory
+
+    @property
+    def output_checksum(self) -> int:
+        """Order-sensitive checksum of the printed outputs (FNV-1a style)."""
+        h = 0x811C9DC5
+        for value in self.outputs:
+            h ^= value & 0xFFFFFFFF
+            h = (h * 0x01000193) & 0xFFFFFFFF
+        return h
+
+
+class _Frame:
+    """Per-call environment: SSA value bindings and their producing events."""
+
+    __slots__ = ("values", "events")
+
+    def __init__(self) -> None:
+        self.values: Dict[int, int] = {}
+        self.events: Dict[int, Optional[int]] = {}
+
+
+class Interpreter:
+    """Interprets IR modules."""
+
+    def __init__(
+        self,
+        module: Module,
+        record_trace: bool = False,
+        max_steps: int = DEFAULT_MAX_STEPS,
+    ):
+        self.module = module
+        self.record_trace = record_trace
+        self.max_steps = max_steps
+        self.memory = SimulatedMemory()
+        self.memory.load_globals(module)
+        self.outputs: List[int] = []
+        self.trace: Optional[Trace] = Trace() if record_trace else None
+        self.steps = 0
+        self._seq = 0
+        self._last_store_event: Dict[int, int] = {}
+        # Queues used only when interpreting DSWP-transformed IR functionally.
+        self.queues: Dict[int, List[int]] = {}
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(self, function: str = "main", args: Sequence[int] = ()) -> ExecutionResult:
+        fn = self.module.get_function(function)
+        arg_values = list(args) + [0] * max(0, len(fn.args) - len(args))
+        value, _ = self._call(fn, arg_values, [None] * len(arg_values))
+        return ExecutionResult(
+            return_value=value,
+            outputs=list(self.outputs),
+            steps=self.steps,
+            trace=self.trace,
+            memory=self.memory,
+        )
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    def _record(
+        self,
+        inst: Instruction,
+        fn_name: str,
+        deps: Tuple[int, ...],
+        mem_dep: Optional[int] = None,
+        address: Optional[int] = None,
+        value: Optional[int] = None,
+    ) -> Optional[int]:
+        if self.trace is None:
+            return None
+        seq = self._next_seq()
+        self.trace.append(
+            TraceEvent(
+                seq=seq,
+                inst=inst,
+                function=fn_name,
+                deps=deps,
+                mem_dep=mem_dep,
+                address=address,
+                value=value,
+            )
+        )
+        return seq
+
+    def _operand_value(self, frame: _Frame, value: Value) -> int:
+        if isinstance(value, Constant):
+            return value.value
+        if isinstance(value, GlobalVariable):
+            return self.memory.global_address(value.name)
+        if isinstance(value, UndefValue):
+            return 0
+        if isinstance(value, (Instruction, Argument)):
+            try:
+                return frame.values[id(value)]
+            except KeyError as exc:
+                raise InterpreterError(
+                    f"use of value {value.short_name()} before definition"
+                ) from exc
+        if isinstance(value, Function):
+            raise InterpreterError("function pointers are not supported")
+        raise InterpreterError(f"cannot evaluate operand {value!r}")  # pragma: no cover
+
+    def _operand_event(self, frame: _Frame, value: Value) -> Optional[int]:
+        if isinstance(value, (Instruction, Argument)):
+            return frame.events.get(id(value))
+        return None
+
+    def _deps(self, frame: _Frame, operands: Sequence[Value]) -> Tuple[int, ...]:
+        if self.trace is None:
+            return ()
+        deps: List[int] = []
+        for op in operands:
+            event = self._operand_event(frame, op)
+            if event is not None:
+                deps.append(event)
+        return tuple(deps)
+
+    # -- execution ----------------------------------------------------------------------
+
+    def _call(
+        self,
+        fn: Function,
+        arg_values: Sequence[int],
+        arg_events: Sequence[Optional[int]],
+    ) -> Tuple[Optional[int], Optional[int]]:
+        """Execute ``fn``; returns (return value, producing event seq)."""
+        if fn.is_declaration():
+            return self._call_intrinsic(fn, arg_values, arg_events)
+        frame = _Frame()
+        for arg, value, event in zip(fn.args, arg_values, arg_events):
+            frame.values[id(arg)] = value
+            frame.events[id(arg)] = event
+
+        block = fn.entry_block
+        if block is None:
+            raise InterpreterError(f"function {fn.name} has no entry block")
+        prev_block: Optional[BasicBlock] = None
+
+        while True:
+            if self.trace is not None:
+                self.trace.count_block(fn.name, block.name)
+            # Phis first, evaluated simultaneously from the incoming edge.
+            phis = block.phis()
+            if phis:
+                staged: List[Tuple[Phi, int, Optional[int]]] = []
+                for phi in phis:
+                    if prev_block is None:
+                        raise InterpreterError(f"phi {phi.short_name()} in entry block")
+                    incoming = phi.incoming_value_for(prev_block)
+                    value = self._operand_value(frame, incoming)
+                    event = self._operand_event(frame, incoming)
+                    staged.append((phi, value, event))
+                for phi, value, event in staged:
+                    frame.values[id(phi)] = value
+                    deps = (event,) if event is not None else ()
+                    seq = self._record(phi, fn.name, deps, value=value)
+                    frame.events[id(phi)] = seq if seq is not None else event
+                    self.steps += 1
+                    if self.steps > self.max_steps:
+                        raise InterpreterError(f"step limit exceeded ({self.max_steps})")
+
+            next_block: Optional[BasicBlock] = None
+            for inst in block.instructions:
+                if isinstance(inst, Phi):
+                    continue
+                self.steps += 1
+                if self.steps > self.max_steps:
+                    raise InterpreterError(f"step limit exceeded ({self.max_steps})")
+
+                if isinstance(inst, Return):
+                    value = (
+                        self._operand_value(frame, inst.value) if inst.value is not None else None
+                    )
+                    event = (
+                        self._operand_event(frame, inst.value) if inst.value is not None else None
+                    )
+                    self._record(inst, fn.name, self._deps(frame, inst.operands), value=value)
+                    return value, event
+
+                if isinstance(inst, Branch):
+                    self._record(inst, fn.name, ())
+                    next_block = inst.target
+                    break
+                if isinstance(inst, CondBranch):
+                    cond = self._operand_value(frame, inst.condition)
+                    self._record(inst, fn.name, self._deps(frame, [inst.condition]), value=cond)
+                    next_block = inst.true_target if cond != 0 else inst.false_target
+                    break
+                if isinstance(inst, Switch):
+                    value = self._operand_value(frame, inst.value)
+                    self._record(inst, fn.name, self._deps(frame, [inst.value]), value=value)
+                    next_block = inst.default
+                    for case_value, target in inst.cases:
+                        if case_value == value:
+                            next_block = target
+                            break
+                    break
+
+                value, event = self._execute_instruction(frame, fn, inst)
+                if not inst.type.is_void():
+                    frame.values[id(inst)] = value if value is not None else 0
+                frame.events[id(inst)] = event
+
+            if next_block is None:
+                raise InterpreterError(f"block {fn.name}/{block.name} fell through without a terminator")
+            prev_block, block = block, next_block
+
+    # -- per-instruction semantics -------------------------------------------------------
+
+    def _execute_instruction(
+        self, frame: _Frame, fn: Function, inst: Instruction
+    ) -> Tuple[Optional[int], Optional[int]]:
+        name = fn.name
+        if isinstance(inst, BinaryOp):
+            lhs = self._operand_value(frame, inst.lhs)
+            rhs = self._operand_value(frame, inst.rhs)
+            assert isinstance(inst.type, IntType)
+            try:
+                value = evaluate_binary(inst.opcode, inst.type, lhs, rhs)
+            except ZeroDivisionError as exc:
+                raise InterpreterTrap(f"division by zero in {name}") from exc
+            seq = self._record(inst, name, self._deps(frame, inst.operands), value=value)
+            return value, seq
+
+        if isinstance(inst, ICmp):
+            lhs = self._operand_value(frame, inst.lhs)
+            rhs = self._operand_value(frame, inst.rhs)
+            ty = inst.lhs.type if isinstance(inst.lhs.type, IntType) else IntType(32, True)
+            value = evaluate_icmp(inst.predicate, ty, lhs, rhs)
+            seq = self._record(inst, name, self._deps(frame, inst.operands), value=value)
+            return value, seq
+
+        if isinstance(inst, Select):
+            cond = self._operand_value(frame, inst.condition)
+            value = self._operand_value(frame, inst.true_value if cond else inst.false_value)
+            seq = self._record(inst, name, self._deps(frame, inst.operands), value=value)
+            return value, seq
+
+        if isinstance(inst, Alloca):
+            address = self.memory.allocate_stack(inst.allocated_type)
+            seq = self._record(inst, name, (), address=address)
+            return address, seq
+
+        if isinstance(inst, Load):
+            address = self._operand_value(frame, inst.pointer)
+            value = self.memory.load_typed(address, inst.type)
+            mem_dep = self._last_store_event.get(address)
+            seq = self._record(
+                inst, name, self._deps(frame, inst.operands), mem_dep=mem_dep, address=address, value=value
+            )
+            return value, seq
+
+        if isinstance(inst, Store):
+            address = self._operand_value(frame, inst.pointer)
+            value = self._operand_value(frame, inst.value)
+            self.memory.store_typed(address, value, inst.value.type)
+            seq = self._record(
+                inst, name, self._deps(frame, inst.operands), address=address, value=value
+            )
+            if seq is not None:
+                self._last_store_event[address] = seq
+            return None, seq
+
+        if isinstance(inst, GetElementPtr):
+            address = self._operand_value(frame, inst.base)
+            base_type = inst.base.type
+            assert isinstance(base_type, PointerType)
+            current = base_type.pointee
+            for index_value in inst.indices:
+                idx = self._operand_value(frame, index_value)
+                if isinstance(current, ArrayType):
+                    current = current.element
+                address += idx * current.size_bytes()
+            seq = self._record(inst, name, self._deps(frame, inst.operands), address=address, value=address)
+            return address, seq
+
+        if isinstance(inst, Cast):
+            value = self._operand_value(frame, inst.value)
+            src_type = inst.value.type
+            dst_type = inst.type
+            assert isinstance(dst_type, (IntType, PointerType))
+            if isinstance(dst_type, PointerType):
+                result = value
+            else:
+                if inst.opcode is Opcode.ZEXT and isinstance(src_type, IntType):
+                    raw = value & ((1 << src_type.bits) - 1)
+                    result = dst_type.wrap(raw)
+                elif inst.opcode is Opcode.SEXT and isinstance(src_type, IntType):
+                    result = dst_type.wrap(src_type.wrap(value))
+                else:  # trunc / bitcast
+                    result = dst_type.wrap(value)
+            seq = self._record(inst, name, self._deps(frame, inst.operands), value=result)
+            return result, seq
+
+        if isinstance(inst, Call):
+            arg_values = [self._operand_value(frame, a) for a in inst.args]
+            arg_events = [self._operand_event(frame, a) for a in inst.args]
+            seq = self._record(inst, name, self._deps(frame, inst.operands))
+            result, result_event = self._call(inst.callee, arg_values, arg_events)
+            # The call's consumers depend directly on the producer of the
+            # returned value (precise cross-function dataflow); fall back to
+            # the call event itself for declarations.
+            return result, result_event if result_event is not None else seq
+
+        if isinstance(inst, Produce):
+            value = self._operand_value(frame, inst.value)
+            self.queues.setdefault(inst.queue_id, []).append(value)
+            seq = self._record(inst, name, self._deps(frame, inst.operands), value=value)
+            return None, seq
+
+        if isinstance(inst, Consume):
+            queue = self.queues.setdefault(inst.queue_id, [])
+            if not queue:
+                raise InterpreterTrap(f"consume from empty queue {inst.queue_id} in {name}")
+            value = queue.pop(0)
+            seq = self._record(inst, name, (), value=value)
+            return value, seq
+
+        raise InterpreterError(f"cannot interpret instruction {inst.opcode.value}")  # pragma: no cover
+
+    # -- intrinsics ---------------------------------------------------------------------------
+
+    def _call_intrinsic(
+        self,
+        fn: Function,
+        arg_values: Sequence[int],
+        arg_events: Sequence[Optional[int]],
+    ) -> Tuple[Optional[int], Optional[int]]:
+        if fn.name == "print_int":
+            self.outputs.append(int(arg_values[0]) if arg_values else 0)
+            return None, arg_events[0] if arg_events else None
+        if fn.name == "twill_checksum":
+            return (int(arg_values[0]) if arg_values else 0), (arg_events[0] if arg_events else None)
+        raise InterpreterError(f"call to undefined function '{fn.name}'")
+
+
+def run_module(
+    module: Module,
+    function: str = "main",
+    args: Sequence[int] = (),
+    record_trace: bool = False,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> ExecutionResult:
+    """Convenience wrapper: interpret ``module`` and return the result."""
+    return Interpreter(module, record_trace=record_trace, max_steps=max_steps).run(function, args)

@@ -1,0 +1,92 @@
+"""Dynamic execution trace.
+
+Each executed IR instruction becomes one :class:`TraceEvent`.  Events carry
+*precise dynamic dependences*:
+
+* ``deps`` — sequence numbers of the events that produced each operand value
+  (register dataflow);
+* ``mem_dep`` — sequence number of the store event whose value a load reads
+  (memory dataflow), resolved exactly because the interpreter knows every
+  address.
+
+The hybrid timing simulator replays this trace, dispatching each event to
+the thread its static instruction was partitioned onto; the dependences are
+what create (or forbid) overlap between threads, and cross-thread
+dependences are the ones that pay queue costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode
+
+
+@dataclass
+class TraceEvent:
+    """One dynamically executed instruction."""
+
+    seq: int
+    inst: Instruction
+    function: str
+    deps: Tuple[int, ...] = ()
+    mem_dep: Optional[int] = None
+    address: Optional[int] = None
+    value: Optional[int] = None
+
+    @property
+    def opcode(self) -> Opcode:
+        return self.inst.opcode
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TraceEvent #{self.seq} {self.opcode.value} in {self.function}>"
+
+
+class Trace:
+    """An ordered list of trace events plus summary statistics."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self.instruction_counts: Dict[int, int] = {}   # id(static inst) -> dynamic count
+        self.block_counts: Dict[Tuple[str, str], int] = {}  # (function, block name) -> count
+        self.truncated = False
+
+    # -- construction (called by the interpreter) ------------------------------------
+
+    def append(self, event: TraceEvent) -> None:
+        self.events.append(event)
+        key = id(event.inst)
+        self.instruction_counts[key] = self.instruction_counts.get(key, 0) + 1
+
+    def count_block(self, function: str, block_name: str) -> None:
+        key = (function, block_name)
+        self.block_counts[key] = self.block_counts.get(key, 0) + 1
+
+    # -- queries ------------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def dynamic_count(self, inst: Instruction) -> int:
+        return self.instruction_counts.get(id(inst), 0)
+
+    def opcode_histogram(self) -> Dict[str, int]:
+        histogram: Dict[str, int] = {}
+        for event in self.events:
+            name = event.opcode.value
+            histogram[name] = histogram.get(name, 0) + 1
+        return histogram
+
+    def events_for_function(self, name: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.function == name]
+
+    def memory_traffic(self) -> Tuple[int, int]:
+        """(dynamic loads, dynamic stores)."""
+        loads = sum(1 for e in self.events if e.opcode is Opcode.LOAD)
+        stores = sum(1 for e in self.events if e.opcode is Opcode.STORE)
+        return loads, stores

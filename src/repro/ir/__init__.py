@@ -1,0 +1,69 @@
+"""SSA intermediate representation (the LLVM analogue used by every pass)."""
+
+from repro.ir.types import (
+    VOID,
+    I1,
+    I8,
+    U8,
+    I16,
+    U16,
+    I32,
+    U32,
+    ArrayType,
+    FunctionType,
+    IntType,
+    PointerType,
+    Type,
+    VoidType,
+    common_int_type,
+    pointer_to,
+)
+from repro.ir.values import Argument, Constant, GlobalVariable, UndefValue, Value
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    CmpPredicate,
+    CondBranch,
+    Consume,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Opcode,
+    Phi,
+    Produce,
+    Return,
+    Select,
+    Store,
+    Switch,
+    evaluate_binary,
+    evaluate_icmp,
+)
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.builder import IRBuilder
+from repro.ir.printer import print_function, print_instruction, print_module
+from repro.ir.verifier import VerifierReport, verify_function, verify_module
+
+__all__ = [
+    # types
+    "VOID", "I1", "I8", "U8", "I16", "U16", "I32", "U32",
+    "ArrayType", "FunctionType", "IntType", "PointerType", "Type", "VoidType",
+    "common_int_type", "pointer_to",
+    # values
+    "Argument", "Constant", "GlobalVariable", "UndefValue", "Value",
+    # instructions
+    "Alloca", "BinaryOp", "Branch", "Call", "Cast", "CmpPredicate", "CondBranch",
+    "Consume", "GetElementPtr", "ICmp", "Instruction", "Load", "Opcode", "Phi",
+    "Produce", "Return", "Select", "Store", "Switch",
+    "evaluate_binary", "evaluate_icmp",
+    # containers
+    "BasicBlock", "Function", "Module", "IRBuilder",
+    # printing / verification
+    "print_function", "print_instruction", "print_module",
+    "VerifierReport", "verify_function", "verify_module",
+]

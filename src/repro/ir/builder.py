@@ -1,0 +1,291 @@
+"""IRBuilder: convenience layer for constructing instructions.
+
+The builder tracks an insertion point (a basic block) and provides one
+method per instruction kind, handling implicit integer conversions, GEP
+result-type computation and value naming.  The front end's lowering pass and
+the DSWP thread extraction both construct IR exclusively through this class.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.errors import IRError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    CmpPredicate,
+    CondBranch,
+    Consume,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Opcode,
+    Phi,
+    Produce,
+    Return,
+    Select,
+    Store,
+    Switch,
+)
+from repro.ir.types import (
+    I1,
+    I32,
+    ArrayType,
+    IntType,
+    PointerType,
+    Type,
+    common_int_type,
+)
+from repro.ir.values import Constant, Value
+
+
+IntLike = Union[Value, int]
+
+
+class IRBuilder:
+    """Builds instructions at a movable insertion point."""
+
+    def __init__(self, block: Optional[BasicBlock] = None):
+        self.block = block
+
+    # -- insertion point -------------------------------------------------------
+
+    def set_insert_block(self, block: BasicBlock) -> None:
+        self.block = block
+
+    @property
+    def function(self) -> Function:
+        if self.block is None or self.block.parent is None:
+            raise IRError("builder has no insertion block / parent function")
+        return self.block.parent
+
+    def _insert(self, inst: Instruction) -> Instruction:
+        if self.block is None:
+            raise IRError("builder has no insertion block")
+        if self.block.has_terminator() and inst.is_terminator():
+            raise IRError(f"block {self.block.name} already has a terminator")
+        self.block.append(inst)
+        return inst
+
+    def _name(self, hint: str) -> str:
+        return self.function.unique_value_name(hint)
+
+    # -- operand coercion --------------------------------------------------------
+
+    def as_value(self, v: IntLike, type: Optional[IntType] = None) -> Value:
+        """Turn a Python int into a Constant of ``type`` (default i32)."""
+        if isinstance(v, Value):
+            return v
+        return Constant(type or I32, int(v))
+
+    def coerce(self, value: IntLike, to_type: Type) -> Value:
+        """Insert whatever cast is needed to convert ``value`` to ``to_type``."""
+        value = self.as_value(value, to_type if isinstance(to_type, IntType) else None)
+        if value.type == to_type:
+            return value
+        if isinstance(value.type, IntType) and isinstance(to_type, IntType):
+            if isinstance(value, Constant):
+                return Constant(to_type, value.value)
+            if value.type.bits > to_type.bits:
+                return self.trunc(value, to_type)
+            if value.type.bits < to_type.bits:
+                if value.type.signed:
+                    return self.sext(value, to_type)
+                return self.zext(value, to_type)
+            # same width, different signedness: bitcast (no-op at runtime)
+            return self.bitcast(value, to_type)
+        if isinstance(value.type, PointerType) and isinstance(to_type, PointerType):
+            return self.bitcast(value, to_type)
+        raise IRError(f"cannot coerce {value.type!r} to {to_type!r}")
+
+    def _binary_operands(self, lhs: IntLike, rhs: IntLike) -> tuple[Value, Value, IntType]:
+        lhs_v = self.as_value(lhs)
+        rhs_v = self.as_value(rhs)
+        if not isinstance(lhs_v.type, IntType) or not isinstance(rhs_v.type, IntType):
+            raise IRError(f"binary operands must be integers: {lhs_v.type!r}, {rhs_v.type!r}")
+        result = common_int_type(lhs_v.type, rhs_v.type)
+        return self.coerce(lhs_v, result), self.coerce(rhs_v, result), result
+
+    # -- arithmetic ---------------------------------------------------------------
+
+    def binary(self, opcode: Opcode, lhs: IntLike, rhs: IntLike, name: str = "") -> Value:
+        lhs_v, rhs_v, _ = self._binary_operands(lhs, rhs)
+        inst = BinaryOp(opcode, lhs_v, rhs_v, name=name or self._name(opcode.value))
+        return self._insert(inst)
+
+    def add(self, lhs: IntLike, rhs: IntLike, name: str = "") -> Value:
+        return self.binary(Opcode.ADD, lhs, rhs, name)
+
+    def sub(self, lhs: IntLike, rhs: IntLike, name: str = "") -> Value:
+        return self.binary(Opcode.SUB, lhs, rhs, name)
+
+    def mul(self, lhs: IntLike, rhs: IntLike, name: str = "") -> Value:
+        return self.binary(Opcode.MUL, lhs, rhs, name)
+
+    def div(self, lhs: IntLike, rhs: IntLike, name: str = "") -> Value:
+        lhs_v, rhs_v, ty = self._binary_operands(lhs, rhs)
+        opcode = Opcode.SDIV if ty.signed else Opcode.UDIV
+        return self._insert(BinaryOp(opcode, lhs_v, rhs_v, name=name or self._name("div")))
+
+    def rem(self, lhs: IntLike, rhs: IntLike, name: str = "") -> Value:
+        lhs_v, rhs_v, ty = self._binary_operands(lhs, rhs)
+        opcode = Opcode.SREM if ty.signed else Opcode.UREM
+        return self._insert(BinaryOp(opcode, lhs_v, rhs_v, name=name or self._name("rem")))
+
+    def and_(self, lhs: IntLike, rhs: IntLike, name: str = "") -> Value:
+        return self.binary(Opcode.AND, lhs, rhs, name)
+
+    def or_(self, lhs: IntLike, rhs: IntLike, name: str = "") -> Value:
+        return self.binary(Opcode.OR, lhs, rhs, name)
+
+    def xor(self, lhs: IntLike, rhs: IntLike, name: str = "") -> Value:
+        return self.binary(Opcode.XOR, lhs, rhs, name)
+
+    def shl(self, lhs: IntLike, rhs: IntLike, name: str = "") -> Value:
+        return self.binary(Opcode.SHL, lhs, rhs, name)
+
+    def shr(self, lhs: IntLike, rhs: IntLike, name: str = "") -> Value:
+        """Arithmetic or logical right shift depending on the lhs signedness."""
+        lhs_v = self.as_value(lhs)
+        if isinstance(lhs_v.type, IntType) and not lhs_v.type.signed:
+            return self.binary(Opcode.LSHR, lhs_v, rhs, name)
+        return self.binary(Opcode.ASHR, lhs_v, rhs, name)
+
+    def neg(self, value: IntLike, name: str = "") -> Value:
+        return self.sub(0, value, name or "neg")
+
+    def not_(self, value: IntLike, name: str = "") -> Value:
+        """Bitwise complement."""
+        return self.xor(value, -1, name or "not")
+
+    # -- comparisons / select ------------------------------------------------------
+
+    def icmp(self, predicate: CmpPredicate, lhs: IntLike, rhs: IntLike, name: str = "") -> Value:
+        lhs_v, rhs_v, ty = self._binary_operands(lhs, rhs)
+        # Adjust predicate signedness to the promoted type.
+        if not ty.signed:
+            remap = {
+                CmpPredicate.SLT: CmpPredicate.ULT,
+                CmpPredicate.SLE: CmpPredicate.ULE,
+                CmpPredicate.SGT: CmpPredicate.UGT,
+                CmpPredicate.SGE: CmpPredicate.UGE,
+            }
+            predicate = remap.get(predicate, predicate)
+        return self._insert(ICmp(predicate, lhs_v, rhs_v, name=name or self._name("cmp")))
+
+    def to_bool(self, value: IntLike, name: str = "") -> Value:
+        """Compare against zero to produce an i1 (C truthiness)."""
+        value = self.as_value(value)
+        if value.type == I1:
+            return value
+        return self.icmp(CmpPredicate.NE, value, Constant(value.type, 0) if isinstance(value.type, IntType) else 0, name or "tobool")
+
+    def select(self, cond: Value, tval: IntLike, fval: IntLike, name: str = "") -> Value:
+        tval_v = self.as_value(tval)
+        fval_v = self.coerce(fval, tval_v.type)
+        return self._insert(Select(cond, tval_v, fval_v, name=name or self._name("sel")))
+
+    # -- memory ----------------------------------------------------------------------
+
+    def alloca(self, allocated_type: Type, name: str = "") -> Value:
+        return self._insert(Alloca(allocated_type, name=name or self._name("addr")))
+
+    def load(self, ptr: Value, name: str = "") -> Value:
+        return self._insert(Load(ptr, name=name or self._name("ld")))
+
+    def store(self, value: IntLike, ptr: Value) -> Value:
+        if not isinstance(ptr.type, PointerType):
+            raise IRError(f"store target must be a pointer, got {ptr.type!r}")
+        value_v = self.coerce(value, ptr.type.pointee) if isinstance(ptr.type.pointee, IntType) else self.as_value(value)
+        return self._insert(Store(value_v, ptr))
+
+    def gep(self, base: Value, indices: Sequence[IntLike], name: str = "") -> Value:
+        """Index into an array object, producing a pointer to the element.
+
+        The base must have pointer type.  Each index steps into one array
+        dimension; the result points at the ultimately selected element type.
+        """
+        if not isinstance(base.type, PointerType):
+            raise IRError(f"gep base must be a pointer, got {base.type!r}")
+        element: Type = base.type.pointee
+        index_values: List[Value] = []
+        for idx in indices:
+            index_values.append(self.coerce(idx, I32))
+            if isinstance(element, ArrayType):
+                element = element.element
+            # Indexing a scalar pointer (pointer arithmetic on an array
+            # parameter) keeps the element type unchanged.
+        result_type = PointerType(element)
+        return self._insert(GetElementPtr(base, index_values, result_type, name=name or self._name("gep")))
+
+    # -- casts --------------------------------------------------------------------------
+
+    def trunc(self, value: Value, to_type: IntType, name: str = "") -> Value:
+        return self._insert(Cast(Opcode.TRUNC, value, to_type, name=name or self._name("trunc")))
+
+    def zext(self, value: Value, to_type: IntType, name: str = "") -> Value:
+        return self._insert(Cast(Opcode.ZEXT, value, to_type, name=name or self._name("zext")))
+
+    def sext(self, value: Value, to_type: IntType, name: str = "") -> Value:
+        return self._insert(Cast(Opcode.SEXT, value, to_type, name=name or self._name("sext")))
+
+    def bitcast(self, value: Value, to_type: Type, name: str = "") -> Value:
+        return self._insert(Cast(Opcode.BITCAST, value, to_type, name=name or self._name("cast")))
+
+    # -- control flow ---------------------------------------------------------------------
+
+    def br(self, target: BasicBlock) -> Value:
+        return self._insert(Branch(target))
+
+    def cond_br(self, cond: Value, true_target: BasicBlock, false_target: BasicBlock) -> Value:
+        cond = self.to_bool(cond) if cond.type != I1 else cond
+        return self._insert(CondBranch(cond, true_target, false_target))
+
+    def switch(self, value: Value, default: BasicBlock) -> Switch:
+        inst = Switch(value, default)
+        self._insert(inst)
+        return inst
+
+    def ret(self, value: Optional[IntLike] = None) -> Value:
+        fn = self.function
+        if value is None:
+            return self._insert(Return(None))
+        value_v = self.coerce(value, fn.return_type) if isinstance(fn.return_type, IntType) else self.as_value(value)
+        return self._insert(Return(value_v))
+
+    # -- phi / call / DSWP ------------------------------------------------------------------
+
+    def phi(self, type: Type, name: str = "") -> Phi:
+        """Create a phi node at the start of the current block."""
+        inst = Phi(type, name=name or self._name("phi"))
+        if self.block is None:
+            raise IRError("builder has no insertion block")
+        self.block.insert(self.block.first_non_phi_index(), inst)
+        return inst
+
+    def call(self, callee: Function, args: Sequence[IntLike], name: str = "") -> Value:
+        coerced: List[Value] = []
+        for arg, ty in zip(args, callee.function_type.param_types):
+            if isinstance(ty, IntType):
+                coerced.append(self.coerce(arg, ty))
+            else:
+                coerced.append(self.as_value(arg))
+        if len(coerced) != len(callee.function_type.param_types):
+            raise IRError(
+                f"call to {callee.name}: expected {len(callee.function_type.param_types)} "
+                f"arguments, got {len(args)}"
+            )
+        return self._insert(Call(callee, coerced, name=name or self._name("call")))
+
+    def produce(self, queue_id: int, value: IntLike) -> Value:
+        return self._insert(Produce(queue_id, self.as_value(value)))
+
+    def consume(self, queue_id: int, type: Type, name: str = "") -> Value:
+        return self._insert(Consume(queue_id, type, name=name or self._name("cons")))

@@ -1,0 +1,168 @@
+"""Value hierarchy of the SSA IR: constants, globals, arguments.
+
+Everything that can appear as an instruction operand derives from
+:class:`Value`.  A value records its *uses* (the instructions that consume
+it) so transforms can rewrite def-use chains with
+:meth:`Value.replace_all_uses_with` — the same mechanism LLVM provides and
+that Twill's passes rely on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
+
+from repro.errors import IRError
+from repro.ir.types import ArrayType, IntType, PointerType, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.ir.instructions import Instruction
+    from repro.ir.function import Function
+
+
+class Value:
+    """Base class of everything that can be used as an operand."""
+
+    def __init__(self, type: Type, name: str = ""):
+        self.type = type
+        self.name = name
+        # Each use is (user instruction, operand index).
+        self._uses: List[Tuple["Instruction", int]] = []
+
+    # -- use list maintenance (called by Instruction operand setters) -------
+
+    def _add_use(self, user: "Instruction", index: int) -> None:
+        self._uses.append((user, index))
+
+    def _remove_use(self, user: "Instruction", index: int) -> None:
+        try:
+            self._uses.remove((user, index))
+        except ValueError as exc:  # pragma: no cover - indicates an internal bug
+            raise IRError(f"use ({user}, {index}) not registered on {self}") from exc
+
+    @property
+    def uses(self) -> List[Tuple["Instruction", int]]:
+        """Snapshot of (user, operand-index) pairs currently consuming this value."""
+        return list(self._uses)
+
+    @property
+    def users(self) -> List["Instruction"]:
+        """The distinct instructions that use this value, in first-use order."""
+        seen: List["Instruction"] = []
+        for user, _ in self._uses:
+            if user not in seen:
+                seen.append(user)
+        return seen
+
+    def is_used(self) -> bool:
+        return bool(self._uses)
+
+    def replace_all_uses_with(self, other: "Value") -> None:
+        """Rewrite every use of ``self`` to use ``other`` instead."""
+        if other is self:
+            return
+        for user, index in list(self._uses):
+            user.set_operand(index, other)
+
+    # -- display -------------------------------------------------------------
+
+    def short_name(self) -> str:
+        return f"%{self.name}" if self.name else "%<anon>"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.short_name()}: {self.type!r}>"
+
+
+class Constant(Value):
+    """An integer constant.  The stored value is always wrapped to its type."""
+
+    def __init__(self, type: Type, value: int):
+        if not isinstance(type, IntType):
+            raise IRError(f"constants must have integer type, got {type!r}")
+        super().__init__(type, name=str(value))
+        self.value = type.wrap(int(value))
+
+    def short_name(self) -> str:
+        return str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Constant)
+            and other.type == self.type
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.value))
+
+    def __repr__(self) -> str:
+        return f"<Constant {self.value}: {self.type!r}>"
+
+
+class UndefValue(Value):
+    """A value with no defined contents (used for uninitialised locals)."""
+
+    def short_name(self) -> str:
+        return "undef"
+
+
+class GlobalVariable(Value):
+    """A module-level variable.
+
+    The *value type* (``value_type``) is what is stored in memory; the value
+    itself has pointer type (taking the address of a global yields the
+    global), mirroring LLVM.  ``initializer`` is either ``None``, an int, or
+    a flat list of ints for arrays.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        value_type: Type,
+        initializer: Optional[object] = None,
+        is_const: bool = False,
+    ):
+        super().__init__(PointerType(value_type), name=name)
+        self.value_type = value_type
+        self.initializer = initializer
+        self.is_const = is_const
+
+    def short_name(self) -> str:
+        return f"@{self.name}"
+
+    def flat_initializer(self) -> List[int]:
+        """Return the initializer as a flat list of scalar ints, zero-filled."""
+        if isinstance(self.value_type, ArrayType):
+            count = self.value_type.flat_count()
+        else:
+            count = 1
+        out = [0] * count
+
+        def flatten(obj: object) -> Iterable[int]:
+            if obj is None:
+                return []
+            if isinstance(obj, (list, tuple)):
+                items: List[int] = []
+                for element in obj:
+                    items.extend(flatten(element))
+                return items
+            return [int(obj)]  # type: ignore[list-item]
+
+        flat = list(flatten(self.initializer))
+        for i, v in enumerate(flat[:count]):
+            out[i] = v
+        return out
+
+    def __repr__(self) -> str:
+        return f"<GlobalVariable @{self.name}: {self.value_type!r}>"
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    def __init__(self, type: Type, name: str, index: int, parent: Optional["Function"] = None):
+        super().__init__(type, name=name)
+        self.index = index
+        self.parent = parent
+
+    def __repr__(self) -> str:
+        return f"<Argument %{self.name} #{self.index}: {self.type!r}>"

@@ -1,0 +1,17 @@
+"""Program Dependence Graph construction (thesis §3.1.1 and §5.2, pass 2)."""
+
+from repro.pdg.graph import DependenceKind, PDGEdge, ProgramDependenceGraph
+from repro.pdg.builder import build_pdg
+from repro.pdg.scc import StronglyConnectedComponent, condense
+from repro.pdg.weights import InstructionWeights, WeightModel
+
+__all__ = [
+    "DependenceKind",
+    "PDGEdge",
+    "ProgramDependenceGraph",
+    "build_pdg",
+    "StronglyConnectedComponent",
+    "condense",
+    "InstructionWeights",
+    "WeightModel",
+]

@@ -1,0 +1,25 @@
+"""Twill runtime-architecture models (thesis Chapter 4).
+
+These classes model the timing and occupancy behaviour of the runtime
+primitives that the generated threads communicate through: the message bus
+and its arbiter, the hardware FIFO queues, the counting semaphores, the
+round-robin hardware scheduler and the processor stream interface.  The
+hybrid timing simulator (``repro.sim``) instantiates them with the
+parameters from :class:`repro.config.RuntimeConfig`.
+"""
+
+from repro.runtime.queue import TimedQueue
+from repro.runtime.semaphore import TimedSemaphore
+from repro.runtime.bus import MessageBus, BusStatistics
+from repro.runtime.scheduler import RoundRobinScheduler
+from repro.runtime.interface import ProcessorInterface, HWThreadInterface
+
+__all__ = [
+    "TimedQueue",
+    "TimedSemaphore",
+    "MessageBus",
+    "BusStatistics",
+    "RoundRobinScheduler",
+    "ProcessorInterface",
+    "HWThreadInterface",
+]

@@ -1,0 +1,61 @@
+"""Processor and hardware-thread interface cost models (thesis §4.4/§4.5).
+
+* Every runtime operation initiated by the processor costs five cycles of
+  processor time (two ``put``/``get`` stream instruction pairs through the
+  MicroBlaze stream link); the worst case under contention is ``4 + n``
+  cycles for ``n`` attached processors.
+* A hardware thread reaches the runtime through its HWInterface with no
+  added latency: it pays only the primitive's own minimum cycles (one for a
+  store/raise, two for loads/queue operations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import RuntimeConfig
+from repro.ir.instructions import Opcode
+
+
+@dataclass
+class ProcessorInterface:
+    """Cost of software-side runtime operations through the stream link."""
+
+    config: RuntimeConfig
+
+    def operation_cycles(self, opcode: Opcode) -> int:
+        """Processor cycles consumed by one runtime operation."""
+        base = self.config.processor_op_cycles
+        if opcode in (Opcode.PRODUCE, Opcode.CONSUME):
+            return base
+        if opcode in (Opcode.LOAD, Opcode.STORE):
+            # Normal loads/stores hit the processor's own data memory, not the
+            # runtime: the SW cost model already charges those.
+            return 0
+        return base
+
+    def worst_case_latency(self) -> int:
+        """Worst-case message latency: 4 + n cycles for n processors (§4.5)."""
+        return 4 + self.config.num_processors
+
+
+@dataclass
+class HWThreadInterface:
+    """Cost of hardware-side runtime operations through the HWInterface module."""
+
+    config: RuntimeConfig
+
+    def operation_cycles(self, opcode: Opcode) -> int:
+        if opcode is Opcode.PRODUCE:
+            return 2
+        if opcode is Opcode.CONSUME:
+            return 2
+        if opcode is Opcode.LOAD:
+            return self.config.memory_read_cycles
+        if opcode is Opcode.STORE:
+            return self.config.memory_write_cycles
+        return 1
+
+    def memory_visibility_delay(self) -> int:
+        """Cycles before a write in one domain is visible in the other (§4.1)."""
+        return self.config.coherency_delay

@@ -1,0 +1,69 @@
+"""Hardware round-robin scheduler model (thesis §4.4).
+
+The scheduler is implemented in FPGA logic; the only processor-visible cost
+is a single context switch when the active software thread changes (versus
+two switches plus the scheduling algorithm for a conventional software
+scheduler — the comparison the thesis makes).  The simulator uses this model
+to charge context-switch overhead when several software partitions share
+one MicroBlaze.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+# A MicroBlaze context switch (register save/restore + pipeline refill).
+CONTEXT_SWITCH_CYCLES = 60
+
+
+@dataclass
+class ScheduleDecision:
+    """One scheduling event."""
+
+    cycle: float
+    previous_thread: Optional[int]
+    next_thread: int
+    switch_cost: int
+
+
+class RoundRobinScheduler:
+    """Round-robin selection among ready software threads with HW-assisted switching."""
+
+    def __init__(self, period_cycles: int = 1000, switch_cost: int = CONTEXT_SWITCH_CYCLES):
+        self.period_cycles = period_cycles
+        self.switch_cost = switch_cost
+        self.current: Optional[int] = None
+        self.decisions: List[ScheduleDecision] = []
+        self.total_switch_cycles = 0.0
+        self._threads: List[int] = []
+        self._rr_index = 0
+
+    def register_thread(self, thread_id: int) -> None:
+        if thread_id not in self._threads:
+            self._threads.append(thread_id)
+
+    def activate(self, thread_id: int, cycle: float) -> float:
+        """Make ``thread_id`` the running SW thread; returns the switch penalty."""
+        self.register_thread(thread_id)
+        if self.current == thread_id:
+            return 0.0
+        cost = self.switch_cost if self.current is not None else 0
+        self.decisions.append(
+            ScheduleDecision(cycle=cycle, previous_thread=self.current, next_thread=thread_id, switch_cost=cost)
+        )
+        self.current = thread_id
+        self.total_switch_cycles += cost
+        return float(cost)
+
+    def next_round_robin(self) -> Optional[int]:
+        """Pick the next thread in round-robin order (None if none registered)."""
+        if not self._threads:
+            return None
+        thread = self._threads[self._rr_index % len(self._threads)]
+        self._rr_index += 1
+        return thread
+
+    @property
+    def switch_count(self) -> int:
+        return sum(1 for d in self.decisions if d.switch_cost > 0)

@@ -1,0 +1,27 @@
+"""Hybrid timing simulation: trace replay under pure-SW, pure-HW and Twill
+configurations, plus the activity-based power model.
+
+The simulator consumes the dynamic trace produced by the functional
+interpreter and a *thread assignment* (which thread, in which domain, runs
+each dynamic instruction).  It reproduces the cycle-level behaviour the
+evaluation cares about: sequential MicroBlaze execution, ILP-limited FSM
+execution in hardware, queue latency/occupancy, bus contention, memory
+coherency delay, and the processor stream-interface overhead.
+"""
+
+from repro.sim.assignment import ThreadAssignment, ThreadSpec, ExecutionDomain
+from repro.sim.timing import TimingSimulator, TimingResult
+from repro.sim.system import HybridSystem, SystemResult
+from repro.sim.power import PowerModel, PowerEstimate
+
+__all__ = [
+    "ThreadAssignment",
+    "ThreadSpec",
+    "ExecutionDomain",
+    "TimingSimulator",
+    "TimingResult",
+    "HybridSystem",
+    "SystemResult",
+    "PowerModel",
+    "PowerEstimate",
+]

@@ -1,0 +1,190 @@
+"""System-level simulation: run the three standard configurations.
+
+:class:`HybridSystem` bundles the pieces needed to evaluate one compiled
+module the way the thesis does — the same dynamic trace replayed as
+pure-software (MicroBlaze only), pure-hardware (LegUp baseline) and the
+Twill hybrid — plus the area and power roll-ups for each configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.config import CompilerConfig, HLSConfig, RuntimeConfig
+from repro.dswp.pipeline import DSWPResult
+from repro.hls.area import AreaEstimate, AreaModel
+from repro.hls.legup import LegUpFlow, LegUpResult
+from repro.hls.scheduling import HLSScheduler
+from repro.interp.trace import Trace
+from repro.ir.module import Module
+from repro.sim.assignment import ThreadAssignment
+from repro.sim.power import PowerEstimate, PowerModel
+from repro.sim.timing import TimingResult, TimingSimulator
+
+
+@dataclass
+class ConfigurationResult:
+    """Timing + area + power of one configuration (pure SW / pure HW / Twill)."""
+
+    name: str
+    timing: TimingResult
+    area: AreaEstimate
+    power: PowerEstimate
+
+    @property
+    def cycles(self) -> float:
+        return self.timing.total_cycles
+
+
+@dataclass
+class SystemResult:
+    """Results of all three configurations for one benchmark."""
+
+    benchmark: str
+    pure_software: ConfigurationResult
+    pure_hardware: ConfigurationResult
+    twill: ConfigurationResult
+    hw_thread_area: AreaEstimate = field(default_factory=AreaEstimate)
+    runtime_area: AreaEstimate = field(default_factory=AreaEstimate)
+
+    # -- the headline metrics of Chapter 6 ------------------------------------------------
+
+    @property
+    def speedup_vs_software(self) -> float:
+        return self.pure_software.cycles / max(self.twill.cycles, 1e-9)
+
+    @property
+    def speedup_vs_hardware(self) -> float:
+        return self.pure_hardware.cycles / max(self.twill.cycles, 1e-9)
+
+    @property
+    def hw_speedup_vs_software(self) -> float:
+        return self.pure_software.cycles / max(self.pure_hardware.cycles, 1e-9)
+
+    @property
+    def area_ratio_hw_threads(self) -> float:
+        """LegUp pure-HW LUTs / Twill HW-thread LUTs (the 1.73x reduction metric)."""
+        return self.pure_hardware.area.luts / max(self.hw_thread_area.luts, 1)
+
+    @property
+    def area_ratio_total(self) -> float:
+        """Twill (incl. runtime) LUTs / LegUp pure-HW LUTs (the 1.35x increase metric)."""
+        return self.twill.area.luts / max(self.pure_hardware.area.luts, 1)
+
+    def power_normalised(self) -> Dict[str, float]:
+        baseline = self.pure_software.power
+        return {
+            "pure_sw": 1.0,
+            "pure_hw": self.pure_hardware.power.normalised_to(baseline),
+            "twill": self.twill.power.normalised_to(baseline),
+        }
+
+
+class HybridSystem:
+    """Evaluates one compiled module under the three standard configurations."""
+
+    def __init__(self, config: Optional[CompilerConfig] = None):
+        self.config = config or CompilerConfig()
+        self.config.validate()
+        self.area_model = AreaModel()
+        self.power_model = PowerModel()
+
+    # -- individual configurations --------------------------------------------------------
+
+    def simulate_pure_software(self, module: Module, trace: Trace) -> TimingResult:
+        simulator = TimingSimulator(self.config.runtime, self.config.hls)
+        return simulator.simulate(trace, ThreadAssignment.pure_software(module))
+
+    def simulate_pure_hardware(self, module: Module, trace: Trace) -> TimingResult:
+        simulator = TimingSimulator(self.config.runtime, self.config.hls)
+        return simulator.simulate(trace, ThreadAssignment.pure_hardware(module))
+
+    def simulate_twill(
+        self,
+        module: Module,
+        trace: Trace,
+        dswp: DSWPResult,
+        runtime: Optional[RuntimeConfig] = None,
+    ) -> TimingResult:
+        simulator = TimingSimulator(runtime or self.config.runtime, self.config.hls)
+        assignment = ThreadAssignment.from_partitioning(module, dswp.partitioning)
+        return simulator.simulate(trace, assignment)
+
+    # -- full evaluation ---------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        benchmark: str,
+        module: Module,
+        trace: Trace,
+        dswp: DSWPResult,
+        legup: Optional[LegUpResult] = None,
+    ) -> SystemResult:
+        """Run all three configurations and collect area/power for each."""
+        legup = legup or LegUpFlow(self.config.hls).run(module)
+
+        sw_timing = self.simulate_pure_software(module, trace)
+        hw_timing = self.simulate_pure_hardware(module, trace)
+        twill_timing = self.simulate_twill(module, trace, dswp)
+
+        # -- area -------------------------------------------------------------------------
+        legup_area = legup.total_area
+        hw_thread_area = self._twill_hw_thread_area(module, dswp)
+        runtime_area = self.area_model.runtime_area(
+            num_queues=dswp.partitioning.total_queues,
+            num_semaphores=dswp.partitioning.total_semaphores,
+            num_hw_threads=dswp.partitioning.hardware_thread_count,
+            queue_depth=self.config.runtime.queue_depth,
+            queue_width=self.config.runtime.queue_width_bits,
+            num_processors=self.config.runtime.num_processors,
+        )
+        twill_area = hw_thread_area.merged_with(runtime_area)
+        twill_with_mb = twill_area.merged_with(self.area_model.microblaze_area())
+
+        # -- power ------------------------------------------------------------------------
+        sw_power = self.power_model.pure_software(utilisation=1.0)
+        hw_activity = min(1.0, hw_timing.hardware_busy_cycles / max(hw_timing.total_cycles, 1.0) + 0.5)
+        hw_power = self.power_model.pure_hardware(
+            legup_area.luts, legup_area.dsps, legup_area.brams, activity=hw_activity
+        )
+        cpu_util = min(1.0, twill_timing.software_busy_cycles / max(twill_timing.total_cycles, 1.0))
+        fabric_util = min(
+            1.0,
+            twill_timing.hardware_busy_cycles
+            / max(twill_timing.total_cycles * max(dswp.partitioning.hardware_thread_count, 1), 1.0)
+            + 0.4,
+        )
+        twill_power = self.power_model.twill(
+            hw_luts=hw_thread_area.luts,
+            runtime_luts=runtime_area.luts,
+            dsps=twill_area.dsps,
+            brams=twill_area.brams,
+            fabric_activity=fabric_util,
+            processor_utilisation=cpu_util,
+        )
+
+        return SystemResult(
+            benchmark=benchmark,
+            pure_software=ConfigurationResult("pure_sw", sw_timing, self.area_model.microblaze_area(), sw_power),
+            pure_hardware=ConfigurationResult("pure_hw", hw_timing, legup_area, hw_power),
+            twill=ConfigurationResult("twill", twill_timing, twill_with_mb, twill_power),
+            hw_thread_area=hw_thread_area,
+            runtime_area=runtime_area,
+        )
+
+    # -- helpers ---------------------------------------------------------------------------------
+
+    def _twill_hw_thread_area(self, module: Module, dswp: DSWPResult) -> AreaEstimate:
+        """LUTs of only the hardware partitions (the "Twill HWThreads" column)."""
+        scheduler = HLSScheduler(self.config.hls)
+        total = AreaEstimate()
+        for fn_name, fp in dswp.partitioning.functions.items():
+            fn = fp.function
+            for partition in fp.partitions:
+                if not partition.is_hardware() or not partition.instructions:
+                    continue
+                schedule = scheduler.schedule_function(fn, only=partition.instructions)
+                area = self.area_model.datapath_area(schedule)
+                total = total.merged_with(area)
+        return total

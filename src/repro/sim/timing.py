@@ -1,0 +1,360 @@
+"""Trace-replay timing simulator.
+
+The simulator replays the dynamic instruction trace under a thread
+assignment.  Each thread consumes its own slice of the trace in order;
+cross-thread value flow goes through :class:`~repro.runtime.queue.TimedQueue`
+instances (one per produced static value and consuming thread — exactly the
+DSWP queue granularity), which is where queue latency, queue-depth
+back-pressure and the processor stream-interface overhead enter the model.
+
+Per-domain execution:
+
+* **software threads** issue strictly in order; every instruction occupies
+  the MicroBlaze for its full cycle cost, and every queue transfer costs the
+  five-cycle stream-interface overhead (§4.5);
+* **hardware threads** issue in order but at up to ``issue_width``
+  operations per cycle (the ILP LegUp exploits); multi-cycle operations are
+  pipelined, so they occupy an issue slot but deliver their result after the
+  full latency; loads/stores pay the memory-bus cost plus a coherency delay
+  when the producing store happened in the other domain (§4.1/§4.5).
+
+Engine: a cooperative round-robin over threads.  A thread blocks when an
+operand's producing event has not been timed yet, or when a queue it must
+enqueue into is full (back-pressure).  Cross-partition dependences form a
+DAG (guaranteed by the partitioner), so the replay makes progress; a
+defensive fallback force-processes the oldest blocked event should a cyclic
+wait appear, and counts how often it fired so tests can assert it did not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.config import HLSConfig, RuntimeConfig
+from repro.costmodel.hardware import HardwareCostModel
+from repro.costmodel.software import SoftwareCostModel
+from repro.interp.trace import Trace, TraceEvent
+from repro.ir.instructions import Opcode
+from repro.runtime.bus import MessageBus
+from repro.runtime.queue import TimedQueue
+from repro.sim.assignment import ExecutionDomain, ThreadAssignment, ThreadSpec
+
+
+@dataclass
+class ThreadTimeline:
+    """Accounting for one simulated thread."""
+
+    spec: ThreadSpec
+    next_free: float = 0.0
+    busy_cycles: float = 0.0
+    events_executed: int = 0
+    finish_time: float = 0.0
+    # FSM modelling for hardware threads: the basic block currently being
+    # executed and the latest completion time inside it.  A hardware thread
+    # does not start the next basic block's states until the current block
+    # has drained (unless loop pipelining is enabled in HLSConfig).
+    current_block: int = -1
+    block_max_done: float = 0.0
+
+
+@dataclass
+class TimingResult:
+    """Outcome of one timing replay."""
+
+    total_cycles: float
+    threads: Dict[int, ThreadTimeline]
+    queue_count: int
+    queue_transfers: int
+    producer_stall_cycles: float
+    consumer_stall_cycles: float
+    bus_transfers: int
+    forced_events: int
+    events: int
+
+    @property
+    def hardware_busy_cycles(self) -> float:
+        return sum(t.busy_cycles for t in self.threads.values() if t.spec.is_hardware())
+
+    @property
+    def software_busy_cycles(self) -> float:
+        return sum(t.busy_cycles for t in self.threads.values() if t.spec.is_software())
+
+    def speedup_over(self, baseline: "TimingResult") -> float:
+        if self.total_cycles <= 0:
+            return float("inf")
+        return baseline.total_cycles / self.total_cycles
+
+
+class TimingSimulator:
+    """Replays a trace under a thread assignment and runtime configuration."""
+
+    def __init__(
+        self,
+        runtime: Optional[RuntimeConfig] = None,
+        hls: Optional[HLSConfig] = None,
+        software: Optional[SoftwareCostModel] = None,
+        hardware: Optional[HardwareCostModel] = None,
+    ):
+        self.runtime = runtime or RuntimeConfig()
+        self.hls = hls or HLSConfig()
+        self.runtime.validate()
+        self.hls.validate()
+        self.software = software or SoftwareCostModel()
+        self.hardware = hardware or HardwareCostModel()
+
+    # -- public API ------------------------------------------------------------------
+
+    def simulate(self, trace: Trace, assignment: ThreadAssignment) -> TimingResult:
+        events = trace.events
+        if not events:
+            return TimingResult(0.0, {}, 0, 0, 0.0, 0.0, 0, 0, 0)
+
+        timelines: Dict[int, ThreadTimeline] = {
+            t.thread_id: ThreadTimeline(spec=t) for t in assignment.threads
+        }
+        n = len(events)
+        thread_of: List[int] = [0] * n
+        per_thread: Dict[int, List[int]] = {t.thread_id: [] for t in assignment.threads}
+        for i, event in enumerate(events):
+            spec = assignment.thread_of_event(event)
+            thread_of[i] = spec.thread_id
+            per_thread[spec.thread_id].append(i)
+
+        # Which threads consume each dynamic event's value across threads?
+        dyn_consumers: List[Tuple[int, ...]] = [()] * n
+        consumer_sets: List[Optional[Set[int]]] = [None] * n
+        for i, event in enumerate(events):
+            my_thread = thread_of[i]
+            for dep in event.deps:
+                if thread_of[dep] != my_thread:
+                    s = consumer_sets[dep]
+                    if s is None:
+                        s = set()
+                        consumer_sets[dep] = s
+                    s.add(my_thread)
+        for i, s in enumerate(consumer_sets):
+            if s:
+                dyn_consumers[i] = tuple(sorted(s))
+
+        # Dynamic basic-block occurrence ids: a hardware FSM finishes all the
+        # states of the current block (iteration) before starting the next
+        # one, so every block *occurrence* — including re-entry of the same
+        # block on the next loop iteration — is a serialisation point.
+        block_occurrence: List[int] = [0] * n
+        occurrence = 0
+        prev_block_key: Optional[Tuple[str, int]] = None
+        prev_was_terminator = False
+        for i, event in enumerate(events):
+            block_key = (event.function, id(event.inst.parent))
+            if prev_block_key is None or block_key != prev_block_key or prev_was_terminator:
+                occurrence += 1
+            block_occurrence[i] = occurrence
+            prev_block_key = block_key
+            prev_was_terminator = event.inst.is_terminator()
+
+        finish: List[Optional[float]] = [None] * n
+        store_domain: Dict[int, ExecutionDomain] = {}
+        # (dep event index, consumer thread) -> time the dequeued value is in hand
+        received: Dict[Tuple[int, int], float] = {}
+
+        queues: Dict[Tuple[int, int], TimedQueue] = {}
+        module_bus = MessageBus("module-bus", latency=self.runtime.bus_latency)
+        forced_events = 0
+
+        def queue_for(producer_event: TraceEvent, consumer_thread: int) -> TimedQueue:
+            key = (id(producer_event.inst), consumer_thread)
+            q = queues.get(key)
+            if q is None:
+                q = TimedQueue(
+                    queue_id=len(queues),
+                    depth=self.runtime.queue_depth,
+                    latency=self.runtime.queue_latency,
+                )
+                queues[key] = q
+            return q
+
+        pointer: Dict[int, int] = {t: 0 for t in per_thread}
+        remaining = n
+        context = _ReplayContext(
+            events=events,
+            thread_of=thread_of,
+            finish=finish,
+            timelines=timelines,
+            queue_for=queue_for,
+            module_bus=module_bus,
+            store_domain=store_domain,
+            received=received,
+            dyn_consumers=dyn_consumers,
+            block_occurrence=block_occurrence,
+        )
+
+        while remaining > 0:
+            progress = False
+            for thread_id, indices in per_thread.items():
+                while pointer[thread_id] < len(indices):
+                    if not self._try_execute(context, indices[pointer[thread_id]], force=False):
+                        break
+                    pointer[thread_id] += 1
+                    remaining -= 1
+                    progress = True
+            if not progress and remaining > 0:
+                candidates = [
+                    indices[pointer[t]]
+                    for t, indices in per_thread.items()
+                    if pointer[t] < len(indices)
+                ]
+                event_index = min(candidates)
+                self._try_execute(context, event_index, force=True)
+                pointer[thread_of[event_index]] += 1
+                remaining -= 1
+                forced_events += 1
+
+        total = max((t.finish_time for t in timelines.values()), default=0.0)
+        return TimingResult(
+            total_cycles=total,
+            threads=timelines,
+            queue_count=len(queues),
+            queue_transfers=sum(q.total_transfers() for q in queues.values()),
+            producer_stall_cycles=sum(q.stats.producer_stall_cycles for q in queues.values()),
+            consumer_stall_cycles=sum(q.stats.consumer_stall_cycles for q in queues.values()),
+            bus_transfers=module_bus.stats.transfers,
+            forced_events=forced_events,
+            events=n,
+        )
+
+    # -- one event --------------------------------------------------------------------------
+
+    def _try_execute(self, ctx: "_ReplayContext", index: int, force: bool) -> bool:
+        events = ctx.events
+        event = events[index]
+        thread_id = ctx.thread_of[index]
+        timeline = ctx.timelines[thread_id]
+        domain = timeline.spec.domain
+
+        # 1. Operand readiness (register dataflow + memory dataflow).
+        deps = list(event.deps)
+        if event.mem_dep is not None:
+            deps.append(event.mem_dep)
+        for dep in deps:
+            if ctx.finish[dep] is None and not force:
+                return False
+
+        # 2. Back-pressure: every queue this event must feed needs a free slot.
+        consumer_threads = ctx.dyn_consumers[index]
+        if consumer_threads and not force:
+            for consumer_thread in consumer_threads:
+                if not ctx.queue_for(event, consumer_thread).can_enqueue():
+                    return False
+
+        ready = 0.0
+        for dep in deps:
+            dep_finish = ctx.finish[dep]
+            if dep_finish is None:
+                dep_finish = ctx.timelines[ctx.thread_of[dep]].next_free
+            dep_thread = ctx.thread_of[dep]
+            if dep_thread == thread_id:
+                ready = max(ready, dep_finish)
+                continue
+            if dep == event.mem_dep and dep not in event.deps:
+                # Cross-thread memory flow: shared memory + coherency delay.
+                delay = self.runtime.coherency_delay
+                if ctx.timelines[dep_thread].spec.domain != domain:
+                    delay += self.runtime.memory_read_cycles
+                ready = max(ready, dep_finish + delay)
+                continue
+            # Cross-thread register flow through a DSWP queue: dequeue once.
+            key = (dep, thread_id)
+            got = ctx.received.get(key)
+            if got is None:
+                q = ctx.queue_for(events[dep], thread_id)
+                q.dequeue_cost = (
+                    self.runtime.processor_op_cycles
+                    if domain is ExecutionDomain.SOFTWARE
+                    else 2
+                )
+                got = q.dequeue(max(timeline.next_free, 0.0))
+                ctx.received[key] = got
+                timeline.busy_cycles += q.dequeue_cost
+                timeline.next_free = max(timeline.next_free, got)
+            ready = max(ready, got)
+
+        # 3. Issue and execute.
+        if domain is ExecutionDomain.HARDWARE and not self.hls.loop_pipelining:
+            # FSM semantics: a new basic-block occurrence (including the next
+            # iteration of a loop) cannot start before every state of the
+            # previous occurrence has finished.
+            occurrence = ctx.block_occurrence[index]
+            if occurrence != timeline.current_block:
+                timeline.next_free = max(timeline.next_free, timeline.block_max_done)
+                timeline.current_block = occurrence
+                timeline.block_max_done = 0.0
+        issue = max(ready, timeline.next_free)
+        cost = self._execution_cost(event, domain)
+        done = issue + cost
+        if domain is ExecutionDomain.SOFTWARE:
+            timeline.next_free = done
+            timeline.busy_cycles += cost
+        else:
+            # FSM-style execution: single-cycle operations fill a state up to
+            # the issue width (the ILP LegUp exploits); multi-cycle operations
+            # (memory over the bus, dividers) hold the state machine for their
+            # full latency — LegUp's serial divider and blocking memory
+            # accesses behave exactly like this (§5.2, §6.4).
+            if cost > 1.0:
+                timeline.next_free = done
+                timeline.busy_cycles += cost
+            else:
+                timeline.next_free = issue + 1.0 / max(1, self.hls.issue_width)
+                timeline.busy_cycles += 1.0 / max(1, self.hls.issue_width)
+
+        # 4. Produce: enqueue the value for every consuming thread.
+        for consumer_thread in consumer_threads:
+            q = ctx.queue_for(event, consumer_thread)
+            q.enqueue_cost = (
+                self.runtime.processor_op_cycles
+                if domain is ExecutionDomain.SOFTWARE
+                else 2
+            )
+            bus_ready = ctx.module_bus.request(done, processor=domain is ExecutionDomain.SOFTWARE)
+            enqueue_done = q.enqueue(max(done, bus_ready - self.runtime.bus_latency))
+            timeline.busy_cycles += q.enqueue_cost
+            timeline.next_free = max(timeline.next_free, enqueue_done)
+
+        if domain is ExecutionDomain.HARDWARE and not self.hls.loop_pipelining:
+            timeline.block_max_done = max(timeline.block_max_done, done)
+
+        if event.opcode is Opcode.STORE:
+            ctx.store_domain[index] = domain
+
+        ctx.finish[index] = done
+        timeline.events_executed += 1
+        timeline.finish_time = max(timeline.finish_time, timeline.next_free, done)
+        return True
+
+    def _execution_cost(self, event: TraceEvent, domain: ExecutionDomain) -> float:
+        opcode = event.opcode
+        if domain is ExecutionDomain.SOFTWARE:
+            return float(self.software.opcode_cost(opcode))
+        cost = float(self.hardware.opcode_cost(opcode))
+        if opcode is Opcode.LOAD:
+            cost = float(self.runtime.memory_read_cycles)
+        elif opcode is Opcode.STORE:
+            cost = float(self.runtime.memory_write_cycles)
+        return max(cost, 0.0)
+
+
+@dataclass
+class _ReplayContext:
+    """Mutable state shared by the per-event executor."""
+
+    events: List[TraceEvent]
+    thread_of: List[int]
+    finish: List[Optional[float]]
+    timelines: Dict[int, ThreadTimeline]
+    queue_for: object
+    module_bus: MessageBus
+    store_domain: Dict[int, ExecutionDomain]
+    received: Dict[Tuple[int, int], float]
+    dyn_consumers: List[Tuple[int, ...]]
+    block_occurrence: List[int] = field(default_factory=list)

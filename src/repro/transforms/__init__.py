@@ -1,0 +1,32 @@
+"""IR-to-IR transformation passes (the LLVM transform-pass analogues).
+
+The default pipeline mirrors the one the thesis lists in §5.1/§5.2:
+``mem2reg``, ``mergereturn``, ``lowerswitch``, ``inline``, ``simplifycfg``,
+constant propagation, dead-code elimination, plus Twill's custom
+globals-to-arguments pass that runs before DSWP.
+"""
+
+from repro.transforms.pass_manager import PassManager, FunctionPass, ModulePass, default_pipeline
+from repro.transforms.mem2reg import PromoteMemoryToRegisters
+from repro.transforms.simplifycfg import SimplifyCFG
+from repro.transforms.dce import DeadCodeElimination
+from repro.transforms.constprop import ConstantPropagation
+from repro.transforms.inline import FunctionInliner
+from repro.transforms.lowerswitch import LowerSwitch
+from repro.transforms.mergereturn import MergeReturns
+from repro.transforms.globals_to_args import GlobalsToArguments
+
+__all__ = [
+    "PassManager",
+    "FunctionPass",
+    "ModulePass",
+    "default_pipeline",
+    "PromoteMemoryToRegisters",
+    "SimplifyCFG",
+    "DeadCodeElimination",
+    "ConstantPropagation",
+    "FunctionInliner",
+    "LowerSwitch",
+    "MergeReturns",
+    "GlobalsToArguments",
+]

@@ -1,0 +1,144 @@
+"""Constant propagation and folding (``constprop``/``gvn``-lite analogue).
+
+Folds binary operations, comparisons, selects and casts whose operands are
+all constants, and simplifies a handful of algebraic identities
+(``x + 0``, ``x * 1``, ``x * 0``, ``x & 0``, ``x | 0``, ``x ^ x``) that show
+up frequently after inlining table-driven kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinaryOp,
+    Cast,
+    CmpPredicate,
+    ICmp,
+    Opcode,
+    Select,
+    evaluate_binary,
+    evaluate_icmp,
+)
+from repro.ir.types import I1, IntType
+from repro.ir.values import Constant, Value
+from repro.transforms.pass_manager import FunctionPass
+
+
+class ConstantPropagation(FunctionPass):
+    """Folds constant expressions until a fixed point."""
+
+    name = "constprop"
+
+    def run_on_function(self, fn: Function) -> bool:
+        if fn.is_declaration():
+            return False
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            for block in fn.blocks:
+                for inst in list(block.instructions):
+                    replacement = self._fold(inst)
+                    if replacement is not None and replacement is not inst:
+                        inst.replace_all_uses_with(replacement)
+                        if not inst.is_used():
+                            inst.drop_all_operands()
+                            block.remove_instruction(inst)
+                        progress = True
+                        changed = True
+        return changed
+
+    # -- folding rules ----------------------------------------------------------
+
+    def _fold(self, inst) -> Optional[Value]:
+        if isinstance(inst, BinaryOp):
+            return self._fold_binary(inst)
+        if isinstance(inst, ICmp):
+            return self._fold_icmp(inst)
+        if isinstance(inst, Select):
+            if isinstance(inst.condition, Constant):
+                return inst.true_value if inst.condition.value != 0 else inst.false_value
+            if inst.true_value is inst.false_value:
+                return inst.true_value
+            return None
+        if isinstance(inst, Cast):
+            return self._fold_cast(inst)
+        return None
+
+    @staticmethod
+    def _fold_binary(inst: BinaryOp) -> Optional[Value]:
+        lhs, rhs = inst.lhs, inst.rhs
+        ty = inst.type
+        if not isinstance(ty, IntType):
+            return None
+        if isinstance(lhs, Constant) and isinstance(rhs, Constant):
+            try:
+                return Constant(ty, evaluate_binary(inst.opcode, ty, lhs.value, rhs.value))
+            except ZeroDivisionError:
+                return None  # leave the trap for runtime
+        # Algebraic identities with one constant operand.
+        def is_const(v: Value, value: int) -> bool:
+            return isinstance(v, Constant) and v.value == value
+
+        op = inst.opcode
+        if op is Opcode.ADD:
+            if is_const(rhs, 0):
+                return lhs
+            if is_const(lhs, 0):
+                return rhs
+        elif op is Opcode.SUB and is_const(rhs, 0):
+            return lhs
+        elif op is Opcode.MUL:
+            if is_const(rhs, 1):
+                return lhs
+            if is_const(lhs, 1):
+                return rhs
+            if is_const(rhs, 0) or is_const(lhs, 0):
+                return Constant(ty, 0)
+        elif op in (Opcode.SDIV, Opcode.UDIV) and is_const(rhs, 1):
+            return lhs
+        elif op is Opcode.AND:
+            if is_const(rhs, 0) or is_const(lhs, 0):
+                return Constant(ty, 0)
+        elif op is Opcode.OR:
+            if is_const(rhs, 0):
+                return lhs
+            if is_const(lhs, 0):
+                return rhs
+        elif op is Opcode.XOR:
+            if is_const(rhs, 0):
+                return lhs
+            if is_const(lhs, 0):
+                return rhs
+            if lhs is rhs:
+                return Constant(ty, 0)
+        elif op in (Opcode.SHL, Opcode.LSHR, Opcode.ASHR) and is_const(rhs, 0):
+            return lhs
+        return None
+
+    @staticmethod
+    def _fold_icmp(inst: ICmp) -> Optional[Value]:
+        lhs, rhs = inst.lhs, inst.rhs
+        if isinstance(lhs, Constant) and isinstance(rhs, Constant) and isinstance(lhs.type, IntType):
+            result = evaluate_icmp(inst.predicate, lhs.type, lhs.value, rhs.value)
+            return Constant(I1, result)
+        if lhs is rhs:
+            if inst.predicate in (CmpPredicate.EQ, CmpPredicate.SLE, CmpPredicate.SGE, CmpPredicate.ULE, CmpPredicate.UGE):
+                return Constant(I1, 1)
+            if inst.predicate in (CmpPredicate.NE, CmpPredicate.SLT, CmpPredicate.SGT, CmpPredicate.ULT, CmpPredicate.UGT):
+                return Constant(I1, 0)
+        return None
+
+    @staticmethod
+    def _fold_cast(inst: Cast) -> Optional[Value]:
+        value = inst.value
+        if isinstance(value, Constant) and isinstance(inst.type, IntType):
+            if inst.opcode is Opcode.ZEXT and isinstance(value.type, IntType):
+                raw = value.value & ((1 << value.type.bits) - 1)
+                return Constant(inst.type, raw)
+            return Constant(inst.type, value.value)
+        if value.type == inst.type:
+            return value
+        return None

@@ -1,0 +1,67 @@
+"""Dead-code elimination (the ``adce``/``dce`` analogue in Twill's pipeline).
+
+Removes instructions with no uses and no side effects, iterating until a
+fixed point so chains of dead computations collapse.  Also drops dead
+allocas whose only remaining users are stores (a store into memory nobody
+reads is dead once the alloca has no loads).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import Function
+from repro.ir.instructions import Alloca, Instruction, Load, Store
+from repro.transforms.pass_manager import FunctionPass
+
+
+class DeadCodeElimination(FunctionPass):
+    """Iteratively deletes trivially dead instructions."""
+
+    name = "dce"
+
+    def run_on_function(self, fn: Function) -> bool:
+        if fn.is_declaration():
+            return False
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            for block in fn.blocks:
+                for inst in list(block.instructions):
+                    if inst.is_used() or inst.has_side_effects() or inst.is_terminator():
+                        continue
+                    if isinstance(inst, Alloca):
+                        continue  # handled below (needs store analysis)
+                    inst.drop_all_operands()
+                    block.remove_instruction(inst)
+                    progress = True
+                    changed = True
+            progress |= self._remove_dead_allocas(fn)
+        return changed
+
+    @staticmethod
+    def _remove_dead_allocas(fn: Function) -> bool:
+        """Remove allocas that are never loaded (and the stores into them)."""
+        changed = False
+        for block in fn.blocks:
+            for inst in list(block.instructions):
+                if not isinstance(inst, Alloca):
+                    continue
+                users = [u for u, _ in inst.uses]
+                if any(not isinstance(u, (Load, Store)) for u in users):
+                    continue  # address escapes through a GEP/call: keep it
+                has_load = any(isinstance(u, Load) for u in users)
+                if has_load:
+                    continue
+                # Only stores remain: all of them (and the alloca) are dead.
+                dead_stores: List[Instruction] = [u for u in users if isinstance(u, Store)]
+                for store in dead_stores:
+                    if store.parent is not None:
+                        store.drop_all_operands()
+                        store.parent.remove_instruction(store)
+                if not inst.is_used():
+                    inst.drop_all_operands()
+                    block.remove_instruction(inst)
+                    changed = True
+        return changed

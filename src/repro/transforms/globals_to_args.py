@@ -1,0 +1,101 @@
+"""Twill's custom globals-to-arguments pass (thesis §5.2, first DSWP pass).
+
+LegUp synthesises each global into a private FPGA memory block, which would
+desynchronise hardware threads from the processor.  Twill therefore rewrites
+every function so the *address* of each global it touches is passed in as an
+extra pointer parameter; after the pass the only direct global references
+live in ``main``, which forwards them down the call tree.
+
+The rewrite is performed in place: parameters are appended to the existing
+:class:`~repro.ir.function.Function` objects (so call instructions keep their
+callee identity), global uses are replaced with the new arguments, and every
+call site gains the matching forwarded pointers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.callgraph import CallGraph
+from repro.ir.function import Function
+from repro.ir.instructions import Call
+from repro.ir.module import Module
+from repro.ir.types import FunctionType, PointerType
+from repro.ir.values import Argument, GlobalVariable
+from repro.transforms.pass_manager import ModulePass
+
+
+class GlobalsToArguments(ModulePass):
+    """Pass global addresses as explicit pointer parameters (except in main)."""
+
+    name = "globals-to-args"
+
+    def __init__(self, root_function: str = "main"):
+        self.root_function = root_function
+
+    def run(self, module: Module) -> bool:
+        callgraph = CallGraph(module)
+        callgraph.check_no_recursion()
+
+        # 1. Which globals does each function touch, transitively?
+        direct: Dict[str, List[GlobalVariable]] = {}
+        for fn in module.defined_functions():
+            used: List[GlobalVariable] = []
+            for inst in fn.instructions():
+                for op in inst.operands:
+                    if isinstance(op, GlobalVariable) and op not in used:
+                        used.append(op)
+            direct[fn.name] = used
+
+        needed: Dict[str, List[GlobalVariable]] = {}
+        for fn in callgraph.bottom_up_order():
+            combined: List[GlobalVariable] = list(direct.get(fn.name, []))
+            for callee_name in callgraph.callees_of(fn.name):
+                for g in needed.get(callee_name, []):
+                    if g not in combined:
+                        combined.append(g)
+            needed[fn.name] = combined
+
+        # 2. Append one pointer parameter per needed global to every function
+        #    except the root, and rewrite that function's own global uses.
+        new_args: Dict[str, Dict[str, Argument]] = {}
+        changed = False
+        for fn in module.defined_functions():
+            if fn.name == self.root_function:
+                continue
+            globals_for_fn = needed.get(fn.name, [])
+            if not globals_for_fn:
+                continue
+            changed = True
+            mapping: Dict[str, Argument] = {}
+            for g in globals_for_fn:
+                arg = Argument(g.type, f"g_{g.name}", len(fn.args), parent=fn)
+                fn.args.append(arg)
+                mapping[g.name] = arg
+            new_type = FunctionType(
+                fn.function_type.return_type,
+                tuple(a.type for a in fn.args),
+            )
+            fn.function_type = new_type
+            fn.type = new_type
+            new_args[fn.name] = mapping
+            # Replace direct uses of each global inside this function.
+            for inst in list(fn.instructions()):
+                for index, op in enumerate(inst.operands):
+                    if isinstance(op, GlobalVariable) and op.name in mapping:
+                        inst.set_operand(index, mapping[op.name])
+
+        # 3. Fix every call site to forward the globals the callee needs.
+        for fn in module.defined_functions():
+            mapping = new_args.get(fn.name, {})
+            for call in fn.call_sites():
+                callee = call.callee
+                extra = needed.get(callee.name, []) if not callee.is_declaration() else []
+                if callee.name == self.root_function:
+                    extra = []
+                for g in extra:
+                    if fn.name == self.root_function:
+                        call.append_operand(g)
+                    else:
+                        call.append_operand(mapping[g.name])
+        return changed

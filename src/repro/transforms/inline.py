@@ -1,0 +1,247 @@
+"""Function inlining (the ``inline`` / ``always-inline`` analogue).
+
+Call sites are inlined when the callee is defined, non-recursive and either
+small (below ``threshold`` IR instructions) or called from exactly one
+place.  Inlining happens bottom-up over the call graph so leaves disappear
+first, which matches the behaviour Twill relies on (the MIPS and SHA
+benchmarks end up fully inlined — thesis §6.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.cfg import reverse_postorder
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    CondBranch,
+    Consume,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Produce,
+    Return,
+    Select,
+    Store,
+    Switch,
+)
+from repro.ir.module import Module
+from repro.ir.values import Argument, Value
+from repro.transforms.pass_manager import ModulePass
+
+
+def clone_instruction(
+    inst: Instruction,
+    value_map: Dict[int, Value],
+    block_map: Dict[int, BasicBlock],
+) -> Instruction:
+    """Clone one instruction, remapping operands and branch targets.
+
+    Phi incoming values are *not* filled here (they may reference values not
+    cloned yet); the caller fills them in a second pass.
+    """
+
+    def v(operand: Value) -> Value:
+        return value_map.get(id(operand), operand)
+
+    def b(block: BasicBlock) -> BasicBlock:
+        return block_map.get(id(block), block)
+
+    if isinstance(inst, BinaryOp):
+        return BinaryOp(inst.opcode, v(inst.lhs), v(inst.rhs), name=inst.name)
+    if isinstance(inst, ICmp):
+        return ICmp(inst.predicate, v(inst.lhs), v(inst.rhs), name=inst.name)
+    if isinstance(inst, Select):
+        return Select(v(inst.condition), v(inst.true_value), v(inst.false_value), name=inst.name)
+    if isinstance(inst, Alloca):
+        return Alloca(inst.allocated_type, name=inst.name)
+    if isinstance(inst, Load):
+        return Load(v(inst.pointer), name=inst.name)
+    if isinstance(inst, Store):
+        return Store(v(inst.value), v(inst.pointer))
+    if isinstance(inst, GetElementPtr):
+        return GetElementPtr(v(inst.base), [v(i) for i in inst.indices], inst.type, name=inst.name)
+    if isinstance(inst, Cast):
+        return Cast(inst.opcode, v(inst.value), inst.type, name=inst.name)
+    if isinstance(inst, Branch):
+        return Branch(b(inst.target))
+    if isinstance(inst, CondBranch):
+        return CondBranch(v(inst.condition), b(inst.true_target), b(inst.false_target))
+    if isinstance(inst, Switch):
+        new = Switch(v(inst.value), b(inst.default))
+        for case_value, target in inst.cases:
+            new.add_case(case_value, b(target))
+        return new
+    if isinstance(inst, Return):
+        return Return(v(inst.value) if inst.value is not None else None)
+    if isinstance(inst, Phi):
+        return Phi(inst.type, name=inst.name)
+    if isinstance(inst, Call):
+        return Call(inst.callee, [v(a) for a in inst.args], name=inst.name)
+    if isinstance(inst, Produce):
+        return Produce(inst.queue_id, v(inst.value))
+    if isinstance(inst, Consume):
+        return Consume(inst.queue_id, inst.type, name=inst.name)
+    raise TypeError(f"cannot clone instruction of type {type(inst).__name__}")  # pragma: no cover
+
+
+class FunctionInliner(ModulePass):
+    """Inlines small or single-use functions bottom-up."""
+
+    name = "inline"
+
+    def __init__(self, threshold: int = 60, remove_inlined: bool = True):
+        self.threshold = threshold
+        self.remove_inlined = remove_inlined
+
+    # -- policy ----------------------------------------------------------------
+
+    def _should_inline(self, callgraph: CallGraph, caller: Function, callee: Function) -> bool:
+        if callee.is_declaration() or callee.name == "main":
+            return False
+        if callee is caller:
+            return False
+        size = callee.instruction_count()
+        if size <= self.threshold:
+            return True
+        # Single static call site: always worth inlining regardless of size.
+        total_sites = sum(
+            callgraph.call_site_count(c, callee.name) for c in callgraph.callers_of(callee.name)
+        )
+        return total_sites == 1
+
+    # -- driver -----------------------------------------------------------------
+
+    def run(self, module: Module) -> bool:
+        callgraph = CallGraph(module)
+        callgraph.check_no_recursion()
+        changed = False
+        for caller in callgraph.top_down_order():
+            # Re-scan call sites after each inline since new ones appear.
+            progress = True
+            while progress:
+                progress = False
+                for call in caller.call_sites():
+                    callee = call.callee
+                    if self._should_inline(callgraph, caller, callee):
+                        self.inline_call(call)
+                        callgraph = CallGraph(module)
+                        progress = True
+                        changed = True
+                        break
+        if self.remove_inlined:
+            changed |= self._remove_dead_functions(module)
+        return changed
+
+    @staticmethod
+    def _remove_dead_functions(module: Module) -> bool:
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            callgraph = CallGraph(module)
+            for fn in list(module.defined_functions()):
+                if fn.name == "main":
+                    continue
+                if not callgraph.callers_of(fn.name):
+                    # Drop the function body and the module entry.
+                    for block in list(fn.blocks):
+                        for inst in list(block.instructions):
+                            inst.drop_all_operands()
+                        block.instructions.clear()
+                    fn.blocks.clear()
+                    del module.functions[fn.name]
+                    progress = True
+                    changed = True
+        return changed
+
+    # -- mechanics ---------------------------------------------------------------
+
+    @staticmethod
+    def inline_call(call: Call) -> None:
+        """Inline one call site in place."""
+        callee = call.callee
+        call_block = call.parent
+        assert call_block is not None
+        caller = call_block.parent
+        assert caller is not None
+
+        # 1. Split the call block: everything after the call moves to `after`.
+        after = BasicBlock(caller.unique_block_name(f"{call_block.name}.after"), parent=caller)
+        caller.insert_block_after(call_block, after)
+        call_index = call_block.index_of(call)
+        moved = call_block.instructions[call_index + 1 :]
+        call_block.instructions = call_block.instructions[: call_index + 1]
+        for inst in moved:
+            inst.parent = after
+            after.instructions.append(inst)
+        # Successor phis that referenced call_block now flow from `after`.
+        for succ in after.successors():
+            succ.replace_phi_uses_of_block(call_block, after)
+
+        # 2. Clone the callee body.
+        value_map: Dict[int, Value] = {}
+        block_map: Dict[int, BasicBlock] = {}
+        for arg, actual in zip(callee.args, call.args):
+            value_map[id(arg)] = actual
+        cloned_blocks: List[Tuple[BasicBlock, BasicBlock]] = []
+        for old_block in callee.blocks:
+            new_block = BasicBlock(caller.unique_block_name(f"{callee.name}.{old_block.name}"), parent=caller)
+            caller.blocks.append(new_block)
+            block_map[id(old_block)] = new_block
+            cloned_blocks.append((old_block, new_block))
+
+        phi_fixups: List[Tuple[Phi, Phi]] = []
+        returns: List[Tuple[BasicBlock, Optional[Value]]] = []
+        for old_block in reverse_postorder(callee):
+            new_block = block_map[id(old_block)]
+            for old_inst in old_block.instructions:
+                new_inst = clone_instruction(old_inst, value_map, block_map)
+                value_map[id(old_inst)] = new_inst
+                if isinstance(old_inst, Phi):
+                    phi_fixups.append((old_inst, new_inst))  # type: ignore[arg-type]
+                if isinstance(new_inst, Return):
+                    value = new_inst.value
+                    new_inst.drop_all_operands()
+                    returns.append((new_block, value))
+                    new_block.append(Branch(after))
+                else:
+                    new_block.append(new_inst)
+        for old_phi, new_phi in phi_fixups:
+            for value, pred in old_phi.incoming():
+                mapped_value = value_map.get(id(value), value)
+                mapped_pred = block_map[id(pred)]
+                new_phi.add_incoming(mapped_value, mapped_pred)
+
+        # Remove clones of unreachable callee blocks that got no instructions.
+        for old_block, new_block in cloned_blocks:
+            if not new_block.instructions:
+                caller.remove_block(new_block)
+
+        # 3. Wire the caller into the cloned entry and the returns into `after`.
+        entry_clone = block_map[id(callee.entry_block)]
+        # Replace the call with a branch to the cloned entry.
+        if not call.type.is_void() and call.is_used():
+            if len(returns) == 1:
+                ret_block, ret_value = returns[0]
+                assert ret_value is not None
+                call.replace_all_uses_with(ret_value)
+            else:
+                phi = Phi(call.type, name=f"{callee.name}.ret")
+                after.insert(0, phi)
+                for ret_block, ret_value in returns:
+                    assert ret_value is not None
+                    phi.add_incoming(ret_value, ret_block)
+                call.replace_all_uses_with(phi)
+        call_block.remove_instruction(call)
+        call.drop_all_operands()
+        call_block.append(Branch(entry_clone))

@@ -1,0 +1,90 @@
+"""lower-switch: expand ``switch`` terminators into compare/branch chains.
+
+Twill runs LLVM's ``lowerswitch`` so later passes (and LegUp) only see
+two-way branches; we do the same.  Each case becomes one equality compare in
+its own block, chained toward the default target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Branch, CmpPredicate, CondBranch, ICmp, Switch
+from repro.ir.types import IntType
+from repro.ir.values import Constant
+from repro.transforms.pass_manager import FunctionPass
+
+
+class LowerSwitch(FunctionPass):
+    """Replaces every Switch terminator with a chain of conditional branches."""
+
+    name = "lowerswitch"
+
+    def run_on_function(self, fn: Function) -> bool:
+        if fn.is_declaration():
+            return False
+        changed = False
+        for block in list(fn.blocks):
+            term = block.terminator
+            if isinstance(term, Switch):
+                self._lower(fn, block, term)
+                changed = True
+        return changed
+
+    @staticmethod
+    def _lower(fn: Function, block: BasicBlock, switch: Switch) -> None:
+        value = switch.value
+        cases = list(switch.cases)
+        default = switch.default
+        # Record, per successor, the phi incoming value for the original block
+        # so we can re-attach it to the new predecessor block(s).
+        original_succs = switch.successors()
+        phi_values: Dict[int, List] = {}
+        for succ in original_succs:
+            for phi in succ.phis():
+                if block in phi.incoming_blocks:
+                    phi_values.setdefault(id(succ), []).append((phi, phi.incoming_value_for(block)))
+        for succ in set(id(s) for s in original_succs):
+            pass
+
+        # Remove the switch.
+        block.remove_instruction(switch)
+        switch.drop_all_operands()
+
+        value_type = value.type if isinstance(value.type, IntType) else IntType(32, True)
+
+        # Build the compare chain.  The first compare lives in the original
+        # block; each subsequent compare gets a fresh block.
+        current = block
+        new_pred_of: Dict[int, List[BasicBlock]] = {}
+        for i, (case_value, target) in enumerate(cases):
+            is_last = i == len(cases) - 1
+            cmp = ICmp(CmpPredicate.EQ, value, Constant(value_type, case_value), name=f"switch.cmp{i}")
+            current.append(cmp)
+            if is_last:
+                next_block = default
+                new_pred_of.setdefault(id(default), []).append(current)
+            else:
+                next_block = fn.create_block(f"{block.name}.case{i + 1}")
+            current.append(CondBranch(cmp, target, next_block))
+            new_pred_of.setdefault(id(target), []).append(current)
+            if not is_last:
+                current = next_block
+        if not cases:
+            current.append(Branch(default))
+            new_pred_of.setdefault(id(default), []).append(current)
+
+        # Re-attach phi incoming edges: the original block may no longer be a
+        # predecessor of a successor; every new predecessor carries the same
+        # incoming value the switch edge had.
+        for succ in original_succs:
+            pairs = phi_values.get(id(succ), [])
+            preds = new_pred_of.get(id(succ), [])
+            for phi, incoming in pairs:
+                if block in phi.incoming_blocks and block not in [p for p in preds]:
+                    phi.remove_incoming(block)
+                for pred in preds:
+                    if pred not in phi.incoming_blocks:
+                        phi.add_incoming(incoming, pred)

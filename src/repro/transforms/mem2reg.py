@@ -1,0 +1,163 @@
+"""mem2reg: promote scalar allocas to SSA registers (Cytron et al.).
+
+The front end lowers every local variable to an ``alloca`` plus loads and
+stores; this pass rebuilds proper SSA form by placing phi nodes on iterated
+dominance frontiers and renaming along the dominator tree — the same job
+LLVM's ``mem2reg`` does in Twill's pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.dominators import DominatorTree
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Alloca, Instruction, Load, Phi, Store
+from repro.ir.types import IntType, PointerType
+from repro.ir.values import UndefValue, Value
+from repro.transforms.pass_manager import FunctionPass
+
+
+def _is_promotable(alloca: Alloca) -> bool:
+    """An alloca is promotable when it holds a scalar and its address never escapes."""
+    if not isinstance(alloca.allocated_type, (IntType, PointerType)):
+        return False
+    for user, index in alloca.uses:
+        if isinstance(user, Load):
+            continue
+        if isinstance(user, Store) and index == 1:
+            continue  # used as the store *destination*
+        return False
+    return True
+
+
+class PromoteMemoryToRegisters(FunctionPass):
+    """Promote scalar stack slots into SSA values."""
+
+    name = "mem2reg"
+
+    def run_on_function(self, fn: Function) -> bool:
+        if fn.is_declaration() or fn.entry_block is None:
+            return False
+        allocas = [
+            inst
+            for inst in fn.entry_block.instructions
+            if isinstance(inst, Alloca) and _is_promotable(inst)
+        ]
+        # Also catch promotable allocas created outside the entry block
+        # (the front end only creates them where declarations appear).
+        for block in fn.blocks[1:]:
+            for inst in block.instructions:
+                if isinstance(inst, Alloca) and _is_promotable(inst):
+                    allocas.append(inst)
+        if not allocas:
+            return False
+
+        domtree = DominatorTree(fn)
+        frontier = domtree.dominance_frontier()
+        reachable = set(domtree.idom.keys()) | ({domtree.root} if domtree.root else set())
+
+        # -- phase 1: phi placement on iterated dominance frontiers ------------
+        phi_owner: Dict[Phi, Alloca] = {}
+        for alloca in allocas:
+            defining_blocks: List[BasicBlock] = []
+            for user, index in alloca.uses:
+                if isinstance(user, Store) and index == 1 and user.parent is not None:
+                    if user.parent not in defining_blocks:
+                        defining_blocks.append(user.parent)
+            worklist = [b for b in defining_blocks if b in reachable]
+            has_phi: Set[int] = set()
+            while worklist:
+                block = worklist.pop()
+                for df_block in frontier.get(block, set()):
+                    if id(df_block) in has_phi:
+                        continue
+                    has_phi.add(id(df_block))
+                    phi = Phi(alloca.allocated_type, name=f"{alloca.name}.phi")
+                    df_block.insert(0, phi)
+                    phi_owner[phi] = alloca
+                    if df_block not in defining_blocks:
+                        worklist.append(df_block)
+
+        # -- phase 2: renaming along the dominator tree --------------------------
+        undef = UndefValue(allocas[0].allocated_type)
+        current: Dict[Alloca, List[Value]] = {a: [UndefValue(a.allocated_type)] for a in allocas}
+        alloca_set = set(id(a) for a in allocas)
+        to_erase: List[Instruction] = []
+
+        def rename(block: BasicBlock) -> None:
+            pushed: Dict[Alloca, int] = {}
+            for inst in list(block.instructions):
+                if isinstance(inst, Phi) and inst in phi_owner:
+                    alloca = phi_owner[inst]
+                    current[alloca].append(inst)
+                    pushed[alloca] = pushed.get(alloca, 0) + 1
+                elif isinstance(inst, Load) and id(inst.pointer) in alloca_set:
+                    alloca = inst.pointer  # type: ignore[assignment]
+                    inst.replace_all_uses_with(current[alloca][-1])
+                    to_erase.append(inst)
+                elif isinstance(inst, Store) and id(inst.pointer) in alloca_set:
+                    alloca = inst.pointer  # type: ignore[assignment]
+                    current[alloca].append(inst.value)
+                    pushed[alloca] = pushed.get(alloca, 0) + 1
+                    to_erase.append(inst)
+            # Fill phi operands of successors for the edge (block -> succ).
+            for succ in block.successors():
+                for phi in succ.phis():
+                    if phi in phi_owner:
+                        alloca = phi_owner[phi]
+                        phi.add_incoming(current[alloca][-1], block)
+            # Recurse into dominator-tree children.
+            for child in domtree.children.get(block, []):
+                rename(child)
+            for alloca, count in pushed.items():
+                del current[alloca][-count:]
+
+        root = domtree.root
+        if root is not None:
+            rename(root)
+
+        # -- phase 3: clean up ------------------------------------------------------
+        for inst in to_erase:
+            if inst.parent is not None:
+                # Loads may still appear used if they were replaced; they are not.
+                inst.drop_all_operands()
+                inst.parent.remove_instruction(inst)
+        for alloca in allocas:
+            remaining = [u for u, _ in alloca.uses if u.parent is not None]
+            if not remaining and alloca.parent is not None:
+                alloca.drop_all_operands()
+                alloca.parent.remove_instruction(alloca)
+
+        # Remove phi nodes in unreachable blocks that never got operands and
+        # phi nodes that are trivially redundant (all operands identical).
+        self._simplify_trivial_phis(fn, phi_owner)
+        return True
+
+    @staticmethod
+    def _simplify_trivial_phis(fn: Function, phi_owner: Dict[Phi, "Alloca"]) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for block in fn.blocks:
+                for phi in list(block.phis()):
+                    operands = phi.operands
+                    if not operands:
+                        if phi in phi_owner and not phi.is_used():
+                            phi.erase_from_parent()
+                            changed = True
+                        continue
+                    distinct = []
+                    for op in operands:
+                        if op is phi or isinstance(op, UndefValue):
+                            continue
+                        if op not in distinct:
+                            distinct.append(op)
+                    if len(distinct) == 1:
+                        phi.replace_all_uses_with(distinct[0])
+                        phi.erase_from_parent()
+                        changed = True
+                    elif len(distinct) == 0 and not phi.is_used():
+                        phi.erase_from_parent()
+                        changed = True

@@ -1,0 +1,51 @@
+"""merge-return: canonicalise every function to a single return block.
+
+Twill runs LLVM's ``mergereturn`` before DSWP so that the partition
+functions have exactly one exit; the HLS FSM generation also assumes a
+single final state.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import Function
+from repro.ir.instructions import Branch, Phi, Return
+from repro.transforms.pass_manager import FunctionPass
+
+
+class MergeReturns(FunctionPass):
+    """Replaces multiple return blocks with branches into a single exit block."""
+
+    name = "mergereturn"
+
+    def run_on_function(self, fn: Function) -> bool:
+        if fn.is_declaration():
+            return False
+        returns: List[Return] = [
+            block.terminator  # type: ignore[misc]
+            for block in fn.blocks
+            if isinstance(block.terminator, Return)
+        ]
+        if len(returns) <= 1:
+            return False
+
+        exit_block = fn.create_block("unified.exit")
+        if fn.return_type.is_void():
+            exit_block.append(Return(None))
+            phi = None
+        else:
+            phi = Phi(fn.return_type, name="retval")
+            exit_block.append(phi)
+            exit_block.append(Return(phi))
+
+        for ret in returns:
+            block = ret.parent
+            assert block is not None
+            value = ret.value
+            block.remove_instruction(ret)
+            ret.drop_all_operands()
+            if phi is not None and value is not None:
+                phi.add_incoming(value, block)
+            block.append(Branch(exit_block))
+        return True

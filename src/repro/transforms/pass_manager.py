@@ -1,0 +1,98 @@
+"""Pass manager: ordered execution of module/function passes with verification.
+
+The manager is intentionally small — just enough structure that the Twill
+compiler driver can describe its pipeline declaratively and tests can run
+individual passes in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+
+
+class FunctionPass:
+    """Base class: a pass that transforms one function at a time."""
+
+    name = "function-pass"
+
+    def run_on_function(self, fn: Function) -> bool:
+        """Transform ``fn``; return True if anything changed."""
+        raise NotImplementedError
+
+    def run(self, module: Module) -> bool:
+        changed = False
+        for fn in module.defined_functions():
+            changed |= self.run_on_function(fn)
+        return changed
+
+
+class ModulePass:
+    """Base class: a pass that needs whole-module visibility."""
+
+    name = "module-pass"
+
+    def run(self, module: Module) -> bool:
+        """Transform ``module``; return True if anything changed."""
+        raise NotImplementedError
+
+
+class PassManager:
+    """Runs a sequence of passes, optionally verifying the IR after each one."""
+
+    def __init__(self, passes: Optional[Sequence[object]] = None, verify_each: bool = True):
+        self.passes: List[object] = list(passes or [])
+        self.verify_each = verify_each
+        self.statistics: Dict[str, int] = {}
+
+    def add(self, pass_obj: object) -> "PassManager":
+        self.passes.append(pass_obj)
+        return self
+
+    def run(self, module: Module) -> bool:
+        any_changed = False
+        for pass_obj in self.passes:
+            changed = pass_obj.run(module)  # type: ignore[attr-defined]
+            name = getattr(pass_obj, "name", type(pass_obj).__name__)
+            self.statistics[name] = self.statistics.get(name, 0) + int(bool(changed))
+            any_changed |= bool(changed)
+            if self.verify_each:
+                verify_module(module)
+        return any_changed
+
+
+def default_pipeline(inline_threshold: int = 60, verify_each: bool = True) -> PassManager:
+    """The standard Twill pre-DSWP pipeline (thesis §5.1).
+
+    Order mirrors the thesis: cleanup / canonicalisation passes run first,
+    then inlining, then SSA construction and scalar optimisations, then a
+    final cleanup round so the PDG sees tidy SSA.
+    """
+    # Imports are local to avoid a circular import at package load time.
+    from repro.transforms.constprop import ConstantPropagation
+    from repro.transforms.dce import DeadCodeElimination
+    from repro.transforms.inline import FunctionInliner
+    from repro.transforms.lowerswitch import LowerSwitch
+    from repro.transforms.mem2reg import PromoteMemoryToRegisters
+    from repro.transforms.mergereturn import MergeReturns
+    from repro.transforms.simplifycfg import SimplifyCFG
+
+    return PassManager(
+        [
+            MergeReturns(),
+            LowerSwitch(),
+            SimplifyCFG(),
+            FunctionInliner(threshold=inline_threshold),
+            PromoteMemoryToRegisters(),
+            ConstantPropagation(),
+            SimplifyCFG(),
+            DeadCodeElimination(),
+            ConstantPropagation(),
+            SimplifyCFG(),
+            DeadCodeElimination(),
+        ],
+        verify_each=verify_each,
+    )

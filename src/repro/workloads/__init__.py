@@ -1,0 +1,31 @@
+"""CHStone-style benchmark kernels (thesis Chapter 6).
+
+The thesis evaluates Twill on the eight 32-bit CHStone benchmarks (the four
+64-bit ones — DFAdd, DFDiv, DFMul, DFSine — are excluded because Twill does
+not support 64-bit values, §6).  The original CHStone sources are not
+redistributable here, so each kernel is re-implemented in the supported C
+subset with the same computational structure (table-driven crypto rounds,
+codec inner loops, an ISA interpreter, transform/quantisation loops) at
+reduced input sizes so the functional interpreter and the timing replay stay
+laptop-scale.  Every kernel ships with a pure-Python reference
+implementation; the test suite checks that the compiled-and-interpreted C
+produces exactly the reference outputs.
+"""
+
+from repro.workloads.base import Workload, WorkloadRegistry, get_workload, all_workloads
+from repro.workloads import mips, adpcm, aes, blowfish, gsm, jpeg, mpeg2, sha
+
+__all__ = [
+    "Workload",
+    "WorkloadRegistry",
+    "get_workload",
+    "all_workloads",
+    "mips",
+    "adpcm",
+    "aes",
+    "blowfish",
+    "gsm",
+    "jpeg",
+    "mpeg2",
+    "sha",
+]

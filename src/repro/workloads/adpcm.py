@@ -1,0 +1,192 @@
+"""ADPCM — IMA ADPCM encode/decode round trip (the CHStone ``adpcm`` kernel).
+
+Compresses a synthetic waveform to 4-bit codes and decompresses it again,
+using the standard IMA step-size and index-adjust tables; the outputs are
+the decoded samples plus an accumulated error metric.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workloads.base import Workload, WorkloadRegistry
+
+_INDEX_TABLE = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8]
+_STEP_TABLE = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+    50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230,
+    253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658, 724, 796, 876, 963,
+]
+_NUM_SAMPLES = 48
+
+
+def _input_samples() -> List[int]:
+    # A deterministic pseudo-waveform (triangle + pseudo-noise), 16-bit range.
+    samples = []
+    value = 0
+    for i in range(_NUM_SAMPLES):
+        tri = (i % 16) * 512 - 4096
+        noise = ((i * 7919 + 131) % 257) - 128
+        value = tri * 2 + noise * 4
+        samples.append(value)
+    return samples
+
+
+_SAMPLES = _input_samples()
+
+_IDX_INIT = "{" + ", ".join(str(v) for v in _INDEX_TABLE) + "}"
+_STEP_INIT = "{" + ", ".join(str(v) for v in _STEP_TABLE) + "}"
+_SAMPLES_INIT = "{" + ", ".join(str(v) for v in _SAMPLES) + "}"
+
+SOURCE = f"""
+/* IMA ADPCM encode/decode round trip (CHStone `adpcm` analogue). */
+#define NUM_SAMPLES {_NUM_SAMPLES}
+#define STEP_MAX {len(_STEP_TABLE) - 1}
+
+int index_table[16] = {_IDX_INIT};
+int step_table[{len(_STEP_TABLE)}] = {_STEP_INIT};
+int samples[NUM_SAMPLES] = {_SAMPLES_INIT};
+int codes[NUM_SAMPLES];
+int decoded[NUM_SAMPLES];
+
+int clamp(int v, int lo, int hi) {{
+  if (v < lo) {{ return lo; }}
+  if (v > hi) {{ return hi; }}
+  return v;
+}}
+
+int encode(void) {{
+  int predicted = 0;
+  int index = 0;
+  int i;
+  for (i = 0; i < NUM_SAMPLES; i++) {{
+    int step = step_table[index];
+    int diff = samples[i] - predicted;
+    int code = 0;
+    if (diff < 0) {{ code = 8; diff = -diff; }}
+    if (diff >= step) {{ code = code | 4; diff = diff - step; }}
+    if (diff >= (step >> 1)) {{ code = code | 2; diff = diff - (step >> 1); }}
+    if (diff >= (step >> 2)) {{ code = code | 1; }}
+    codes[i] = code;
+    /* reconstruct like the decoder so predictor stays in sync */
+    {{
+      int delta = step >> 3;
+      if (code & 1) {{ delta = delta + (step >> 2); }}
+      if (code & 2) {{ delta = delta + (step >> 1); }}
+      if (code & 4) {{ delta = delta + step; }}
+      if (code & 8) {{ predicted = predicted - delta; }}
+      else {{ predicted = predicted + delta; }}
+    }}
+    predicted = clamp(predicted, -32768, 32767);
+    index = clamp(index + index_table[code], 0, STEP_MAX);
+  }}
+  return index;
+}}
+
+int decode(void) {{
+  int predicted = 0;
+  int index = 0;
+  int i;
+  for (i = 0; i < NUM_SAMPLES; i++) {{
+    int step = step_table[index];
+    int code = codes[i];
+    int delta = step >> 3;
+    if (code & 1) {{ delta = delta + (step >> 2); }}
+    if (code & 2) {{ delta = delta + (step >> 1); }}
+    if (code & 4) {{ delta = delta + step; }}
+    if (code & 8) {{ predicted = predicted - delta; }}
+    else {{ predicted = predicted + delta; }}
+    predicted = clamp(predicted, -32768, 32767);
+    index = clamp(index + index_table[code], 0, STEP_MAX);
+    decoded[i] = predicted;
+  }}
+  return index;
+}}
+
+int main(void) {{
+  int i;
+  int error = 0;
+  encode();
+  decode();
+  for (i = 0; i < NUM_SAMPLES; i++) {{
+    int diff = samples[i] - decoded[i];
+    if (diff < 0) {{ diff = -diff; }}
+    error = error + diff;
+    print_int(decoded[i]);
+  }}
+  print_int(error);
+  return error;
+}}
+"""
+
+
+def _ima_round_trip() -> Tuple[List[int], List[int]]:
+    def clamp(v: int, lo: int, hi: int) -> int:
+        return lo if v < lo else hi if v > hi else v
+
+    codes: List[int] = []
+    predicted, index = 0, 0
+    step_max = len(_STEP_TABLE) - 1
+    for sample in _SAMPLES:
+        step = _STEP_TABLE[index]
+        diff = sample - predicted
+        code = 0
+        if diff < 0:
+            code = 8
+            diff = -diff
+        if diff >= step:
+            code |= 4
+            diff -= step
+        if diff >= step >> 1:
+            code |= 2
+            diff -= step >> 1
+        if diff >= step >> 2:
+            code |= 1
+        codes.append(code)
+        delta = step >> 3
+        if code & 1:
+            delta += step >> 2
+        if code & 2:
+            delta += step >> 1
+        if code & 4:
+            delta += step
+        predicted = predicted - delta if code & 8 else predicted + delta
+        predicted = clamp(predicted, -32768, 32767)
+        index = clamp(index + _INDEX_TABLE[code], 0, step_max)
+
+    decoded: List[int] = []
+    predicted, index = 0, 0
+    for code in codes:
+        step = _STEP_TABLE[index]
+        delta = step >> 3
+        if code & 1:
+            delta += step >> 2
+        if code & 2:
+            delta += step >> 1
+        if code & 4:
+            delta += step
+        predicted = predicted - delta if code & 8 else predicted + delta
+        predicted = clamp(predicted, -32768, 32767)
+        index = clamp(index + _INDEX_TABLE[code], 0, step_max)
+        decoded.append(predicted)
+    return codes, decoded
+
+
+def reference() -> List[int]:
+    _, decoded = _ima_round_trip()
+    error = sum(abs(s - d) for s, d in zip(_SAMPLES, decoded))
+    return decoded + [error]
+
+
+WORKLOAD = WorkloadRegistry.register(
+    Workload(
+        name="adpcm",
+        description="IMA ADPCM encode/decode round trip",
+        source=SOURCE,
+        reference=reference,
+        chstone_name="ADPCM",
+        paper_queues=328,
+        paper_semaphores=0,
+        paper_hw_threads=5,
+    )
+)

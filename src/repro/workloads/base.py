@@ -1,0 +1,64 @@
+"""Workload registry: C source + Python reference for each benchmark."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+def wrap32(value: int) -> int:
+    """Wrap a Python int to a signed 32-bit value (C semantics on this target)."""
+    value &= 0xFFFFFFFF
+    return value - 0x1_0000_0000 if value >= 0x8000_0000 else value
+
+
+@dataclass
+class Workload:
+    """One benchmark: its C source and the reference model of its outputs."""
+
+    name: str
+    description: str
+    source: str
+    reference: Callable[[], List[int]]
+    # CHStone counterpart (for the EXPERIMENTS.md mapping).
+    chstone_name: str = ""
+    # Paper-reported values for Table 6.1, used in EXPERIMENTS.md comparisons.
+    paper_queues: Optional[int] = None
+    paper_semaphores: Optional[int] = None
+    paper_hw_threads: Optional[int] = None
+
+    def expected_outputs(self) -> List[int]:
+        return [wrap32(v) for v in self.reference()]
+
+
+class WorkloadRegistry:
+    """Global name -> workload map populated by each kernel module at import time."""
+
+    _registry: Dict[str, Workload] = {}
+
+    @classmethod
+    def register(cls, workload: Workload) -> Workload:
+        cls._registry[workload.name] = workload
+        return workload
+
+    @classmethod
+    def get(cls, name: str) -> Workload:
+        return cls._registry[name]
+
+    @classmethod
+    def names(cls) -> List[str]:
+        return sorted(cls._registry)
+
+    @classmethod
+    def all(cls) -> List[Workload]:
+        return [cls._registry[name] for name in cls.names()]
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a registered workload by name (importing ``repro.workloads`` first)."""
+    return WorkloadRegistry.get(name)
+
+
+def all_workloads() -> List[Workload]:
+    """All registered workloads in name order."""
+    return WorkloadRegistry.all()

@@ -1,0 +1,145 @@
+"""Blowfish — reduced-box Blowfish encryption (the CHStone ``blowfish`` kernel).
+
+A Feistel cipher with the Blowfish round structure: an 18-entry P-array and
+an S-box driven F function, 16 rounds, encrypting four 64-bit blocks held as
+pairs of 32-bit words.  The four 256-entry S-boxes of the real cipher are
+reduced to one 256-entry box indexed four ways, which keeps the table
+pressure (the reason the thesis calls Blowfish's call graph "optimized")
+while keeping the source compact.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workloads.base import Workload, WorkloadRegistry
+
+_ROUNDS = 16
+_NUM_BLOCKS = 4
+
+# Deterministic pseudo-random P-array and S-box (hex digits of a LCG).
+def _pseudo_table(count: int, seed: int) -> List[int]:
+    out = []
+    state = seed & 0xFFFFFFFF
+    for _ in range(count):
+        state = (state * 1103515245 + 12345) & 0xFFFFFFFF
+        out.append(state)
+    return out
+
+
+_P_ARRAY = _pseudo_table(18, 0x243F6A88)
+_SBOX = _pseudo_table(256, 0x13198A2E)
+_PLAIN = _pseudo_table(_NUM_BLOCKS * 2, 0xA4093822)
+
+
+def _fmt_unsigned(values: List[int]) -> str:
+    return "{" + ", ".join(str(v) for v in values) + "}"
+
+
+SOURCE = f"""
+/* Reduced-box Blowfish encryption of four 64-bit blocks (CHStone `blowfish` analogue). */
+#define ROUNDS {_ROUNDS}
+#define NUM_BLOCKS {_NUM_BLOCKS}
+
+unsigned int p_array[18] = {_fmt_unsigned(_P_ARRAY)};
+unsigned int sbox[256] = {_fmt_unsigned(_SBOX)};
+unsigned int text[NUM_BLOCKS * 2] = {_fmt_unsigned(_PLAIN)};
+unsigned int cipher[NUM_BLOCKS * 2];
+
+unsigned int feistel(unsigned int x) {{
+  unsigned int a = (x >> 24) & 255;
+  unsigned int b = (x >> 16) & 255;
+  unsigned int c = (x >> 8) & 255;
+  unsigned int d = x & 255;
+  unsigned int h = sbox[a] + sbox[b];
+  h = h ^ sbox[c];
+  h = h + sbox[d];
+  return h;
+}}
+
+void encrypt_block(int block) {{
+  unsigned int left = text[block * 2];
+  unsigned int right = text[block * 2 + 1];
+  int i;
+  for (i = 0; i < ROUNDS; i++) {{
+    unsigned int tmp;
+    left = left ^ p_array[i];
+    right = feistel(left) ^ right;
+    tmp = left;
+    left = right;
+    right = tmp;
+  }}
+  {{
+    unsigned int tmp = left;
+    left = right;
+    right = tmp;
+  }}
+  right = right ^ p_array[16];
+  left = left ^ p_array[17];
+  cipher[block * 2] = left;
+  cipher[block * 2 + 1] = right;
+}}
+
+int main(void) {{
+  int block;
+  int i;
+  unsigned int checksum = 0;
+  for (block = 0; block < NUM_BLOCKS; block++) {{
+    encrypt_block(block);
+  }}
+  for (i = 0; i < NUM_BLOCKS * 2; i++) {{
+    checksum = checksum ^ cipher[i];
+    print_int(cipher[i]);
+  }}
+  print_int(checksum);
+  return checksum & 65535;
+}}
+"""
+
+
+def reference() -> List[int]:
+    mask = 0xFFFFFFFF
+
+    def feistel(x: int) -> int:
+        a = (x >> 24) & 255
+        b = (x >> 16) & 255
+        c = (x >> 8) & 255
+        d = x & 255
+        h = (_SBOX[a] + _SBOX[b]) & mask
+        h ^= _SBOX[c]
+        h = (h + _SBOX[d]) & mask
+        return h
+
+    outputs: List[int] = []
+    cipher: List[int] = []
+    for block in range(_NUM_BLOCKS):
+        left = _PLAIN[block * 2]
+        right = _PLAIN[block * 2 + 1]
+        for i in range(_ROUNDS):
+            left ^= _P_ARRAY[i]
+            right = feistel(left) ^ right
+            left, right = right, left
+        left, right = right, left
+        right ^= _P_ARRAY[16]
+        left ^= _P_ARRAY[17]
+        cipher.extend([left, right])
+    checksum = 0
+    for value in cipher:
+        checksum ^= value
+        outputs.append(value)
+    outputs.append(checksum)
+    return outputs
+
+
+WORKLOAD = WorkloadRegistry.register(
+    Workload(
+        name="blowfish",
+        description="Reduced-box Blowfish encryption of four 64-bit blocks",
+        source=SOURCE,
+        reference=reference,
+        chstone_name="Blowfish",
+        paper_queues=104,
+        paper_semaphores=2,
+        paper_hw_threads=2,
+    )
+)

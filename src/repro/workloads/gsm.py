@@ -1,0 +1,127 @@
+"""GSM — LPC autocorrelation and reflection coefficients (the CHStone ``gsm`` kernel).
+
+The CHStone GSM benchmark runs the LPC analysis stage of the GSM 06.10
+full-rate codec.  This kernel reproduces its computational core: windowed
+autocorrelation of an 80-sample frame followed by a fixed-point Schur-like
+recursion producing eight reflection coefficients.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.base import Workload, WorkloadRegistry
+
+_FRAME = 80
+_LAGS = 9
+
+
+def _input_frame() -> List[int]:
+    samples = []
+    for i in range(_FRAME):
+        tri = ((i * 3) % 17) * 40 - 300
+        tone = ((i * i * 7) % 23) * 11 - 120
+        samples.append(tri + tone)
+    return samples
+
+
+_SAMPLES = _input_frame()
+_SAMPLES_INIT = "{" + ", ".join(str(v) for v in _SAMPLES) + "}"
+
+SOURCE = f"""
+/* GSM LPC analysis: autocorrelation + reflection coefficients (CHStone `gsm` analogue). */
+#define FRAME {_FRAME}
+#define LAGS {_LAGS}
+
+int frame[FRAME] = {_SAMPLES_INIT};
+int acf[LAGS];
+int refl[LAGS - 1];
+
+void autocorrelation(void) {{
+  int k;
+  int i;
+  for (k = 0; k < LAGS; k++) {{
+    int sum = 0;
+    for (i = k; i < FRAME; i++) {{
+      sum = sum + (frame[i] >> 3) * (frame[i - k] >> 3);
+    }}
+    acf[k] = sum;
+  }}
+}}
+
+void reflection_coefficients(void) {{
+  int p[LAGS];
+  int k[LAGS];
+  int i;
+  int n;
+  for (i = 0; i < LAGS; i++) {{ p[i] = acf[i]; k[i] = 0; }}
+  if (acf[0] == 0) {{
+    for (i = 0; i < LAGS - 1; i++) {{ refl[i] = 0; }}
+    return;
+  }}
+  for (n = 1; n < LAGS; n++) {{
+    int denom = p[0];
+    int r;
+    if (denom == 0) {{ denom = 1; }}
+    r = -(p[n] * 256) / denom;
+    if (r > 255) {{ r = 255; }}
+    if (r < -255) {{ r = -255; }}
+    refl[n - 1] = r;
+    for (i = 0; i < LAGS - n; i++) {{
+      p[i] = p[i] + (r * p[i + n]) / 256;
+    }}
+  }}
+}}
+
+int main(void) {{
+  int i;
+  int checksum = 0;
+  autocorrelation();
+  reflection_coefficients();
+  for (i = 0; i < LAGS; i++) {{ print_int(acf[i]); checksum = checksum + acf[i]; }}
+  for (i = 0; i < LAGS - 1; i++) {{ print_int(refl[i]); checksum = checksum + refl[i]; }}
+  print_int(checksum);
+  return checksum & 1048575;
+}}
+"""
+
+
+def reference() -> List[int]:
+    acf = []
+    for k in range(_LAGS):
+        total = 0
+        for i in range(k, _FRAME):
+            total += (_SAMPLES[i] >> 3) * (_SAMPLES[i - k] >> 3)
+        acf.append(total)
+
+    refl = [0] * (_LAGS - 1)
+    p = list(acf)
+    if acf[0] != 0:
+        for n in range(1, _LAGS):
+            denom = p[0] if p[0] != 0 else 1
+            # C division truncates toward zero.
+            num = -(p[n] * 256)
+            r = int(num / denom) if denom != 0 else 0
+            r = max(-255, min(255, r))
+            refl[n - 1] = r
+            for i in range(_LAGS - n):
+                p[i] = p[i] + int((r * p[i + n]) / 256)
+
+    outputs = list(acf) + list(refl)
+    checksum = sum(outputs)
+    outputs.append(checksum)
+    return outputs
+
+
+WORKLOAD = WorkloadRegistry.register(
+    Workload(
+        name="gsm",
+        description="GSM LPC autocorrelation and reflection coefficients",
+        source=SOURCE,
+        reference=reference,
+        chstone_name="GSM",
+        paper_queues=65,
+        paper_semaphores=0,
+        paper_hw_threads=3,
+    )
+)

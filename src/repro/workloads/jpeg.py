@@ -1,0 +1,174 @@
+"""JPEG — 2-D DCT, quantisation and zig-zag scan (the CHStone ``jpeg`` kernel).
+
+The CHStone JPEG benchmark decodes a small JPEG image; its computational
+heart is the block transform pipeline.  This kernel runs the forward
+pipeline on two 8x8 blocks: an integer 2-D DCT using a x1024 fixed-point
+cosine table, quantisation with the standard luminance table, and the
+zig-zag reordering — the same loop/table structure at reduced size.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.base import Workload, WorkloadRegistry
+
+_N = 8
+_NUM_BLOCKS = 2
+
+_QUANT = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+]
+
+_ZIGZAG = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+]
+
+
+def _cos_table() -> List[int]:
+    import math
+
+    table = []
+    for u in range(_N):
+        for x in range(_N):
+            c = math.cos((2 * x + 1) * u * math.pi / 16.0)
+            scale = math.sqrt(1.0 / _N) if u == 0 else math.sqrt(2.0 / _N)
+            table.append(int(round(c * scale * 1024)))
+    return table
+
+
+_COS = _cos_table()
+_PIXELS = [((x * 13 + y * 7 + b * 29) % 200 + 20) for b in range(_NUM_BLOCKS) for y in range(_N) for x in range(_N)]
+
+
+def _fmt(values: List[int]) -> str:
+    return "{" + ", ".join(str(v) for v in values) + "}"
+
+
+SOURCE = f"""
+/* JPEG forward block pipeline: 2-D DCT + quantisation + zig-zag (CHStone `jpeg` analogue). */
+#define N {_N}
+#define NUM_BLOCKS {_NUM_BLOCKS}
+
+int cos_table[N * N] = {_fmt(_COS)};
+int quant[N * N] = {_fmt(_QUANT)};
+int zigzag[N * N] = {_fmt(_ZIGZAG)};
+int pixels[NUM_BLOCKS * N * N] = {_fmt(_PIXELS)};
+int block[N * N];
+int temp[N * N];
+int coeffs[N * N];
+int scanned[NUM_BLOCKS * N * N];
+
+void dct_rows(void) {{
+  int u;
+  int y;
+  int x;
+  for (y = 0; y < N; y++) {{
+    for (u = 0; u < N; u++) {{
+      int sum = 0;
+      for (x = 0; x < N; x++) {{
+        sum = sum + cos_table[u * N + x] * block[y * N + x];
+      }}
+      temp[y * N + u] = sum / 1024;
+    }}
+  }}
+}}
+
+void dct_cols(void) {{
+  int u;
+  int v;
+  int y;
+  for (u = 0; u < N; u++) {{
+    for (v = 0; v < N; v++) {{
+      int sum = 0;
+      for (y = 0; y < N; y++) {{
+        sum = sum + cos_table[v * N + y] * temp[y * N + u];
+      }}
+      coeffs[v * N + u] = sum / 1024;
+    }}
+  }}
+}}
+
+void quantise_and_scan(int block_index) {{
+  int i;
+  for (i = 0; i < N * N; i++) {{
+    coeffs[i] = coeffs[i] / quant[i];
+  }}
+  for (i = 0; i < N * N; i++) {{
+    scanned[block_index * N * N + i] = coeffs[zigzag[i]];
+  }}
+}}
+
+int main(void) {{
+  int b;
+  int i;
+  int checksum = 0;
+  for (b = 0; b < NUM_BLOCKS; b++) {{
+    for (i = 0; i < N * N; i++) {{ block[i] = pixels[b * N * N + i] - 128; }}
+    dct_rows();
+    dct_cols();
+    quantise_and_scan(b);
+  }}
+  for (b = 0; b < NUM_BLOCKS; b++) {{
+    for (i = 0; i < 16; i++) {{ print_int(scanned[b * N * N + i]); }}
+  }}
+  for (i = 0; i < NUM_BLOCKS * N * N; i++) {{ checksum = checksum + scanned[i] * (i + 1); }}
+  print_int(checksum);
+  return checksum & 1048575;
+}}
+"""
+
+
+def _c_div(a: int, b: int) -> int:
+    """C integer division (truncation toward zero)."""
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def reference() -> List[int]:
+    outputs: List[int] = []
+    scanned_all: List[int] = []
+    for b in range(_NUM_BLOCKS):
+        block = [_PIXELS[b * 64 + i] - 128 for i in range(64)]
+        temp = [0] * 64
+        for y in range(_N):
+            for u in range(_N):
+                total = sum(_COS[u * _N + x] * block[y * _N + x] for x in range(_N))
+                temp[y * _N + u] = _c_div(total, 1024)
+        coeffs = [0] * 64
+        for u in range(_N):
+            for v in range(_N):
+                total = sum(_COS[v * _N + y] * temp[y * _N + u] for y in range(_N))
+                coeffs[v * _N + u] = _c_div(total, 1024)
+        coeffs = [_c_div(c, q) for c, q in zip(coeffs, _QUANT)]
+        scanned = [coeffs[_ZIGZAG[i]] for i in range(64)]
+        scanned_all.extend(scanned)
+    for b in range(_NUM_BLOCKS):
+        outputs.extend(scanned_all[b * 64 : b * 64 + 16])
+    checksum = sum(v * (i + 1) for i, v in enumerate(scanned_all))
+    outputs.append(checksum)
+    return outputs
+
+
+WORKLOAD = WorkloadRegistry.register(
+    Workload(
+        name="jpeg",
+        description="JPEG forward block pipeline: 2-D DCT, quantisation, zig-zag",
+        source=SOURCE,
+        reference=reference,
+        chstone_name="JPEG",
+        paper_queues=576,
+        paper_semaphores=3,
+        paper_hw_threads=6,
+    )
+)

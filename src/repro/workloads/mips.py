@@ -1,0 +1,173 @@
+"""MIPS — a small MIPS-subset interpreter (the CHStone ``mips`` kernel).
+
+The CHStone benchmark executes a MIPS machine-code program (a bubble sort)
+on a software ISA interpreter.  This reproduction interprets an 8-register
+MIPS-like ISA with the same flavour of instructions (add/sub/and/or/slt,
+addi, lw/sw, beq/bne, j) running an insertion sort over a small data
+memory.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.base import Workload, WorkloadRegistry
+
+# Instruction encoding: op * 0x100000 + rs * 0x10000 + rt * 0x1000 + rd * 0x100 + imm8
+# ops: 0 add, 1 sub, 2 and, 3 or, 4 slt, 5 addi, 6 lw, 7 sw, 8 beq, 9 bne, 10 j, 15 halt
+
+
+def _encode(op: int, rs: int = 0, rt: int = 0, rd: int = 0, imm: int = 0) -> int:
+    return op * 0x100000 + rs * 0x10000 + rt * 0x1000 + rd * 0x100 + (imm & 0xFF)
+
+
+def _sort_program() -> List[int]:
+    """Selection-sort over DATA_LEN words using the toy ISA."""
+    # r1 = i, r2 = j, r3 = min index, r4/r5 scratch values, r6 = DATA_LEN, r7 = 1
+    DATA_LEN = 8
+    program = [
+        _encode(5, 0, 6, 0, DATA_LEN),      # addi r6 = DATA_LEN
+        _encode(5, 0, 7, 0, 1),             # addi r7 = 1
+        _encode(5, 0, 1, 0, 0),             # addi r1 = 0                     (outer loop)
+        # outer: pc=3
+        _encode(8, 1, 6, 0, 16),            # beq r1, r6 -> halt (pc 19)
+        _encode(0, 1, 0, 3, 0),             # r3 = r1 (min index)
+        _encode(0, 1, 7, 2, 0),             # r2 = r1 + 1
+        # inner: pc=6
+        _encode(8, 2, 6, 0, 7),             # beq r2, r6 -> swap (pc 14)
+        _encode(6, 2, 4, 0, 0),             # r4 = mem[r2]
+        _encode(6, 3, 5, 0, 0),             # r5 = mem[r3]
+        _encode(4, 4, 5, 5, 0),             # r5 = (r4 < r5)
+        _encode(8, 5, 0, 0, 1),             # beq r5, r0 -> skip (pc 11)
+        _encode(0, 2, 0, 3, 0),             # r3 = r2
+        # skip: pc=11 (wait, label math handled by offsets below)
+        _encode(0, 2, 7, 2, 0),             # r2 = r2 + 1
+        _encode(10, 0, 0, 0, 6),            # j inner (pc 6)
+        # swap: pc=13
+        _encode(6, 1, 4, 0, 0),             # r4 = mem[r1]
+        _encode(6, 3, 5, 0, 0),             # r5 = mem[r3]
+        _encode(7, 1, 5, 0, 0),             # mem[r1] = r5
+        _encode(7, 3, 4, 0, 0),             # mem[r3] = r4
+        _encode(0, 1, 7, 1, 0),             # r1 = r1 + 1
+        _encode(10, 0, 0, 0, 3),            # j outer (pc 3)
+        _encode(15, 0, 0, 0, 0),            # halt (pc 19)
+    ]
+    return program
+
+
+_PROGRAM = _sort_program()
+_DATA = [22, 5, -9, 3, 14, 0, 77, -3]
+
+_PROGRAM_INIT = "{" + ", ".join(str(v) for v in _PROGRAM) + "}"
+_DATA_INIT = "{" + ", ".join(str(v) for v in _DATA) + "}"
+
+SOURCE = f"""
+/* MIPS-subset interpreter running a selection sort (CHStone `mips` analogue). */
+#define PROG_LEN {len(_PROGRAM)}
+#define DATA_LEN {len(_DATA)}
+
+int imem[PROG_LEN] = {_PROGRAM_INIT};
+int dmem[DATA_LEN] = {_DATA_INIT};
+int regs[8];
+
+int run_cpu(int max_steps) {{
+  int pc = 0;
+  int steps = 0;
+  while (steps < max_steps) {{
+    int inst = imem[pc];
+    int op = (inst >> 20) & 15;
+    int rs = (inst >> 16) & 15;
+    int rt = (inst >> 12) & 15;
+    int rd = (inst >> 8) & 15;
+    int imm = inst & 255;
+    int next = pc + 1;
+    if (op == 15) {{
+      return steps;
+    }}
+    if (op == 0) {{ regs[rd] = regs[rs] + regs[rt]; }}
+    else if (op == 1) {{ regs[rd] = regs[rs] - regs[rt]; }}
+    else if (op == 2) {{ regs[rd] = regs[rs] & regs[rt]; }}
+    else if (op == 3) {{ regs[rd] = regs[rs] | regs[rt]; }}
+    else if (op == 4) {{ regs[rd] = regs[rs] < regs[rt]; }}
+    else if (op == 5) {{ regs[rt] = regs[rs] + imm; }}
+    else if (op == 6) {{ regs[rt] = dmem[regs[rs]]; }}
+    else if (op == 7) {{ dmem[regs[rs]] = regs[rt]; }}
+    else if (op == 8) {{ if (regs[rs] == regs[rt]) {{ next = pc + 1 + imm; }} }}
+    else if (op == 9) {{ if (regs[rs] != regs[rt]) {{ next = pc + 1 + imm; }} }}
+    else if (op == 10) {{ next = imm; }}
+    pc = next;
+    steps = steps + 1;
+  }}
+  return steps;
+}}
+
+int main(void) {{
+  int i;
+  int steps;
+  for (i = 0; i < 8; i++) {{ regs[i] = 0; }}
+  steps = run_cpu(4000);
+  for (i = 0; i < DATA_LEN; i++) {{ print_int(dmem[i]); }}
+  print_int(steps);
+  return steps;
+}}
+"""
+
+
+def reference() -> List[int]:
+    """Pure-Python model of the interpreter running the same program."""
+    regs = [0] * 8
+    dmem = list(_DATA)
+    pc = 0
+    steps = 0
+    max_steps = 4000
+    while steps < max_steps:
+        inst = _PROGRAM[pc]
+        op = (inst >> 20) & 15
+        rs = (inst >> 16) & 15
+        rt = (inst >> 12) & 15
+        rd = (inst >> 8) & 15
+        imm = inst & 255
+        nxt = pc + 1
+        if op == 15:
+            break
+        if op == 0:
+            regs[rd] = regs[rs] + regs[rt]
+        elif op == 1:
+            regs[rd] = regs[rs] - regs[rt]
+        elif op == 2:
+            regs[rd] = regs[rs] & regs[rt]
+        elif op == 3:
+            regs[rd] = regs[rs] | regs[rt]
+        elif op == 4:
+            regs[rd] = 1 if regs[rs] < regs[rt] else 0
+        elif op == 5:
+            regs[rt] = regs[rs] + imm
+        elif op == 6:
+            regs[rt] = dmem[regs[rs]]
+        elif op == 7:
+            dmem[regs[rs]] = regs[rt]
+        elif op == 8:
+            if regs[rs] == regs[rt]:
+                nxt = pc + 1 + imm
+        elif op == 9:
+            if regs[rs] != regs[rt]:
+                nxt = pc + 1 + imm
+        elif op == 10:
+            nxt = imm
+        pc = nxt
+        steps += 1
+    return dmem + [steps]
+
+
+WORKLOAD = WorkloadRegistry.register(
+    Workload(
+        name="mips",
+        description="MIPS-subset ISA interpreter running a selection sort",
+        source=SOURCE,
+        reference=reference,
+        chstone_name="MIPS",
+        paper_queues=12,
+        paper_semaphores=0,
+        paper_hw_threads=1,
+    )
+)

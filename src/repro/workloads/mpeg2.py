@@ -1,0 +1,137 @@
+"""MPEG-2 — full-search motion estimation (the CHStone ``motion``/MPEG-2 kernel).
+
+The CHStone MPEG-2 benchmark decodes motion vectors; the compute-heavy
+analogue on the encoder side is block motion estimation, which has the same
+nested-loop absolute-difference structure.  This kernel does a full search
+of a 12x12 window for one 8x8 macroblock over a synthetic frame pair and
+reports the best motion vector and SAD surface samples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workloads.base import Workload, WorkloadRegistry
+
+_FRAME_W = 24
+_FRAME_H = 24
+_BLOCK = 8
+_SEARCH = 3          # +/- search range
+_BLOCK_X = 8
+_BLOCK_Y = 8
+
+
+def _frames() -> Tuple[List[int], List[int]]:
+    reference_frame = [((x * 7 + y * 13) % 97 + ((x * y) % 11)) % 256 for y in range(_FRAME_H) for x in range(_FRAME_W)]
+    # The current frame is the reference shifted by (+2, +1) with mild noise.
+    current = [0] * (_FRAME_W * _FRAME_H)
+    for y in range(_FRAME_H):
+        for x in range(_FRAME_W):
+            sx = min(_FRAME_W - 1, max(0, x - 2))
+            sy = min(_FRAME_H - 1, max(0, y - 1))
+            noise = (x * 31 + y * 17) % 5
+            current[y * _FRAME_W + x] = (reference_frame[sy * _FRAME_W + sx] + noise) % 256
+    return reference_frame, current
+
+
+_REF, _CUR = _frames()
+
+
+def _fmt(values: List[int]) -> str:
+    return "{" + ", ".join(str(v) for v in values) + "}"
+
+
+SOURCE = f"""
+/* Full-search motion estimation over a 12x12 window (CHStone MPEG-2 analogue). */
+#define FRAME_W {_FRAME_W}
+#define FRAME_H {_FRAME_H}
+#define BLOCK {_BLOCK}
+#define SEARCH {_SEARCH}
+#define BLOCK_X {_BLOCK_X}
+#define BLOCK_Y {_BLOCK_Y}
+
+int ref_frame[FRAME_W * FRAME_H] = {_fmt(_REF)};
+int cur_frame[FRAME_W * FRAME_H] = {_fmt(_CUR)};
+int sad_surface[(2 * SEARCH + 1) * (2 * SEARCH + 1)];
+
+int block_sad(int dx, int dy) {{
+  int sad = 0;
+  int y;
+  int x;
+  for (y = 0; y < BLOCK; y++) {{
+    for (x = 0; x < BLOCK; x++) {{
+      int cur = cur_frame[(BLOCK_Y + y) * FRAME_W + BLOCK_X + x];
+      int refp = ref_frame[(BLOCK_Y + y + dy) * FRAME_W + BLOCK_X + x + dx];
+      int diff = cur - refp;
+      if (diff < 0) {{ diff = -diff; }}
+      sad = sad + diff;
+    }}
+  }}
+  return sad;
+}}
+
+int main(void) {{
+  int dy;
+  int dx;
+  int best_sad = 1000000;
+  int best_dx = 0;
+  int best_dy = 0;
+  int index = 0;
+  for (dy = -SEARCH; dy <= SEARCH; dy++) {{
+    for (dx = -SEARCH; dx <= SEARCH; dx++) {{
+      int sad = block_sad(dx, dy);
+      sad_surface[index] = sad;
+      index = index + 1;
+      if (sad < best_sad) {{
+        best_sad = sad;
+        best_dx = dx;
+        best_dy = dy;
+      }}
+    }}
+  }}
+  print_int(best_dx);
+  print_int(best_dy);
+  print_int(best_sad);
+  for (index = 0; index < (2 * SEARCH + 1) * (2 * SEARCH + 1); index = index + 9) {{
+    print_int(sad_surface[index]);
+  }}
+  return best_sad;
+}}
+"""
+
+
+def reference() -> List[int]:
+    def block_sad(dx: int, dy: int) -> int:
+        sad = 0
+        for y in range(_BLOCK):
+            for x in range(_BLOCK):
+                cur = _CUR[(_BLOCK_Y + y) * _FRAME_W + _BLOCK_X + x]
+                refp = _REF[(_BLOCK_Y + y + dy) * _FRAME_W + _BLOCK_X + x + dx]
+                sad += abs(cur - refp)
+        return sad
+
+    surface: List[int] = []
+    best_sad, best_dx, best_dy = 1000000, 0, 0
+    for dy in range(-_SEARCH, _SEARCH + 1):
+        for dx in range(-_SEARCH, _SEARCH + 1):
+            sad = block_sad(dx, dy)
+            surface.append(sad)
+            if sad < best_sad:
+                best_sad, best_dx, best_dy = sad, dx, dy
+    outputs = [best_dx, best_dy, best_sad]
+    outputs.extend(surface[0 : len(surface) : 9])
+    return outputs
+
+
+WORKLOAD = WorkloadRegistry.register(
+    Workload(
+        name="mpeg2",
+        description="Full-search block motion estimation",
+        source=SOURCE,
+        reference=reference,
+        chstone_name="MPEG-2",
+        paper_queues=47,
+        paper_semaphores=0,
+        paper_hw_threads=4,
+    )
+)

@@ -1,0 +1,133 @@
+"""SHA — SHA-1 digest over a two-block message (the CHStone ``sha`` kernel).
+
+The full 80-round SHA-1 compression function with the standard round
+constants and rotations, run over two 512-bit blocks of a deterministic
+message.  Outputs are the five digest words plus a checksum.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.base import Workload, WorkloadRegistry
+
+_NUM_BLOCKS = 2
+_MESSAGE_WORDS = [((i * 2654435761) ^ (i << 7) ^ 0x5A5A5A5A) & 0xFFFFFFFF for i in range(16 * _NUM_BLOCKS)]
+
+
+def _fmt(values: List[int]) -> str:
+    return "{" + ", ".join(str(v) for v in values) + "}"
+
+
+SOURCE = f"""
+/* SHA-1 over two 512-bit blocks (CHStone `sha` analogue). */
+#define NUM_BLOCKS {_NUM_BLOCKS}
+
+unsigned int message[NUM_BLOCKS * 16] = {_fmt(_MESSAGE_WORDS)};
+unsigned int digest[5];
+unsigned int w[80];
+
+unsigned int rotl(unsigned int x, int n) {{
+  return ((x << n) | (x >> (32 - n)));
+}}
+
+void sha1_block(int block) {{
+  unsigned int a = digest[0];
+  unsigned int b = digest[1];
+  unsigned int c = digest[2];
+  unsigned int d = digest[3];
+  unsigned int e = digest[4];
+  int t;
+  for (t = 0; t < 16; t++) {{ w[t] = message[block * 16 + t]; }}
+  for (t = 16; t < 80; t++) {{
+    w[t] = rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+  }}
+  for (t = 0; t < 80; t++) {{
+    unsigned int f;
+    unsigned int k;
+    unsigned int temp;
+    if (t < 20) {{ f = (b & c) | ((~b) & d); k = 1518500249; }}
+    else if (t < 40) {{ f = b ^ c ^ d; k = 1859775393; }}
+    else if (t < 60) {{ f = (b & c) | (b & d) | (c & d); k = 2400959708u; }}
+    else {{ f = b ^ c ^ d; k = 3395469782u; }}
+    temp = rotl(a, 5) + f + e + k + w[t];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = temp;
+  }}
+  digest[0] = digest[0] + a;
+  digest[1] = digest[1] + b;
+  digest[2] = digest[2] + c;
+  digest[3] = digest[3] + d;
+  digest[4] = digest[4] + e;
+}}
+
+int main(void) {{
+  int block;
+  int i;
+  unsigned int checksum = 0;
+  digest[0] = 1732584193u;
+  digest[1] = 4023233417u;
+  digest[2] = 2562383102u;
+  digest[3] = 271733878u;
+  digest[4] = 3285377520u;
+  for (block = 0; block < NUM_BLOCKS; block++) {{
+    sha1_block(block);
+  }}
+  for (i = 0; i < 5; i++) {{
+    print_int(digest[i]);
+    checksum = checksum ^ digest[i];
+  }}
+  print_int(checksum);
+  return checksum & 65535;
+}}
+"""
+
+
+def reference() -> List[int]:
+    mask = 0xFFFFFFFF
+
+    def rotl(x: int, n: int) -> int:
+        return ((x << n) | (x >> (32 - n))) & mask
+
+    digest = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0]
+    for block in range(_NUM_BLOCKS):
+        w = list(_MESSAGE_WORDS[block * 16 : block * 16 + 16])
+        for t in range(16, 80):
+            w.append(rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1))
+        a, b, c, d, e = digest
+        for t in range(80):
+            if t < 20:
+                f, k = (b & c) | ((~b & mask) & d), 0x5A827999
+            elif t < 40:
+                f, k = b ^ c ^ d, 0x6ED9EBA1
+            elif t < 60:
+                f, k = (b & c) | (b & d) | (c & d), 0x8F1BBCDC
+            else:
+                f, k = b ^ c ^ d, 0xCA62C1D6
+            temp = (rotl(a, 5) + f + e + k + w[t]) & mask
+            e, d, c, b, a = d, c, rotl(b, 30), a, temp
+        digest = [(x + y) & mask for x, y in zip(digest, [a, b, c, d, e])]
+    checksum = 0
+    outputs: List[int] = []
+    for value in digest:
+        outputs.append(value)
+        checksum ^= value
+    outputs.append(checksum)
+    return outputs
+
+
+WORKLOAD = WorkloadRegistry.register(
+    Workload(
+        name="sha",
+        description="SHA-1 digest over a two-block message",
+        source=SOURCE,
+        reference=reference,
+        chstone_name="SHA",
+        paper_queues=82,
+        paper_semaphores=0,
+        paper_hw_threads=1,
+    )
+)

@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.transforms import default_pipeline
+
+
+SMALL_PROGRAM = """
+int data[32];
+int accumulate(int n) {
+  int i;
+  int total = 0;
+  for (i = 0; i < n; i++) { total += data[i]; }
+  return total;
+}
+int main(void) {
+  int i;
+  for (i = 0; i < 32; i++) { data[i] = i * 3 - 7; }
+  print_int(accumulate(32));
+  return accumulate(32);
+}
+"""
+
+PIPELINE_PROGRAM = """
+int input[48];
+int stage1[48];
+int stage2[48];
+int main(void) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 48; i++) { input[i] = (i * 11 + 5) % 63; }
+  for (i = 0; i < 48; i++) { stage1[i] = (input[i] * 13) % 127; }
+  for (i = 0; i < 48; i++) { stage2[i] = stage1[i] ^ (stage1[i] >> 2); acc += stage2[i]; }
+  print_int(acc);
+  return acc;
+}
+"""
+
+
+@pytest.fixture
+def small_module():
+    """The small two-function program, lowered but not optimised."""
+    return compile_c(SMALL_PROGRAM, "small")
+
+
+@pytest.fixture
+def optimized_small_module():
+    """The small program after the full default pass pipeline."""
+    module = compile_c(SMALL_PROGRAM, "small")
+    default_pipeline().run(module)
+    return module
+
+
+@pytest.fixture
+def pipeline_module():
+    """A three-stage streaming program (good DSWP fodder), optimised."""
+    module = compile_c(PIPELINE_PROGRAM, "pipeline")
+    default_pipeline().run(module)
+    return module

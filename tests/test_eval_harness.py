@@ -1,0 +1,64 @@
+"""Tests of the evaluation harness on a reduced benchmark set (kept small so the
+unit-test suite stays fast; the full set runs in benchmarks/)."""
+
+import pytest
+
+from repro.eval import EvaluationHarness
+from repro.eval.experiments import figure_6_5, figure_6_6, table_6_1, table_6_2
+from repro.core.report import format_result_table, geometric_mean
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return EvaluationHarness(benchmarks=["mips", "gsm"])
+
+
+def test_table_6_1_structure(harness):
+    data = table_6_1(harness)
+    assert len(data["rows"]) == 2
+    for row in data["rows"]:
+        assert row["queues"] >= 1
+        assert row["hw_threads"] >= 1
+        assert row["semaphores"] >= 0
+    assert "Table 6.1" in data["table"]
+
+
+def test_table_6_2_structure(harness):
+    data = table_6_2(harness)
+    for row in data["rows"]:
+        assert row["legup_luts"] > 0
+        assert row["twill_hwthreads_luts"] > 0
+        assert row["twill_plus_microblaze_luts"] > row["twill_luts"]
+
+
+def test_figure_6_5_normalisation(harness):
+    data = figure_6_5(harness)
+    for row in data["rows"]:
+        assert row["latency_2"] == pytest.approx(1.0)
+        # Larger latency never speeds the system up.
+        assert row["latency_128"] <= row["latency_2"] + 1e-9
+
+
+def test_figure_6_6_normalisation(harness):
+    data = figure_6_6(harness)
+    for row in data["rows"]:
+        assert row["depth_8"] == pytest.approx(1.0)
+        assert row["depth_2"] <= row["depth_32"] + 1e-9
+
+
+def test_functional_outputs_always_checked(harness):
+    run = harness.run("mips")
+    assert run.functional_outputs_match()
+
+
+def test_report_table_formatting():
+    table = format_result_table(["name", "value"], [["a", 1.5], ["bb", 2]], title="T")
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[2]
+    assert any("1.50" in line for line in lines)
+
+
+def test_geometric_mean():
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geometric_mean([]) == 0.0

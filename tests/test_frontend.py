@@ -1,0 +1,252 @@
+"""Tests for the C front end: lexer, parser, lowering."""
+
+import pytest
+
+from repro.errors import LexerError, ParseError, SemanticError, UnsupportedFeatureError
+from repro.frontend import compile_c, parse, tokenize
+from repro.frontend.lexer import TokenKind
+from repro.frontend.ast_nodes import ForStmt, FunctionDef, IfStmt, ReturnStmt, WhileStmt
+from repro.interp import run_module
+from repro.ir import print_module, verify_module
+
+
+class TestLexer:
+    def test_keywords_and_identifiers(self):
+        tokens = tokenize("int foo unsigned bar")
+        kinds = [t.kind for t in tokens]
+        assert kinds[:4] == [TokenKind.KEYWORD, TokenKind.IDENT, TokenKind.KEYWORD, TokenKind.IDENT]
+        assert tokens[-1].kind is TokenKind.EOF
+
+    def test_integer_literals(self):
+        tokens = tokenize("42 0x1F 0 123456789")
+        values = [t.value for t in tokens if t.kind is TokenKind.INT_LITERAL]
+        assert values == [42, 0x1F, 0, 123456789]
+
+    def test_integer_suffixes_ignored(self):
+        tokens = tokenize("100u 200U 3000000000u")
+        values = [t.value for t in tokens if t.kind is TokenKind.INT_LITERAL]
+        assert values == [100, 200, 3000000000]
+
+    def test_char_literals(self):
+        tokens = tokenize(r"'a' '\n' '\0'")
+        values = [t.value for t in tokens if t.kind is TokenKind.CHAR_LITERAL]
+        assert values == [ord("a"), 10, 0]
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("int /* block */ x; // line\nint y;")
+        idents = [t.text for t in tokens if t.kind is TokenKind.IDENT]
+        assert idents == ["x", "y"]
+
+    def test_define_macro_expansion(self):
+        tokens = tokenize("#define SIZE 16\nint a[SIZE];")
+        values = [t.value for t in tokens if t.kind is TokenKind.INT_LITERAL]
+        assert values == [16]
+
+    def test_multi_char_punctuators(self):
+        tokens = tokenize("a <<= b >> c != d")
+        puncts = [t.text for t in tokens if t.kind is TokenKind.PUNCT]
+        assert puncts == ["<<=", ">>", "!="]
+
+    def test_unterminated_comment_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("int x; /* oops")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("int x = `1;")
+
+
+class TestParser:
+    def test_function_and_global(self):
+        unit = parse("int g = 3;\nint f(int a) { return a + g; }")
+        assert len(unit.globals) == 1 and unit.globals[0].name == "g"
+        assert len(unit.functions) == 1 and unit.functions[0].name == "f"
+        assert len(unit.functions[0].params) == 1
+
+    def test_array_globals_with_initializer(self):
+        unit = parse("int table[4] = {1, 2, 3, 4};")
+        decl = unit.globals[0]
+        assert decl.type.array_dims == [4]
+        assert isinstance(decl.init, list) and len(decl.init) == 4
+
+    def test_two_dimensional_array(self):
+        unit = parse("int grid[3][5];")
+        assert unit.globals[0].type.array_dims == [3, 5]
+
+    def test_statement_kinds(self):
+        unit = parse(
+            "int f(void) { int i; if (i) { i = 1; } else { i = 2; } "
+            "while (i) { i--; } for (i = 0; i < 3; i++) { } do { i++; } while (i < 5); return i; }"
+        )
+        body = unit.functions[0].body.body
+        kinds = [type(s).__name__ for s in body]
+        assert "IfStmt" in kinds and "WhileStmt" in kinds and "ForStmt" in kinds and "DoWhileStmt" in kinds
+
+    def test_operator_precedence(self):
+        from repro.frontend.parser import evaluate_constant_expr
+        unit = parse("int x = 2 + 3 * 4;")
+        assert evaluate_constant_expr(unit.globals[0].init) == 14
+
+    def test_precedence_shift_vs_add(self):
+        from repro.frontend.parser import evaluate_constant_expr
+        unit = parse("int x = 1 << 2 + 1;")
+        assert evaluate_constant_expr(unit.globals[0].init) == 8
+
+    def test_ternary_constant(self):
+        from repro.frontend.parser import evaluate_constant_expr
+        unit = parse("int x = 1 ? 10 : 20;")
+        assert evaluate_constant_expr(unit.globals[0].init) == 10
+
+    def test_array_parameter_decays_to_pointer(self):
+        unit = parse("int f(int a[], int n) { return a[0] + n; }")
+        assert unit.functions[0].params[0].type.is_pointer()
+
+    def test_struct_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse("struct point { int x; };")
+
+    def test_float_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse("float f(void) { return 1; }")
+
+    def test_long_long_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse("long long x;")
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(ParseError):
+            parse("int f(void) { return 1 }")
+
+
+class TestLowering:
+    def test_module_verifies(self, small_module):
+        verify_module(small_module)
+        assert small_module.has_function("main")
+        assert small_module.has_global("data")
+
+    def test_printable(self, small_module):
+        text = print_module(small_module)
+        assert "define i32 @main()" in text
+        assert "@data" in text
+
+    def test_undeclared_identifier(self):
+        with pytest.raises(SemanticError):
+            compile_c("int main(void) { return missing; }")
+
+    def test_undeclared_function(self):
+        with pytest.raises(SemanticError):
+            compile_c("int main(void) { return missing(); }")
+
+    def test_redefined_function(self):
+        with pytest.raises(SemanticError):
+            compile_c("int f(void) { return 1; } int f(void) { return 2; }")
+
+    def test_execution_of_control_flow(self):
+        src = """
+        int main(void) {
+          int i; int evens = 0; int odds = 0;
+          for (i = 0; i < 10; i++) {
+            if (i % 2 == 0) { evens++; } else { odds++; }
+          }
+          print_int(evens); print_int(odds);
+          return evens * 100 + odds;
+        }
+        """
+        result = run_module(compile_c(src))
+        assert result.outputs == [5, 5]
+        assert result.return_value == 505
+
+    def test_switch_with_fallthrough(self):
+        src = """
+        int classify(int v) {
+          int r = 0;
+          switch (v) {
+            case 0:
+            case 1: r = 10; break;
+            case 2: r = 20; break;
+            default: r = 99;
+          }
+          return r;
+        }
+        int main(void) {
+          print_int(classify(0)); print_int(classify(1));
+          print_int(classify(2)); print_int(classify(7));
+          return 0;
+        }
+        """
+        result = run_module(compile_c(src))
+        assert result.outputs == [10, 10, 20, 99]
+
+    def test_short_circuit_evaluation(self):
+        src = """
+        int calls;
+        int bump(void) { calls = calls + 1; return 1; }
+        int main(void) {
+          calls = 0;
+          if (0 && bump()) { }
+          if (1 || bump()) { }
+          print_int(calls);
+          return calls;
+        }
+        """
+        result = run_module(compile_c(src))
+        assert result.outputs == [0]
+
+    def test_unsigned_shift_semantics(self):
+        src = """
+        unsigned int v = 2147483648u;
+        int main(void) {
+          print_int(v >> 31);
+          return 0;
+        }
+        """
+        result = run_module(compile_c(src))
+        assert result.outputs == [1]
+
+    def test_two_dimensional_array_access(self):
+        src = """
+        int grid[3][4];
+        int main(void) {
+          int r; int c; int sum = 0;
+          for (r = 0; r < 3; r++) {
+            for (c = 0; c < 4; c++) { grid[r][c] = r * 10 + c; }
+          }
+          for (r = 0; r < 3; r++) { sum += grid[r][3]; }
+          print_int(sum);
+          return sum;
+        }
+        """
+        result = run_module(compile_c(src))
+        assert result.outputs == [3 + 13 + 23]
+
+    def test_pointer_parameter_writeback(self):
+        src = """
+        void fill(int buf[], int n) {
+          int i;
+          for (i = 0; i < n; i++) { buf[i] = i * i; }
+        }
+        int scratch[6];
+        int main(void) {
+          int i; int sum = 0;
+          fill(scratch, 6);
+          for (i = 0; i < 6; i++) { sum += scratch[i]; }
+          print_int(sum);
+          return sum;
+        }
+        """
+        result = run_module(compile_c(src))
+        assert result.outputs == [0 + 1 + 4 + 9 + 16 + 25]
+
+    def test_ternary_and_compound_assignment(self):
+        src = """
+        int main(void) {
+          int a = 5;
+          int b = a > 3 ? 100 : 200;
+          a += b; a <<= 1; a ^= 7;
+          print_int(a);
+          return a;
+        }
+        """
+        expected = ((5 + 100) << 1) ^ 7
+        result = run_module(compile_c(src))
+        assert result.outputs == [expected]

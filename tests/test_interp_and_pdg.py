@@ -1,0 +1,152 @@
+"""Tests for the functional interpreter, trace, profile, PDG and weights."""
+
+import pytest
+
+from repro.errors import InterpreterTrap
+from repro.frontend import compile_c
+from repro.interp import Interpreter, Profile, run_module
+from repro.interp.memory import SimulatedMemory
+from repro.ir import I32, ArrayType, IntType, Opcode
+from repro.pdg import WeightModel, build_pdg, condense
+from repro.pdg.graph import DependenceKind
+from repro.pdg.scc import component_of_map, topological_order
+from repro.transforms import default_pipeline
+from tests.conftest import PIPELINE_PROGRAM
+
+
+class TestMemory:
+    def test_global_layout_and_initializers(self):
+        module = compile_c("int a = 5; int t[4] = {1,2,3,4}; int main(void){ return a + t[2]; }")
+        memory = SimulatedMemory()
+        memory.load_globals(module)
+        assert memory.dump_global(module.get_global("a")) == [5]
+        assert memory.dump_global(module.get_global("t")) == [1, 2, 3, 4]
+
+    def test_typed_store_load_round_trip(self):
+        memory = SimulatedMemory()
+        memory.store_typed(0x2000, -123, I32)
+        assert memory.load_typed(0x2000, I32) == -123
+        u8 = IntType(8, signed=False)
+        memory.store_typed(0x3000, 300, u8)
+        assert memory.load_typed(0x3000, u8) == 44
+
+    def test_invalid_address_traps(self):
+        memory = SimulatedMemory()
+        with pytest.raises(InterpreterTrap):
+            memory.load_int(0, 4, True)
+
+
+class TestInterpreter:
+    def test_outputs_and_return(self, optimized_small_module):
+        result = run_module(optimized_small_module)
+        expected = sum(i * 3 - 7 for i in range(32))
+        assert result.outputs == [expected]
+        assert result.return_value == expected
+
+    def test_trace_has_precise_dependences(self, pipeline_module):
+        result = run_module(pipeline_module, record_trace=True)
+        trace = result.trace
+        assert trace is not None and len(trace) == result.steps
+        # Every dependence points backwards in time.
+        for event in trace:
+            for dep in event.deps:
+                assert dep < event.seq
+            if event.mem_dep is not None:
+                assert event.mem_dep < event.seq
+        # Load events know which store produced their value.
+        loads = [e for e in trace if e.opcode is Opcode.LOAD and e.mem_dep is not None]
+        assert loads, "expected at least one load with a resolved memory dependence"
+        for load in loads[:50]:
+            store = trace.events[load.mem_dep]
+            assert store.opcode is Opcode.STORE
+            assert store.address == load.address
+
+    def test_division_by_zero_traps(self):
+        module = compile_c("int main(void) { int z = 0; return 5 / z; }")
+        with pytest.raises(InterpreterTrap):
+            run_module(module)
+
+    def test_step_limit_enforced(self):
+        module = compile_c("int main(void) { while (1) { } return 0; }")
+        from repro.errors import InterpreterError
+
+        with pytest.raises(InterpreterError):
+            run_module(module, max_steps=1000)
+
+    def test_output_checksum_is_order_sensitive(self):
+        m1 = compile_c("int main(void){ print_int(1); print_int(2); return 0; }")
+        m2 = compile_c("int main(void){ print_int(2); print_int(1); return 0; }")
+        assert run_module(m1).output_checksum != run_module(m2).output_checksum
+
+
+class TestProfile:
+    def test_profile_from_trace_counts_loop_body_more(self, pipeline_module):
+        result = run_module(pipeline_module, record_trace=True)
+        profile = Profile.from_trace(pipeline_module, result.trace)
+        fn = pipeline_module.get_function("main")
+        counts = [profile.count(i) for i in fn.instructions()]
+        assert max(counts) >= 48  # loop body instructions execute once per iteration
+        assert min(counts) >= 0
+
+    def test_static_estimate_scales_with_loop_depth(self):
+        module = compile_c(
+            "int main(void){ int i; int j; int s=0; for(i=0;i<4;i++){ for(j=0;j<4;j++){ s+=i*j; } } return s; }"
+        )
+        default_pipeline().run(module)
+        profile = Profile.static_estimate(module)
+        fn = module.get_function("main")
+        counts = {profile.count(i) for i in fn.instructions()}
+        assert len(counts) >= 2  # at least two distinct nesting levels
+
+
+class TestPDG:
+    def test_data_edges_follow_ssa(self, pipeline_module):
+        fn = pipeline_module.get_function("main")
+        pdg = build_pdg(fn)
+        assert pdg.edge_count(DependenceKind.DATA) > 0
+        for edge in pdg.edges:
+            if edge.kind is DependenceKind.DATA:
+                assert edge.tail in edge.head.operands
+
+    def test_control_edges_from_branches(self, pipeline_module):
+        fn = pipeline_module.get_function("main")
+        pdg = build_pdg(fn)
+        control = [e for e in pdg.edges if e.kind is DependenceKind.CONTROL]
+        assert control
+        for edge in control:
+            assert edge.tail.opcode in (Opcode.CONDBR, Opcode.SWITCH)
+
+    def test_scc_condensation_is_acyclic(self, pipeline_module):
+        fn = pipeline_module.get_function("main")
+        pdg = build_pdg(fn)
+        components = condense(pdg)
+        order = topological_order(components)
+        assert sorted(order) == sorted(c.index for c in components)
+        position = {idx: i for i, idx in enumerate(order)}
+        for scc in components:
+            for succ in scc.successors:
+                assert position[scc.index] < position[succ]
+
+    def test_every_instruction_in_exactly_one_scc(self, pipeline_module):
+        fn = pipeline_module.get_function("main")
+        pdg = build_pdg(fn)
+        components = condense(pdg)
+        mapping = component_of_map(components)
+        instructions = list(fn.instructions())
+        assert len(mapping) == len(instructions)
+
+    def test_loop_carried_scc_exists(self, pipeline_module):
+        fn = pipeline_module.get_function("main")
+        components = condense(build_pdg(fn))
+        assert any(scc.is_cyclic() for scc in components)
+
+    def test_weight_model_hw_vs_sw(self, pipeline_module):
+        result = run_module(pipeline_module, record_trace=True)
+        profile = Profile.from_trace(pipeline_module, result.trace)
+        wm = WeightModel(profile)
+        fn = pipeline_module.get_function("main")
+        div_like = [i for i in fn.instructions() if i.opcode in (Opcode.SREM, Opcode.UREM, Opcode.SDIV)]
+        adds = [i for i in fn.instructions() if i.opcode is Opcode.ADD]
+        assert div_like and adds
+        assert wm.weights(div_like[0]).sw_cycles > wm.weights(adds[0]).sw_cycles
+        assert wm.weights(div_like[0]).hw_luts > wm.weights(adds[0]).hw_luts

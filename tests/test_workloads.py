@@ -1,0 +1,50 @@
+"""Workload correctness: every compiled kernel must reproduce its Python reference,
+through both the unoptimised and the fully optimised pipeline."""
+
+import pytest
+
+from repro.core.compiler import TwillCompiler
+from repro.frontend import compile_c
+from repro.interp import run_module
+from repro.workloads import all_workloads, get_workload
+
+WORKLOAD_NAMES = [w.name for w in all_workloads()]
+
+
+def test_registry_contains_all_eight_kernels():
+    assert WORKLOAD_NAMES == sorted(["mips", "adpcm", "aes", "blowfish", "gsm", "jpeg", "mpeg2", "sha"])
+    for workload in all_workloads():
+        assert workload.chstone_name
+        assert workload.paper_queues is not None
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_unoptimised_output_matches_reference(name):
+    workload = get_workload(name)
+    module = compile_c(workload.source, name)
+    result = run_module(module)
+    assert result.outputs == workload.expected_outputs()
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_optimised_output_matches_reference(name):
+    workload = get_workload(name)
+    compiler = TwillCompiler()
+    module = compiler.compile_module(workload.source, name)
+    result = run_module(module)
+    assert result.outputs == workload.expected_outputs()
+
+
+@pytest.mark.parametrize("name", ["mips", "sha", "gsm"])
+def test_full_pipeline_on_selected_workloads(name):
+    """End-to-end compile_and_simulate on a few kernels (the rest are covered
+    by the benchmark harness to keep the unit-test suite fast)."""
+    workload = get_workload(name)
+    compiler = TwillCompiler()
+    result = compiler.compile_and_simulate(workload.source, name=name)
+    assert result.outputs == workload.expected_outputs()
+    system = result.system
+    assert system.speedup_vs_software > 1.0
+    assert result.dswp.partitioning.total_queues >= 1
+    assert result.dswp.partitioning.hardware_thread_count >= 1
+    assert system.twill.timing.forced_events == 0
