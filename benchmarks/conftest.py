@@ -21,7 +21,12 @@ from repro.eval import EvaluationHarness
 
 @pytest.fixture(scope="session")
 def harness():
-    """Session-wide evaluation harness over all eight workloads."""
+    """Session-wide evaluation harness over all eight workloads.
+
+    Warms the shared harness in parallel; thanks to the on-disk artifact
+    cache (docs/CACHING.md) only the first benchmark session after a source
+    or config change actually compiles anything.
+    """
     h = EvaluationHarness.shared()
-    h.run_all()
+    h.run_all(parallel=min(4, os.cpu_count() or 1))
     return h

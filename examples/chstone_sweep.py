@@ -1,12 +1,19 @@
 #!/usr/bin/env python3
 """Run the full CHStone-style evaluation and print every table and figure.
 
-This is the scripted version of the benchmark harness: it compiles all eight
-workloads, checks their outputs against the Python references, and prints
-the reproduction of Tables 6.1/6.2 and Figures 6.1-6.6 plus the headline
-summary, exactly as recorded in EXPERIMENTS.md.
+This is the scripted version of the benchmark harness (equivalent to the
+``repro report`` CLI command): it compiles all eight workloads, checks their
+outputs against the Python references, and prints the reproduction of Tables
+6.1/6.2 and Figures 6.1-6.6 plus the headline summary.
+
+Usage:  python examples/chstone_sweep.py [--parallel N] [--no-cache]
+
+Compiled artefacts are cached under ``.repro_cache/`` (see docs/CACHING.md),
+so a second run completes in a fraction of the cold wall time; ``--parallel``
+fans the cold compiles out over N worker processes.
 """
 
+import argparse
 import os
 import sys
 import time
@@ -28,10 +35,15 @@ from repro.eval import (
 
 
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--parallel", type=int, metavar="N", help="compile N workloads concurrently")
+    parser.add_argument("--no-cache", action="store_true", help="disable the on-disk artifact cache")
+    args = parser.parse_args()
+
     started = time.time()
-    harness = EvaluationHarness()
+    harness = EvaluationHarness(use_cache=not args.no_cache)
     print("Compiling and simulating all eight workloads...\n")
-    for run in harness.run_all():
+    for run in harness.run_all(parallel=args.parallel):
         status = "ok" if run.functional_outputs_match() else "MISMATCH"
         print(f"  {run.name:10s} functional outputs: {status}")
     print()

@@ -1,11 +1,25 @@
-"""Setuptools shim.
+"""Packaging for the Twill reproduction.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that
-``pip install -e .`` works in fully offline environments where the ``wheel``
-package (needed for PEP 660 editable wheels) is unavailable — pip then falls
-back to the legacy ``setup.py develop`` code path.
+All metadata lives here (the project deliberately ships no ``pyproject.toml``
+so that ``pip install -e .`` works in fully offline environments, where the
+``wheel`` package needed for PEP 660 editable installs is unavailable and pip
+falls back to the legacy ``setup.py develop`` code path).
+
+Installing registers the ``repro`` console script (``repro --help``); the
+package itself has no runtime dependencies beyond the standard library.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="twill-repro",
+    version="0.2.0",
+    description=(
+        "Reproduction of Twill: a hybrid microcontroller/FPGA framework for "
+        "parallelizing single-threaded C programs (Gallatin, 2014)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

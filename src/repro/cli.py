@@ -1,0 +1,344 @@
+"""``repro`` — the unified command-line interface of the Twill reproduction.
+
+Every experiment of thesis Chapter 6 is reachable from one executable, backed
+by the same :mod:`repro.eval` code path the examples and the pytest-benchmark
+suite use, so numbers never diverge between entry points:
+
+* ``repro list`` — the registered workloads;
+* ``repro run <workload>`` — compile + simulate one workload and print its
+  report (``--json`` for machine-readable output);
+* ``repro sweep {latency,depth,split}`` — the sensitivity sweeps behind
+  Figures 6.3-6.6;
+* ``repro table {6.1,6.2}`` / ``repro figure {6.1..6.6}`` — one thesis
+  artefact;
+* ``repro report`` — every table and figure plus the §6.7 headline summary
+  (``--json`` / ``--markdown`` for machine- or doc-friendly output);
+* ``repro cache {stats,clear}`` — inspect or empty the on-disk artifact
+  cache.
+
+All experiment commands accept ``--benchmarks`` (restrict the workload set),
+``--parallel N`` (compile concurrently), ``--cache-dir`` and ``--no-cache``.
+Results are disk-cached under ``.repro_cache/`` (see ``docs/CACHING.md``), so
+a second invocation of any command is near-instant.
+
+Installed as a ``console_scripts`` entry point by ``setup.py``; also runnable
+as ``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import CompilerConfig
+from repro.errors import ReproError
+from repro.eval import experiments
+from repro.eval.cache import ArtifactCache, default_cache_dir
+from repro.eval.harness import EvaluationHarness
+from repro.workloads import all_workloads, get_workload
+
+#: Experiment generators by artefact id, in thesis order.
+TABLES = {"6.1": experiments.table_6_1, "6.2": experiments.table_6_2}
+FIGURES = {
+    "6.1": experiments.figure_6_1,
+    "6.2": experiments.figure_6_2,
+    "6.3": experiments.figure_6_3,
+    "6.4": experiments.figure_6_4,
+    "6.5": experiments.figure_6_5,
+    "6.6": experiments.figure_6_6,
+}
+#: Workload each split-sweep figure is defined over (thesis Figures 6.3/6.4).
+SPLIT_FIGURE_WORKLOADS = {"6.3": "mips", "6.4": "blowfish"}
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _make_harness(args: argparse.Namespace, benchmarks: Optional[List[str]] = None) -> EvaluationHarness:
+    """Build the harness described by the common CLI options."""
+    names = benchmarks if benchmarks is not None else _requested_benchmarks(args)
+    return EvaluationHarness(
+        config=CompilerConfig(),
+        benchmarks=names,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+
+
+def _warm(harness: EvaluationHarness, args: argparse.Namespace) -> None:
+    harness.run_all(parallel=args.parallel)
+
+
+def _requested_benchmarks(args: argparse.Namespace) -> Optional[List[str]]:
+    """The --benchmarks list, or None when unrestricted."""
+    if args.benchmarks:
+        names = [n.strip() for n in args.benchmarks.split(",") if n.strip()]
+        return names or None
+    return None
+
+
+def _check_split_workload(workload: str, args: argparse.Namespace) -> None:
+    """Split artefacts are defined over one specific workload; reject a
+    --benchmarks restriction that excludes it rather than silently ignoring it."""
+    requested = _requested_benchmarks(args)
+    if requested is not None and workload not in requested:
+        raise ReproError(
+            f"this split sweep is defined over workload '{workload}', which is "
+            f"not in --benchmarks {','.join(requested)}"
+        )
+
+
+def _markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """GitHub-flavoured markdown rendering of a rows list."""
+
+    def cell(value: object) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    lines = ["| " + " | ".join(headers) + " |", "|" + "|".join(" --- " for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(cell(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def _render_markdown(data: Dict) -> str:
+    """One experiment result as markdown: its rows as a table, or the
+    preformatted text fenced when there are no rows."""
+    rows = data.get("rows")
+    if rows:
+        headers = list(rows[0].keys())
+        return _markdown_table(headers, [[r[h] for h in headers] for r in rows])
+    return "```\n" + data.get("table", "") + "\n```"
+
+
+def _emit(data: Dict, args: argparse.Namespace) -> None:
+    """Print one experiment result in the requested format."""
+    if getattr(args, "json", False):
+        payload = {k: v for k, v in data.items() if k != "table"}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif getattr(args, "markdown", False):
+        print(_render_markdown(data))
+    else:
+        print(data["table"])
+
+
+# ---------------------------------------------------------------------------
+# subcommand implementations
+# ---------------------------------------------------------------------------
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for workload in all_workloads():
+        chstone = f" (CHStone {workload.chstone_name})" if workload.chstone_name else ""
+        print(f"{workload.name:10s} {workload.description}{chstone}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    get_workload(args.workload)  # fail fast before building a harness
+    harness = _make_harness(args, benchmarks=[args.workload])
+    run = harness.run(args.workload)
+    result = run.result
+    if args.sw_fraction is not None:
+        data = harness.twill_cycles_with_split(args.workload, args.sw_fraction)
+        data = {"benchmark": args.workload, "sw_fraction": args.sw_fraction, **data}
+        print(json.dumps(data, indent=2, sort_keys=True) if args.json else "\n".join(f"{k:14s}: {v}" for k, v in data.items()))
+        return 0
+    if args.json:
+        payload = {"outputs_match": run.functional_outputs_match(), **result.summary_dict()}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(result.report())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.kind == "latency":
+        harness = _make_harness(args)
+        _warm(harness, args)
+        _emit(experiments.figure_6_5(harness), args)
+    elif args.kind == "depth":
+        harness = _make_harness(args)
+        _warm(harness, args)
+        _emit(experiments.figure_6_6(harness), args)
+    else:  # split
+        workload = args.workload or "mips"
+        _check_split_workload(workload, args)
+        harness = _make_harness(args, benchmarks=[workload])
+        _emit(experiments.split_sweep(workload, harness), args)
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    harness = _make_harness(args)
+    _warm(harness, args)
+    _emit(TABLES[args.id](harness), args)
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    split_workload = SPLIT_FIGURE_WORKLOADS.get(args.id)
+    if split_workload:
+        _check_split_workload(split_workload, args)
+    harness = _make_harness(args, benchmarks=[split_workload] if split_workload else None)
+    if not split_workload:
+        _warm(harness, args)
+    _emit(FIGURES[args.id](harness), args)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    harness = _make_harness(args)
+    _warm(harness, args)
+    names = set(harness.benchmark_names)
+    artefacts: Dict[str, Dict] = {}
+    for table_id, generator in TABLES.items():
+        artefacts[f"table_{table_id}"] = generator(harness)
+    for figure_id, generator in FIGURES.items():
+        # The split-sweep figures are defined over one specific workload each;
+        # skip them when the benchmark set was restricted and excludes it.
+        workload = SPLIT_FIGURE_WORKLOADS.get(figure_id)
+        if workload is not None and workload not in names:
+            continue
+        artefacts[f"figure_{figure_id}"] = generator(harness)
+    artefacts["summary"] = experiments.summary(harness)
+
+    if args.json:
+        payload = {
+            "benchmarks": harness.benchmark_names,
+            "config": harness.config.to_dict(),
+            "artefacts": {
+                key: {k: v for k, v in data.items() if k != "table"}
+                for key, data in artefacts.items()
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    for key, data in artefacts.items():
+        if args.markdown:
+            title = data["table"].splitlines()[0]
+            print(f"### {title}\n")
+            print(_render_markdown(data))
+        else:
+            print(data["table"])
+        print()
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ArtifactCache(args.cache_dir) if args.cache_dir else ArtifactCache()
+    if args.action == "stats":
+        stats = cache.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+        else:
+            print(f"cache root     : {stats['root']}")
+            print(f"entries        : {stats['entries']}")
+            print(f"total size     : {stats['total_bytes'] / (1024 * 1024):.1f} MiB")
+            print(f"schema version : {stats['schema_version']}")
+    else:  # clear
+        removed = cache.clear()
+        print(f"removed {removed} cache entries from {cache.root}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# argument parsing
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for docs and tests)."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--benchmarks",
+        metavar="A,B,...",
+        help="comma-separated workload subset (default: all eight kernels)",
+    )
+    common.add_argument(
+        "--parallel",
+        type=int,
+        metavar="N",
+        help="compile up to N workloads concurrently (process pool)",
+    )
+    common.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help=f"artifact cache directory (default: $REPRO_CACHE_DIR or {default_cache_dir()})",
+    )
+    common.add_argument("--no-cache", action="store_true", help="disable the on-disk artifact cache")
+    common.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    common.add_argument("--markdown", action="store_true", help="emit GitHub-flavoured markdown tables")
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the Twill thesis evaluation: compile, simulate and report.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", parents=[common], help="list the registered workloads").set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", parents=[common], help="compile + simulate one workload")
+    p_run.add_argument("workload", help="workload name (see 'repro list')")
+    p_run.add_argument(
+        "--sw-fraction",
+        type=float,
+        metavar="F",
+        help="re-partition with this targeted software share instead of the default report",
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sweep = sub.add_parser("sweep", parents=[common], help="queue latency/depth and split-point sweeps")
+    p_sweep.add_argument("kind", choices=["latency", "depth", "split"])
+    p_sweep.add_argument("--workload", help="workload for the split sweep (default: mips)")
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_table = sub.add_parser("table", parents=[common], help="regenerate one thesis table")
+    p_table.add_argument("id", choices=sorted(TABLES))
+    p_table.set_defaults(func=_cmd_table)
+
+    p_figure = sub.add_parser("figure", parents=[common], help="regenerate one thesis figure")
+    p_figure.add_argument("id", choices=sorted(FIGURES))
+    p_figure.set_defaults(func=_cmd_figure)
+
+    p_report = sub.add_parser("report", parents=[common], help="every table + figure + §6.7 summary")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_cache = sub.add_parser("cache", parents=[common], help="inspect or clear the artifact cache")
+    p_cache.add_argument("action", choices=["stats", "clear"])
+    p_cache.set_defaults(func=_cmd_cache)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # Bad input (unknown workload, --sw-fraction out of [0, 1], ...)
+        # surfaces as the pipeline's own exception types; report them without
+        # a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output was piped into a pager/head that exited early; not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,8 +8,10 @@ Chapter 4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, Optional
 
 from repro.errors import ConfigError
 
@@ -83,6 +85,10 @@ class RuntimeConfig:
     def with_queue_depth(self, depth: int) -> "RuntimeConfig":
         return replace(self, queue_depth=depth)
 
+    def to_dict(self) -> Dict:
+        """Plain-dict form (stable field order) used for cache keys and reports."""
+        return asdict(self)
+
 
 @dataclass
 class HLSConfig:
@@ -126,3 +132,17 @@ class CompilerConfig:
         self.hls.validate()
         if self.inline_threshold < 0:
             raise ConfigError("inline_threshold must be non-negative")
+
+    def to_dict(self) -> Dict:
+        """Plain nested-dict form of the whole configuration tree."""
+        return asdict(self)
+
+    def content_hash(self) -> str:
+        """Hex digest identifying this configuration's contents.
+
+        Two configs hash equal iff every knob (including the nested partition,
+        runtime and HLS sections) is equal, so the digest can key the on-disk
+        artifact cache and :meth:`repro.eval.EvaluationHarness.shared`.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

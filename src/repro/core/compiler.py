@@ -68,6 +68,23 @@ class CompilationResult:
     def dswp_summary(self) -> Dict[str, float]:
         return self.dswp.summary()
 
+    def summary_dict(self) -> Dict[str, object]:
+        """Machine-readable counterpart of :meth:`report` (``repro run --json``)."""
+        s = self.system
+        return {
+            "benchmark": self.name,
+            "queues": self.dswp.partitioning.total_queues,
+            "semaphores": self.dswp.partitioning.total_semaphores,
+            "hw_threads": self.dswp.partitioning.hardware_thread_count,
+            "pure_sw_cycles": s.pure_software.cycles,
+            "pure_hw_cycles": s.pure_hardware.cycles,
+            "twill_cycles": s.twill.cycles,
+            "speedup_vs_sw": s.speedup_vs_software,
+            "speedup_vs_hw": s.speedup_vs_hardware,
+            "legup_luts": s.pure_hardware.area.luts,
+            "twill_luts": s.twill.area.luts,
+        }
+
     def report(self) -> str:
         """Human-readable one-benchmark report."""
         s = self.system

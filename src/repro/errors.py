@@ -71,3 +71,13 @@ class SimulationError(ReproError):
 
 class ConfigError(ReproError):
     """Raised for invalid configuration values."""
+
+
+class UnknownWorkloadError(ReproError, KeyError):
+    """Raised when a workload name is not in the registry.
+
+    Also a :class:`KeyError` for callers treating the registry as a mapping.
+    """
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the message
+        return self.args[0] if self.args else ""

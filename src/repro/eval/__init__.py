@@ -1,5 +1,12 @@
-"""Evaluation harness: regenerates every table and figure of thesis Chapter 6."""
+"""Evaluation harness: regenerates every table and figure of thesis Chapter 6.
 
+The harness compiles workloads in parallel (``run_all(parallel=N)``) and
+caches artefacts on disk (:mod:`repro.eval.cache`) so repeat runs of any
+experiment are near-instant; ``repro.cli`` exposes the same generators on
+the command line.
+"""
+
+from repro.eval.cache import ArtifactCache
 from repro.eval.harness import EvaluationHarness, BenchmarkRun
 from repro.eval.experiments import (
     table_6_1,
@@ -10,10 +17,12 @@ from repro.eval.experiments import (
     figure_6_4,
     figure_6_5,
     figure_6_6,
+    split_sweep,
     summary,
 )
 
 __all__ = [
+    "ArtifactCache",
     "EvaluationHarness",
     "BenchmarkRun",
     "table_6_1",
@@ -24,5 +33,6 @@ __all__ = [
     "figure_6_4",
     "figure_6_5",
     "figure_6_6",
+    "split_sweep",
     "summary",
 ]

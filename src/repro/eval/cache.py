@@ -1,0 +1,216 @@
+"""Content-addressed on-disk artifact cache for the evaluation harness.
+
+Compiling a workload (front end, passes, functional trace, DSWP, HLS, three
+timing replays) costs seconds; the sweeps behind Figures 6.3-6.6 re-simulate
+the full dynamic trace dozens of times on top of that.  This module caches
+both kinds of artifact under ``.repro_cache/`` so any table or figure can be
+regenerated near-instantly once its inputs have been compiled once:
+
+* **compile artifacts** — pickled :class:`repro.core.compiler.CompilationResult`
+  objects, keyed by the SHA-256 of the workload's C source plus the full
+  :class:`repro.config.CompilerConfig` contents;
+* **derived artifacts** — small pickled dictionaries produced by re-simulating
+  an existing compile artifact under different parameters (queue latency,
+  queue depth, partition split), keyed by the parent compile key plus the
+  sweep kind and its parameters.
+
+Keys are *content addresses*: they hash every input that can change the
+output, plus a schema version bumped whenever the pickled layout changes.
+There is therefore no invalidation protocol — editing a workload source,
+changing any config knob, or bumping the schema simply computes a different
+key, and stale entries are never read again (``repro cache clear`` removes
+them).  Writes go through a temp file + :func:`os.replace` so a cache shared
+by concurrent processes never exposes a half-written pickle.
+
+See ``docs/CACHING.md`` for the full layout and key scheme.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.config import CompilerConfig
+
+# Bump whenever the pickled artifact layout changes incompatibly (e.g. a field
+# is added to CompilationResult): old entries then miss instead of unpickling
+# into a stale shape.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache directory (relative to the current working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def default_cache_dir() -> Path:
+    """The cache directory: ``$REPRO_CACHE_DIR`` or ``./.repro_cache``."""
+    return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+
+
+_code_digest_cache: Optional[str] = None
+
+
+def code_digest() -> str:
+    """Digest of the ``repro`` package's own source tree (memoised per process).
+
+    Folded into every compile key so editing any compiler/simulator module
+    invalidates previously cached artifacts — without this, a code change
+    would silently serve stale results until a manual ``repro cache clear``.
+    Hashing the ~90 source files costs a few milliseconds, once per process.
+    """
+    global _code_digest_cache
+    if _code_digest_cache is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_digest_cache = digest.hexdigest()
+    return _code_digest_cache
+
+
+def compile_key(source: str, config: CompilerConfig) -> str:
+    """Content address of one compile artifact.
+
+    Hashes the workload's C source, every knob of *config*, the ``repro``
+    package's own source tree, and the cache schema version.  Any change to
+    any of them yields a fresh key.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"schema:{CACHE_SCHEMA_VERSION}\n".encode("utf-8"))
+    digest.update(f"code:{code_digest()}\n".encode("utf-8"))
+    digest.update(f"config:{config.content_hash()}\n".encode("utf-8"))
+    digest.update(source.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def derived_key(parent_key: str, kind: str, params: Dict[str, Any]) -> str:
+    """Content address of a derived (re-simulated) artifact.
+
+    *parent_key* is the compile key of the artifact being re-simulated, *kind*
+    names the sweep (``"runtime"`` or ``"split"``) and *params* are its
+    JSON-serialisable parameters.
+    """
+    canonical = json.dumps(params, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256()
+    digest.update(f"derived:{parent_key}:{kind}\n".encode("utf-8"))
+    digest.update(canonical.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class ArtifactCache:
+    """Pickle-on-disk store addressed by the key functions above.
+
+    Entries live at ``<root>/objects/<key[:2]>/<key>.pkl`` (git-style fan-out
+    so a directory never accumulates thousands of files).  The cache is safe
+    to share between concurrent processes for *writes* (atomic rename); reads
+    of a key only ever see a complete entry or a miss.
+    """
+
+    def __init__(self, root: Optional[Path] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    # -- paths ---------------------------------------------------------------------
+
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    def _path(self, key: str) -> Path:
+        return self.objects_dir / key[:2] / f"{key}.pkl"
+
+    # -- store ---------------------------------------------------------------------
+
+    def contains(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def get(self, key: str) -> Optional[Any]:
+        """Load the entry for *key*, or ``None`` on a miss.
+
+        A corrupt or unreadable entry (e.g. written by an incompatible Python)
+        is treated as a miss and deleted so the caller recomputes it.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, key: str, value: Any) -> Path:
+        """Atomically store *value* under *key* and return its path."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed.
+
+        Also sweeps ``*.tmp`` files orphaned by writers killed mid-`put`
+        (they are not counted as entries).
+        """
+        removed = 0
+        if not self.objects_dir.is_dir():
+            return removed
+        for entry in sorted(self.objects_dir.rglob("*.pkl")):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for orphan in sorted(self.objects_dir.rglob("*.tmp")):
+            try:
+                orphan.unlink()
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> Dict[str, Any]:
+        """Entry count and total size (orphaned temp files included), for
+        ``repro cache stats``."""
+        entries: List[Path] = []
+        orphans: List[Path] = []
+        if self.objects_dir.is_dir():
+            entries = list(self.objects_dir.rglob("*.pkl"))
+            orphans = list(self.objects_dir.rglob("*.tmp"))
+        total = 0
+        for entry in entries + orphans:
+            try:
+                total += entry.stat().st_size
+            except OSError:
+                pass
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "orphaned_tmp": len(orphans),
+            "total_bytes": total,
+            "schema_version": CACHE_SCHEMA_VERSION,
+        }

@@ -178,6 +178,11 @@ def _split_sweep(benchmark: str, harness: Optional[EvaluationHarness]) -> Dict:
     return {"benchmark": benchmark, "rows": rows, "table": table}
 
 
+def split_sweep(benchmark: str, harness: Optional[EvaluationHarness] = None) -> Dict:
+    """Figure 6.3/6.4-style split sweep for an arbitrary workload (used by the CLI)."""
+    return _split_sweep(benchmark, harness)
+
+
 def figure_6_3(harness: Optional[EvaluationHarness] = None) -> Dict:
     """MIPS benchmark performance with various targeted partition split points."""
     return _split_sweep("mips", harness)

@@ -1,22 +1,38 @@
-"""Shared evaluation harness.
+"""Shared evaluation harness: cached, parallel compilation of the benchmark set.
 
 Compiling a workload (front end, passes, functional trace, DSWP, HLS, three
 timing replays) is the expensive part of every experiment, and most
 tables/figures need the same compiled artefacts.  The harness therefore
-caches one :class:`BenchmarkRun` per workload per configuration for the
-lifetime of the process, so the eight experiment generators in
-``repro.eval.experiments`` can share them (and so the pytest-benchmark
-harness measures the interesting part of each experiment rather than
-recompiling the world every time).
+caches at three levels:
+
+1. **in memory** — one :class:`BenchmarkRun` per workload for the lifetime of
+   the harness, so the experiment generators in ``repro.eval.experiments``
+   share compiled artefacts within a process;
+2. **on disk** — pickled :class:`repro.core.compiler.CompilationResult`
+   objects in a content-addressed :class:`repro.eval.cache.ArtifactCache`
+   under ``.repro_cache/``, so repeat invocations of any table, figure or CLI
+   command skip compilation entirely;
+3. **derived artefacts** — the small re-simulation results behind the queue
+   latency/depth and partition-split sweeps (Figures 6.3-6.6), which dominate
+   a full report's wall time, are disk-cached too.
+
+Workloads can be compiled concurrently with ``run_all(parallel=N)``, which
+fans the cache misses out over a :class:`concurrent.futures.ProcessPoolExecutor`
+while keeping results deterministic: the parallel path produces exactly the
+same rows (and table bytes) as the serial path.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import CompilerConfig, RuntimeConfig
 from repro.core.compiler import CompilationResult, TwillCompiler
+from repro.eval.cache import ArtifactCache, compile_key, derived_key
 from repro.sim.timing import TimingResult
 from repro.workloads import all_workloads, get_workload
 from repro.workloads.base import Workload
@@ -37,36 +53,115 @@ class BenchmarkRun:
         return self.result.outputs == self.workload.expected_outputs()
 
 
+def _compile_workload(name: str, config: CompilerConfig, cache_root: Optional[str]) -> CompilationResult:
+    """Compile one workload, going through the disk cache when enabled.
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it; each worker
+    consults and populates the same content-addressed cache as the parent, so
+    a parallel cold run leaves the cache fully warm.
+    """
+    workload = get_workload(name)
+    cache = ArtifactCache(Path(cache_root)) if cache_root is not None else None
+    key = compile_key(workload.source, config)
+    if cache is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    result = TwillCompiler(config).compile_and_simulate(workload.source, name=name)
+    if cache is not None:
+        cache.put(key, result)
+    return result
+
+
 class EvaluationHarness:
-    """Compiles workloads on demand and caches the results."""
+    """Compiles workloads on demand and caches the results.
 
-    _shared: Optional["EvaluationHarness"] = None
+    Parameters
+    ----------
+    config:
+        Compiler/simulator configuration; defaults to the thesis §6 setup.
+    benchmarks:
+        Workload names this harness covers; defaults to all eight kernels.
+    cache:
+        An explicit :class:`ArtifactCache` to use for on-disk artefacts.
+    cache_dir:
+        Directory for a fresh :class:`ArtifactCache` (ignored when *cache* is
+        given); defaults to ``$REPRO_CACHE_DIR`` or ``./.repro_cache``.
+    use_cache:
+        Set ``False`` to disable the disk cache entirely (in-memory caching
+        always stays on).
+    """
 
-    def __init__(self, config: Optional[CompilerConfig] = None, benchmarks: Optional[List[str]] = None):
+    _shared_instances: Dict[Tuple[str, Tuple[str, ...]], "EvaluationHarness"] = {}
+
+    def __init__(
+        self,
+        config: Optional[CompilerConfig] = None,
+        benchmarks: Optional[Sequence[str]] = None,
+        cache: Optional[ArtifactCache] = None,
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
+    ):
         self.config = config or CompilerConfig()
         self.compiler = TwillCompiler(self.config)
-        self.benchmark_names = benchmarks or [w.name for w in all_workloads()]
+        self.benchmark_names = list(benchmarks) if benchmarks else [w.name for w in all_workloads()]
+        if not use_cache:
+            self.cache: Optional[ArtifactCache] = None
+        elif cache is not None:
+            self.cache = cache
+        else:
+            self.cache = ArtifactCache(Path(cache_dir)) if cache_dir is not None else ArtifactCache()
         self._runs: Dict[str, BenchmarkRun] = {}
+        self._compile_keys: Dict[str, str] = {}
+        self._derived: Dict[str, object] = {}
 
-    # -- shared instance --------------------------------------------------------------
+    # -- shared instances --------------------------------------------------------------
 
     @classmethod
-    def shared(cls) -> "EvaluationHarness":
-        """Process-wide harness (used by the benchmark suite and the examples)."""
-        if cls._shared is None:
-            cls._shared = cls()
-        return cls._shared
+    def shared(
+        cls,
+        config: Optional[CompilerConfig] = None,
+        benchmarks: Optional[Sequence[str]] = None,
+    ) -> "EvaluationHarness":
+        """Process-wide harness for a given configuration and benchmark set.
+
+        Instances are keyed by ``(config.content_hash(), tuple(benchmarks))``,
+        so callers asking for different configurations or benchmark subsets
+        get *different* cached harnesses instead of one global that silently
+        ignores its arguments: ``shared()`` twice returns the same object,
+        while ``shared(config=...)`` with any knob changed (or a different
+        benchmark list) returns a fresh harness with its own in-memory run
+        cache.  All instances still share the on-disk artifact cache, which
+        is keyed by the same config hash and therefore never mixes artefacts
+        across configurations.
+        """
+        config = config or CompilerConfig()
+        names = tuple(benchmarks) if benchmarks else tuple(w.name for w in all_workloads())
+        key = (config.content_hash(), names)
+        instance = cls._shared_instances.get(key)
+        if instance is None:
+            instance = cls(config=config, benchmarks=list(names))
+            cls._shared_instances[key] = instance
+        return instance
+
+    @classmethod
+    def reset_shared(cls) -> None:
+        """Drop all shared instances (used by tests)."""
+        cls._shared_instances.clear()
+
+    # -- cache keys --------------------------------------------------------------------
+
+    def _compile_key(self, name: str) -> str:
+        key = self._compile_keys.get(name)
+        if key is None:
+            key = compile_key(get_workload(name).source, self.config)
+            self._compile_keys[name] = key
+        return key
 
     # -- runs ------------------------------------------------------------------------------
 
-    def run(self, name: str) -> BenchmarkRun:
-        """Compile and simulate one workload (cached)."""
-        cached = self._runs.get(name)
-        if cached is not None:
-            return cached
-        workload = get_workload(name)
-        result = self.compiler.compile_and_simulate(workload.source, name=name)
-        run = BenchmarkRun(workload=workload, result=result)
+    def _admit(self, name: str, result: CompilationResult) -> BenchmarkRun:
+        run = BenchmarkRun(workload=get_workload(name), result=result)
         if not run.functional_outputs_match():
             raise AssertionError(
                 f"functional outputs of '{name}' do not match the reference implementation"
@@ -74,23 +169,84 @@ class EvaluationHarness:
         self._runs[name] = run
         return run
 
-    def run_all(self) -> List[BenchmarkRun]:
+    def run(self, name: str) -> BenchmarkRun:
+        """Compile and simulate one workload (memory- and disk-cached)."""
+        cached = self._runs.get(name)
+        if cached is not None:
+            return cached
+        cache_root = str(self.cache.root) if self.cache is not None else None
+        result = _compile_workload(name, self.config, cache_root)
+        return self._admit(name, result)
+
+    def run_all(self, parallel: Optional[int] = None) -> List[BenchmarkRun]:
+        """Compile and simulate every workload of this harness.
+
+        With ``parallel=N`` (N > 1) the uncompiled, not-disk-cached workloads
+        are fanned out over N worker processes; disk-cache hits are loaded in
+        the parent since unpickling is far cheaper than a round trip through
+        the pool.  Results are identical to the serial path.
+        """
+        missing = [name for name in self.benchmark_names if name not in self._runs]
+        if parallel is not None and parallel > 1 and missing:
+            to_compile = []
+            for name in missing:
+                hit = self.cache.get(self._compile_key(name)) if self.cache is not None else None
+                if hit is not None:
+                    self._admit(name, hit)
+                else:
+                    to_compile.append(name)
+            if to_compile:
+                cache_root = str(self.cache.root) if self.cache is not None else None
+                workers = min(parallel, len(to_compile), os.cpu_count() or 1)
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        pool.submit(_compile_workload, name, self.config, cache_root)
+                        for name in to_compile
+                    ]
+                    for name, future in zip(to_compile, futures):
+                        self._admit(name, future.result())
         return [self.run(name) for name in self.benchmark_names]
 
     # -- sweeps -----------------------------------------------------------------------------
 
+    def _derived_cached(self, key: str, compute):
+        """Memoise a derived artefact in memory and (when enabled) on disk."""
+        hit = self._derived.get(key)
+        if hit is not None:
+            return hit
+        if self.cache is not None:
+            disk = self.cache.get(key)
+            if disk is not None:
+                self._derived[key] = disk
+                return disk
+        value = compute()
+        self._derived[key] = value
+        if self.cache is not None:
+            self.cache.put(key, value)
+        return value
+
     def twill_cycles_with_runtime(self, name: str, runtime: RuntimeConfig) -> float:
         """Twill cycle count for one workload under a modified runtime configuration."""
-        run = self.run(name)
-        timing: TimingResult = self.compiler.simulate_with_runtime(run.result, runtime)
-        return timing.total_cycles
+        key = derived_key(self._compile_key(name), "runtime", runtime.to_dict())
+
+        def compute() -> float:
+            run = self.run(name)
+            timing: TimingResult = self.compiler.simulate_with_runtime(run.result, runtime)
+            return timing.total_cycles
+
+        return self._derived_cached(key, compute)
 
     def twill_cycles_with_split(self, name: str, sw_fraction: float) -> Dict[str, float]:
         """Re-partition with a different targeted SW share and report cycles + queues."""
-        run = self.run(name)
-        new_result = self.compiler.resimulate_with_split(run.result, sw_fraction)
-        return {
-            "cycles": new_result.system.twill.cycles,
-            "queues": float(new_result.dswp.partitioning.total_queues),
-            "speedup_vs_sw": new_result.system.speedup_vs_software,
-        }
+        key = derived_key(self._compile_key(name), "split", {"sw_fraction": sw_fraction})
+
+        def compute() -> Dict[str, float]:
+            run = self.run(name)
+            new_result = self.compiler.resimulate_with_split(run.result, sw_fraction)
+            return {
+                "cycles": new_result.system.twill.cycles,
+                "queues": float(new_result.dswp.partitioning.total_queues),
+                "speedup_vs_sw": new_result.system.speedup_vs_software,
+            }
+
+        return self._derived_cached(key, compute)

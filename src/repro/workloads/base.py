@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.errors import UnknownWorkloadError
+
 
 def wrap32(value: int) -> int:
     """Wrap a Python int to a signed 32-bit value (C semantics on this target)."""
@@ -43,7 +45,11 @@ class WorkloadRegistry:
 
     @classmethod
     def get(cls, name: str) -> Workload:
-        return cls._registry[name]
+        try:
+            return cls._registry[name]
+        except KeyError:
+            known = ", ".join(sorted(cls._registry)) or "<none registered>"
+            raise UnknownWorkloadError(f"unknown workload '{name}' (known: {known})") from None
 
     @classmethod
     def names(cls) -> List[str]:

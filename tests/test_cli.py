@@ -1,0 +1,216 @@
+"""Smoke tests of the ``repro`` CLI.
+
+In-process tests call :func:`repro.cli.main` directly (fast, easy to assert
+on); one subprocess test per entry point (``python -m repro.cli`` and
+``python -m repro``) proves the executable wiring works end to end.  All
+tests pin ``--cache-dir`` to a temp directory and use the cheapest workload
+(blowfish) so the whole module runs in a few seconds.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import build_parser, main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_cli(argv, tmp_path, capsys):
+    code = main(list(argv) + ["--cache-dir", str(tmp_path / "cache")])
+    out, err = capsys.readouterr()
+    return code, out, err
+
+
+# ---------------------------------------------------------------------------
+# in-process
+# ---------------------------------------------------------------------------
+
+
+def test_list(tmp_path, capsys):
+    code, out, _ = run_cli(["list"], tmp_path, capsys)
+    assert code == 0
+    for name in ("adpcm", "aes", "blowfish", "gsm", "jpeg", "mips", "mpeg2", "sha"):
+        assert name in out
+
+
+def test_run_text_report(tmp_path, capsys):
+    code, out, _ = run_cli(["run", "blowfish"], tmp_path, capsys)
+    assert code == 0
+    assert "benchmark             : blowfish" in out
+    assert "speedup vs pure SW" in out
+
+
+def test_run_json(tmp_path, capsys):
+    code, out, _ = run_cli(["run", "blowfish", "--json"], tmp_path, capsys)
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["benchmark"] == "blowfish"
+    assert payload["outputs_match"] is True
+    assert payload["queues"] >= 1
+    assert payload["speedup_vs_sw"] > 1.0
+
+
+def test_run_unknown_workload_fails_cleanly(tmp_path, capsys):
+    code, out, err = run_cli(["run", "nosuchkernel"], tmp_path, capsys)
+    assert code == 2
+    assert "unknown workload" in err
+    assert "blowfish" in err  # suggests the known names
+
+
+def test_run_sw_fraction(tmp_path, capsys):
+    code, out, _ = run_cli(["run", "blowfish", "--sw-fraction", "0.5", "--json"], tmp_path, capsys)
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["sw_fraction"] == 0.5
+    assert payload["cycles"] > 0
+
+
+def test_table_6_1(tmp_path, capsys):
+    code, out, _ = run_cli(["table", "6.1", "--benchmarks", "blowfish"], tmp_path, capsys)
+    assert code == 0
+    assert "Table 6.1" in out
+    assert "blowfish" in out
+
+
+def test_figure_split_sweep(tmp_path, capsys):
+    code, out, _ = run_cli(["sweep", "split", "--workload", "blowfish"], tmp_path, capsys)
+    assert code == 0
+    assert "blowfish performance vs targeted partition split point" in out
+
+
+def test_split_artefacts_reject_conflicting_benchmarks(tmp_path, capsys):
+    # Figure 6.3 is defined over mips; restricting to another workload must
+    # fail loudly instead of silently producing the mips figure.
+    code, _, err = run_cli(["figure", "6.3", "--benchmarks", "gsm"], tmp_path, capsys)
+    assert code == 2
+    assert "mips" in err
+    code, _, err = run_cli(["sweep", "split", "--workload", "sha", "--benchmarks", "gsm"], tmp_path, capsys)
+    assert code == 2
+    assert "sha" in err
+    # A consistent restriction is fine.
+    code, out, _ = run_cli(["figure", "6.4", "--benchmarks", "blowfish"], tmp_path, capsys)
+    assert code == 0
+    assert "blowfish" in out
+
+
+def test_invalid_sw_fraction_fails_cleanly(tmp_path, capsys):
+    code, _, err = run_cli(["run", "blowfish", "--sw-fraction", "1.5"], tmp_path, capsys)
+    assert code == 2
+    assert "sw_fraction" in err
+    assert "Traceback" not in err
+
+
+def test_report_json(tmp_path, capsys):
+    code, out, _ = run_cli(["report", "--json", "--benchmarks", "blowfish"], tmp_path, capsys)
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["benchmarks"] == ["blowfish"]
+    assert "config" in payload
+    artefacts = payload["artefacts"]
+    # Tables, non-split figures and the summary are always present; the
+    # split-sweep figures are skipped because their workloads (mips for 6.3)
+    # are outside the restricted benchmark set.
+    for key in ("table_6.1", "table_6.2", "figure_6.1", "figure_6.2", "figure_6.5", "figure_6.6", "summary"):
+        assert key in artefacts
+    assert "figure_6.3" not in artefacts
+    assert artefacts["summary"]["mean_speedup_vs_sw"] > 1.0
+
+
+def test_report_markdown(tmp_path, capsys):
+    code, out, _ = run_cli(["report", "--markdown", "--benchmarks", "blowfish"], tmp_path, capsys)
+    assert code == 0
+    assert "### Table 6.1" in out
+    assert "| benchmark |" in out
+
+
+def test_cache_stats_and_clear(tmp_path, capsys):
+    run_cli(["run", "blowfish"], tmp_path, capsys)
+    code, out, _ = run_cli(["cache", "stats", "--json"], tmp_path, capsys)
+    assert code == 0
+    assert json.loads(out)["entries"] == 1
+    code, out, _ = run_cli(["cache", "clear"], tmp_path, capsys)
+    assert code == 0
+    assert "removed 1 cache entries" in out
+
+
+def test_second_invocation_hits_the_cache(tmp_path, capsys):
+    run_cli(["run", "blowfish", "--json"], tmp_path, capsys)
+    # Same cache dir, fresh harness: must succeed purely from disk.
+    code, out, _ = run_cli(["run", "blowfish", "--json"], tmp_path, capsys)
+    assert code == 0
+    assert json.loads(out)["outputs_match"] is True
+    code, out, _ = run_cli(["cache", "stats", "--json"], tmp_path, capsys)
+    assert json.loads(out)["entries"] == 1  # no duplicate entry was written
+
+
+def test_parser_covers_all_documented_subcommands():
+    parser = build_parser()
+    actions = [a for a in parser._actions if hasattr(a, "choices") and a.choices]
+    subcommands = set(actions[0].choices)
+    assert {"list", "run", "sweep", "table", "figure", "report", "cache"} <= subcommands
+
+
+# ---------------------------------------------------------------------------
+# subprocess entry points
+# ---------------------------------------------------------------------------
+
+
+def _subprocess_env():
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+@pytest.mark.parametrize("module", ["repro.cli", "repro"])
+def test_subprocess_entry_points(module, tmp_path):
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            module,
+            "run",
+            "blowfish",
+            "--json",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ],
+        capture_output=True,
+        text=True,
+        env=_subprocess_env(),
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["benchmark"] == "blowfish"
+    assert payload["outputs_match"] is True
+
+
+def test_subprocess_report_json(tmp_path):
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "report",
+            "--json",
+            "--benchmarks",
+            "blowfish",
+            "--parallel",
+            "2",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ],
+        capture_output=True,
+        text=True,
+        env=_subprocess_env(),
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["benchmarks"] == ["blowfish"]
+    assert "summary" in payload["artefacts"]

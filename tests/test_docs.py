@@ -1,0 +1,50 @@
+"""Documentation health checks: the docs gate CI runs, plus existence and
+cross-reference sanity of the user-facing documents themselves."""
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+
+from check_docstrings import missing_docstrings  # noqa: E402
+
+
+def _read(*parts):
+    with open(os.path.join(REPO_ROOT, *parts), encoding="utf-8") as fh:
+        return fh.read()
+
+
+def test_every_module_has_a_docstring():
+    offenders = missing_docstrings()
+    assert offenders == [], f"modules missing docstrings: {offenders}"
+
+
+def test_readme_documents_the_cli_and_benchmark_mapping():
+    readme = _read("README.md")
+    for subcommand in ("repro run", "repro sweep", "repro table", "repro figure", "repro report", "repro cache"):
+        assert subcommand in readme
+    # The benchmark -> thesis artefact mapping must cover every harness file.
+    bench_dir = os.path.join(REPO_ROOT, "benchmarks")
+    for fname in os.listdir(bench_dir):
+        if fname.startswith("test_") and fname.endswith(".py"):
+            assert fname in readme, f"README does not map {fname} to its table/figure"
+
+
+def test_architecture_doc_covers_every_package():
+    doc = _read("docs", "ARCHITECTURE.md")
+    src = os.path.join(REPO_ROOT, "src", "repro")
+    packages = sorted(
+        name for name in os.listdir(src) if os.path.isdir(os.path.join(src, name)) and name != "__pycache__"
+    )
+    for package in packages:
+        assert f"repro.{package}" in doc, f"ARCHITECTURE.md does not document repro.{package}"
+
+
+def test_caching_doc_matches_the_implementation():
+    doc = _read("docs", "CACHING.md")
+    from repro.eval.cache import CACHE_DIR_ENV, CACHE_SCHEMA_VERSION, DEFAULT_CACHE_DIR
+
+    assert DEFAULT_CACHE_DIR in doc
+    assert CACHE_DIR_ENV in doc
+    assert f"schema version: {CACHE_SCHEMA_VERSION}" in doc.lower() or str(CACHE_SCHEMA_VERSION) in doc

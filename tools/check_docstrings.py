@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Docs gate: every module under ``src/repro/`` must carry a module docstring.
+
+Run as a script (CI does) or import :func:`missing_docstrings` (the test
+suite does).  Exits non-zero listing the offending files, so an undocumented
+module fails the build before it fails a reader.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SOURCE_ROOT = REPO_ROOT / "src" / "repro"
+
+
+def missing_docstrings(root: Path = SOURCE_ROOT) -> List[Path]:
+    """Paths of ``*.py`` modules under *root* lacking a non-empty docstring."""
+    offenders: List[Path] = []
+    for path in sorted(root.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        docstring = ast.get_docstring(tree)
+        if not docstring or not docstring.strip():
+            offenders.append(path)
+    return offenders
+
+
+def main() -> int:
+    offenders = missing_docstrings()
+    if offenders:
+        print("modules missing a module docstring:", file=sys.stderr)
+        for path in offenders:
+            print(f"  {path.relative_to(REPO_ROOT)}", file=sys.stderr)
+        return 1
+    count = len(list(SOURCE_ROOT.rglob("*.py")))
+    print(f"ok: all {count} modules under src/repro/ have module docstrings")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
