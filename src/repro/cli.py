@@ -12,14 +12,18 @@ suite use, so numbers never diverge between entry points:
 * ``repro table {6.1,6.2}`` / ``repro figure {6.1..6.6}`` — one thesis
   artefact;
 * ``repro report`` — every table and figure plus the §6.7 headline summary
-  (``--json`` / ``--markdown`` for machine- or doc-friendly output);
-* ``repro cache {stats,clear}`` — inspect or empty the on-disk artifact
-  cache.
+  (``--json`` / ``--markdown`` for machine- or doc-friendly output),
+  computed as one task graph;
+* ``repro graph`` — print that task graph (every compile, sweep-point and
+  aggregate node with its dependencies) without executing it;
+* ``repro cache {stats,clear,prune}`` — inspect, empty, or LRU-bound the
+  on-disk artifact cache (``prune --max-bytes``).
 
 All experiment commands accept ``--benchmarks`` (restrict the workload set),
-``--parallel N`` (compile concurrently), ``--cache-dir`` and ``--no-cache``.
-Results are disk-cached under ``.repro_cache/`` (see ``docs/CACHING.md``), so
-a second invocation of any command is near-instant.
+``--parallel N`` / ``--jobs N`` (execute ready task-graph nodes over N
+worker processes), ``--cache-dir`` and ``--no-cache``.  Results are
+disk-cached under ``.repro_cache/`` (see ``docs/CACHING.md``), so a second
+invocation of any command is near-instant.
 
 Installed as a ``console_scripts`` entry point by ``setup.py``; also runnable
 as ``python -m repro.cli``.
@@ -36,7 +40,9 @@ from repro.config import CompilerConfig
 from repro.errors import ReproError
 from repro.eval import experiments
 from repro.eval.cache import ArtifactCache, default_cache_dir
+from repro.eval.experiments import SPLIT_FIGURE_WORKLOADS
 from repro.eval.harness import EvaluationHarness
+from repro.eval.taskgraph import TaskGraph
 from repro.workloads import all_workloads, get_workload
 
 #: Experiment generators by artefact id, in thesis order.
@@ -49,8 +55,6 @@ FIGURES = {
     "6.5": experiments.figure_6_5,
     "6.6": experiments.figure_6_6,
 }
-#: Workload each split-sweep figure is defined over (thesis Figures 6.3/6.4).
-SPLIT_FIGURE_WORKLOADS = {"6.3": "mips", "6.4": "blowfish"}
 
 
 # ---------------------------------------------------------------------------
@@ -69,8 +73,21 @@ def _make_harness(args: argparse.Namespace, benchmarks: Optional[List[str]] = No
     )
 
 
-def _warm(harness: EvaluationHarness, args: argparse.Namespace) -> None:
-    harness.run_all(parallel=args.parallel)
+def _parse_size(text: str) -> int:
+    """Parse a byte count with an optional K/M/G suffix (e.g. ``512M``)."""
+    units = {"k": 1024, "m": 1024**2, "g": 1024**3}
+    raw = text.strip().lower().rstrip("b")
+    factor = 1
+    if raw and raw[-1] in units:
+        factor = units[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = int(float(raw) * factor)
+    except ValueError:
+        raise ReproError(f"invalid size '{text}' (expected e.g. 104857600, 100M, 1.5G)") from None
+    if value < 0:
+        raise ReproError(f"size must be non-negative, got '{text}'")
+    return value
 
 
 def _requested_benchmarks(args: argparse.Namespace) -> Optional[List[str]]:
@@ -162,24 +179,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.kind == "latency":
         harness = _make_harness(args)
-        _warm(harness, args)
-        _emit(experiments.figure_6_5(harness), args)
+        _emit(experiments.figure_6_5(harness, parallel=args.parallel), args)
     elif args.kind == "depth":
         harness = _make_harness(args)
-        _warm(harness, args)
-        _emit(experiments.figure_6_6(harness), args)
+        _emit(experiments.figure_6_6(harness, parallel=args.parallel), args)
     else:  # split
         workload = args.workload or "mips"
         _check_split_workload(workload, args)
         harness = _make_harness(args, benchmarks=[workload])
-        _emit(experiments.split_sweep(workload, harness), args)
+        _emit(experiments.split_sweep(workload, harness, parallel=args.parallel), args)
     return 0
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
     harness = _make_harness(args)
-    _warm(harness, args)
-    _emit(TABLES[args.id](harness), args)
+    _emit(TABLES[args.id](harness, parallel=args.parallel), args)
     return 0
 
 
@@ -188,27 +202,15 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     if split_workload:
         _check_split_workload(split_workload, args)
     harness = _make_harness(args, benchmarks=[split_workload] if split_workload else None)
-    if not split_workload:
-        _warm(harness, args)
-    _emit(FIGURES[args.id](harness), args)
+    _emit(FIGURES[args.id](harness, parallel=args.parallel), args)
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     harness = _make_harness(args)
-    _warm(harness, args)
-    names = set(harness.benchmark_names)
-    artefacts: Dict[str, Dict] = {}
-    for table_id, generator in TABLES.items():
-        artefacts[f"table_{table_id}"] = generator(harness)
-    for figure_id, generator in FIGURES.items():
-        # The split-sweep figures are defined over one specific workload each;
-        # skip them when the benchmark set was restricted and excludes it.
-        workload = SPLIT_FIGURE_WORKLOADS.get(figure_id)
-        if workload is not None and workload not in names:
-            continue
-        artefacts[f"figure_{figure_id}"] = generator(harness)
-    artefacts["summary"] = experiments.summary(harness)
+    # One merged task graph: every compile and every (workload, sweep-point)
+    # node schedules as an independent job under --parallel/--jobs.
+    artefacts = experiments.run_report(harness, parallel=args.parallel)
 
     if args.json:
         payload = {
@@ -244,9 +246,68 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             print(f"entries        : {stats['entries']}")
             print(f"total size     : {stats['total_bytes'] / (1024 * 1024):.1f} MiB")
             print(f"schema version : {stats['schema_version']}")
+    elif args.action == "prune":
+        if args.max_bytes is None:
+            raise ReproError("cache prune requires --max-bytes (e.g. --max-bytes 100M)")
+        summary = cache.prune(_parse_size(args.max_bytes))
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(
+                f"pruned {summary['removed_entries']} entries "
+                f"({summary['freed_bytes'] / (1024 * 1024):.1f} MiB) from {summary['root']}; "
+                f"{summary['remaining_entries']} entries "
+                f"({summary['remaining_bytes'] / (1024 * 1024):.1f} MiB) remain"
+            )
     else:  # clear
         removed = cache.clear()
         print(f"removed {removed} cache entries from {cache.root}")
+    return 0
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    """Print the full report task graph without executing any of it."""
+    harness = _make_harness(args)
+    graph = TaskGraph()
+    artefacts = experiments.declare_report(graph, harness)
+    order = graph.topological_order()
+    counts: Dict[str, int] = {}
+    for task in order:
+        counts[task.kind] = counts.get(task.kind, 0) + 1
+    if args.json:
+        payload = {
+            "benchmarks": harness.benchmark_names,
+            "artefacts": artefacts,
+            "tasks": [
+                {
+                    "id": task.task_id,
+                    "kind": task.kind,
+                    "key": task.key,
+                    "deps": list(task.deps),
+                    **(
+                        {"source_digest": get_workload(task.workload).source_digest()}
+                        if task.kind == "compile"
+                        else {}
+                    ),
+                }
+                for task in order
+            ],
+            "counts": counts,
+            "edges": graph.edge_count(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for task in order:
+        key = (task.key or "")[:12]
+        deps = ", ".join(task.deps) if task.deps else "-"
+        if task.kind == "compile":
+            deps = f"src={get_workload(task.workload).source_digest()[:12]}"
+        print(f"{task.kind:10s} {key:12s} {task.task_id}  <- {deps}")
+    sweep_points = counts.get("runtime", 0) + counts.get("split", 0)
+    print(
+        f"\n{len(order)} tasks ({counts.get('compile', 0)} compile, {sweep_points} sweep points, "
+        f"{counts.get('aggregate', 0)} aggregates), {graph.edge_count()} dependency edges"
+    )
     return 0
 
 
@@ -265,9 +326,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common.add_argument(
         "--parallel",
+        "--jobs",
+        "-j",
+        dest="parallel",
         type=int,
         metavar="N",
-        help="compile up to N workloads concurrently (process pool)",
+        help="execute up to N ready task-graph nodes concurrently (process pool)",
     )
     common.add_argument(
         "--cache-dir",
@@ -312,8 +376,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_report = sub.add_parser("report", parents=[common], help="every table + figure + §6.7 summary")
     p_report.set_defaults(func=_cmd_report)
 
-    p_cache = sub.add_parser("cache", parents=[common], help="inspect or clear the artifact cache")
-    p_cache.add_argument("action", choices=["stats", "clear"])
+    p_graph = sub.add_parser(
+        "graph", parents=[common], help="print the report task graph without executing it"
+    )
+    p_graph.set_defaults(func=_cmd_graph)
+
+    p_cache = sub.add_parser(
+        "cache", parents=[common], help="inspect, clear or LRU-prune the artifact cache"
+    )
+    p_cache.add_argument("action", choices=["stats", "clear", "prune"])
+    p_cache.add_argument(
+        "--max-bytes",
+        metavar="SIZE",
+        help="prune target size for 'prune' (accepts K/M/G suffixes, e.g. 100M)",
+    )
     p_cache.set_defaults(func=_cmd_cache)
 
     return parser

@@ -68,6 +68,11 @@ class RuntimeConfig:
     semaphore_lower_cycles: int = 2
     # System clock for both domains (§6).
     clock_mhz: float = 100.0
+    # Evaluation-host cache policy, not a simulated-architecture knob: when
+    # set, the evaluation harness LRU-prunes the on-disk artifact cache to at
+    # most this many bytes after each run.  Policy fields are excluded from
+    # to_dict()/content_hash() so changing them never invalidates artefacts.
+    cache_max_bytes: Optional[int] = None
 
     def validate(self) -> None:
         if self.queue_depth < 1:
@@ -78,6 +83,8 @@ class RuntimeConfig:
             raise ConfigError("queue_latency must be >= 1")
         if self.num_processors < 1:
             raise ConfigError("num_processors must be >= 1")
+        if self.cache_max_bytes is not None and self.cache_max_bytes < 0:
+            raise ConfigError("cache_max_bytes must be non-negative when set")
 
     def with_queue_latency(self, latency: int) -> "RuntimeConfig":
         return replace(self, queue_latency=latency)
@@ -85,9 +92,21 @@ class RuntimeConfig:
     def with_queue_depth(self, depth: int) -> "RuntimeConfig":
         return replace(self, queue_depth=depth)
 
+    #: Fields that tune the evaluation host rather than the simulated
+    #: architecture; kept out of the content hash so they never change keys.
+    _POLICY_FIELDS = ("cache_max_bytes",)
+
     def to_dict(self) -> Dict:
-        """Plain-dict form (stable field order) used for cache keys and reports."""
-        return asdict(self)
+        """Plain-dict form (stable field order) used for cache keys and reports.
+
+        Excludes host-side policy fields (`cache_max_bytes`): two runtimes
+        that simulate identically must hash identically, whatever cache
+        policy the evaluation harness runs under.
+        """
+        data = asdict(self)
+        for name in self._POLICY_FIELDS:
+            data.pop(name, None)
+        return data
 
 
 @dataclass
@@ -134,8 +153,14 @@ class CompilerConfig:
             raise ConfigError("inline_threshold must be non-negative")
 
     def to_dict(self) -> Dict:
-        """Plain nested-dict form of the whole configuration tree."""
-        return asdict(self)
+        """Plain nested-dict form of the whole configuration tree.
+
+        The runtime section goes through :meth:`RuntimeConfig.to_dict` so
+        host-side policy fields stay out of cache keys and ``shared()`` keys.
+        """
+        data = asdict(self)
+        data["runtime"] = self.runtime.to_dict()
+        return data
 
     def content_hash(self) -> str:
         """Hex digest identifying this configuration's contents.

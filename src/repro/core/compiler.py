@@ -28,9 +28,9 @@ from repro.interp.interpreter import ExecutionResult, Interpreter
 from repro.interp.profile import Profile
 from repro.ir.module import Module
 from repro.ir.verifier import verify_module
-from repro.sim.assignment import ThreadAssignment
 from repro.sim.system import HybridSystem, SystemResult
-from repro.sim.timing import TimingResult, TimingSimulator
+from repro.sim.system import resimulate_with_split as sim_resimulate_with_split
+from repro.sim.timing import TimingResult, simulate_partitioned
 from repro.transforms.globals_to_args import GlobalsToArguments
 from repro.transforms.pass_manager import default_pipeline
 
@@ -181,27 +181,34 @@ class TwillCompiler:
         self, result: CompilationResult, runtime: RuntimeConfig
     ) -> TimingResult:
         """Re-run only the Twill timing simulation with a different runtime config
-        (used for the queue latency / queue size sweeps of Figures 6.5 and 6.6)."""
+        (used for the queue latency / queue size sweeps of Figures 6.5 and 6.6).
+
+        Delegates to the pure :func:`repro.sim.timing.simulate_partitioned`,
+        the same function the task-graph sweep workers execute.
+        """
         assert result.execution.trace is not None
-        simulator = TimingSimulator(runtime, self.config.hls)
-        assignment = ThreadAssignment.from_partitioning(result.module, result.dswp.partitioning)
-        return simulator.simulate(result.execution.trace, assignment)
+        return simulate_partitioned(
+            result.module, result.execution.trace, result.dswp.partitioning, runtime, self.config.hls
+        )
 
     def resimulate_with_split(
         self, result: CompilationResult, sw_fraction: float
     ) -> CompilationResult:
         """Re-partition with a different targeted SW/HW split and re-simulate
-        (used for the partition-split sweeps of Figures 6.3 and 6.4)."""
+        (used for the partition-split sweeps of Figures 6.3 and 6.4).
+
+        Delegates to the pure :func:`repro.sim.system.resimulate_with_split`,
+        the same function the task-graph sweep workers execute.
+        """
         assert result.execution.trace is not None
-        dswp = run_dswp(
+        dswp, system = sim_resimulate_with_split(
+            result.name,
             result.module,
-            profile=result.profile,
-            config=self.config.partition,
-            extract_threads=False,
-            sw_fraction=sw_fraction,
-        )
-        system = HybridSystem(self.config).evaluate(
-            result.name, result.module, result.execution.trace, dswp, result.legup
+            result.execution.trace,
+            result.profile,
+            result.legup,
+            self.config,
+            sw_fraction,
         )
         return CompilationResult(
             name=result.name,

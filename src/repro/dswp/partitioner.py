@@ -78,6 +78,30 @@ class FunctionPartitioning:
     def partition_of(self, inst: Instruction) -> int:
         return self.assignment[id(inst)]
 
+    # -- pickling ---------------------------------------------------------------------
+    #
+    # ``assignment`` is keyed by id(inst), and object ids do not survive a
+    # pickle round trip (a cached artifact's instructions unpickle at new
+    # addresses, so every lookup — e.g. ThreadAssignment.from_partitioning —
+    # would silently miss and the hybrid would degenerate to pure software).
+    # The map is exactly the inverse of the partitions' instruction lists
+    # (see DSWPPartitioner: both are materialised in one loop), so drop it on
+    # pickle and rebuild it from the unpickled instruction objects.
+
+    def __getstate__(self) -> Dict:
+        state = self.__dict__.copy()
+        state["assignment"] = None
+        return state
+
+    def __setstate__(self, state: Dict) -> None:
+        self.__dict__.update(state)
+        if self.assignment is None:
+            self.assignment = {
+                id(inst): partition.index
+                for partition in self.partitions
+                for inst in partition.instructions
+            }
+
     def software_partitions(self) -> List[Partition]:
         return [p for p in self.partitions if p.is_software()]
 

@@ -81,3 +81,13 @@ class UnknownWorkloadError(ReproError, KeyError):
 
     def __str__(self) -> str:  # KeyError.__str__ would repr() the message
         return self.args[0] if self.args else ""
+
+
+class TaskGraphError(ReproError):
+    """Raised for malformed evaluation task graphs (unknown dependencies,
+    conflicting node definitions)."""
+
+
+class TaskGraphCycleError(TaskGraphError):
+    """Raised when a task graph contains a dependency cycle and therefore
+    has no executable topological order."""

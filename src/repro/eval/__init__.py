@@ -1,13 +1,16 @@
 """Evaluation harness: regenerates every table and figure of thesis Chapter 6.
 
-The harness compiles workloads in parallel (``run_all(parallel=N)``) and
-caches artefacts on disk (:mod:`repro.eval.cache`) so repeat runs of any
-experiment are near-instant; ``repro.cli`` exposes the same generators on
-the command line.
+Experiments are declared as :mod:`repro.eval.taskgraph` DAGs — compile
+nodes, one node per (workload, sweep-point), and aggregate nodes — executed
+serially or over a shared process pool (``parallel=N``) with byte-identical
+results, and memoised on disk through :mod:`repro.eval.cache` with
+single-flight per-key locks; ``repro.cli`` exposes the same generators (and
+``repro graph``) on the command line.
 """
 
 from repro.eval.cache import ArtifactCache
 from repro.eval.harness import EvaluationHarness, BenchmarkRun
+from repro.eval.taskgraph import Task, TaskGraph, TaskScheduler
 from repro.eval.experiments import (
     table_6_1,
     table_6_2,
@@ -19,12 +22,17 @@ from repro.eval.experiments import (
     figure_6_6,
     split_sweep,
     summary,
+    declare_report,
+    run_report,
 )
 
 __all__ = [
     "ArtifactCache",
     "EvaluationHarness",
     "BenchmarkRun",
+    "Task",
+    "TaskGraph",
+    "TaskScheduler",
     "table_6_1",
     "table_6_2",
     "figure_6_1",
@@ -35,4 +43,6 @@ __all__ = [
     "figure_6_6",
     "split_sweep",
     "summary",
+    "declare_report",
+    "run_report",
 ]

@@ -4,49 +4,71 @@ Compiling a workload (front end, passes, functional trace, DSWP, HLS, three
 timing replays) costs seconds; the sweeps behind Figures 6.3-6.6 re-simulate
 the full dynamic trace dozens of times on top of that.  This module caches
 both kinds of artifact under ``.repro_cache/`` so any table or figure can be
-regenerated near-instantly once its inputs have been compiled once:
+regenerated near-instantly once its inputs have been computed once:
 
 * **compile artifacts** — pickled :class:`repro.core.compiler.CompilationResult`
   objects, keyed by the SHA-256 of the workload's C source plus the full
   :class:`repro.config.CompilerConfig` contents;
-* **derived artifacts** — small pickled dictionaries produced by re-simulating
-  an existing compile artifact under different parameters (queue latency,
-  queue depth, partition split), keyed by the parent compile key plus the
-  sweep kind and its parameters.
+* **derived artifacts** — small structured-JSON documents produced by
+  re-simulating an existing compile artifact under different parameters
+  (queue latency, queue depth, partition split), keyed by the parent compile
+  key plus the sweep kind and its parameters.  JSON (unlike pickle) executes
+  no code on load, so the hot read path of a warm report does not require a
+  trusted cache directory.
 
 Keys are *content addresses*: they hash every input that can change the
-output, plus a schema version bumped whenever the pickled layout changes.
+output, plus a schema version bumped whenever the stored layout changes.
 There is therefore no invalidation protocol — editing a workload source,
 changing any config knob, or bumping the schema simply computes a different
 key, and stale entries are never read again (``repro cache clear`` removes
-them).  Writes go through a temp file + :func:`os.replace` so a cache shared
-by concurrent processes never exposes a half-written pickle.
+them; ``repro cache prune --max-bytes`` evicts least-recently-used entries).
+Writes go through a temp file + :func:`os.replace` so a cache shared by
+concurrent processes never exposes a half-written entry, and
+:meth:`ArtifactCache.get_or_compute` adds per-key advisory file locks so
+concurrent missers of the same key do the work once (single-flight).
 
 See ``docs/CACHING.md`` for the full layout and key scheme.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+try:  # POSIX-only; the lock degrades to best-effort elsewhere.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from repro.config import CompilerConfig
 
-# Bump whenever the pickled artifact layout changes incompatibly (e.g. a field
-# is added to CompilationResult): old entries then miss instead of unpickling
+# Bump whenever the stored artifact layout changes incompatibly (e.g. a field
+# is added to CompilationResult): old entries then miss instead of loading
 # into a stale shape.
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Default cache directory (relative to the current working directory).
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Storage formats an entry can use: ``pickle`` for arbitrary Python objects
+#: (compile artifacts), ``json`` for structured derived artifacts.
+SERIALIZERS = ("pickle", "json")
+
+#: Orphaned ``*.tmp`` files older than this are swept by prune(); younger
+#: ones may be a concurrent writer's in-flight put and are left alone.
+ORPHAN_TMP_MAX_AGE_SECONDS = 3600.0
+
+_EXTENSIONS = {"pickle": ".pkl", "json": ".json"}
 
 
 def default_cache_dir() -> Path:
@@ -108,12 +130,14 @@ def derived_key(parent_key: str, kind: str, params: Dict[str, Any]) -> str:
 
 
 class ArtifactCache:
-    """Pickle-on-disk store addressed by the key functions above.
+    """On-disk store addressed by the key functions above.
 
-    Entries live at ``<root>/objects/<key[:2]>/<key>.pkl`` (git-style fan-out
-    so a directory never accumulates thousands of files).  The cache is safe
-    to share between concurrent processes for *writes* (atomic rename); reads
-    of a key only ever see a complete entry or a miss.
+    Entries live at ``<root>/objects/<key[:2]>/<key>{.pkl,.json}`` (git-style
+    fan-out so a directory never accumulates thousands of files).  The cache
+    is safe to share between concurrent processes for *writes* (atomic
+    rename); reads of a key only ever see a complete entry or a miss.
+    :meth:`get_or_compute` layers per-key advisory locks on top so concurrent
+    missers coordinate: one process computes, the others wait and reuse.
     """
 
     def __init__(self, root: Optional[Path] = None):
@@ -125,41 +149,77 @@ class ArtifactCache:
     def objects_dir(self) -> Path:
         return self.root / "objects"
 
-    def _path(self, key: str) -> Path:
-        return self.objects_dir / key[:2] / f"{key}.pkl"
+    @property
+    def locks_dir(self) -> Path:
+        return self.root / "locks"
+
+    def _path(self, key: str, serializer: str = "pickle") -> Path:
+        return self.objects_dir / key[:2] / f"{key}{_EXTENSIONS[serializer]}"
+
+    def _entry_paths(self) -> List[Path]:
+        """Every stored entry, in a stable order (JSON and pickle alike)."""
+        if not self.objects_dir.is_dir():
+            return []
+        return sorted(
+            p for p in self.objects_dir.rglob("*") if p.suffix in (".pkl", ".json")
+        )
 
     # -- store ---------------------------------------------------------------------
 
     def contains(self, key: str) -> bool:
-        return self._path(key).is_file()
+        return any(self._path(key, fmt).is_file() for fmt in SERIALIZERS)
 
     def get(self, key: str) -> Optional[Any]:
         """Load the entry for *key*, or ``None`` on a miss.
 
-        A corrupt or unreadable entry (e.g. written by an incompatible Python)
-        is treated as a miss and deleted so the caller recomputes it.
+        Tries the JSON form first (derived artifacts), then the pickle form
+        (compile artifacts).  A corrupt or unreadable entry (e.g. written by
+        an incompatible Python) is treated as a miss and deleted so the
+        caller recomputes it.  A hit refreshes the entry's mtime, which is
+        the recency clock :meth:`prune` evicts by.
         """
-        path = self._path(key)
-        try:
-            with open(path, "rb") as fh:
-                return pickle.load(fh)
-        except FileNotFoundError:
-            return None
-        except Exception:
+        for serializer in ("json", "pickle"):
+            path = self._path(key, serializer)
             try:
-                path.unlink()
+                if serializer == "json":
+                    with open(path, "r", encoding="utf-8") as fh:
+                        value = json.load(fh)
+                else:
+                    with open(path, "rb") as fh:
+                        value = pickle.load(fh)
+            except FileNotFoundError:
+                continue
+            except Exception:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                continue
+            try:  # LRU bookkeeping only; never worth failing a hit over.
+                os.utime(path)
             except OSError:
                 pass
-            return None
+            return value
+        return None
 
-    def put(self, key: str, value: Any) -> Path:
+    def put(self, key: str, value: Any, serializer: str = "pickle") -> Path:
         """Atomically store *value* under *key* and return its path."""
-        path = self._path(key)
+        if serializer not in SERIALIZERS:
+            raise ValueError(f"unknown serializer '{serializer}' (expected one of {SERIALIZERS})")
+        if value is None:
+            # None is get()'s miss signal; storing it would make the entry
+            # look permanently missing and silently recompute on every read.
+            raise ValueError("refusing to cache None (indistinguishable from a miss)")
+        path = self._path(key, serializer)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
         try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            if serializer == "json":
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(value, fh, sort_keys=True, separators=(",", ":"))
+            else:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -167,39 +227,155 @@ class ArtifactCache:
             except OSError:
                 pass
             raise
+        # Drop a twin in the other format (e.g. a pre-JSON pickle of the same
+        # derived key) so one key never has two competing entries.
+        for other in SERIALIZERS:
+            if other != serializer:
+                try:
+                    self._path(key, other).unlink()
+                except OSError:
+                    pass
         return path
+
+    # -- single-flight -------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def lock(self, key: str) -> Iterator[None]:
+        """Advisory per-key exclusive lock (``flock``) shared across processes.
+
+        Purely an anti-duplication measure: correctness never depends on it
+        (writes are atomic), so on platforms without ``fcntl`` it degrades to
+        a no-op and concurrent missers merely duplicate work.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        lock_path = self.locks_dir / key[:2] / f"{key}.lock"
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(lock_path, "a") as fh:
+            fcntl.flock(fh, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh, fcntl.LOCK_UN)
+
+    def get_or_compute(
+        self, key: str, compute: Callable[[], Any], serializer: str = "pickle"
+    ) -> Any:
+        """Return the entry for *key*, computing and storing it on a miss.
+
+        Single-flight across processes: a miss takes the per-key lock before
+        computing, so a concurrent process missing on the same key blocks on
+        the lock, re-checks, and reuses the freshly stored entry instead of
+        recomputing it.
+        """
+        hit = self.get(key)
+        if hit is not None:
+            return hit
+        with self.lock(key):
+            hit = self.get(key)  # someone else may have computed it meanwhile
+            if hit is not None:
+                return hit
+            value = compute()
+            self.put(key, value, serializer=serializer)
+            return value
 
     # -- maintenance ---------------------------------------------------------------
 
     def clear(self) -> int:
         """Delete every entry; returns the number of entries removed.
 
-        Also sweeps ``*.tmp`` files orphaned by writers killed mid-`put`
-        (they are not counted as entries).
+        Also sweeps ``*.tmp`` files orphaned by writers killed mid-`put` and
+        the per-key lock files (neither is counted as an entry).
         """
         removed = 0
-        if not self.objects_dir.is_dir():
-            return removed
-        for entry in sorted(self.objects_dir.rglob("*.pkl")):
+        for entry in self._entry_paths():
             try:
                 entry.unlink()
                 removed += 1
             except OSError:
                 pass
-        for orphan in sorted(self.objects_dir.rglob("*.tmp")):
+        if self.objects_dir.is_dir():
+            for orphan in sorted(self.objects_dir.rglob("*.tmp")):
+                try:
+                    orphan.unlink()
+                except OSError:
+                    pass
+        if self.locks_dir.is_dir():
+            for lock_file in sorted(self.locks_dir.rglob("*.lock")):
+                try:
+                    lock_file.unlink()
+                except OSError:
+                    pass
+        return removed
+
+    def prune(self, max_bytes: int) -> Dict[str, Any]:
+        """Evict least-recently-used entries until the cache fits *max_bytes*.
+
+        Recency is the entry mtime, which :meth:`get` refreshes on every hit
+        and :meth:`put` sets on write, so eviction order is true LRU.  Stale
+        orphaned temp files are swept first (they count against the budget in
+        :meth:`stats`), and each evicted entry takes its lock file with it.
+        Returns a summary dict (entries/bytes removed and remaining).
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        removed = 0
+        freed = 0
+        # Orphaned temp files (writers killed mid-put) count against the
+        # budget in stats(), so sweep the stale ones first or the cache could
+        # exceed the bound forever; recent ones may be in-flight writes and
+        # are left for the next prune.
+        if self.objects_dir.is_dir():
+            stale_before = time.time() - ORPHAN_TMP_MAX_AGE_SECONDS
+            for orphan in sorted(self.objects_dir.rglob("*.tmp")):
+                try:
+                    stat = orphan.stat()
+                    if stat.st_mtime < stale_before:
+                        orphan.unlink()
+                        freed += stat.st_size
+                except OSError:
+                    pass
+        entries: List[Tuple[float, int, Path]] = []
+        for path in self._entry_paths():
             try:
-                orphan.unlink()
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for _, size, _ in entries)
+        for _, size, path in sorted(entries, key=lambda item: (item[0], str(item[2]))):
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            freed += size
+            removed += 1
+            # Sweep the evicted key's lock file too, or a long-lived LRU-bounded
+            # cache would still grow one permanent empty file per key ever seen.
+            key = path.stem
+            try:
+                (self.locks_dir / key[:2] / f"{key}.lock").unlink()
             except OSError:
                 pass
-        return removed
+        return {
+            "root": str(self.root),
+            "max_bytes": max_bytes,
+            "removed_entries": removed,
+            "freed_bytes": freed,
+            "remaining_entries": len(entries) - removed,
+            "remaining_bytes": total,
+        }
 
     def stats(self) -> Dict[str, Any]:
         """Entry count and total size (orphaned temp files included), for
         ``repro cache stats``."""
-        entries: List[Path] = []
+        entries = self._entry_paths()
         orphans: List[Path] = []
         if self.objects_dir.is_dir():
-            entries = list(self.objects_dir.rglob("*.pkl"))
             orphans = list(self.objects_dir.rglob("*.tmp"))
         total = 0
         for entry in entries + orphans:

@@ -1,29 +1,123 @@
 """Generators for every table and figure of thesis Chapter 6.
 
-Each function returns a dictionary with a ``rows`` list (one entry per
+Each public function returns a dictionary with a ``rows`` list (one entry per
 benchmark / sweep point) and a ``table`` string rendered with
 :func:`repro.core.report.format_result_table`, so the benchmark harness can
 both assert on the numbers and print output that mirrors the corresponding
 artefact of the thesis.
+
+Since PR 2 the generators *declare* their work as
+:mod:`repro.eval.taskgraph` DAGs instead of looping inline: compile nodes,
+one node per (workload, sweep-point), and a parent-side aggregate node that
+builds the rows and table from its dependencies' values.  ``run_report``
+merges every artefact into one graph, so ``repro report --parallel N``
+schedules all workload compiles *and* all sweep points as independent jobs;
+``declare_report`` exposes the same graph to ``repro graph`` without
+executing it.  Aggregation order is fixed by declaration, so serial and
+parallel runs produce byte-identical artefacts.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.config import RuntimeConfig
+from repro.config import CompilerConfig, RuntimeConfig
 from repro.core.report import arithmetic_mean, format_result_table, geometric_mean
 from repro.eval.harness import EvaluationHarness
+from repro.eval.taskgraph import TaskGraph, aggregate_task
+from repro.workloads import get_workload
 
 
 # Sweep points used by the thesis.
 QUEUE_LATENCIES = [2, 8, 32, 128]          # Figure 6.5
 QUEUE_DEPTHS = [2, 8, 32]                  # Figure 6.6
 SPLIT_POINTS = [0.1, 0.25, 0.4, 0.5, 0.6, 0.75]   # Figures 6.3 / 6.4
+# Figure 6.6 normalises to the thesis's 8-entry queues; declared separately
+# from QUEUE_DEPTHS so editing the swept list cannot orphan the baseline.
+FIGURE_6_6_BASE_DEPTH = 8
+
+#: Workload each split-sweep figure is defined over (thesis Figures 6.3/6.4).
+SPLIT_FIGURE_WORKLOADS = {"6.3": "mips", "6.4": "blowfish"}
 
 
-def _harness(harness: Optional[EvaluationHarness]) -> EvaluationHarness:
-    return harness or EvaluationHarness.shared()
+def _harness(
+    harness: Optional[EvaluationHarness], config: Optional[CompilerConfig] = None
+) -> EvaluationHarness:
+    """The harness an experiment runs against.
+
+    An explicit *harness* wins; otherwise the caller's *config* is threaded
+    through :meth:`EvaluationHarness.shared`, so ``figure_6_5(config=c)`` and
+    ``table_6_1(config=c)`` land on the same shared instance instead of one
+    of them silently falling back to the default configuration.
+    """
+    if harness is not None:
+        return harness
+    return EvaluationHarness.shared(config=config)
+
+
+# ---------------------------------------------------------------------------
+# shared aggregation helpers
+# ---------------------------------------------------------------------------
+
+
+def _compile_rows(
+    results: Dict, names: Sequence[str], row_of: Callable
+) -> List[Dict]:
+    """One row per benchmark, built from that benchmark's compile artifact.
+
+    The single row-building loop behind every per-benchmark artefact
+    (Tables 6.1/6.2, Figures 6.1/6.2): *row_of* maps one
+    ``CompilationResult`` (and its registered workload) to a row dict.
+    """
+    return [
+        row_of(results[f"compile:{name}"], get_workload(name)) for name in names
+    ]
+
+
+def _sweep_rows(
+    results: Dict,
+    names: Sequence[str],
+    label: str,
+    values: Sequence[int],
+    base_value: int,
+) -> List[Dict]:
+    """One row per benchmark for a runtime sensitivity sweep (Figures 6.5/6.6).
+
+    Each row holds ``{label}_{value}`` speedups normalised to the cycle count
+    at *base_value*, read from the ``sweep:{label}:{name}:{value}`` nodes.
+    """
+    rows = []
+    for name in names:
+        base_cycles = results[f"sweep:{label}:{name}:{base_value}"]
+        entry: Dict = {"benchmark": name}
+        for value in values:
+            cycles = results[f"sweep:{label}:{name}:{value}"]
+            entry[f"{label}_{value}"] = base_cycles / max(cycles, 1e-9)
+        rows.append(entry)
+    return rows
+
+
+def _run_one(
+    declare: Callable[[TaskGraph, EvaluationHarness], str],
+    harness: Optional[EvaluationHarness],
+    config: Optional[CompilerConfig],
+    parallel: Optional[int],
+) -> Dict:
+    """Declare one artefact's graph on a fresh :class:`TaskGraph` and run it."""
+    harness = _harness(harness, config)
+    graph = TaskGraph()
+    aggregate_id = declare(graph, harness)
+    return harness.execute(graph, parallel=parallel)[aggregate_id]
+
+
+def _declare_per_benchmark(
+    graph: TaskGraph, harness: EvaluationHarness, task_id: str, agg_fn: Callable
+) -> str:
+    """Declare the common per-benchmark shape: one compile node per workload
+    fanning into a single aggregate (Tables 6.1/6.2, Figures 6.1/6.2, §6.7)."""
+    names = tuple(harness.benchmark_names)
+    deps = [harness.declare_compile(graph, name) for name in names]
+    return graph.add(aggregate_task(task_id, agg_fn, deps, (names,)))
 
 
 # ---------------------------------------------------------------------------
@@ -31,23 +125,21 @@ def _harness(harness: Optional[EvaluationHarness]) -> EvaluationHarness:
 # ---------------------------------------------------------------------------
 
 
-def table_6_1(harness: Optional[EvaluationHarness] = None) -> Dict:
-    harness = _harness(harness)
-    rows = []
-    for run in harness.run_all():
-        summary = run.result.dswp_summary()
-        rows.append(
-            {
-                "benchmark": run.name,
-                "queues": int(summary["queues"]),
-                "semaphores": int(summary["semaphores"]),
-                "hw_threads": int(summary["hw_threads"]),
-                "paper_queues": run.workload.paper_queues,
-                "paper_semaphores": run.workload.paper_semaphores,
-                "paper_hw_threads": run.workload.paper_hw_threads,
-                "sw_fraction": summary["sw_fraction"],
-            }
-        )
+def _agg_table_6_1(results: Dict, names: Tuple[str, ...]) -> Dict:
+    def row_of(result, workload):
+        summary = result.dswp_summary()
+        return {
+            "benchmark": result.name,
+            "queues": int(summary["queues"]),
+            "semaphores": int(summary["semaphores"]),
+            "hw_threads": int(summary["hw_threads"]),
+            "paper_queues": workload.paper_queues,
+            "paper_semaphores": workload.paper_semaphores,
+            "paper_hw_threads": workload.paper_hw_threads,
+            "sw_fraction": summary["sw_fraction"],
+        }
+
+    rows = _compile_rows(results, names, row_of)
     table = format_result_table(
         ["benchmark", "queues", "semaphores", "HW threads", "paper queues", "paper HW threads"],
         [
@@ -59,28 +151,37 @@ def table_6_1(harness: Optional[EvaluationHarness] = None) -> Dict:
     return {"rows": rows, "table": table}
 
 
+def _declare_table_6_1(graph: TaskGraph, harness: EvaluationHarness) -> str:
+    return _declare_per_benchmark(graph, harness, "table:6.1", _agg_table_6_1)
+
+
+def table_6_1(
+    harness: Optional[EvaluationHarness] = None,
+    config: Optional[CompilerConfig] = None,
+    parallel: Optional[int] = None,
+) -> Dict:
+    return _run_one(_declare_table_6_1, harness, config, parallel)
+
+
 # ---------------------------------------------------------------------------
 # Table 6.2 — LUT area
 # ---------------------------------------------------------------------------
 
 
-def table_6_2(harness: Optional[EvaluationHarness] = None) -> Dict:
-    harness = _harness(harness)
-    rows = []
-    for run in harness.run_all():
-        system = run.result.system
+def _agg_table_6_2(results: Dict, names: Tuple[str, ...]) -> Dict:
+    def row_of(result, workload):
+        system = result.system
         microblaze = system.twill.area.detail.get("microblaze", 0)
-        twill_luts = system.twill.area.luts - microblaze
-        rows.append(
-            {
-                "benchmark": run.name,
-                "legup_luts": system.pure_hardware.area.luts,
-                "twill_hwthreads_luts": system.hw_thread_area.luts,
-                "twill_luts": twill_luts,
-                "twill_plus_microblaze_luts": system.twill.area.luts,
-                "hw_thread_area_reduction": system.area_ratio_hw_threads,
-            }
-        )
+        return {
+            "benchmark": result.name,
+            "legup_luts": system.pure_hardware.area.luts,
+            "twill_hwthreads_luts": system.hw_thread_area.luts,
+            "twill_luts": system.twill.area.luts - microblaze,
+            "twill_plus_microblaze_luts": system.twill.area.luts,
+            "hw_thread_area_reduction": system.area_ratio_hw_threads,
+        }
+
+    rows = _compile_rows(results, names, row_of)
     table = format_result_table(
         ["benchmark", "LegUp", "Twill HWThreads", "Twill", "Twill + Microblaze"],
         [
@@ -92,24 +193,34 @@ def table_6_2(harness: Optional[EvaluationHarness] = None) -> Dict:
     return {"rows": rows, "table": table}
 
 
+def _declare_table_6_2(graph: TaskGraph, harness: EvaluationHarness) -> str:
+    return _declare_per_benchmark(graph, harness, "table:6.2", _agg_table_6_2)
+
+
+def table_6_2(
+    harness: Optional[EvaluationHarness] = None,
+    config: Optional[CompilerConfig] = None,
+    parallel: Optional[int] = None,
+) -> Dict:
+    return _run_one(_declare_table_6_2, harness, config, parallel)
+
+
 # ---------------------------------------------------------------------------
 # Figure 6.1 — power normalised to pure software
 # ---------------------------------------------------------------------------
 
 
-def figure_6_1(harness: Optional[EvaluationHarness] = None) -> Dict:
-    harness = _harness(harness)
-    rows = []
-    for run in harness.run_all():
-        norm = run.result.system.power_normalised()
-        rows.append(
-            {
-                "benchmark": run.name,
-                "pure_sw": norm["pure_sw"],
-                "pure_hw": norm["pure_hw"],
-                "twill": norm["twill"],
-            }
-        )
+def _agg_figure_6_1(results: Dict, names: Tuple[str, ...]) -> Dict:
+    def row_of(result, workload):
+        norm = result.system.power_normalised()
+        return {
+            "benchmark": result.name,
+            "pure_sw": norm["pure_sw"],
+            "pure_hw": norm["pure_hw"],
+            "twill": norm["twill"],
+        }
+
+    rows = _compile_rows(results, names, row_of)
     table = format_result_table(
         ["benchmark", "pure SW", "pure HW (LegUp)", "Twill"],
         [[r["benchmark"], r["pure_sw"], r["pure_hw"], r["twill"]] for r in rows],
@@ -118,24 +229,34 @@ def figure_6_1(harness: Optional[EvaluationHarness] = None) -> Dict:
     return {"rows": rows, "table": table}
 
 
+def _declare_figure_6_1(graph: TaskGraph, harness: EvaluationHarness) -> str:
+    return _declare_per_benchmark(graph, harness, "figure:6.1", _agg_figure_6_1)
+
+
+def figure_6_1(
+    harness: Optional[EvaluationHarness] = None,
+    config: Optional[CompilerConfig] = None,
+    parallel: Optional[int] = None,
+) -> Dict:
+    return _run_one(_declare_figure_6_1, harness, config, parallel)
+
+
 # ---------------------------------------------------------------------------
 # Figure 6.2 — performance speedups normalised to pure software
 # ---------------------------------------------------------------------------
 
 
-def figure_6_2(harness: Optional[EvaluationHarness] = None) -> Dict:
-    harness = _harness(harness)
-    rows = []
-    for run in harness.run_all():
-        system = run.result.system
-        rows.append(
-            {
-                "benchmark": run.name,
-                "pure_hw_speedup": system.hw_speedup_vs_software,
-                "twill_speedup": system.speedup_vs_software,
-                "twill_vs_hw": system.speedup_vs_hardware,
-            }
-        )
+def _agg_figure_6_2(results: Dict, names: Tuple[str, ...]) -> Dict:
+    def row_of(result, workload):
+        system = result.system
+        return {
+            "benchmark": result.name,
+            "pure_hw_speedup": system.hw_speedup_vs_software,
+            "twill_speedup": system.speedup_vs_software,
+            "twill_vs_hw": system.speedup_vs_hardware,
+        }
+
+    rows = _compile_rows(results, names, row_of)
     mean_twill_vs_hw = arithmetic_mean([r["twill_vs_hw"] for r in rows])
     mean_twill_vs_sw = arithmetic_mean([r["twill_speedup"] for r in rows])
     table = format_result_table(
@@ -151,17 +272,28 @@ def figure_6_2(harness: Optional[EvaluationHarness] = None) -> Dict:
     }
 
 
+def _declare_figure_6_2(graph: TaskGraph, harness: EvaluationHarness) -> str:
+    return _declare_per_benchmark(graph, harness, "figure:6.2", _agg_figure_6_2)
+
+
+def figure_6_2(
+    harness: Optional[EvaluationHarness] = None,
+    config: Optional[CompilerConfig] = None,
+    parallel: Optional[int] = None,
+) -> Dict:
+    return _run_one(_declare_figure_6_2, harness, config, parallel)
+
+
 # ---------------------------------------------------------------------------
 # Figures 6.3 / 6.4 — partition-split sweeps (MIPS and Blowfish)
 # ---------------------------------------------------------------------------
 
 
-def _split_sweep(benchmark: str, harness: Optional[EvaluationHarness]) -> Dict:
-    harness = _harness(harness)
-    baseline = harness.run(benchmark).result.system.pure_software.cycles
+def _agg_split_sweep(results: Dict, benchmark: str) -> Dict:
+    baseline = results[f"compile:{benchmark}"].system.pure_software.cycles
     rows = []
     for split in SPLIT_POINTS:
-        data = harness.twill_cycles_with_split(benchmark, split)
+        data = results[f"sweep:split:{benchmark}:{split}"]
         rows.append(
             {
                 "sw_fraction": split,
@@ -178,19 +310,44 @@ def _split_sweep(benchmark: str, harness: Optional[EvaluationHarness]) -> Dict:
     return {"benchmark": benchmark, "rows": rows, "table": table}
 
 
-def split_sweep(benchmark: str, harness: Optional[EvaluationHarness] = None) -> Dict:
+def declare_split_sweep(graph: TaskGraph, harness: EvaluationHarness, benchmark: str) -> str:
+    """Declare the Figure 6.3/6.4-style split-sweep subgraph for *benchmark*."""
+    deps = [harness.declare_compile(graph, benchmark)]
+    for split in SPLIT_POINTS:
+        deps.append(harness.declare_split_point(graph, benchmark, split))
+    return graph.add(
+        aggregate_task(f"figure:split:{benchmark}", _agg_split_sweep, deps, (benchmark,))
+    )
+
+
+def split_sweep(
+    benchmark: str,
+    harness: Optional[EvaluationHarness] = None,
+    config: Optional[CompilerConfig] = None,
+    parallel: Optional[int] = None,
+) -> Dict:
     """Figure 6.3/6.4-style split sweep for an arbitrary workload (used by the CLI)."""
-    return _split_sweep(benchmark, harness)
+    return _run_one(
+        lambda graph, h: declare_split_sweep(graph, h, benchmark), harness, config, parallel
+    )
 
 
-def figure_6_3(harness: Optional[EvaluationHarness] = None) -> Dict:
+def figure_6_3(
+    harness: Optional[EvaluationHarness] = None,
+    config: Optional[CompilerConfig] = None,
+    parallel: Optional[int] = None,
+) -> Dict:
     """MIPS benchmark performance with various targeted partition split points."""
-    return _split_sweep("mips", harness)
+    return split_sweep("mips", harness, config, parallel)
 
 
-def figure_6_4(harness: Optional[EvaluationHarness] = None) -> Dict:
+def figure_6_4(
+    harness: Optional[EvaluationHarness] = None,
+    config: Optional[CompilerConfig] = None,
+    parallel: Optional[int] = None,
+) -> Dict:
     """Blowfish benchmark performance with various targeted partition split points."""
-    return _split_sweep("blowfish", harness)
+    return split_sweep("blowfish", harness, config, parallel)
 
 
 # ---------------------------------------------------------------------------
@@ -198,16 +355,8 @@ def figure_6_4(harness: Optional[EvaluationHarness] = None) -> Dict:
 # ---------------------------------------------------------------------------
 
 
-def figure_6_5(harness: Optional[EvaluationHarness] = None) -> Dict:
-    harness = _harness(harness)
-    rows = []
-    for name in harness.benchmark_names:
-        base_cycles = harness.twill_cycles_with_runtime(name, RuntimeConfig(queue_latency=QUEUE_LATENCIES[0]))
-        entry = {"benchmark": name}
-        for latency in QUEUE_LATENCIES:
-            cycles = harness.twill_cycles_with_runtime(name, RuntimeConfig(queue_latency=latency))
-            entry[f"latency_{latency}"] = base_cycles / max(cycles, 1e-9)
-        rows.append(entry)
+def _agg_figure_6_5(results: Dict, names: Tuple[str, ...]) -> Dict:
+    rows = _sweep_rows(results, names, "latency", QUEUE_LATENCIES, QUEUE_LATENCIES[0])
     mean_slowdown_128 = 1.0 - arithmetic_mean([r[f"latency_{QUEUE_LATENCIES[-1]}"] for r in rows])
     table = format_result_table(
         ["benchmark"] + [f"lat {latency}" for latency in QUEUE_LATENCIES],
@@ -217,21 +366,34 @@ def figure_6_5(harness: Optional[EvaluationHarness] = None) -> Dict:
     return {"rows": rows, "table": table, "mean_slowdown_at_128": mean_slowdown_128}
 
 
+def _declare_figure_6_5(graph: TaskGraph, harness: EvaluationHarness) -> str:
+    names = tuple(harness.benchmark_names)
+    deps = []
+    for name in names:
+        for latency in QUEUE_LATENCIES:
+            deps.append(
+                harness.declare_runtime_point(
+                    graph, name, RuntimeConfig(queue_latency=latency), f"latency:{name}:{latency}"
+                )
+            )
+    return graph.add(aggregate_task("figure:6.5", _agg_figure_6_5, deps, (names,)))
+
+
+def figure_6_5(
+    harness: Optional[EvaluationHarness] = None,
+    config: Optional[CompilerConfig] = None,
+    parallel: Optional[int] = None,
+) -> Dict:
+    return _run_one(_declare_figure_6_5, harness, config, parallel)
+
+
 # ---------------------------------------------------------------------------
 # Figure 6.6 — queue length sensitivity
 # ---------------------------------------------------------------------------
 
 
-def figure_6_6(harness: Optional[EvaluationHarness] = None) -> Dict:
-    harness = _harness(harness)
-    rows = []
-    for name in harness.benchmark_names:
-        base_cycles = harness.twill_cycles_with_runtime(name, RuntimeConfig(queue_depth=8))
-        entry = {"benchmark": name}
-        for depth in QUEUE_DEPTHS:
-            cycles = harness.twill_cycles_with_runtime(name, RuntimeConfig(queue_depth=depth))
-            entry[f"depth_{depth}"] = base_cycles / max(cycles, 1e-9)
-        rows.append(entry)
+def _agg_figure_6_6(results: Dict, names: Tuple[str, ...]) -> Dict:
+    rows = _sweep_rows(results, names, "depth", QUEUE_DEPTHS, FIGURE_6_6_BASE_DEPTH)
     mean_slowdown_short = 1.0 - arithmetic_mean([r[f"depth_{QUEUE_DEPTHS[0]}"] for r in rows])
     table = format_result_table(
         ["benchmark"] + [f"depth {d}" for d in QUEUE_DEPTHS],
@@ -241,18 +403,39 @@ def figure_6_6(harness: Optional[EvaluationHarness] = None) -> Dict:
     return {"rows": rows, "table": table, "mean_slowdown_at_depth_2": mean_slowdown_short}
 
 
+def _declare_figure_6_6(graph: TaskGraph, harness: EvaluationHarness) -> str:
+    names = tuple(harness.benchmark_names)
+    depths = list(dict.fromkeys([FIGURE_6_6_BASE_DEPTH] + QUEUE_DEPTHS))
+    deps = []
+    for name in names:
+        for depth in depths:
+            deps.append(
+                harness.declare_runtime_point(
+                    graph, name, RuntimeConfig(queue_depth=depth), f"depth:{name}:{depth}"
+                )
+            )
+    return graph.add(aggregate_task("figure:6.6", _agg_figure_6_6, deps, (names,)))
+
+
+def figure_6_6(
+    harness: Optional[EvaluationHarness] = None,
+    config: Optional[CompilerConfig] = None,
+    parallel: Optional[int] = None,
+) -> Dict:
+    return _run_one(_declare_figure_6_6, harness, config, parallel)
+
+
 # ---------------------------------------------------------------------------
 # §6.7 — headline aggregates
 # ---------------------------------------------------------------------------
 
 
-def summary(harness: Optional[EvaluationHarness] = None) -> Dict:
-    harness = _harness(harness)
-    runs = harness.run_all()
-    twill_vs_sw = [r.result.system.speedup_vs_software for r in runs]
-    twill_vs_hw = [r.result.system.speedup_vs_hardware for r in runs]
-    area_reduction = [r.result.system.area_ratio_hw_threads for r in runs]
-    area_increase = [r.result.system.area_ratio_total for r in runs]
+def _agg_summary(results: Dict, names: Tuple[str, ...]) -> Dict:
+    compiled = [results[f"compile:{name}"] for name in names]
+    twill_vs_sw = [r.system.speedup_vs_software for r in compiled]
+    twill_vs_hw = [r.system.speedup_vs_hardware for r in compiled]
+    area_reduction = [r.system.area_ratio_hw_threads for r in compiled]
+    area_increase = [r.system.area_ratio_total for r in compiled]
     result = {
         "mean_speedup_vs_sw": arithmetic_mean(twill_vs_sw),
         "geomean_speedup_vs_sw": geometric_mean(twill_vs_sw),
@@ -276,3 +459,75 @@ def summary(harness: Optional[EvaluationHarness] = None) -> Dict:
     )
     result["table"] = table
     return result
+
+
+def _declare_summary(graph: TaskGraph, harness: EvaluationHarness) -> str:
+    return _declare_per_benchmark(graph, harness, "summary:6.7", _agg_summary)
+
+
+def summary(
+    harness: Optional[EvaluationHarness] = None,
+    config: Optional[CompilerConfig] = None,
+    parallel: Optional[int] = None,
+) -> Dict:
+    return _run_one(_declare_summary, harness, config, parallel)
+
+
+# ---------------------------------------------------------------------------
+# the full report as one graph
+# ---------------------------------------------------------------------------
+
+#: Artefact key → declarer, in thesis (and ``repro report``) order.
+ARTEFACT_DECLARERS: Dict[str, Callable[[TaskGraph, EvaluationHarness], str]] = {
+    "table_6.1": _declare_table_6_1,
+    "table_6.2": _declare_table_6_2,
+    "figure_6.1": _declare_figure_6_1,
+    "figure_6.2": _declare_figure_6_2,
+    "figure_6.3": lambda graph, h: declare_split_sweep(graph, h, "mips"),
+    "figure_6.4": lambda graph, h: declare_split_sweep(graph, h, "blowfish"),
+    "figure_6.5": _declare_figure_6_5,
+    "figure_6.6": _declare_figure_6_6,
+    "summary": _declare_summary,
+}
+
+#: Artefacts that are only defined when a specific workload is in the
+#: benchmark set, keyed by their ARTEFACT_DECLARERS name (built from
+#: SPLIT_FIGURE_WORKLOADS so the two registries cannot drift apart).
+ARTEFACT_REQUIRED_WORKLOAD: Dict[str, str] = {
+    f"figure_{figure_id}": workload for figure_id, workload in SPLIT_FIGURE_WORKLOADS.items()
+}
+
+
+def declare_report(graph: TaskGraph, harness: EvaluationHarness) -> Dict[str, str]:
+    """Declare every report artefact on *graph*; returns artefact → aggregate id.
+
+    The split-sweep figures are defined over one specific workload each and
+    are skipped when the harness's benchmark set excludes it (matching the
+    CLI's behaviour for ``--benchmarks`` restrictions).
+    """
+    names = set(harness.benchmark_names)
+    mapping: Dict[str, str] = {}
+    for artefact, declare in ARTEFACT_DECLARERS.items():
+        workload = ARTEFACT_REQUIRED_WORKLOAD.get(artefact)
+        if workload is not None and workload not in names:
+            continue
+        mapping[artefact] = declare(graph, harness)
+    return mapping
+
+
+def run_report(
+    harness: Optional[EvaluationHarness] = None,
+    config: Optional[CompilerConfig] = None,
+    parallel: Optional[int] = None,
+) -> Dict[str, Dict]:
+    """Every table, figure and the §6.7 summary, computed as one task graph.
+
+    With ``parallel=N`` all compile nodes and every (workload, sweep-point)
+    node across all artefacts schedule as independent jobs; output is
+    byte-identical to the serial run.
+    """
+    harness = _harness(harness, config)
+    graph = TaskGraph()
+    mapping = declare_report(graph, harness)
+    results = harness.execute(graph, parallel=parallel)
+    return {artefact: results[task_id] for artefact, task_id in mapping.items()}

@@ -1,39 +1,39 @@
-"""Shared evaluation harness: cached, parallel compilation of the benchmark set.
+"""Shared evaluation harness: cached, parallel task-graph execution.
 
 Compiling a workload (front end, passes, functional trace, DSWP, HLS, three
 timing replays) is the expensive part of every experiment, and most
 tables/figures need the same compiled artefacts.  The harness therefore
 caches at three levels:
 
-1. **in memory** — one :class:`BenchmarkRun` per workload for the lifetime of
-   the harness, so the experiment generators in ``repro.eval.experiments``
-   share compiled artefacts within a process;
-2. **on disk** — pickled :class:`repro.core.compiler.CompilationResult`
-   objects in a content-addressed :class:`repro.eval.cache.ArtifactCache`
-   under ``.repro_cache/``, so repeat invocations of any table, figure or CLI
-   command skip compilation entirely;
-3. **derived artefacts** — the small re-simulation results behind the queue
-   latency/depth and partition-split sweeps (Figures 6.3-6.6), which dominate
-   a full report's wall time, are disk-cached too.
+1. **in memory** — one :class:`BenchmarkRun` per workload (plus one value per
+   derived sweep key) for the lifetime of the harness, so the experiment
+   generators in ``repro.eval.experiments`` share artefacts within a process;
+2. **on disk** — a content-addressed :class:`repro.eval.cache.ArtifactCache`
+   under ``.repro_cache/`` (pickled compile artifacts, structured-JSON sweep
+   artifacts), so repeat invocations of any table, figure or CLI command skip
+   the work entirely;
+3. **single-flight** — keyed computations go through per-key advisory file
+   locks, so concurrent processes missing on the same key compute it once.
 
-Workloads can be compiled concurrently with ``run_all(parallel=N)``, which
-fans the cache misses out over a :class:`concurrent.futures.ProcessPoolExecutor`
-while keeping results deterministic: the parallel path produces exactly the
-same rows (and table bytes) as the serial path.
+Work is expressed as :mod:`repro.eval.taskgraph` DAGs: the ``declare_*``
+methods add compile and sweep-point nodes, and :meth:`execute` runs a whole
+graph — serially, or fanned out over a :class:`concurrent.futures.
+ProcessPoolExecutor` with ``parallel=N`` — while keeping results
+deterministic: the parallel path produces exactly the same rows (and table
+bytes) as the serial path.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import CompilerConfig, RuntimeConfig
 from repro.core.compiler import CompilationResult, TwillCompiler
+from repro.eval import taskgraph
 from repro.eval.cache import ArtifactCache, compile_key, derived_key
-from repro.sim.timing import TimingResult
+from repro.eval.taskgraph import TaskGraph, TaskScheduler
 from repro.workloads import all_workloads, get_workload
 from repro.workloads.base import Workload
 
@@ -53,26 +53,6 @@ class BenchmarkRun:
         return self.result.outputs == self.workload.expected_outputs()
 
 
-def _compile_workload(name: str, config: CompilerConfig, cache_root: Optional[str]) -> CompilationResult:
-    """Compile one workload, going through the disk cache when enabled.
-
-    Module-level so :class:`ProcessPoolExecutor` can pickle it; each worker
-    consults and populates the same content-addressed cache as the parent, so
-    a parallel cold run leaves the cache fully warm.
-    """
-    workload = get_workload(name)
-    cache = ArtifactCache(Path(cache_root)) if cache_root is not None else None
-    key = compile_key(workload.source, config)
-    if cache is not None:
-        hit = cache.get(key)
-        if hit is not None:
-            return hit
-    result = TwillCompiler(config).compile_and_simulate(workload.source, name=name)
-    if cache is not None:
-        cache.put(key, result)
-    return result
-
-
 class EvaluationHarness:
     """Compiles workloads on demand and caches the results.
 
@@ -89,7 +69,9 @@ class EvaluationHarness:
         given); defaults to ``$REPRO_CACHE_DIR`` or ``./.repro_cache``.
     use_cache:
         Set ``False`` to disable the disk cache entirely (in-memory caching
-        always stays on).
+        always stays on; parallel graph execution then pools only the
+        dependency-free compile tasks, since pool workers hand artefacts to
+        their dependents through the disk cache).
     """
 
     _shared_instances: Dict[Tuple[str, Tuple[str, ...]], "EvaluationHarness"] = {}
@@ -113,7 +95,7 @@ class EvaluationHarness:
             self.cache = ArtifactCache(Path(cache_dir)) if cache_dir is not None else ArtifactCache()
         self._runs: Dict[str, BenchmarkRun] = {}
         self._compile_keys: Dict[str, str] = {}
-        self._derived: Dict[str, object] = {}
+        self._derived: Dict[str, Any] = {}
 
     # -- shared instances --------------------------------------------------------------
 
@@ -158,6 +140,67 @@ class EvaluationHarness:
             self._compile_keys[name] = key
         return key
 
+    @property
+    def _cache_root(self) -> Optional[str]:
+        return str(self.cache.root) if self.cache is not None else None
+
+    # -- graph declaration -------------------------------------------------------------
+
+    def declare_compile(self, graph: TaskGraph, name: str) -> str:
+        """Add (or reuse) the compile node for *name*; returns its task id."""
+        return graph.add(taskgraph.compile_task(name, self.config))
+
+    def declare_runtime_point(
+        self, graph: TaskGraph, name: str, runtime: RuntimeConfig, label: str
+    ) -> str:
+        """Add one queue-latency/depth sweep-point node (and its compile dep)."""
+        self.declare_compile(graph, name)
+        return graph.add(
+            taskgraph.runtime_task(name, self.config, self._cache_root, runtime, label)
+        )
+
+    def declare_split_point(self, graph: TaskGraph, name: str, sw_fraction: float) -> str:
+        """Add one partition-split sweep-point node (and its compile dep)."""
+        self.declare_compile(graph, name)
+        return graph.add(
+            taskgraph.split_task(name, self.config, self._cache_root, sw_fraction)
+        )
+
+    # -- graph execution ---------------------------------------------------------------
+
+    def execute(self, graph: TaskGraph, parallel: Optional[int] = None) -> Dict[str, Any]:
+        """Run every task of *graph*; returns ``{task_id: value}``.
+
+        The harness's in-memory layers seed the scheduler (already-compiled
+        workloads and already-computed sweep values run nothing), and every
+        new result flows back into them afterwards — including the
+        functional-output check each compile artifact must pass before any
+        experiment may use it.  With ``parallel=N`` (N > 1) cold worker tasks
+        fan out over a process pool; results are identical to the serial path.
+        """
+        seeds: Dict[str, Any] = {}
+        for task in graph:
+            if task.kind == taskgraph.KIND_COMPILE and task.workload in self._runs:
+                seeds[task.task_id] = self._runs[task.workload].result
+            elif task.key is not None and task.key in self._derived:
+                seeds[task.task_id] = self._derived[task.key]
+        scheduler = TaskScheduler(graph, cache=self.cache, jobs=parallel, seeds=seeds)
+        results = scheduler.run()
+        for task in graph:
+            if task.kind == taskgraph.KIND_COMPILE:
+                if task.workload not in self._runs:
+                    self._admit(task.workload, results[task.task_id])
+            elif task.kind in (taskgraph.KIND_RUNTIME, taskgraph.KIND_SPLIT):
+                self._derived[task.key] = results[task.task_id]
+        self._auto_prune()
+        return results
+
+    def _auto_prune(self) -> None:
+        """Enforce the optional ``RuntimeConfig.cache_max_bytes`` LRU bound."""
+        max_bytes = self.config.runtime.cache_max_bytes
+        if self.cache is not None and max_bytes is not None:
+            self.cache.prune(max_bytes)
+
     # -- runs ------------------------------------------------------------------------------
 
     def _admit(self, name: str, result: CompilationResult) -> BenchmarkRun:
@@ -174,79 +217,65 @@ class EvaluationHarness:
         cached = self._runs.get(name)
         if cached is not None:
             return cached
-        cache_root = str(self.cache.root) if self.cache is not None else None
-        result = _compile_workload(name, self.config, cache_root)
+        key = self._compile_key(name)
+        if self.cache is not None:
+            result = self.cache.get_or_compute(
+                key, lambda: taskgraph.compute_compile(name, self.config), serializer="pickle"
+            )
+        else:
+            result = taskgraph.compute_compile(name, self.config)
         return self._admit(name, result)
 
     def run_all(self, parallel: Optional[int] = None) -> List[BenchmarkRun]:
         """Compile and simulate every workload of this harness.
 
-        With ``parallel=N`` (N > 1) the uncompiled, not-disk-cached workloads
-        are fanned out over N worker processes; disk-cache hits are loaded in
-        the parent since unpickling is far cheaper than a round trip through
-        the pool.  Results are identical to the serial path.
+        Declares one compile node per workload and executes the graph; with
+        ``parallel=N`` (N > 1) the uncompiled, not-disk-cached workloads are
+        fanned out over N worker processes.  Results are identical to the
+        serial path.
         """
-        missing = [name for name in self.benchmark_names if name not in self._runs]
-        if parallel is not None and parallel > 1 and missing:
-            to_compile = []
-            for name in missing:
-                hit = self.cache.get(self._compile_key(name)) if self.cache is not None else None
-                if hit is not None:
-                    self._admit(name, hit)
-                else:
-                    to_compile.append(name)
-            if to_compile:
-                cache_root = str(self.cache.root) if self.cache is not None else None
-                workers = min(parallel, len(to_compile), os.cpu_count() or 1)
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = [
-                        pool.submit(_compile_workload, name, self.config, cache_root)
-                        for name in to_compile
-                    ]
-                    for name, future in zip(to_compile, futures):
-                        self._admit(name, future.result())
-        return [self.run(name) for name in self.benchmark_names]
+        graph = TaskGraph()
+        for name in self.benchmark_names:
+            self.declare_compile(graph, name)
+        self.execute(graph, parallel=parallel)
+        return [self._runs[name] for name in self.benchmark_names]
 
     # -- sweeps -----------------------------------------------------------------------------
 
-    def _derived_cached(self, key: str, compute):
+    def _derived_cached(self, key: str, compute, serializer: str = "json"):
         """Memoise a derived artefact in memory and (when enabled) on disk."""
         hit = self._derived.get(key)
         if hit is not None:
             return hit
         if self.cache is not None:
-            disk = self.cache.get(key)
-            if disk is not None:
-                self._derived[key] = disk
-                return disk
-        value = compute()
+            value = self.cache.get_or_compute(key, compute, serializer=serializer)
+        else:
+            value = compute()
         self._derived[key] = value
-        if self.cache is not None:
-            self.cache.put(key, value)
         return value
 
     def twill_cycles_with_runtime(self, name: str, runtime: RuntimeConfig) -> float:
-        """Twill cycle count for one workload under a modified runtime configuration."""
+        """Twill cycle count for one workload under a modified runtime configuration.
+
+        Single-point counterpart of a ``runtime`` task node — it runs the
+        same payload function, so CLI one-offs and graph runs cannot diverge.
+        """
         key = derived_key(self._compile_key(name), "runtime", runtime.to_dict())
 
         def compute() -> float:
-            run = self.run(name)
-            timing: TimingResult = self.compiler.simulate_with_runtime(run.result, runtime)
-            return timing.total_cycles
+            taskgraph.seed_sweep_input(self._compile_key(name), self.run(name).result)
+            return taskgraph.compute_runtime_point(name, self.config, self._cache_root, runtime)
 
         return self._derived_cached(key, compute)
 
     def twill_cycles_with_split(self, name: str, sw_fraction: float) -> Dict[str, float]:
-        """Re-partition with a different targeted SW share and report cycles + queues."""
+        """Re-partition with a different targeted SW share and report cycles + queues.
+
+        Single-point counterpart of a ``split`` task node (same payload)."""
         key = derived_key(self._compile_key(name), "split", {"sw_fraction": sw_fraction})
 
         def compute() -> Dict[str, float]:
-            run = self.run(name)
-            new_result = self.compiler.resimulate_with_split(run.result, sw_fraction)
-            return {
-                "cycles": new_result.system.twill.cycles,
-                "queues": float(new_result.dswp.partitioning.total_queues),
-                "speedup_vs_sw": new_result.system.speedup_vs_software,
-            }
+            taskgraph.seed_sweep_input(self._compile_key(name), self.run(name).result)
+            return taskgraph.compute_split_point(name, self.config, self._cache_root, sw_fraction)
 
         return self._derived_cached(key, compute)

@@ -1,0 +1,504 @@
+"""Task-graph execution engine for the evaluation stack.
+
+Every thesis artefact is a small DAG over three node kinds:
+
+* **compile** — the full pipeline for one workload (front end → passes →
+  functional trace → DSWP → HLS → three timing replays), producing a
+  :class:`repro.core.compiler.CompilationResult`;
+* **sweep points** (``runtime`` / ``split``) — cheap re-simulations of an
+  existing compile artifact under one swept parameter (queue latency, queue
+  depth, targeted partition split), one node per (workload, sweep-point);
+* **aggregate** — parent-side row/table construction from the values of its
+  dependencies (a table, a figure, the §6.7 summary).
+
+``repro.eval.experiments`` *declares* these graphs instead of looping
+inline; :class:`TaskScheduler` then executes ready tasks — serially, or over
+a shared :class:`~concurrent.futures.ProcessPoolExecutor` — while honouring
+dependencies.  Worker tasks never ship artefacts over the pipe: dependency
+edges only guarantee that a task's inputs are present in the shared
+content-addressed :class:`repro.eval.cache.ArtifactCache` before it starts,
+and the scheduler memoises every keyed task through that cache with per-key
+advisory locks, so concurrent missers (across worker processes *and* across
+independent ``repro`` invocations) compute each key exactly once.
+
+Because node values are pure functions of their content address, a parallel
+run produces byte-identical rows and tables to a serial run — the
+scheduler's only freedom is *when* a value gets computed, never *what* it
+is.  ``repro graph`` prints these DAGs without executing them.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict, deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.config import CompilerConfig, RuntimeConfig
+from repro.core.compiler import CompilationResult, TwillCompiler
+from repro.errors import TaskGraphCycleError, TaskGraphError
+from repro.eval.cache import ArtifactCache, compile_key, derived_key
+from repro.sim.system import resimulate_with_split
+from repro.sim.timing import simulate_partitioned
+from repro.workloads import get_workload
+
+#: Node kinds, also used by ``repro graph`` for display and by the harness
+#: to route results back into its in-memory memo layers.
+KIND_COMPILE = "compile"
+KIND_RUNTIME = "runtime"
+KIND_SPLIT = "split"
+KIND_AGGREGATE = "aggregate"
+
+#: Kinds whose payload is picklable and may run in a worker process.
+WORKER_KINDS = (KIND_COMPILE, KIND_RUNTIME, KIND_SPLIT)
+
+
+@dataclass(frozen=True)
+class Task:
+    """One node of an evaluation task graph.
+
+    Worker tasks (``kind`` in :data:`WORKER_KINDS`) carry a module-level
+    ``fn`` called as ``fn(*args)`` — fully self-describing and picklable, so
+    the scheduler may run it in any process.  Aggregate tasks run in the
+    parent and are called as ``fn(results, *args)`` with the mapping of every
+    finished task's value.  ``key`` is the content address under which the
+    scheduler memoises the output (``None`` = never disk-cached).
+    """
+
+    task_id: str
+    kind: str
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    deps: Tuple[str, ...] = ()
+    key: Optional[str] = None
+    serializer: str = "pickle"
+    workload: Optional[str] = None
+
+    def runs_in_worker(self) -> bool:
+        return self.kind in WORKER_KINDS
+
+
+class TaskGraph:
+    """An insertion-ordered DAG of :class:`Task` nodes.
+
+    Adding a node whose ``task_id`` already exists is a no-op returning the
+    existing id (so several artefact declarations can share one compile
+    node), but re-declaring an id with a *different* content key is an error
+    — the same name must always mean the same computation.
+    """
+
+    def __init__(self) -> None:
+        self._tasks: "OrderedDict[str, Task]" = OrderedDict()
+
+    def add(self, task: Task) -> str:
+        existing = self._tasks.get(task.task_id)
+        if existing is not None:
+            if existing.key != task.key:
+                raise TaskGraphError(
+                    f"task '{task.task_id}' re-declared with a different content key"
+                )
+            if existing.key is None and (existing.fn is not task.fn or existing.args != task.args):
+                # Key-less (aggregate) nodes have no content address to
+                # compare, so conflicting re-declarations must be caught on
+                # the computation itself or the second one is silently lost.
+                raise TaskGraphError(
+                    f"task '{task.task_id}' re-declared with a different computation"
+                )
+            return existing.task_id
+        self._tasks[task.task_id] = task
+        return task.task_id
+
+    def task(self, task_id: str) -> Task:
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise TaskGraphError(f"unknown task '{task_id}'") from None
+
+    def tasks(self) -> List[Task]:
+        """All nodes in insertion (declaration) order."""
+        return list(self._tasks.values())
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks.values())
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._tasks
+
+    def edge_count(self) -> int:
+        return sum(len(t.deps) for t in self._tasks.values())
+
+    def validate(self) -> None:
+        """Reject dangling dependency references."""
+        for task in self._tasks.values():
+            for dep in task.deps:
+                if dep not in self._tasks:
+                    raise TaskGraphError(
+                        f"task '{task.task_id}' depends on unknown task '{dep}'"
+                    )
+
+    def topological_order(self) -> List[Task]:
+        """Kahn's algorithm, stable w.r.t. declaration order.
+
+        Raises :class:`TaskGraphCycleError` (naming the nodes involved) when
+        the graph has no topological order.
+        """
+        self.validate()
+        waiting = {t.task_id: len(t.deps) for t in self._tasks.values()}
+        dependents: Dict[str, List[str]] = {t.task_id: [] for t in self._tasks.values()}
+        for task in self._tasks.values():
+            for dep in task.deps:
+                dependents[dep].append(task.task_id)
+        ready = deque(tid for tid, count in waiting.items() if count == 0)
+        order: List[Task] = []
+        while ready:
+            task_id = ready.popleft()
+            order.append(self._tasks[task_id])
+            for dependent in dependents[task_id]:
+                waiting[dependent] -= 1
+                if waiting[dependent] == 0:
+                    ready.append(dependent)
+        if len(order) != len(self._tasks):
+            stuck = sorted(tid for tid, count in waiting.items() if count > 0)
+            raise TaskGraphCycleError(
+                "task graph contains a dependency cycle involving: " + ", ".join(stuck)
+            )
+        return order
+
+
+# ---------------------------------------------------------------------------
+# picklable task payloads
+# ---------------------------------------------------------------------------
+
+
+def compute_compile(name: str, config: CompilerConfig) -> CompilationResult:
+    """Pure compile payload: run the whole pipeline for one workload."""
+    workload = get_workload(name)
+    return TwillCompiler(config).compile_and_simulate(workload.source, name=name)
+
+
+# Per-process memo of compile artifacts consumed by sweep-point payloads, so
+# a worker that executes many sweep points for one workload unpickles (or
+# recompiles, when caching is off) that workload's artifact only once.  Keyed
+# by content address, so a stale value is impossible by construction; bounded
+# so long test sessions cannot accumulate every artifact they ever touched.
+_SWEEP_INPUT_MEMO: "OrderedDict[str, CompilationResult]" = OrderedDict()
+_SWEEP_INPUT_MEMO_LIMIT = 16
+
+
+def seed_sweep_input(key: str, result: CompilationResult) -> None:
+    """Pre-populate the sweep-input memo (the parent already holds the
+    artifact in memory, so in-parent sweep points skip the disk round trip)."""
+    _SWEEP_INPUT_MEMO[key] = result
+    _SWEEP_INPUT_MEMO.move_to_end(key)
+    while len(_SWEEP_INPUT_MEMO) > _SWEEP_INPUT_MEMO_LIMIT:
+        _SWEEP_INPUT_MEMO.popitem(last=False)
+
+
+def _sweep_input(name: str, config: CompilerConfig, cache_root: Optional[str]) -> CompilationResult:
+    """The compile artifact a sweep point re-simulates: memo → cache → compute."""
+    key = compile_key(get_workload(name).source, config)
+    hit = _SWEEP_INPUT_MEMO.get(key)
+    if hit is not None:
+        _SWEEP_INPUT_MEMO.move_to_end(key)
+        return hit
+    if cache_root is not None:
+        result = ArtifactCache(Path(cache_root)).get_or_compute(
+            key, lambda: compute_compile(name, config), serializer="pickle"
+        )
+    else:
+        result = compute_compile(name, config)
+    seed_sweep_input(key, result)
+    return result
+
+
+def compute_runtime_point(
+    name: str, config: CompilerConfig, cache_root: Optional[str], runtime: RuntimeConfig
+) -> float:
+    """One Figure 6.5/6.6 sweep point: Twill cycles under a modified runtime."""
+    result = _sweep_input(name, config, cache_root)
+    timing = simulate_partitioned(
+        result.module, result.execution.trace, result.dswp.partitioning, runtime, config.hls
+    )
+    return timing.total_cycles
+
+
+def compute_split_point(
+    name: str, config: CompilerConfig, cache_root: Optional[str], sw_fraction: float
+) -> Dict[str, float]:
+    """One Figure 6.3/6.4 sweep point: re-partition at *sw_fraction*."""
+    result = _sweep_input(name, config, cache_root)
+    dswp, system = resimulate_with_split(
+        result.name,
+        result.module,
+        result.execution.trace,
+        result.profile,
+        result.legup,
+        config,
+        sw_fraction,
+    )
+    return {
+        "cycles": system.twill.cycles,
+        "queues": float(dswp.partitioning.total_queues),
+        "speedup_vs_sw": system.speedup_vs_software,
+    }
+
+
+#: Worker→parent marker meaning "the value is in the cache, load it there":
+#: large pickled artifacts are not worth shipping over the pipe when the
+#: worker just wrote the identical bytes to the shared cache.
+_IN_CACHE = "__repro_taskgraph_value_in_cache__"
+
+
+def _execute_in_worker(
+    fn: Callable[..., Any],
+    args: Tuple[Any, ...],
+    key: Optional[str],
+    cache_root: Optional[str],
+    serializer: str,
+) -> Any:
+    """Worker-side entry: run one task payload through the shared cache.
+
+    ``get_or_compute`` gives single-flight semantics per key, so two workers
+    (or two independent ``repro`` processes) racing on the same content
+    address do the work once and share the stored entry.  Pickled artifacts
+    come back as :data:`_IN_CACHE` (the parent re-reads them from the cache
+    instead of paying a second multi-megabyte pipe serialisation); small
+    JSON values are returned directly.
+    """
+    if key is not None and cache_root is not None:
+        cache = ArtifactCache(Path(cache_root))
+        value = cache.get_or_compute(key, lambda: fn(*args), serializer=serializer)
+        return _IN_CACHE if serializer == "pickle" else value
+    return fn(*args)
+
+
+# ---------------------------------------------------------------------------
+# node constructors (used by EvaluationHarness.declare_*)
+# ---------------------------------------------------------------------------
+
+
+def compile_task(name: str, config: CompilerConfig) -> Task:
+    """The compile node for one workload (id ``compile:<name>``)."""
+    return Task(
+        task_id=f"compile:{name}",
+        kind=KIND_COMPILE,
+        fn=compute_compile,
+        args=(name, config),
+        key=compile_key(get_workload(name).source, config),
+        serializer="pickle",
+        workload=name,
+    )
+
+
+def runtime_task(
+    name: str,
+    config: CompilerConfig,
+    cache_root: Optional[str],
+    runtime: RuntimeConfig,
+    label: str,
+) -> Task:
+    """One queue-latency/depth sweep-point node depending on its compile node."""
+    parent = compile_key(get_workload(name).source, config)
+    return Task(
+        task_id=f"sweep:{label}",
+        kind=KIND_RUNTIME,
+        fn=compute_runtime_point,
+        args=(name, config, cache_root, runtime),
+        deps=(f"compile:{name}",),
+        key=derived_key(parent, "runtime", runtime.to_dict()),
+        serializer="json",
+        workload=name,
+    )
+
+
+def split_task(
+    name: str, config: CompilerConfig, cache_root: Optional[str], sw_fraction: float
+) -> Task:
+    """One partition-split sweep-point node depending on its compile node."""
+    parent = compile_key(get_workload(name).source, config)
+    return Task(
+        task_id=f"sweep:split:{name}:{sw_fraction}",
+        kind=KIND_SPLIT,
+        fn=compute_split_point,
+        args=(name, config, cache_root, sw_fraction),
+        deps=(f"compile:{name}",),
+        key=derived_key(parent, "split", {"sw_fraction": sw_fraction}),
+        serializer="json",
+        workload=name,
+    )
+
+
+def aggregate_task(
+    task_id: str,
+    fn: Callable[..., Any],
+    deps: Sequence[str],
+    args: Tuple[Any, ...] = (),
+) -> Task:
+    """A parent-side aggregation node (rows/tables from dependency values)."""
+    return Task(
+        task_id=task_id,
+        kind=KIND_AGGREGATE,
+        fn=fn,
+        args=args,
+        deps=tuple(deps),
+        key=None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# scheduler
+# ---------------------------------------------------------------------------
+
+
+class TaskScheduler:
+    """Executes a :class:`TaskGraph`, honouring dependencies.
+
+    * ``jobs <= 1`` (or ``None``): every task runs in the parent, in
+      topological (declaration-stable) order.
+    * ``jobs > 1``: ready worker tasks are fanned out over one shared
+      :class:`ProcessPoolExecutor`; aggregates always run in the parent as
+      soon as their dependencies finish.  Pool workers exchange artefacts
+      through *cache* rather than over the pipe; without a cache only
+      dependency-free tasks (compiles) are pooled and dependent sweep points
+      run in the parent.
+
+    Keyed tasks are memoised through *cache* (parent-side pre-check, then
+    worker-side ``get_or_compute`` under the per-key lock).  *seeds* maps
+    task ids to already-known values (the harness's in-memory layer), which
+    count as completed without running anything.
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        cache: Optional[ArtifactCache] = None,
+        jobs: Optional[int] = None,
+        seeds: Optional[Mapping[str, Any]] = None,
+    ):
+        self.graph = graph
+        self.cache = cache
+        self.jobs = jobs
+        self.seeds = dict(seeds or {})
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self) -> Dict[str, Any]:
+        """Execute every task; returns ``{task_id: value}`` for the whole graph."""
+        order = self.graph.topological_order()
+        jobs = self.jobs or 1
+        if jobs > 1:
+            return self._run_parallel(order, jobs)
+        return self._run_serial(order)
+
+    def _cached_or_none(self, task: Task) -> Optional[Any]:
+        if task.key is not None and self.cache is not None:
+            return self.cache.get(task.key)
+        return None
+
+    def _run_task_inline(self, task: Task, results: Dict[str, Any]) -> Any:
+        if not task.runs_in_worker():
+            return task.fn(results, *task.args)
+        if task.key is not None and self.cache is not None:
+            return self.cache.get_or_compute(
+                task.key, lambda: task.fn(*task.args), serializer=task.serializer
+            )
+        return task.fn(*task.args)
+
+    def _record(self, task: Task, value: Any, results: Dict[str, Any]) -> None:
+        results[task.task_id] = value
+        if task.kind == KIND_COMPILE and task.key is not None:
+            # Sweep points of this workload (parent-side or freshly forked
+            # workers) reuse the in-memory artifact instead of re-reading it.
+            seed_sweep_input(task.key, value)
+
+    def _run_serial(self, order: List[Task]) -> Dict[str, Any]:
+        results: Dict[str, Any] = {}
+        for task in order:
+            if task.task_id in self.seeds:
+                self._record(task, self.seeds[task.task_id], results)
+                continue
+            self._record(task, self._run_task_inline(task, results), results)
+        return results
+
+    def _run_parallel(self, order: List[Task], jobs: int) -> Dict[str, Any]:
+        results: Dict[str, Any] = {}
+        done: set = set()
+        dependents: Dict[str, List[Task]] = {t.task_id: [] for t in order}
+        for task in order:
+            for dep in task.deps:
+                dependents[dep].append(task)
+        waiting: Dict[str, int] = {}
+        ready: deque = deque()
+        for task in order:
+            waiting[task.task_id] = len(task.deps)
+
+        def complete(task: Task, value: Any) -> None:
+            self._record(task, value, results)
+            done.add(task.task_id)
+            for dependent in dependents[task.task_id]:
+                waiting[dependent.task_id] -= 1
+                if waiting[dependent.task_id] == 0:
+                    ready.append(dependent)
+
+        for task in order:
+            if not task.deps:
+                ready.append(task)
+
+        cache_root = str(self.cache.root) if self.cache is not None else None
+        # Honour the requested degree rather than capping at os.cpu_count():
+        # in cgroup-limited containers the reported count is often wrong, and
+        # an explicit --parallel N is an informed opt-in.
+        max_workers = max(1, min(jobs, 32))
+        pool: Optional[ProcessPoolExecutor] = None
+        futures: Dict[Any, Task] = {}
+        try:
+            while ready or futures:
+                while ready:
+                    task = ready.popleft()
+                    if task.task_id in self.seeds:
+                        complete(task, self.seeds[task.task_id])
+                        continue
+                    if not task.runs_in_worker():
+                        complete(task, task.fn(results, *task.args))
+                        continue
+                    hit = self._cached_or_none(task)
+                    if hit is not None:
+                        complete(task, hit)
+                        continue
+                    if cache_root is None and task.deps:
+                        # Without the shared cache a worker cannot see its
+                        # dependencies' artefacts, so dependent tasks (sweep
+                        # points) run in the parent off the in-memory memo;
+                        # dep-free compiles still fan out over the pool.
+                        complete(task, self._run_task_inline(task, results))
+                        continue
+                    if pool is None:
+                        pool = ProcessPoolExecutor(max_workers=max_workers)
+                    future = pool.submit(
+                        _execute_in_worker,
+                        task.fn,
+                        task.args,
+                        task.key,
+                        cache_root,
+                        task.serializer,
+                    )
+                    futures[future] = task
+                if futures:
+                    finished, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        task = futures.pop(future)
+                        value = future.result()
+                        if isinstance(value, str) and value == _IN_CACHE:
+                            value = self._cached_or_none(task)
+                            if value is None:  # pruned/corrupted between write and read
+                                value = self._run_task_inline(task, results)
+                        complete(task, value)
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        return results

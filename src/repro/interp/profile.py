@@ -52,6 +52,41 @@ class Profile:
                     profile._counts[id(inst)] = weight
         return profile
 
+    # -- pickling ---------------------------------------------------------------------
+    #
+    # _counts is keyed by id(inst), and object ids do not survive a pickle
+    # round trip: a cached artifact's instructions unpickle at new addresses,
+    # so every count() would silently fall back to 1.0 and a re-partition of
+    # the unpickled module would degenerate.  Pickle therefore re-keys the
+    # counts by structural path — (function name, block index, instruction
+    # index) is stable because the module pickles alongside the profile —
+    # and unpickling maps them back onto the restored instruction objects.
+
+    def _instructions_by_path(self) -> Dict[tuple, Instruction]:
+        paths: Dict[tuple, Instruction] = {}
+        for fn in self.module.defined_functions():
+            for block_index, block in enumerate(fn.blocks):
+                for inst_index, inst in enumerate(block.instructions):
+                    paths[(fn.name, block_index, inst_index)] = inst
+        return paths
+
+    def __getstate__(self) -> Dict:
+        counts_by_path = {
+            path: self._counts[id(inst)]
+            for path, inst in self._instructions_by_path().items()
+            if id(inst) in self._counts
+        }
+        return {"module": self.module, "counts_by_path": counts_by_path}
+
+    def __setstate__(self, state: Dict) -> None:
+        self.module = state["module"]
+        paths = self._instructions_by_path()
+        self._counts = {
+            id(paths[path]): count
+            for path, count in state["counts_by_path"].items()
+            if path in paths
+        }
+
     # -- queries ---------------------------------------------------------------------
 
     def count(self, inst: Instruction) -> float:

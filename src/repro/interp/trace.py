@@ -64,6 +64,28 @@ class Trace:
         key = (function, block_name)
         self.block_counts[key] = self.block_counts.get(key, 0) + 1
 
+    # -- pickling ---------------------------------------------------------------------
+    #
+    # instruction_counts is keyed by id(inst), and object ids do not survive
+    # a pickle round trip (a cached artifact's instructions unpickle at new
+    # addresses, so every lookup would silently miss).  The counts are pure
+    # derived data, so drop them on pickle and rebuild them from the events
+    # — whose ``inst`` references unpickle consistently with the module —
+    # exactly as append() built them.
+
+    def __getstate__(self) -> Dict:
+        state = self.__dict__.copy()
+        state["instruction_counts"] = None
+        return state
+
+    def __setstate__(self, state: Dict) -> None:
+        self.__dict__.update(state)
+        counts: Dict[int, int] = {}
+        for event in self.events:
+            key = id(event.inst)
+            counts[key] = counts.get(key, 0) + 1
+        self.instruction_counts = counts
+
     # -- queries ------------------------------------------------------------------------
 
     def __len__(self) -> int:

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.config import CompilerConfig, HLSConfig, RuntimeConfig
-from repro.dswp.pipeline import DSWPResult
+from repro.dswp.pipeline import DSWPResult, run_dswp
 from repro.hls.area import AreaEstimate, AreaModel
 from repro.hls.legup import LegUpFlow, LegUpResult
 from repro.hls.scheduling import HLSScheduler
@@ -79,6 +79,33 @@ class SystemResult:
             "pure_hw": self.pure_hardware.power.normalised_to(baseline),
             "twill": self.twill.power.normalised_to(baseline),
         }
+
+
+def resimulate_with_split(
+    benchmark: str,
+    module: Module,
+    trace: Trace,
+    profile,
+    legup: LegUpResult,
+    config: CompilerConfig,
+    sw_fraction: float,
+) -> "tuple[DSWPResult, SystemResult]":
+    """Pure split-point re-simulation: re-partition and re-evaluate one module.
+
+    Module-level and picklable so taskgraph workers can run one Figure
+    6.3/6.4 sweep point per process-pool task from the pieces of a compile
+    artifact; :meth:`repro.core.compiler.TwillCompiler.resimulate_with_split`
+    delegates here so the two entry points can never diverge.
+    """
+    dswp = run_dswp(
+        module,
+        profile=profile,
+        config=config.partition,
+        extract_threads=False,
+        sw_fraction=sw_fraction,
+    )
+    system = HybridSystem(config).evaluate(benchmark, module, trace, dswp, legup)
+    return dswp, system
 
 
 class HybridSystem:

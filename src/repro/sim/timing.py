@@ -358,3 +358,21 @@ class _ReplayContext:
     received: Dict[Tuple[int, int], float]
     dyn_consumers: List[Tuple[int, ...]]
     block_occurrence: List[int] = field(default_factory=list)
+
+
+def simulate_partitioned(
+    module,
+    trace: Trace,
+    partitioning,
+    runtime: RuntimeConfig,
+    hls: HLSConfig,
+) -> TimingResult:
+    """Pure sweep-point re-simulation: replay *trace* under *partitioning*.
+
+    A module-level function of (compile artifact pieces, config) with no
+    other state, so a :class:`~concurrent.futures.ProcessPoolExecutor` worker
+    can pickle it and re-run just the timing tail of the pipeline for one
+    (workload, sweep-point) task — the Figure 6.5/6.6 queue sweeps.
+    """
+    assignment = ThreadAssignment.from_partitioning(module, partitioning)
+    return TimingSimulator(runtime, hls).simulate(trace, assignment)

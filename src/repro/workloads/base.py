@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -31,6 +32,14 @@ class Workload:
 
     def expected_outputs(self) -> List[int]:
         return [wrap32(v) for v in self.reference()]
+
+    def source_digest(self) -> str:
+        """SHA-256 of the C source, the workload's input to its compile task.
+
+        ``repro graph`` annotates each compile node with a prefix of this
+        digest (full digest under ``--json``), so two graphs over edited
+        sources are visibly different even before any key is computed."""
+        return hashlib.sha256(self.source.encode("utf-8")).hexdigest()
 
 
 class WorkloadRegistry:

@@ -147,11 +147,73 @@ def test_second_invocation_hits_the_cache(tmp_path, capsys):
     assert json.loads(out)["entries"] == 1  # no duplicate entry was written
 
 
+def test_graph_lists_sweep_points_without_executing(tmp_path, capsys):
+    code, out, _ = run_cli(["graph", "--benchmarks", "blowfish"], tmp_path, capsys)
+    assert code == 0
+    assert "compile:blowfish" in out
+    assert "sweep:latency:blowfish:128" in out
+    assert "sweep:split:blowfish:0.75" in out
+    assert "figure:6.6" in out
+    # Pure inspection: nothing was compiled or cached.
+    assert not (tmp_path / "cache").exists()
+
+
+def test_graph_json_counts(tmp_path, capsys):
+    code, out, _ = run_cli(["graph", "--json", "--benchmarks", "blowfish"], tmp_path, capsys)
+    assert code == 0
+    payload = json.loads(out)
+    counts = payload["counts"]
+    # One compile plus one node per sweep point (4 latencies, 3 depths,
+    # 6 split points for the blowfish split figure).
+    assert counts["compile"] == 1
+    assert counts["runtime"] == 7
+    assert counts["split"] == 6
+    assert all(t["deps"] == ["compile:blowfish"] for t in payload["tasks"] if t["kind"] != "compile" and t["kind"] != "aggregate")
+
+
+def test_cache_prune(tmp_path, capsys):
+    run_cli(["run", "blowfish"], tmp_path, capsys)
+    code, out, _ = run_cli(["cache", "prune", "--max-bytes", "0", "--json"], tmp_path, capsys)
+    assert code == 0
+    summary = json.loads(out)
+    assert summary["removed_entries"] == 1
+    assert summary["remaining_entries"] == 0
+    code, _, err = run_cli(["cache", "prune"], tmp_path, capsys)
+    assert code == 2
+    assert "--max-bytes" in err
+    code, _, err = run_cli(["cache", "prune", "--max-bytes", "1.5X"], tmp_path, capsys)
+    assert code == 2
+    assert "invalid size" in err
+
+
+def test_jobs_alias_for_parallel(tmp_path, capsys):
+    code, out, _ = run_cli(
+        ["table", "6.1", "--benchmarks", "blowfish", "--jobs", "2"], tmp_path, capsys
+    )
+    assert code == 0
+    assert "Table 6.1" in out
+
+
 def test_parser_covers_all_documented_subcommands():
     parser = build_parser()
     actions = [a for a in parser._actions if hasattr(a, "choices") and a.choices]
     subcommands = set(actions[0].choices)
-    assert {"list", "run", "sweep", "table", "figure", "report", "cache"} <= subcommands
+    assert {"list", "run", "sweep", "table", "figure", "report", "graph", "cache"} <= subcommands
+
+
+def test_cli_and_report_artefact_registries_stay_in_sync():
+    """`repro table/figure` (cli.TABLES/FIGURES) and `repro report/graph`
+    (experiments.ARTEFACT_DECLARERS) must cover exactly the same artefacts —
+    adding one without the other would silently drop it from the report."""
+    from repro import cli
+    from repro.eval import experiments
+
+    expected = (
+        {f"table_{table_id}" for table_id in cli.TABLES}
+        | {f"figure_{figure_id}" for figure_id in cli.FIGURES}
+        | {"summary"}
+    )
+    assert set(experiments.ARTEFACT_DECLARERS) == expected
 
 
 # ---------------------------------------------------------------------------

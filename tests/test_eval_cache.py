@@ -15,6 +15,7 @@ from repro.eval import cache as cache_module
 from repro.eval.cache import ArtifactCache, compile_key, derived_key
 from repro.eval.experiments import table_6_1, table_6_2
 from repro.eval.harness import EvaluationHarness
+from repro.sim.timing import TimingSimulator
 from repro.workloads import get_workload
 
 FAST = ["blowfish", "mips"]
@@ -158,15 +159,12 @@ def test_derived_sweep_results_are_cached(tmp_path, monkeypatch):
 
     h2 = make_harness(tmp_path)
     h2.run("blowfish")  # warm the compile artefact from disk
+    # Any re-simulation (runtime sweep or split re-partition) bottoms out in
+    # TimingSimulator.simulate; a derived-cache hit must never reach it.
     monkeypatch.setattr(
-        TwillCompiler,
-        "simulate_with_runtime",
-        lambda *a, **k: pytest.fail("derived cache miss: simulate_with_runtime was called"),
-    )
-    monkeypatch.setattr(
-        TwillCompiler,
-        "resimulate_with_split",
-        lambda *a, **k: pytest.fail("derived cache miss: resimulate_with_split was called"),
+        TimingSimulator,
+        "simulate",
+        lambda *a, **k: pytest.fail("derived cache miss: a timing re-simulation ran"),
     )
     assert h2.twill_cycles_with_runtime("blowfish", runtime) == cycles
     assert h2.twill_cycles_with_split("blowfish", 0.4) == split

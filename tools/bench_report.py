@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Timed smoke benchmark of ``repro report`` for CI and the perf trajectory.
+
+Runs the full report three times against a fresh cache directory:
+
+1. **cold, parallel** — compiles every workload and computes every sweep
+   point through the task-graph scheduler;
+2. **warm, parallel** — must be byte-identical to the cold run and finish in
+   under ``--max-warm-fraction`` (default 0.25) of the cold wall time, which
+   is the regression gate for the cache + scheduler fast path;
+3. **warm, serial** — must also be byte-identical, which is the regression
+   gate for serial/parallel determinism.
+
+Timings land in a JSON file (``BENCH_report.json`` by default) so successive
+CI runs leave a comparable perf record.  Exits non-zero on any violated
+invariant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_report(cache_dir: str, parallel: int | None, benchmarks: str | None) -> tuple[float, str]:
+    """One ``repro report --json`` invocation; returns (seconds, stdout)."""
+    cmd = [sys.executable, "-m", "repro.cli", "report", "--json", "--cache-dir", cache_dir]
+    if parallel is not None:
+        cmd += ["--parallel", str(parallel)]
+    if benchmarks:
+        cmd += ["--benchmarks", benchmarks]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + env.get("PYTHONPATH", "")
+    start = time.perf_counter()
+    proc = subprocess.run(cmd, capture_output=True, text=True, env=env, timeout=1200)
+    elapsed = time.perf_counter() - start
+    if proc.returncode != 0:
+        raise SystemExit(f"report run failed ({' '.join(cmd)}):\n{proc.stderr}")
+    return elapsed, proc.stdout
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--parallel", type=int, default=2, help="worker processes (default: 2)")
+    parser.add_argument("--benchmarks", help="comma-separated workload subset (default: all)")
+    parser.add_argument("--out", default="BENCH_report.json", help="timing output file")
+    parser.add_argument(
+        "--max-warm-fraction",
+        type=float,
+        default=float(os.environ.get("BENCH_MAX_WARM_FRACTION", "0.25")),
+        help="fail if warm wall time exceeds this fraction of cold (default: 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as workdir:
+        cache_dir = os.path.join(workdir, "cache")
+        cold_seconds, cold_out = run_report(cache_dir, args.parallel, args.benchmarks)
+        warm_seconds, warm_out = run_report(cache_dir, args.parallel, args.benchmarks)
+        serial_seconds, serial_out = run_report(cache_dir, None, args.benchmarks)
+
+    failures = []
+    if warm_out != cold_out:
+        failures.append("warm parallel output differs from cold parallel output")
+    if serial_out != cold_out:
+        failures.append("serial output differs from parallel output")
+    warm_fraction = warm_seconds / max(cold_seconds, 1e-9)
+    if warm_fraction >= args.max_warm_fraction:
+        failures.append(
+            f"warm run took {warm_fraction:.1%} of cold ({warm_seconds:.2f}s / "
+            f"{cold_seconds:.2f}s), budget is {args.max_warm_fraction:.0%}"
+        )
+
+    record = {
+        "benchmarks": args.benchmarks or "all",
+        "parallel": args.parallel,
+        "cold_parallel_seconds": round(cold_seconds, 3),
+        "warm_parallel_seconds": round(warm_seconds, 3),
+        "warm_serial_seconds": round(serial_seconds, 3),
+        "warm_fraction_of_cold": round(warm_fraction, 4),
+        "outputs_byte_identical": not failures or all("output" not in f for f in failures),
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(record, indent=2, sort_keys=True))
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"ok: cold {cold_seconds:.2f}s, warm {warm_seconds:.2f}s "
+        f"({warm_fraction:.1%} of cold), outputs byte-identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
