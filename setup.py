@@ -13,7 +13,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="twill-repro",
-    version="0.2.0",
+    version="0.3.0",
     description=(
         "Reproduction of Twill: a hybrid microcontroller/FPGA framework for "
         "parallelizing single-threaded C programs (Gallatin, 2014)"

@@ -13,17 +13,24 @@ suite use, so numbers never diverge between entry points:
   artefact;
 * ``repro report`` — every table and figure plus the §6.7 headline summary
   (``--json`` / ``--markdown`` for machine- or doc-friendly output),
-  computed as one task graph;
+  computed as one task graph; ``--workers HOST:PORT`` runs it distributed
+  (an embedded coordinator that ``repro worker serve`` daemons poll) and
+  ``--trace trace.json`` records a chrome://tracing timeline;
 * ``repro graph`` — print that task graph (every compile, sweep-point and
   aggregate node with its dependencies) without executing it;
 * ``repro cache {stats,clear,prune}`` — inspect, empty, or LRU-bound the
-  on-disk artifact cache (``prune --max-bytes``).
+  on-disk artifact cache (``prune --max-bytes``);
+* ``repro cache serve`` — share one artifact store over HTTP so workers on
+  other hosts publish through it;
+* ``repro worker serve`` — a worker daemon: long-polls a coordinator for
+  ready tasks and executes them (see ``docs/DISTRIBUTED.md``).
 
 All experiment commands accept ``--benchmarks`` (restrict the workload set),
 ``--parallel N`` / ``--jobs N`` (execute ready task-graph nodes over N
-worker processes), ``--cache-dir`` and ``--no-cache``.  Results are
-disk-cached under ``.repro_cache/`` (see ``docs/CACHING.md``), so a second
-invocation of any command is near-instant.
+worker processes), ``--cache-dir`` (a directory, or the ``http://`` URL of a
+``repro cache serve`` service) and ``--no-cache``.  Results are disk-cached
+under ``.repro_cache/`` (see ``docs/CACHING.md``), so a second invocation of
+any command is near-instant.
 
 Installed as a ``console_scripts`` entry point by ``setup.py``; also runnable
 as ``python -m repro.cli``.
@@ -34,7 +41,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import CompilerConfig
 from repro.errors import ReproError
@@ -43,6 +51,7 @@ from repro.eval.cache import ArtifactCache, default_cache_dir
 from repro.eval.experiments import SPLIT_FIGURE_WORKLOADS
 from repro.eval.harness import EvaluationHarness
 from repro.eval.taskgraph import TaskGraph
+from repro.eval.trace import TraceRecorder
 from repro.workloads import all_workloads, get_workload
 
 #: Experiment generators by artefact id, in thesis order.
@@ -88,6 +97,29 @@ def _parse_size(text: str) -> int:
     if value < 0:
         raise ReproError(f"size must be non-negative, got '{text}'")
     return value
+
+
+def _parse_bind(address: str) -> Tuple[str, int]:
+    """Parse a coordinator bind address: ``PORT``, ``:PORT``, ``HOST:PORT``
+    or ``http://HOST:PORT``; the host defaults to 127.0.0.1."""
+    raw = address.strip()
+    for prefix in ("http://", "https://"):
+        if raw.startswith(prefix):
+            raw = raw[len(prefix):]
+    raw = raw.rstrip("/")
+    host, sep, port_text = raw.rpartition(":")
+    if not sep:
+        host, port_text = "", raw
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ReproError(
+            f"invalid --workers address '{address}' (expected PORT, HOST:PORT or http://HOST:PORT)"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ReproError(f"invalid port {port} in --workers address '{address}'")
+    return host, port
 
 
 def _requested_benchmarks(args: argparse.Namespace) -> Optional[List[str]]:
@@ -208,9 +240,49 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     harness = _make_harness(args)
+    executor = None
+    if args.workers:
+        if args.no_cache:
+            raise ReproError(
+                "--workers requires the shared artifact cache "
+                "(workers hand results back through it); drop --no-cache"
+            )
+        if args.parallel:
+            print(
+                "note: --parallel is ignored with --workers; concurrency is "
+                "the number of registered worker daemons",
+                file=sys.stderr,
+            )
+        from repro.eval.remote.executor import RemoteExecutor
+
+        host, port = _parse_bind(args.workers)
+        try:
+            executor = RemoteExecutor(
+                host=host,
+                port=port,
+                lease_timeout=args.lease_timeout,
+                worker_timeout=args.worker_timeout,
+            )
+        except OSError as exc:
+            # Port in use / unresolvable host: an operational mistake, not a bug.
+            raise ReproError(f"cannot bind coordinator at {host}:{port}: {exc}") from exc
+        # Status on stderr so --json/--markdown stdout stays byte-identical
+        # to the serial run.
+        print(
+            f"coordinator listening at {executor.url}; waiting for "
+            f"'repro worker serve --coordinator {executor.url}' daemons",
+            file=sys.stderr,
+        )
+    trace = TraceRecorder() if args.trace else None
     # One merged task graph: every compile and every (workload, sweep-point)
-    # node schedules as an independent job under --parallel/--jobs.
-    artefacts = experiments.run_report(harness, parallel=args.parallel)
+    # node schedules as an independent job under --parallel/--jobs (or on the
+    # registered remote workers under --workers).
+    artefacts = experiments.run_report(
+        harness, parallel=args.parallel, executor=executor, trace=trace
+    )
+    if trace is not None:
+        trace.write(args.trace)
+        print(f"wrote task trace to {args.trace} (open in chrome://tracing)", file=sys.stderr)
 
     if args.json:
         payload = {
@@ -236,7 +308,19 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    cache = ArtifactCache(args.cache_dir) if args.cache_dir else ArtifactCache()
+    if args.action == "serve":
+        from repro.eval.remote.cache_http import serve_cache
+
+        spec = args.cache_dir or str(default_cache_dir())
+        if spec.startswith(("http://", "https://")):
+            raise ReproError("cache serve needs a local --cache-dir, not a URL")
+        try:
+            return serve_cache(
+                Path(spec), host=args.host, port=args.port, verbose=args.verbose
+            )
+        except OSError as exc:
+            raise ReproError(f"cannot bind cache service at {args.host}:{args.port}: {exc}") from exc
+    cache = ArtifactCache.from_spec(args.cache_dir) if args.cache_dir else ArtifactCache()
     if args.action == "stats":
         stats = cache.stats()
         if args.json:
@@ -263,6 +347,22 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         removed = cache.clear()
         print(f"removed {removed} cache entries from {cache.root}")
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """``repro worker serve``: execute tasks for a remote coordinator."""
+    from repro.eval.remote.worker import run_worker
+
+    return run_worker(
+        coordinator_url=args.coordinator,
+        cache_spec=args.cache_dir,
+        name=args.name,
+        startup_timeout=args.startup_timeout,
+        poll_wait=args.poll_wait,
+        max_tasks=args.max_tasks,
+        hmac_key=args.cache_hmac_key,
+        verbose=not args.quiet,
+    )
 
 
 def _cmd_graph(args: argparse.Namespace) -> int:
@@ -374,6 +474,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_figure.set_defaults(func=_cmd_figure)
 
     p_report = sub.add_parser("report", parents=[common], help="every table + figure + §6.7 summary")
+    p_report.add_argument(
+        "--workers",
+        metavar="HOST:PORT",
+        help=(
+            "run distributed: bind the task coordinator at this address and "
+            "dispatch to registered 'repro worker serve' daemons"
+        ),
+    )
+    p_report.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="reassign a leased task after this long without a worker heartbeat (default: 60)",
+    )
+    p_report.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="fail if no worker registers within this long (default: 300)",
+    )
+    p_report.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a chrome://tracing JSON timeline of per-task execution",
+    )
     p_report.set_defaults(func=_cmd_report)
 
     p_graph = sub.add_parser(
@@ -382,15 +509,62 @@ def build_parser() -> argparse.ArgumentParser:
     p_graph.set_defaults(func=_cmd_graph)
 
     p_cache = sub.add_parser(
-        "cache", parents=[common], help="inspect, clear or LRU-prune the artifact cache"
+        "cache",
+        parents=[common],
+        help="inspect, clear, LRU-prune, or serve the artifact cache over HTTP",
     )
-    p_cache.add_argument("action", choices=["stats", "clear", "prune"])
+    p_cache.add_argument("action", choices=["stats", "clear", "prune", "serve"])
     p_cache.add_argument(
         "--max-bytes",
         metavar="SIZE",
         help="prune target size for 'prune' (accepts K/M/G suffixes, e.g. 100M)",
     )
+    p_cache.add_argument(
+        "--host", default="127.0.0.1", help="bind address for 'serve' (default: 127.0.0.1)"
+    )
+    p_cache.add_argument(
+        "--port", type=int, default=8737, help="port for 'serve' (default: 8737)"
+    )
+    p_cache.add_argument(
+        "--verbose", action="store_true", help="log every request ('serve' only)"
+    )
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_worker = sub.add_parser(
+        "worker", parents=[common], help="run a task-execution worker daemon"
+    )
+    p_worker.add_argument("action", choices=["serve"])
+    p_worker.add_argument(
+        "--coordinator",
+        required=True,
+        metavar="URL",
+        help="coordinator URL printed by 'repro report --workers' (e.g. http://host:8901)",
+    )
+    p_worker.add_argument("--name", help="stable worker name (default: assigned by coordinator)")
+    p_worker.add_argument(
+        "--startup-timeout",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="how long to wait for the coordinator to come up (default: 120)",
+    )
+    p_worker.add_argument(
+        "--poll-wait",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="long-poll duration per lease request (default: 10)",
+    )
+    p_worker.add_argument(
+        "--max-tasks", type=int, metavar="N", help="exit after executing N tasks"
+    )
+    p_worker.add_argument(
+        "--cache-hmac-key",
+        metavar="KEY",
+        help="HMAC key for signed cache envelopes (default: $REPRO_CACHE_HMAC_KEY)",
+    )
+    p_worker.add_argument("--quiet", action="store_true", help="suppress per-task log lines")
+    p_worker.set_defaults(func=_cmd_worker)
 
     return parser
 
@@ -407,6 +581,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # The scheduler has already torn down its executor (pool terminated /
+        # leases revoked) and swept in-flight lock files; 130 = SIGINT.
+        print("interrupted", file=sys.stderr)
+        return 130
     except BrokenPipeError:
         # Output was piped into a pager/head that exited early; not an error.
         try:

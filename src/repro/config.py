@@ -10,10 +10,23 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass, field, replace
-from typing import Dict, Optional
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Dict, Optional, Type, TypeVar
 
 from repro.errors import ConfigError
+
+_T = TypeVar("_T")
+
+
+def _from_flat_dict(cls: Type[_T], data: Dict[str, Any]) -> _T:
+    """Build a flat config dataclass from a plain dict.
+
+    Unknown keys are ignored (so a newer producer can talk to an older
+    consumer over the remote-execution wire), and missing keys fall back to
+    the dataclass defaults.
+    """
+    known = {f.name for f in fields(cls)}  # type: ignore[arg-type]
+    return cls(**{k: v for k, v in data.items() if k in known})
 
 
 @dataclass
@@ -42,6 +55,11 @@ class PartitionConfig:
             raise ConfigError("max_partitions_per_function must be >= 1")
         if self.work_per_partition <= 0:
             raise ConfigError("work_per_partition must be positive")
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PartitionConfig":
+        """Inverse of ``asdict`` (unknown keys ignored, defaults fill gaps)."""
+        return _from_flat_dict(cls, data)
 
 
 @dataclass
@@ -73,6 +91,11 @@ class RuntimeConfig:
     # most this many bytes after each run.  Policy fields are excluded from
     # to_dict()/content_hash() so changing them never invalidates artefacts.
     cache_max_bytes: Optional[int] = None
+    # Evaluation-host policy as well: HMAC key for the signed envelope around
+    # cached compile-artifact pickles (see docs/CACHING.md).  Falls back to
+    # the REPRO_CACHE_HMAC_KEY environment variable when unset; never part of
+    # content hashes, and never sent over the remote-execution wire.
+    cache_hmac_key: Optional[str] = None
 
     def validate(self) -> None:
         if self.queue_depth < 1:
@@ -94,7 +117,7 @@ class RuntimeConfig:
 
     #: Fields that tune the evaluation host rather than the simulated
     #: architecture; kept out of the content hash so they never change keys.
-    _POLICY_FIELDS = ("cache_max_bytes",)
+    _POLICY_FIELDS = ("cache_max_bytes", "cache_hmac_key")
 
     def to_dict(self) -> Dict:
         """Plain-dict form (stable field order) used for cache keys and reports.
@@ -107,6 +130,11 @@ class RuntimeConfig:
         for name in self._POLICY_FIELDS:
             data.pop(name, None)
         return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RuntimeConfig":
+        """Inverse of :meth:`to_dict` (policy fields stay at their defaults)."""
+        return _from_flat_dict(cls, data)
 
 
 @dataclass
@@ -125,6 +153,11 @@ class HLSConfig:
     def validate(self) -> None:
         if self.issue_width < 1:
             raise ConfigError("issue_width must be >= 1")
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "HLSConfig":
+        """Inverse of ``asdict`` (unknown keys ignored, defaults fill gaps)."""
+        return _from_flat_dict(cls, data)
 
 
 @dataclass
@@ -161,6 +194,23 @@ class CompilerConfig:
         data = asdict(self)
         data["runtime"] = self.runtime.to_dict()
         return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CompilerConfig":
+        """Inverse of :meth:`to_dict`: rebuild the nested configuration tree.
+
+        A round trip preserves :meth:`content_hash` exactly, which is what
+        lets a remote worker recompute the same cache keys as the parent that
+        serialised the config onto the wire.
+        """
+        nested = {
+            "partition": PartitionConfig.from_dict(data.get("partition", {})),
+            "runtime": RuntimeConfig.from_dict(data.get("runtime", {})),
+            "hls": HLSConfig.from_dict(data.get("hls", {})),
+        }
+        flat = {k: v for k, v in data.items() if k not in nested}
+        config = _from_flat_dict(cls, flat)
+        return replace(config, **nested)
 
     def content_hash(self) -> str:
         """Hex digest identifying this configuration's contents.

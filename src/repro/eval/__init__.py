@@ -2,15 +2,25 @@
 
 Experiments are declared as :mod:`repro.eval.taskgraph` DAGs — compile
 nodes, one node per (workload, sweep-point), and aggregate nodes — executed
-serially or over a shared process pool (``parallel=N``) with byte-identical
-results, and memoised on disk through :mod:`repro.eval.cache` with
+serially, over a shared process pool (``parallel=N``), or across remote
+worker daemons (:mod:`repro.eval.remote`, ``repro report --workers``) with
+byte-identical results, and memoised through :mod:`repro.eval.cache` —
+a local directory or a shared ``repro cache serve`` service — with
 single-flight per-key locks; ``repro.cli`` exposes the same generators (and
 ``repro graph``) on the command line.
 """
 
-from repro.eval.cache import ArtifactCache
+from repro.eval.cache import ArtifactCache, CacheBackend, LocalFSBackend
 from repro.eval.harness import EvaluationHarness, BenchmarkRun
-from repro.eval.taskgraph import Task, TaskGraph, TaskScheduler
+from repro.eval.taskgraph import (
+    LocalProcessExecutor,
+    Task,
+    TaskExecutor,
+    TaskGraph,
+    TaskOutcome,
+    TaskScheduler,
+)
+from repro.eval.trace import TraceRecorder
 from repro.eval.experiments import (
     table_6_1,
     table_6_2,
@@ -28,11 +38,17 @@ from repro.eval.experiments import (
 
 __all__ = [
     "ArtifactCache",
+    "CacheBackend",
+    "LocalFSBackend",
     "EvaluationHarness",
     "BenchmarkRun",
     "Task",
+    "TaskExecutor",
+    "TaskOutcome",
     "TaskGraph",
     "TaskScheduler",
+    "LocalProcessExecutor",
+    "TraceRecorder",
     "table_6_1",
     "table_6_2",
     "figure_6_1",

@@ -1,10 +1,10 @@
-"""Content-addressed on-disk artifact cache for the evaluation harness.
+"""Content-addressed artifact cache for the evaluation harness.
 
 Compiling a workload (front end, passes, functional trace, DSWP, HLS, three
 timing replays) costs seconds; the sweeps behind Figures 6.3-6.6 re-simulate
 the full dynamic trace dozens of times on top of that.  This module caches
-both kinds of artifact under ``.repro_cache/`` so any table or figure can be
-regenerated near-instantly once its inputs have been computed once:
+both kinds of artifact so any table or figure can be regenerated
+near-instantly once its inputs have been computed once:
 
 * **compile artifacts** — pickled :class:`repro.core.compiler.CompilationResult`
   objects, keyed by the SHA-256 of the workload's C source plus the full
@@ -16,6 +16,15 @@ regenerated near-instantly once its inputs have been computed once:
   no code on load, so the hot read path of a warm report does not require a
   trusted cache directory.
 
+Since PR 3 *where* the bytes live is pluggable: :class:`ArtifactCache` holds
+the key scheme, serialisation and single-flight logic, and delegates blob
+storage to a :class:`CacheBackend` — :class:`LocalFSBackend` (the historical
+``.repro_cache/`` directory layout) or the HTTP client in
+:mod:`repro.eval.remote.cache_http` talking to a ``repro cache serve``
+service, so several worker machines can share one artifact store.  A cache
+is addressed by a *spec* string — a filesystem path or an ``http(s)://``
+URL — resolved by :meth:`ArtifactCache.from_spec`.
+
 Keys are *content addresses*: they hash every input that can change the
 output, plus a schema version bumped whenever the stored layout changes.
 There is therefore no invalidation protocol — editing a workload source,
@@ -24,23 +33,30 @@ key, and stale entries are never read again (``repro cache clear`` removes
 them; ``repro cache prune --max-bytes`` evicts least-recently-used entries).
 Writes go through a temp file + :func:`os.replace` so a cache shared by
 concurrent processes never exposes a half-written entry, and
-:meth:`ArtifactCache.get_or_compute` adds per-key advisory file locks so
+:meth:`ArtifactCache.get_or_compute` adds per-key advisory locks so
 concurrent missers of the same key do the work once (single-flight).
 
-See ``docs/CACHING.md`` for the full layout and key scheme.
+Pickled entries can additionally be wrapped in an HMAC-SHA256 signed
+envelope (key from ``RuntimeConfig.cache_hmac_key`` or the
+``REPRO_CACHE_HMAC_KEY`` environment variable), so a cache shared over the
+network no longer requires a trusted directory: an entry that does not carry
+a valid signature under the reader's key is treated as a miss and recomputed
+instead of unpickled.  See ``docs/CACHING.md`` for the full layout, key and
+envelope scheme.
 """
 
 from __future__ import annotations
 
 import contextlib
 import hashlib
+import hmac as hmac_mod
 import json
 import os
 import pickle
 import tempfile
 import time
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 try:  # POSIX-only; the lock degrades to best-effort elsewhere.
     import fcntl
@@ -48,6 +64,7 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
 from repro.config import CompilerConfig
+from repro.errors import CacheIntegrityError, ReproError
 
 # Bump whenever the stored artifact layout changes incompatibly (e.g. a field
 # is added to CompilationResult): old entries then miss instead of loading
@@ -56,6 +73,9 @@ CACHE_SCHEMA_VERSION = 2
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable supplying the HMAC key for signed pickle envelopes.
+CACHE_HMAC_ENV = "REPRO_CACHE_HMAC_KEY"
 
 #: Default cache directory (relative to the current working directory).
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -68,6 +88,11 @@ SERIALIZERS = ("pickle", "json")
 #: ones may be a concurrent writer's in-flight put and are left alone.
 ORPHAN_TMP_MAX_AGE_SECONDS = 3600.0
 
+#: First line of the signed-pickle envelope; versioned independently of the
+#: cache schema so the envelope format can evolve without invalidating
+#: unsigned caches.
+HMAC_ENVELOPE_MAGIC = b"repro-hmac-v1\n"
+
 _EXTENSIONS = {"pickle": ".pkl", "json": ".json"}
 
 
@@ -75,6 +100,34 @@ def default_cache_dir() -> Path:
     """The cache directory: ``$REPRO_CACHE_DIR`` or ``./.repro_cache``."""
     return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
 
+
+# -- process-wide HMAC key ------------------------------------------------------
+
+_process_hmac_key: Optional[str] = None
+
+
+def set_process_hmac_key(key: Optional[str]) -> Optional[str]:
+    """Set the process-default envelope key (worker daemons, pool workers).
+
+    Caches constructed without an explicit ``hmac_key`` pick this up, falling
+    back to ``$REPRO_CACHE_HMAC_KEY``.  ``None`` restores the env fallback.
+    Returns the previous override so a scoped caller (the scheduler) can
+    restore it instead of leaking a run's key into the rest of the process.
+    """
+    global _process_hmac_key
+    previous = _process_hmac_key
+    _process_hmac_key = key or None
+    return previous
+
+
+def process_hmac_key() -> Optional[str]:
+    """The effective default envelope key for this process (may be ``None``)."""
+    if _process_hmac_key:
+        return _process_hmac_key
+    return os.environ.get(CACHE_HMAC_ENV) or None
+
+
+# -- content addresses ----------------------------------------------------------
 
 _code_digest_cache: Optional[str] = None
 
@@ -85,7 +138,7 @@ def code_digest() -> str:
     Folded into every compile key so editing any compiler/simulator module
     invalidates previously cached artifacts — without this, a code change
     would silently serve stale results until a manual ``repro cache clear``.
-    Hashing the ~90 source files costs a few milliseconds, once per process.
+    Hashing the ~100 source files costs a few milliseconds, once per process.
     """
     global _code_digest_cache
     if _code_digest_cache is None:
@@ -129,21 +182,76 @@ def derived_key(parent_key: str, kind: str, params: Dict[str, Any]) -> str:
     return digest.hexdigest()
 
 
-class ArtifactCache:
-    """On-disk store addressed by the key functions above.
+# ---------------------------------------------------------------------------
+# storage backends
+# ---------------------------------------------------------------------------
 
-    Entries live at ``<root>/objects/<key[:2]>/<key>{.pkl,.json}`` (git-style
-    fan-out so a directory never accumulates thousands of files).  The cache
-    is safe to share between concurrent processes for *writes* (atomic
-    rename); reads of a key only ever see a complete entry or a miss.
-    :meth:`get_or_compute` layers per-key advisory locks on top so concurrent
-    missers coordinate: one process computes, the others wait and reuse.
+
+class CacheBackend:
+    """Where cache blobs live.  Implementations move *bytes*, never objects.
+
+    :class:`ArtifactCache` owns serialisation (pickle/JSON plus the optional
+    HMAC envelope) and single-flight orchestration; a backend only has to
+    store, retrieve and advisory-lock opaque blobs by content key.  ``spec``
+    is the string that reconstructs an equivalent backend in another process
+    (a directory path, or an ``http://`` URL) — it is what the task graph
+    ships to worker processes instead of the cache object itself.
     """
 
-    def __init__(self, root: Optional[Path] = None):
-        self.root = Path(root) if root is not None else default_cache_dir()
+    #: Round-trippable address of this backend (path or URL).
+    spec: str = ""
 
-    # -- paths ---------------------------------------------------------------------
+    def get_blob(self, key: str) -> Optional[Tuple[str, bytes]]:
+        """Return ``(serializer, payload)`` for *key*, or ``None`` on a miss."""
+        raise NotImplementedError
+
+    def put_blob(self, key: str, serializer: str, data: bytes) -> Optional[Path]:
+        """Store *data* under *key*; must be atomic w.r.t. concurrent readers.
+
+        Returns the stored entry's path where one exists (local backends)."""
+        raise NotImplementedError
+
+    def contains(self, key: str) -> bool:
+        raise NotImplementedError
+
+    def delete(self, key: str) -> None:
+        """Best-effort removal of a (corrupt) entry; may be a no-op remotely."""
+        raise NotImplementedError
+
+    @contextlib.contextmanager
+    def lock(self, key: str) -> Iterator[None]:
+        """Advisory per-key exclusive lock.  Purely an anti-duplication
+        measure: correctness never depends on it, so implementations may
+        degrade to a no-op."""
+        yield
+
+    def discard_lock_file(self, key: str) -> None:
+        """Drop any persistent artefact of :meth:`lock` for *key* (used by the
+        scheduler's interrupt cleanup); a no-op where locks are leases."""
+
+    def stats(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+
+class LocalFSBackend(CacheBackend):
+    """The historical on-disk layout: ``<root>/objects/<key[:2]>/<key>{.pkl,.json}``.
+
+    Git-style fan-out so a directory never accumulates thousands of files.
+    Safe to share between concurrent processes for *writes* (temp file +
+    atomic rename); reads of a key only ever see a complete entry or a miss.
+    Per-key ``flock`` files under ``<root>/locks/`` provide the advisory
+    single-flight locks.  A read hit refreshes the entry's mtime, which is
+    the recency clock :meth:`prune` evicts by.
+    """
+
+    def __init__(self, root: Path):
+        self.root = Path(root)
+
+    @property
+    def spec(self) -> str:  # type: ignore[override]
+        return str(self.root)
+
+    # -- paths -----------------------------------------------------------------
 
     @property
     def objects_dir(self) -> Path:
@@ -164,62 +272,29 @@ class ArtifactCache:
             p for p in self.objects_dir.rglob("*") if p.suffix in (".pkl", ".json")
         )
 
-    # -- store ---------------------------------------------------------------------
+    # -- blobs -----------------------------------------------------------------
 
-    def contains(self, key: str) -> bool:
-        return any(self._path(key, fmt).is_file() for fmt in SERIALIZERS)
-
-    def get(self, key: str) -> Optional[Any]:
-        """Load the entry for *key*, or ``None`` on a miss.
-
-        Tries the JSON form first (derived artifacts), then the pickle form
-        (compile artifacts).  A corrupt or unreadable entry (e.g. written by
-        an incompatible Python) is treated as a miss and deleted so the
-        caller recomputes it.  A hit refreshes the entry's mtime, which is
-        the recency clock :meth:`prune` evicts by.
-        """
+    def get_blob(self, key: str) -> Optional[Tuple[str, bytes]]:
         for serializer in ("json", "pickle"):
             path = self._path(key, serializer)
             try:
-                if serializer == "json":
-                    with open(path, "r", encoding="utf-8") as fh:
-                        value = json.load(fh)
-                else:
-                    with open(path, "rb") as fh:
-                        value = pickle.load(fh)
-            except FileNotFoundError:
-                continue
-            except Exception:
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+                data = path.read_bytes()
+            except (FileNotFoundError, OSError):
                 continue
             try:  # LRU bookkeeping only; never worth failing a hit over.
                 os.utime(path)
             except OSError:
                 pass
-            return value
+            return serializer, data
         return None
 
-    def put(self, key: str, value: Any, serializer: str = "pickle") -> Path:
-        """Atomically store *value* under *key* and return its path."""
-        if serializer not in SERIALIZERS:
-            raise ValueError(f"unknown serializer '{serializer}' (expected one of {SERIALIZERS})")
-        if value is None:
-            # None is get()'s miss signal; storing it would make the entry
-            # look permanently missing and silently recompute on every read.
-            raise ValueError("refusing to cache None (indistinguishable from a miss)")
+    def put_blob(self, key: str, serializer: str, data: bytes) -> Path:
         path = self._path(key, serializer)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
         try:
-            if serializer == "json":
-                with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                    json.dump(value, fh, sort_keys=True, separators=(",", ":"))
-            else:
-                with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -237,7 +312,17 @@ class ArtifactCache:
                     pass
         return path
 
-    # -- single-flight -------------------------------------------------------------
+    def contains(self, key: str) -> bool:
+        return any(self._path(key, fmt).is_file() for fmt in SERIALIZERS)
+
+    def delete(self, key: str) -> None:
+        for serializer in SERIALIZERS:
+            try:
+                self._path(key, serializer).unlink()
+            except OSError:
+                pass
+
+    # -- single-flight ---------------------------------------------------------
 
     @contextlib.contextmanager
     def lock(self, key: str) -> Iterator[None]:
@@ -250,7 +335,7 @@ class ArtifactCache:
         if fcntl is None:  # pragma: no cover - non-POSIX platforms
             yield
             return
-        lock_path = self.locks_dir / key[:2] / f"{key}.lock"
+        lock_path = self.lock_path(key)
         lock_path.parent.mkdir(parents=True, exist_ok=True)
         with open(lock_path, "a") as fh:
             fcntl.flock(fh, fcntl.LOCK_EX)
@@ -259,28 +344,16 @@ class ArtifactCache:
             finally:
                 fcntl.flock(fh, fcntl.LOCK_UN)
 
-    def get_or_compute(
-        self, key: str, compute: Callable[[], Any], serializer: str = "pickle"
-    ) -> Any:
-        """Return the entry for *key*, computing and storing it on a miss.
+    def lock_path(self, key: str) -> Path:
+        return self.locks_dir / key[:2] / f"{key}.lock"
 
-        Single-flight across processes: a miss takes the per-key lock before
-        computing, so a concurrent process missing on the same key blocks on
-        the lock, re-checks, and reuses the freshly stored entry instead of
-        recomputing it.
-        """
-        hit = self.get(key)
-        if hit is not None:
-            return hit
-        with self.lock(key):
-            hit = self.get(key)  # someone else may have computed it meanwhile
-            if hit is not None:
-                return hit
-            value = compute()
-            self.put(key, value, serializer=serializer)
-            return value
+    def discard_lock_file(self, key: str) -> None:
+        try:
+            self.lock_path(key).unlink()
+        except OSError:
+            pass
 
-    # -- maintenance ---------------------------------------------------------------
+    # -- maintenance -----------------------------------------------------------
 
     def clear(self) -> int:
         """Delete every entry; returns the number of entries removed.
@@ -312,11 +385,12 @@ class ArtifactCache:
     def prune(self, max_bytes: int) -> Dict[str, Any]:
         """Evict least-recently-used entries until the cache fits *max_bytes*.
 
-        Recency is the entry mtime, which :meth:`get` refreshes on every hit
-        and :meth:`put` sets on write, so eviction order is true LRU.  Stale
-        orphaned temp files are swept first (they count against the budget in
-        :meth:`stats`), and each evicted entry takes its lock file with it.
-        Returns a summary dict (entries/bytes removed and remaining).
+        Recency is the entry mtime, which :meth:`get_blob` refreshes on every
+        hit and :meth:`put_blob` sets on write, so eviction order is true
+        LRU.  Stale orphaned temp files are swept first (they count against
+        the budget in :meth:`stats`), and each evicted entry takes its lock
+        file with it.  Returns a summary dict (entries/bytes removed and
+        remaining).
         """
         if max_bytes < 0:
             raise ValueError("max_bytes must be non-negative")
@@ -356,11 +430,7 @@ class ArtifactCache:
             removed += 1
             # Sweep the evicted key's lock file too, or a long-lived LRU-bounded
             # cache would still grow one permanent empty file per key ever seen.
-            key = path.stem
-            try:
-                (self.locks_dir / key[:2] / f"{key}.lock").unlink()
-            except OSError:
-                pass
+            self.discard_lock_file(path.stem)
         return {
             "root": str(self.root),
             "max_bytes": max_bytes,
@@ -390,3 +460,213 @@ class ArtifactCache:
             "total_bytes": total,
             "schema_version": CACHE_SCHEMA_VERSION,
         }
+
+
+# ---------------------------------------------------------------------------
+# signed-pickle envelope
+# ---------------------------------------------------------------------------
+
+
+def sign_envelope(payload: bytes, key: str) -> bytes:
+    """Wrap *payload* in the HMAC-SHA256 envelope: magic, hex mac, payload."""
+    mac = hmac_mod.new(key.encode("utf-8"), payload, hashlib.sha256).hexdigest()
+    return HMAC_ENVELOPE_MAGIC + mac.encode("ascii") + b"\n" + payload
+
+
+def open_envelope(data: bytes, key: str) -> bytes:
+    """Verify and strip the envelope; raises :class:`CacheIntegrityError` when
+    the envelope is absent, malformed, or signed with a different key."""
+    if not data.startswith(HMAC_ENVELOPE_MAGIC):
+        raise CacheIntegrityError("cached entry is not HMAC-enveloped")
+    rest = data[len(HMAC_ENVELOPE_MAGIC):]
+    mac, sep, payload = rest.partition(b"\n")
+    if not sep:
+        raise CacheIntegrityError("malformed HMAC envelope")
+    expected = hmac_mod.new(key.encode("utf-8"), payload, hashlib.sha256).hexdigest()
+    if not hmac_mod.compare_digest(mac.decode("ascii", "replace"), expected):
+        raise CacheIntegrityError("HMAC signature mismatch on cached entry")
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# the cache proper
+# ---------------------------------------------------------------------------
+
+
+class ArtifactCache:
+    """Key scheme + serialisation + single-flight over a :class:`CacheBackend`.
+
+    ``ArtifactCache(root)`` keeps the historical local-directory behaviour;
+    ``ArtifactCache.from_spec(spec)`` also accepts an ``http(s)://`` URL and
+    builds the :mod:`repro.eval.remote.cache_http` client, so worker
+    processes on other machines can share one store.  When *hmac_key* is set
+    (explicitly, via :func:`set_process_hmac_key`, or via
+    ``$REPRO_CACHE_HMAC_KEY``), pickled entries are written inside a signed
+    envelope and entries failing verification read as misses.
+    """
+
+    def __init__(
+        self,
+        root: Optional[Union[Path, str]] = None,
+        backend: Optional[CacheBackend] = None,
+        hmac_key: Optional[str] = None,
+    ):
+        if backend is not None:
+            self.backend = backend
+        else:
+            self.backend = LocalFSBackend(Path(root) if root is not None else default_cache_dir())
+        self.hmac_key = hmac_key if hmac_key else process_hmac_key()
+
+    @classmethod
+    def from_spec(
+        cls, spec: Optional[Union[Path, str]] = None, hmac_key: Optional[str] = None
+    ) -> "ArtifactCache":
+        """Build a cache from its address string: a path, or an HTTP(S) URL."""
+        if spec is not None and str(spec).startswith(("http://", "https://")):
+            from repro.eval.remote.cache_http import HTTPCacheBackend
+
+            return cls(backend=HTTPCacheBackend(str(spec)), hmac_key=hmac_key)
+        return cls(root=spec, hmac_key=hmac_key)
+
+    @property
+    def spec(self) -> str:
+        """The string that reconstructs an equivalent cache in any process."""
+        return self.backend.spec
+
+    # -- local-backend passthroughs (maintenance, tests) ---------------------------
+
+    @property
+    def _local(self) -> LocalFSBackend:
+        if not isinstance(self.backend, LocalFSBackend):
+            raise ReproError(
+                "this cache operation needs a local cache directory; "
+                f"'{self.spec}' is remote — run it on the cache server host"
+            )
+        return self.backend
+
+    @property
+    def root(self) -> Optional[Path]:
+        return self.backend.root if isinstance(self.backend, LocalFSBackend) else None
+
+    @property
+    def objects_dir(self) -> Path:
+        return self._local.objects_dir
+
+    @property
+    def locks_dir(self) -> Path:
+        return self._local.locks_dir
+
+    def _path(self, key: str, serializer: str = "pickle") -> Path:
+        return self._local._path(key, serializer)
+
+    # -- serialisation ---------------------------------------------------------------
+
+    def _encode(self, value: Any, serializer: str) -> bytes:
+        if serializer == "json":
+            return json.dumps(value, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        if self.hmac_key:
+            data = sign_envelope(data, self.hmac_key)
+        return data
+
+    def _decode(self, data: bytes, serializer: str) -> Any:
+        if serializer == "json":
+            return json.loads(data.decode("utf-8"))
+        if self.hmac_key:
+            # With a key configured, *only* validly signed entries are ever
+            # unpickled; anything else (unsigned legacy entry, tampered or
+            # foreign bytes) raises and reads as a miss.
+            data = open_envelope(data, self.hmac_key)
+        elif data.startswith(HMAC_ENVELOPE_MAGIC):
+            # A key-less reader must neither unpickle nor destroy an entry
+            # some keyed writer signed; it just cannot use it.
+            raise CacheIntegrityError("entry is HMAC-enveloped but no key is configured")
+        return pickle.loads(data)
+
+    # -- store ---------------------------------------------------------------------
+
+    def contains(self, key: str) -> bool:
+        return self.backend.contains(key)
+
+    def get(self, key: str) -> Optional[Any]:
+        """Load the entry for *key*, or ``None`` on a miss.
+
+        A genuinely corrupt or unreadable entry is deleted (where the
+        backend supports it) so the recompute overwrites it.  An *envelope
+        mismatch* — unsigned vs this reader's key, signed vs a key-less or
+        differently-keyed reader — also reads as a miss but is **not**
+        deleted: the entry may be perfectly valid for correctly configured
+        readers, and one misconfigured process must not wipe a shared store
+        it merely reads.
+        """
+        blob = self.backend.get_blob(key)
+        if blob is None:
+            return None
+        serializer, data = blob
+        try:
+            return self._decode(data, serializer)
+        except CacheIntegrityError:
+            return None
+        except Exception:
+            self.backend.delete(key)
+            return None
+
+    def put(self, key: str, value: Any, serializer: str = "pickle") -> Optional[Path]:
+        """Atomically store *value* under *key*; returns its path when local."""
+        if serializer not in SERIALIZERS:
+            raise ValueError(f"unknown serializer '{serializer}' (expected one of {SERIALIZERS})")
+        if value is None:
+            # None is get()'s miss signal; storing it would make the entry
+            # look permanently missing and silently recompute on every read.
+            raise ValueError("refusing to cache None (indistinguishable from a miss)")
+        return self.backend.put_blob(key, serializer, self._encode(value, serializer))
+
+    # -- single-flight -------------------------------------------------------------
+
+    def lock(self, key: str):
+        """Advisory per-key exclusive lock (see the backend for semantics)."""
+        return self.backend.lock(key)
+
+    def discard_lock_file(self, key: str) -> None:
+        """Remove the persistent lock artefact for *key* (interrupt cleanup)."""
+        self.backend.discard_lock_file(key)
+
+    def get_or_compute(
+        self, key: str, compute: Callable[[], Any], serializer: str = "pickle"
+    ) -> Any:
+        """Return the entry for *key*, computing and storing it on a miss.
+
+        Single-flight across processes (and, through the HTTP backend, across
+        machines): a miss takes the per-key lock before computing, so a
+        concurrent process missing on the same key blocks on the lock,
+        re-checks, and reuses the freshly stored entry instead of recomputing
+        it.
+        """
+        hit = self.get(key)
+        if hit is not None:
+            return hit
+        with self.lock(key):
+            hit = self.get(key)  # someone else may have computed it meanwhile
+            if hit is not None:
+                return hit
+            value = compute()
+            self.put(key, value, serializer=serializer)
+            return value
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete every entry (local backends only)."""
+        return self._local.clear()
+
+    def prune(self, max_bytes: int) -> Dict[str, Any]:
+        """LRU-evict entries until the cache fits *max_bytes* (local only)."""
+        return self._local.prune(max_bytes)
+
+    def stats(self) -> Dict[str, Any]:
+        """Entry count and total size, for ``repro cache stats``.
+
+        Works against both backends: the HTTP backend asks the cache service,
+        which reports its own local store.
+        """
+        return self.backend.stats()

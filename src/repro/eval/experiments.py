@@ -24,7 +24,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.config import CompilerConfig, RuntimeConfig
 from repro.core.report import arithmetic_mean, format_result_table, geometric_mean
 from repro.eval.harness import EvaluationHarness
-from repro.eval.taskgraph import TaskGraph, aggregate_task
+from repro.eval.taskgraph import TaskExecutor, TaskGraph, aggregate_task
+from repro.eval.trace import TraceRecorder
 from repro.workloads import get_workload
 
 
@@ -519,15 +520,20 @@ def run_report(
     harness: Optional[EvaluationHarness] = None,
     config: Optional[CompilerConfig] = None,
     parallel: Optional[int] = None,
+    executor: Optional["TaskExecutor"] = None,
+    trace: Optional["TraceRecorder"] = None,
 ) -> Dict[str, Dict]:
     """Every table, figure and the §6.7 summary, computed as one task graph.
 
     With ``parallel=N`` all compile nodes and every (workload, sweep-point)
-    node across all artefacts schedule as independent jobs; output is
-    byte-identical to the serial run.
+    node across all artefacts schedule as independent jobs; an *executor*
+    (e.g. :class:`repro.eval.remote.executor.RemoteExecutor` behind
+    ``repro report --workers``) dispatches them to remote workers instead.
+    Output is byte-identical to the serial run either way.  *trace* collects
+    the per-task spans behind ``repro report --trace``.
     """
     harness = _harness(harness, config)
     graph = TaskGraph()
     mapping = declare_report(graph, harness)
-    results = harness.execute(graph, parallel=parallel)
+    results = harness.execute(graph, parallel=parallel, executor=executor, trace=trace)
     return {artefact: results[task_id] for artefact, task_id in mapping.items()}

@@ -26,14 +26,14 @@ bytes) as the serial path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import CompilerConfig, RuntimeConfig
 from repro.core.compiler import CompilationResult, TwillCompiler
 from repro.eval import taskgraph
 from repro.eval.cache import ArtifactCache, compile_key, derived_key
-from repro.eval.taskgraph import TaskGraph, TaskScheduler
+from repro.eval.taskgraph import TaskExecutor, TaskGraph, TaskScheduler
+from repro.eval.trace import TraceRecorder
 from repro.workloads import all_workloads, get_workload
 from repro.workloads.base import Workload
 
@@ -65,8 +65,10 @@ class EvaluationHarness:
     cache:
         An explicit :class:`ArtifactCache` to use for on-disk artefacts.
     cache_dir:
-        Directory for a fresh :class:`ArtifactCache` (ignored when *cache* is
-        given); defaults to ``$REPRO_CACHE_DIR`` or ``./.repro_cache``.
+        Cache spec for a fresh :class:`ArtifactCache` (ignored when *cache*
+        is given): a directory path or an ``http(s)://`` URL of a
+        ``repro cache serve`` service; defaults to ``$REPRO_CACHE_DIR`` or
+        ``./.repro_cache``.
     use_cache:
         Set ``False`` to disable the disk cache entirely (in-memory caching
         always stays on; parallel graph execution then pools only the
@@ -92,7 +94,11 @@ class EvaluationHarness:
         elif cache is not None:
             self.cache = cache
         else:
-            self.cache = ArtifactCache(Path(cache_dir)) if cache_dir is not None else ArtifactCache()
+            # cache_dir is a cache *spec*: a directory path, or an
+            # ``http(s)://`` URL of a ``repro cache serve`` service.
+            self.cache = ArtifactCache.from_spec(
+                cache_dir, hmac_key=self.config.runtime.cache_hmac_key
+            )
         self._runs: Dict[str, BenchmarkRun] = {}
         self._compile_keys: Dict[str, str] = {}
         self._derived: Dict[str, Any] = {}
@@ -142,7 +148,9 @@ class EvaluationHarness:
 
     @property
     def _cache_root(self) -> Optional[str]:
-        return str(self.cache.root) if self.cache is not None else None
+        """The cache *spec* worker payloads reconstruct their cache from
+        (a directory path or a cache-service URL)."""
+        return self.cache.spec if self.cache is not None else None
 
     # -- graph declaration -------------------------------------------------------------
 
@@ -168,7 +176,13 @@ class EvaluationHarness:
 
     # -- graph execution ---------------------------------------------------------------
 
-    def execute(self, graph: TaskGraph, parallel: Optional[int] = None) -> Dict[str, Any]:
+    def execute(
+        self,
+        graph: TaskGraph,
+        parallel: Optional[int] = None,
+        executor: Optional[TaskExecutor] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> Dict[str, Any]:
         """Run every task of *graph*; returns ``{task_id: value}``.
 
         The harness's in-memory layers seed the scheduler (already-compiled
@@ -176,7 +190,10 @@ class EvaluationHarness:
         new result flows back into them afterwards — including the
         functional-output check each compile artifact must pass before any
         experiment may use it.  With ``parallel=N`` (N > 1) cold worker tasks
-        fan out over a process pool; results are identical to the serial path.
+        fan out over a process pool; an explicit *executor* (e.g. a
+        :class:`repro.eval.remote.executor.RemoteExecutor`) replaces the pool
+        with remote workers.  Results are identical to the serial path either
+        way.  *trace* collects per-task execution spans for ``--trace``.
         """
         seeds: Dict[str, Any] = {}
         for task in graph:
@@ -184,7 +201,9 @@ class EvaluationHarness:
                 seeds[task.task_id] = self._runs[task.workload].result
             elif task.key is not None and task.key in self._derived:
                 seeds[task.task_id] = self._derived[task.key]
-        scheduler = TaskScheduler(graph, cache=self.cache, jobs=parallel, seeds=seeds)
+        scheduler = TaskScheduler(
+            graph, cache=self.cache, jobs=parallel, seeds=seeds, executor=executor, trace=trace
+        )
         results = scheduler.run()
         for task in graph:
             if task.kind == taskgraph.KIND_COMPILE:

@@ -1,0 +1,32 @@
+"""Distributed execution for the evaluation task graph (stdlib-only).
+
+Three cooperating pieces, all speaking plain JSON-over-HTTP via
+``http.server``/``urllib`` (no new dependencies), turn the single-machine
+scheduler of :mod:`repro.eval.taskgraph` into a small cluster:
+
+* **cache service** (:mod:`~repro.eval.remote.cache_http`) — ``repro cache
+  serve`` exposes one :class:`~repro.eval.cache.LocalFSBackend` store over
+  GET/PUT/HEAD-by-content-key, with server-side single-flight locks, so
+  workers on other hosts share one artifact store through
+  :class:`~repro.eval.remote.cache_http.HTTPCacheBackend`;
+* **coordinator** (:mod:`~repro.eval.remote.coordinator`) — the in-process
+  task queue with worker registration, heartbeats, lease timeouts and
+  crash-retry that :class:`~repro.eval.remote.executor.RemoteExecutor`
+  embeds into ``repro report --workers``;
+* **worker** (:mod:`~repro.eval.remote.worker`) — the ``repro worker
+  serve`` daemon that long-polls the coordinator for ready tasks, executes
+  them via the same pure payload functions the local pool uses, and
+  publishes results through the cache backend (never over the wire).
+
+Workers exchange artefacts *only* through the content-addressed cache, so a
+distributed run is byte-identical to a serial one — the wire carries task
+descriptions and completion notices, never artefacts.  See
+``docs/DISTRIBUTED.md`` for topology, protocol and failure model.
+"""
+
+from repro.eval.remote.cache_http import HTTPCacheBackend, serve_cache
+from repro.eval.remote.coordinator import Coordinator
+from repro.eval.remote.executor import RemoteExecutor
+from repro.eval.remote.worker import run_worker
+
+__all__ = ["Coordinator", "HTTPCacheBackend", "RemoteExecutor", "run_worker", "serve_cache"]

@@ -1,0 +1,361 @@
+"""Task coordinator: the queue remote workers long-poll for ready work.
+
+:class:`Coordinator` is deliberately plain threading code with no HTTP in
+it — the full lease/heartbeat/retry state machine is unit-testable by
+calling its methods directly (the fake-worker tests do exactly that).
+:func:`start_coordinator_server` wraps one in a
+:class:`http.server.ThreadingHTTPServer` for real workers.
+
+Lifecycle of one task spec:
+
+1. the executor :meth:`~Coordinator.submit`\\ s it (state *queued*);
+2. a worker's long-polling :meth:`~Coordinator.lease` hands it out with a
+   deadline of ``now + lease_timeout`` (state *leased*).  Heartbeats renew
+   every lease the worker holds;
+3. :meth:`~Coordinator.complete` moves it to the completion queue the
+   executor drains — or, if the deadline passes first (worker crashed,
+   hung, or was killed), the reaper requeues it with ``attempt + 1`` and
+   the next ``lease`` hands it to another worker;
+4. after ``max_attempts`` lease expiries the task completes with an error
+   instead (a poison task must not ping-pong between workers forever).
+
+A completion from a worker whose lease already expired is dropped: the
+task was reassigned, and the content-addressed cache makes the duplicate
+work harmless (both workers wrote identical bytes under the same key).
+
+HTTP endpoints (JSON bodies both ways): ``POST /workers/register``,
+``POST /workers/heartbeat``, ``POST /tasks/lease`` (long-poll, honouring a
+client ``wait``), ``POST /tasks/complete``, and ``GET /status`` for
+debugging/monitoring.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.eval.remote.protocol import read_json, send_json
+
+#: Default seconds a leased task may go without a heartbeat before it is
+#: presumed lost and requeued.
+DEFAULT_LEASE_TIMEOUT = 60.0
+
+#: Default number of lease attempts before a task is declared failed.
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+@dataclass
+class _Lease:
+    worker_id: str
+    deadline: float
+    spec: Dict[str, Any] = field(repr=False)
+
+
+class Coordinator:
+    """Thread-safe task queue with worker registration, leases and retries."""
+
+    def __init__(
+        self,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ):
+        self.lease_timeout = lease_timeout
+        self.max_attempts = max_attempts
+        self._cond = threading.Condition()
+        self._queue: "deque[Dict[str, Any]]" = deque()
+        self._leases: Dict[str, _Lease] = {}
+        self._completions: "deque[Dict[str, Any]]" = deque()
+        self._workers: Dict[str, float] = {}
+        self._worker_counter = 0
+        self._shutdown = False
+
+    # -- executor side -------------------------------------------------------------
+
+    def submit(self, spec: Dict[str, Any]) -> None:
+        """Queue one task spec for the next free worker."""
+        with self._cond:
+            spec.setdefault("attempt", 1)
+            self._queue.append(spec)
+            self._cond.notify_all()
+
+    def wait_completions(self, timeout: Optional[float] = None) -> List[Dict[str, Any]]:
+        """Block up to *timeout* for completions; drain and return them.
+
+        Also drives the lease reaper, so expired leases requeue even while
+        the executor is parked here.
+        """
+        deadline = None if timeout is None else time.time() + timeout
+        with self._cond:
+            while True:
+                self._reap_locked()
+                if self._completions:
+                    drained = list(self._completions)
+                    self._completions.clear()
+                    return drained
+                now = time.time()
+                if deadline is not None and now >= deadline:
+                    return []
+                # Short slices keep the reaper responsive to crashed workers.
+                slice_end = min(d for d in (deadline, now + 0.5) if d is not None)
+                self._cond.wait(max(0.01, slice_end - now))
+
+    def shutdown(self) -> None:
+        """End the run: revoke every lease and tell polling workers to exit."""
+        with self._cond:
+            self._shutdown = True
+            self._queue.clear()
+            self._leases.clear()
+            self._cond.notify_all()
+
+    # -- worker side ---------------------------------------------------------------
+
+    def register(self, name: Optional[str] = None) -> Dict[str, Any]:
+        """Admit a worker; returns its id and the lease/heartbeat parameters."""
+        with self._cond:
+            self._reap_locked()
+            self._worker_counter += 1
+            worker_id = name or f"worker-{self._worker_counter}"
+            if worker_id in self._workers:
+                worker_id = f"{worker_id}-{self._worker_counter}"
+            self._workers[worker_id] = time.time()
+            return {
+                "worker_id": worker_id,
+                "lease_timeout": self.lease_timeout,
+                "shutdown": self._shutdown,
+            }
+
+    def heartbeat(self, worker_id: str, tasks: Optional[List[str]] = None) -> Dict[str, Any]:
+        """Mark *worker_id* alive and renew the leases it is working on.
+
+        *tasks* is the list of task ids the worker is currently executing;
+        only those leases are renewed, so a task the worker has finished
+        (but whose completion notice was lost in transit) stops being
+        renewed, expires, and gets reassigned — the replacement worker then
+        hits the cache entry the first one already wrote.  ``None`` (an
+        older/simpler client) renews everything the worker holds.
+        """
+        with self._cond:
+            now = time.time()
+            self._workers[worker_id] = now
+            for task_id, lease in self._leases.items():
+                if lease.worker_id == worker_id and (tasks is None or task_id in tasks):
+                    lease.deadline = now + self.lease_timeout
+            return {"shutdown": self._shutdown}
+
+    def lease(self, worker_id: str, wait: float = 10.0) -> Dict[str, Any]:
+        """Long-poll for one ready task; returns ``{"task": spec-or-None,
+        "shutdown": bool}`` within roughly *wait* seconds."""
+        deadline = time.time() + max(0.0, wait)
+        with self._cond:
+            while True:
+                self._reap_locked()
+                now = time.time()
+                self._workers[worker_id] = now
+                if self._shutdown:
+                    return {"task": None, "shutdown": True}
+                if self._queue:
+                    spec = self._queue.popleft()
+                    self._leases[spec["task_id"]] = _Lease(
+                        worker_id=worker_id, deadline=now + self.lease_timeout, spec=spec
+                    )
+                    self._cond.notify_all()
+                    return {"task": spec, "shutdown": False}
+                if now >= deadline:
+                    return {"task": None, "shutdown": False}
+                self._cond.wait(min(0.5, deadline - now))
+
+    def complete(
+        self,
+        worker_id: str,
+        task_id: str,
+        ok: bool,
+        value: Any = None,
+        in_cache: bool = False,
+        error: Optional[str] = None,
+        start: float = 0.0,
+        end: float = 0.0,
+    ) -> Dict[str, Any]:
+        """Record a finished task (or a worker-reported failure)."""
+        with self._cond:
+            lease = self._leases.get(task_id)
+            if lease is None or lease.worker_id != worker_id:
+                # Lease expired and the task was reassigned; the duplicate
+                # result is already in the cache, so dropping this is safe.
+                return {"accepted": False}
+            del self._leases[task_id]
+            self._completions.append(
+                {
+                    "task_id": task_id,
+                    "worker_id": worker_id,
+                    "value": value,
+                    "in_cache": in_cache,
+                    "error": error if not ok else None,
+                    "start": start,
+                    "end": end,
+                }
+            )
+            self._cond.notify_all()
+            return {"accepted": True}
+
+    # -- internals -----------------------------------------------------------------
+
+    def _reap_locked(self) -> None:
+        """Requeue (or fail) expired leases and forget silent workers.
+
+        A live worker is heard from every ``lease_timeout / 3`` at the
+        latest (heartbeats; idle polls are even more frequent), so one that
+        has been silent for a whole lease timeout is gone — pruning it keeps
+        ``worker_count`` honest (the executor's no-live-worker watchdog
+        depends on that) and frees its stable ``--name`` for a restart.
+        """
+        now = time.time()
+        for worker_id in [w for w, seen in self._workers.items() if now - seen > self.lease_timeout]:
+            del self._workers[worker_id]
+        for task_id in [t for t, lease in self._leases.items() if lease.deadline <= now]:
+            lease = self._leases.pop(task_id)
+            spec = dict(lease.spec)
+            spec["attempt"] = spec.get("attempt", 1) + 1
+            if spec["attempt"] > self.max_attempts:
+                self._completions.append(
+                    {
+                        "task_id": task_id,
+                        "worker_id": lease.worker_id,
+                        "value": None,
+                        "in_cache": False,
+                        "error": (
+                            f"lease expired {self.max_attempts} times "
+                            f"(last worker: {lease.worker_id}); giving up"
+                        ),
+                        "start": 0.0,
+                        "end": 0.0,
+                    }
+                )
+            else:
+                self._queue.append(spec)
+            self._cond.notify_all()
+
+    # -- introspection -------------------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        with self._cond:
+            return {
+                "queued": len(self._queue),
+                "leased": len(self._leases),
+                "completions_pending": len(self._completions),
+                "workers": sorted(self._workers),
+                "shutdown": self._shutdown,
+            }
+
+    @property
+    def worker_count(self) -> int:
+        with self._cond:
+            return len(self._workers)
+
+    @property
+    def inflight(self) -> int:
+        with self._cond:
+            return len(self._queue) + len(self._leases) + len(self._completions)
+
+
+# ---------------------------------------------------------------------------
+# HTTP wrapper
+# ---------------------------------------------------------------------------
+
+
+class CoordinatorHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP facade over one :class:`Coordinator`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], coordinator: Coordinator, verbose: bool = False):
+        super().__init__(address, _CoordinatorRequestHandler)
+        self.coordinator = coordinator
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[0], self.server_address[1]
+        return f"http://{host}:{port}"
+
+
+class _CoordinatorRequestHandler(BaseHTTPRequestHandler):
+    """JSON-over-HTTP routing onto the coordinator's methods."""
+
+    server: CoordinatorHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.server.verbose:
+            sys.stderr.write("coordinator: %s\n" % (format % args))
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        send_json(self, status, payload)
+
+    def _read_json(self) -> Dict[str, Any]:
+        return read_json(self)
+
+    def do_GET(self) -> None:  # noqa: N802
+        if self.path == "/status":
+            self._send_json(200, self.server.coordinator.status())
+            return
+        if self.path == "/healthz":
+            self._send_json(200, {"ok": True})
+            return
+        self._send_json(404, {"error": "unknown path"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        coordinator = self.server.coordinator
+        body = self._read_json()
+        if self.path == "/workers/register":
+            self._send_json(200, coordinator.register(body.get("name")))
+            return
+        if self.path == "/workers/heartbeat":
+            tasks = body.get("tasks")
+            self._send_json(
+                200,
+                coordinator.heartbeat(
+                    str(body.get("worker_id", "")),
+                    tasks if isinstance(tasks, list) else None,
+                ),
+            )
+            return
+        if self.path == "/tasks/lease":
+            self._send_json(
+                200,
+                coordinator.lease(
+                    str(body.get("worker_id", "")), float(body.get("wait", 10.0))
+                ),
+            )
+            return
+        if self.path == "/tasks/complete":
+            self._send_json(
+                200,
+                coordinator.complete(
+                    worker_id=str(body.get("worker_id", "")),
+                    task_id=str(body.get("task_id", "")),
+                    ok=bool(body.get("ok", False)),
+                    value=body.get("value"),
+                    in_cache=bool(body.get("in_cache", False)),
+                    error=body.get("error"),
+                    start=float(body.get("start", 0.0)),
+                    end=float(body.get("end", 0.0)),
+                ),
+            )
+            return
+        self._send_json(404, {"error": "unknown path"})
+
+
+def start_coordinator_server(
+    coordinator: Coordinator, host: str = "127.0.0.1", port: int = 0, verbose: bool = False
+) -> CoordinatorHTTPServer:
+    """Bind and start serving *coordinator* on a daemon thread."""
+    server = CoordinatorHTTPServer((host, port), coordinator, verbose=verbose)
+    thread = threading.Thread(target=server.serve_forever, kwargs={"poll_interval": 0.2})
+    thread.daemon = True
+    thread.start()
+    return server

@@ -1,0 +1,155 @@
+"""The RemoteExecutor: plugging distributed workers into the task scheduler.
+
+``repro report --workers HOST:PORT`` constructs one of these.  It embeds a
+:class:`~repro.eval.remote.coordinator.Coordinator` behind an HTTP server
+bound to the given address; ``repro worker serve`` daemons (on this or any
+other host) register against it and long-poll for work.  To the
+:class:`~repro.eval.taskgraph.TaskScheduler` it is just another
+:class:`~repro.eval.taskgraph.TaskExecutor`: ``submit`` encodes a task spec
+onto the queue, ``wait`` drains completions (driving lease-expiry
+reassignment while parked), and ``close`` revokes leases and tells workers
+the run is over.
+
+Division of labour: crash *retry* lives in the coordinator (lease expiry →
+requeue with ``attempt+1`` up to ``max_attempts``); this class only turns a
+definitive failure — a worker-reported exception or an exhausted retry
+budget — into :class:`~repro.errors.RemoteTaskError`, which aborts the run
+exactly like a local worker exception would.  If the cluster has no live
+worker for *worker_timeout* seconds while tasks are pending — nobody ever
+registered, or everyone who did has since exited or crashed — the run
+fails loudly instead of hanging forever.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+#: Seconds the coordinator socket stays up after close() so workers polling
+#: right after the run still receive an explicit shutdown notice.
+_SERVER_LINGER_SECONDS = 30.0
+
+from repro.errors import RemoteError, RemoteTaskError
+from repro.eval.cache import ArtifactCache
+from repro.eval.remote import protocol
+from repro.eval.remote.coordinator import (
+    Coordinator,
+    CoordinatorHTTPServer,
+    start_coordinator_server,
+)
+from repro.eval.taskgraph import Task, TaskExecutor, TaskOutcome
+
+
+class RemoteExecutor(TaskExecutor):
+    """Run worker tasks on registered ``repro worker serve`` daemons."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_timeout: float = 60.0,
+        max_attempts: int = 3,
+        worker_timeout: float = 300.0,
+        verbose: bool = False,
+    ):
+        self.coordinator = Coordinator(lease_timeout=lease_timeout, max_attempts=max_attempts)
+        self.server: CoordinatorHTTPServer = start_coordinator_server(
+            self.coordinator, host=host, port=port, verbose=verbose
+        )
+        self.worker_timeout = worker_timeout
+        self._tasks: Dict[str, Task] = {}
+        self._last_alive: Optional[float] = None
+        self._closed = False
+
+    @property
+    def url(self) -> str:
+        """The coordinator URL workers should be pointed at."""
+        return self.server.url
+
+    # -- TaskExecutor ---------------------------------------------------------------
+
+    def can_execute(self, task: Task) -> bool:
+        """Only keyed tasks with allowlisted payloads can cross the wire."""
+        return task.key is not None and protocol.payload_name(task.fn) is not None
+
+    def submit(self, task: Task, cache: Optional[ArtifactCache]) -> None:
+        if cache is None:
+            raise RemoteError(
+                "remote execution requires a shared artifact cache "
+                "(workers hand results back through it); --no-cache cannot be combined "
+                "with --workers"
+            )
+        spec = protocol.encode_task(task, cache.spec)
+        self._tasks[task.task_id] = task
+        self.coordinator.submit(spec)
+
+    def wait(self) -> List[TaskOutcome]:
+        if self._last_alive is None:
+            self._last_alive = time.time()
+        while True:
+            completions = self.coordinator.wait_completions(timeout=1.0)
+            if completions:
+                break
+            # Liveness watchdog: the coordinator prunes workers silent for a
+            # lease timeout, so worker_count reflects reality.  This fires
+            # both when nobody ever registered and when every registered
+            # worker has since exited or crashed with tasks still queued —
+            # either way the run would otherwise hang forever.
+            if self.coordinator.worker_count > 0:
+                self._last_alive = time.time()
+            elif time.time() - self._last_alive > self.worker_timeout:
+                raise RemoteError(
+                    f"no live worker at the coordinator at {self.url} for "
+                    f"{self.worker_timeout:.0f}s with tasks still pending; start some with "
+                    f"'repro worker serve --coordinator {self.url}'"
+                )
+        outcomes: List[TaskOutcome] = []
+        for completion in completions:
+            task = self._tasks.pop(completion["task_id"], None)
+            if task is None:
+                continue  # late duplicate of an already-delivered completion
+            if completion.get("error"):
+                raise RemoteTaskError(
+                    f"task '{completion['task_id']}' failed on worker "
+                    f"'{completion['worker_id']}': {completion['error']}"
+                )
+            outcomes.append(
+                TaskOutcome(
+                    task=task,
+                    value=completion.get("value"),
+                    in_cache=bool(completion.get("in_cache")),
+                    worker=str(completion.get("worker_id", "remote")),
+                    start=float(completion.get("start", 0.0)),
+                    end=float(completion.get("end", 0.0)),
+                )
+            )
+        return outcomes
+
+    def close(self, interrupt: bool = False) -> None:
+        """Revoke leases and stop; workers observe shutdown and exit.
+
+        The HTTP server keeps answering (with ``shutdown: true``) on its
+        daemon thread until this process exits, so workers polling a moment
+        later still learn the run is over rather than hitting a refused
+        connection; once the process does exit, their unreachability
+        fallback retires them anyway.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.coordinator.shutdown()
+        self._tasks.clear()
+        # Free the socket after a linger long enough for one poll round trip
+        # (a long-lived parent process should not accumulate dead servers).
+        timer = threading.Timer(_SERVER_LINGER_SECONDS, self.stop_server)
+        timer.daemon = True
+        timer.start()
+
+    def stop_server(self) -> None:
+        """Hard-stop the embedded HTTP server (idempotent; used by tests)."""
+        try:
+            self.server.shutdown()
+            self.server.server_close()
+        except Exception:
+            pass

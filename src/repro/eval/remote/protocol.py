@@ -1,0 +1,197 @@
+"""Wire protocol for distributed task execution: specs, args, HTTP helpers.
+
+A :class:`~repro.eval.taskgraph.Task` cannot cross a machine boundary as a
+Python object (its ``fn`` is a function reference and its args hold config
+dataclasses), so the coordinator ships a small JSON *task spec* instead:
+
+```
+{"task_id": "sweep:latency:mips:8", "kind": "runtime",
+ "fn": "compute_runtime_point", "args": [...], "key": "ab12…",
+ "serializer": "json", "attempt": 1}
+```
+
+* ``fn`` names an entry in :data:`PAYLOAD_FUNCTIONS` — a closed allowlist of
+  the pure, module-level payload functions the local pool already uses.  A
+  worker never evaluates arbitrary callables from the wire; an unknown name
+  is a :class:`~repro.errors.RemoteProtocolError`.
+* ``args`` are JSON with three tagged extensions: ``CompilerConfig`` and
+  ``RuntimeConfig`` travel as their ``to_dict()`` forms (round-tripping
+  preserves ``content_hash()``, so workers compute identical cache keys),
+  and the parent's cache spec is replaced by a placeholder each worker
+  substitutes with its *own* ``--cache-dir`` spec — the parent's local path
+  is meaningless on another host.
+
+The tiny ``http_post_json``/``http_get_json`` helpers keep the coordinator
+client, cache client and worker daemon on one code path for JSON-over-HTTP.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.request
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.config import CompilerConfig, RuntimeConfig
+from repro.errors import RemoteProtocolError
+from repro.eval import taskgraph
+
+#: The closed set of payload functions a worker will execute, by wire name.
+#: :func:`register_payload_function` may extend it (tests, future sweeps).
+PAYLOAD_FUNCTIONS: Dict[str, Callable[..., Any]] = {
+    "compute_compile": taskgraph.compute_compile,
+    "compute_runtime_point": taskgraph.compute_runtime_point,
+    "compute_split_point": taskgraph.compute_split_point,
+}
+
+_FUNCTION_NAMES: Dict[Callable[..., Any], str] = {fn: name for name, fn in PAYLOAD_FUNCTIONS.items()}
+
+#: Marker object replacing the parent's cache spec inside encoded args.
+_CACHE_SPEC_TAG = "cache_spec"
+
+#: "The HTTP conversation failed at the transport level" — refused or reset
+#: connections (``URLError`` is an ``OSError``), and responses truncated by a
+#: peer exiting mid-reply (``IncompleteRead`` etc. are ``HTTPException``,
+#: *not* ``OSError``).  Retry/degrade paths must catch both.
+TRANSPORT_ERRORS = (OSError, http.client.HTTPException)
+
+
+def register_payload_function(name: str, fn: Callable[..., Any]) -> None:
+    """Add a payload function to the wire allowlist (both directions)."""
+    PAYLOAD_FUNCTIONS[name] = fn
+    _FUNCTION_NAMES[fn] = name
+
+
+def payload_name(fn: Callable[..., Any]) -> Optional[str]:
+    """The wire name of *fn*, or ``None`` when it is not distributable."""
+    return _FUNCTION_NAMES.get(fn)
+
+
+# -- argument encoding ----------------------------------------------------------
+
+
+def encode_arg(value: Any, cache_spec: Optional[str]) -> Any:
+    """One task argument → its JSON wire form."""
+    if isinstance(value, CompilerConfig):
+        return {"__repro__": "compiler_config", "data": value.to_dict()}
+    if isinstance(value, RuntimeConfig):
+        return {"__repro__": "runtime_config", "data": value.to_dict()}
+    if isinstance(value, str) and cache_spec is not None and value == cache_spec:
+        return {"__repro__": _CACHE_SPEC_TAG}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise RemoteProtocolError(
+        f"cannot encode task argument of type {type(value).__name__} for the wire"
+    )
+
+
+def decode_arg(value: Any, cache_spec: Optional[str]) -> Any:
+    """Inverse of :func:`encode_arg`; *cache_spec* is the decoder's own cache."""
+    if isinstance(value, dict) and "__repro__" in value:
+        tag = value["__repro__"]
+        if tag == "compiler_config":
+            return CompilerConfig.from_dict(value["data"])
+        if tag == "runtime_config":
+            return RuntimeConfig.from_dict(value["data"])
+        if tag == _CACHE_SPEC_TAG:
+            return cache_spec
+        raise RemoteProtocolError(f"unknown wire tag '{tag}'")
+    return value
+
+
+# -- task specs -----------------------------------------------------------------
+
+
+def encode_task(task: "taskgraph.Task", cache_spec: Optional[str]) -> Dict[str, Any]:
+    """A :class:`~repro.eval.taskgraph.Task` → its JSON wire spec.
+
+    Raises :class:`RemoteProtocolError` for tasks that cannot be
+    distributed: unregistered payload functions, or key-less tasks (a remote
+    worker can only hand results back through the content-addressed cache).
+    """
+    name = payload_name(task.fn)
+    if name is None:
+        raise RemoteProtocolError(
+            f"task '{task.task_id}' uses an unregistered payload function "
+            f"{getattr(task.fn, '__name__', task.fn)!r} and cannot be distributed"
+        )
+    if task.key is None:
+        raise RemoteProtocolError(
+            f"task '{task.task_id}' has no content key; remote workers publish "
+            "results through the cache and need one"
+        )
+    return {
+        "task_id": task.task_id,
+        "kind": task.kind,
+        "fn": name,
+        "args": [encode_arg(a, cache_spec) for a in task.args],
+        "key": task.key,
+        "serializer": task.serializer,
+    }
+
+
+def decode_task(
+    spec: Dict[str, Any], cache_spec: Optional[str]
+) -> Tuple[str, Callable[..., Any], Tuple[Any, ...], str, str]:
+    """A wire spec → ``(task_id, fn, args, key, serializer)`` for execution."""
+    try:
+        name = spec["fn"]
+        task_id = spec["task_id"]
+        key = spec["key"]
+        serializer = spec["serializer"]
+        raw_args = spec["args"]
+    except (KeyError, TypeError) as exc:
+        raise RemoteProtocolError(f"malformed task spec: missing {exc}") from None
+    fn = PAYLOAD_FUNCTIONS.get(name)
+    if fn is None:
+        raise RemoteProtocolError(f"task '{task_id}' names unknown payload function '{name}'")
+    args = tuple(decode_arg(a, cache_spec) for a in raw_args)
+    return task_id, fn, args, key, serializer
+
+
+# -- JSON over HTTP -------------------------------------------------------------
+
+
+def send_json(handler: Any, status: int, payload: Dict[str, Any]) -> None:
+    """Write *payload* as a JSON response on a ``BaseHTTPRequestHandler``.
+
+    Shared by the coordinator and cache-service handlers so response
+    conventions (content type, explicit length for keep-alive) stay in one
+    place.
+    """
+    body = json.dumps(payload).encode("utf-8")
+    handler.send_response(status)
+    handler.send_header("Content-Type", "application/json")
+    handler.send_header("Content-Length", str(len(body)))
+    handler.end_headers()
+    handler.wfile.write(body)
+
+
+def read_json(handler: Any) -> Dict[str, Any]:
+    """Read a request body as JSON from a ``BaseHTTPRequestHandler``
+    (empty dict for missing or malformed bodies)."""
+    length = int(handler.headers.get("Content-Length") or 0)
+    if not length:
+        return {}
+    try:
+        return json.loads(handler.rfile.read(length).decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return {}
+
+
+def http_post_json(url: str, payload: Dict[str, Any], timeout: float = 30.0) -> Dict[str, Any]:
+    """POST *payload* as JSON and return the decoded JSON response body."""
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=body, method="POST", headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        data = response.read()
+    return json.loads(data.decode("utf-8")) if data else {}
+
+
+def http_get_json(url: str, timeout: float = 30.0) -> Dict[str, Any]:
+    """GET *url* and return the decoded JSON response body."""
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        data = response.read()
+    return json.loads(data.decode("utf-8")) if data else {}

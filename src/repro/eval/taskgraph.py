@@ -30,16 +30,17 @@ is.  ``repro graph`` prints these DAGs without executing them.
 from __future__ import annotations
 
 import os
+import time
 from collections import OrderedDict, deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.config import CompilerConfig, RuntimeConfig
 from repro.core.compiler import CompilationResult, TwillCompiler
 from repro.errors import TaskGraphCycleError, TaskGraphError
-from repro.eval.cache import ArtifactCache, compile_key, derived_key
+from repro.eval.cache import ArtifactCache, compile_key, derived_key, set_process_hmac_key
+from repro.eval.trace import TraceRecorder
 from repro.sim.system import resimulate_with_split
 from repro.sim.timing import simulate_partitioned
 from repro.workloads import get_workload
@@ -200,14 +201,19 @@ def seed_sweep_input(key: str, result: CompilationResult) -> None:
 
 
 def _sweep_input(name: str, config: CompilerConfig, cache_root: Optional[str]) -> CompilationResult:
-    """The compile artifact a sweep point re-simulates: memo → cache → compute."""
+    """The compile artifact a sweep point re-simulates: memo → cache → compute.
+
+    *cache_root* is a cache *spec* — a directory path or an ``http(s)://``
+    cache-service URL — so the same payload runs unchanged in the parent, in
+    a pool worker, and on a remote worker machine.
+    """
     key = compile_key(get_workload(name).source, config)
     hit = _SWEEP_INPUT_MEMO.get(key)
     if hit is not None:
         _SWEEP_INPUT_MEMO.move_to_end(key)
         return hit
     if cache_root is not None:
-        result = ArtifactCache(Path(cache_root)).get_or_compute(
+        result = ArtifactCache.from_spec(cache_root).get_or_compute(
             key, lambda: compute_compile(name, config), serializer="pickle"
         )
     else:
@@ -248,33 +254,43 @@ def compute_split_point(
     }
 
 
-#: Worker→parent marker meaning "the value is in the cache, load it there":
-#: large pickled artifacts are not worth shipping over the pipe when the
-#: worker just wrote the identical bytes to the shared cache.
-_IN_CACHE = "__repro_taskgraph_value_in_cache__"
-
-
 def _execute_in_worker(
     fn: Callable[..., Any],
     args: Tuple[Any, ...],
     key: Optional[str],
-    cache_root: Optional[str],
+    cache_spec: Optional[str],
     serializer: str,
-) -> Any:
-    """Worker-side entry: run one task payload through the shared cache.
+    hmac_key: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Pool-worker entry: run one task payload through the shared cache.
 
     ``get_or_compute`` gives single-flight semantics per key, so two workers
     (or two independent ``repro`` processes) racing on the same content
-    address do the work once and share the stored entry.  Pickled artifacts
-    come back as :data:`_IN_CACHE` (the parent re-reads them from the cache
-    instead of paying a second multi-megabyte pipe serialisation); small
-    JSON values are returned directly.
+    address do the work once and share the stored entry.  Returns a small
+    envelope dict: pickled artifacts come back with ``in_cache=True`` (the
+    parent re-reads them from the cache instead of paying a second
+    multi-megabyte pipe serialisation) while small JSON values ride in
+    ``value`` directly; ``pid``/``start``/``end`` feed the ``--trace``
+    timeline.
     """
-    if key is not None and cache_root is not None:
-        cache = ArtifactCache(Path(cache_root))
+    start = time.time()
+    if hmac_key is not None:
+        set_process_hmac_key(hmac_key)
+    in_cache = False
+    if key is not None and cache_spec is not None:
+        cache = ArtifactCache.from_spec(cache_spec)
         value = cache.get_or_compute(key, lambda: fn(*args), serializer=serializer)
-        return _IN_CACHE if serializer == "pickle" else value
-    return fn(*args)
+        if serializer == "pickle":
+            value, in_cache = None, True
+    else:
+        value = fn(*args)
+    return {
+        "value": value,
+        "in_cache": in_cache,
+        "pid": os.getpid(),
+        "start": start,
+        "end": time.time(),
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -351,6 +367,130 @@ def aggregate_task(
 
 
 # ---------------------------------------------------------------------------
+# executors
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TaskOutcome:
+    """One finished worker task as reported by an executor.
+
+    ``in_cache=True`` means the worker published the (pickled) value through
+    the shared cache instead of shipping it back; the scheduler re-reads it.
+    ``worker``/``start``/``end`` feed the ``--trace`` utilisation timeline.
+    """
+
+    task: Task
+    value: Any = None
+    in_cache: bool = False
+    worker: str = "pool"
+    start: float = 0.0
+    end: float = 0.0
+
+
+class TaskExecutor:
+    """Where worker tasks run: the pluggable seam under :class:`TaskScheduler`.
+
+    The scheduler owns graph order, seeds, cache pre-checks and aggregate
+    nodes; an executor only has to run keyed worker payloads somewhere else
+    and report :class:`TaskOutcome`\\ s back.  Two implementations exist:
+    :class:`LocalProcessExecutor` (a process pool on this machine — the
+    historical ``--parallel`` behaviour) and
+    :class:`repro.eval.remote.executor.RemoteExecutor` (an embedded
+    coordinator that ``repro worker serve`` daemons long-poll).
+    """
+
+    def can_execute(self, task: Task) -> bool:
+        """Whether this executor can run *task* (else the parent runs it inline)."""
+        return True
+
+    def submit(self, task: Task, cache: Optional[ArtifactCache]) -> None:
+        """Hand one ready worker task to the execution substrate."""
+        raise NotImplementedError
+
+    def wait(self) -> List[TaskOutcome]:
+        """Block until at least one submitted task finishes; return outcomes.
+
+        A task that failed definitively should raise here (the scheduler
+        treats executor errors as fatal for the run).
+        """
+        raise NotImplementedError
+
+    def close(self, interrupt: bool = False) -> None:
+        """Release resources; with ``interrupt=True``, abandon in-flight work
+        (terminate pool processes / revoke worker leases).  Idempotent."""
+        raise NotImplementedError
+
+
+class LocalProcessExecutor(TaskExecutor):
+    """The historical behaviour: fan worker tasks over a local process pool.
+
+    Workers exchange artefacts through the shared cache rather than over the
+    pipe (see :func:`_execute_in_worker`); the pool is created lazily on the
+    first submit so cache-warm runs never fork at all.
+    """
+
+    def __init__(self, jobs: int):
+        # Honour the requested degree rather than capping at os.cpu_count():
+        # in cgroup-limited containers the reported count is often wrong, and
+        # an explicit --parallel N is an informed opt-in.
+        self.max_workers = max(1, min(jobs, 32))
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._futures: Dict[Any, Task] = {}
+
+    def submit(self, task: Task, cache: Optional[ArtifactCache]) -> None:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        future = self._pool.submit(
+            _execute_in_worker,
+            task.fn,
+            task.args,
+            task.key,
+            cache.spec if cache is not None else None,
+            task.serializer,
+            cache.hmac_key if cache is not None else None,
+        )
+        self._futures[future] = task
+
+    def wait(self) -> List[TaskOutcome]:
+        finished, _ = wait(list(self._futures), return_when=FIRST_COMPLETED)
+        outcomes: List[TaskOutcome] = []
+        for future in finished:
+            task = self._futures.pop(future)
+            envelope = future.result()  # re-raises worker exceptions
+            outcomes.append(
+                TaskOutcome(
+                    task=task,
+                    value=envelope["value"],
+                    in_cache=envelope["in_cache"],
+                    worker=f"pid:{envelope['pid']}",
+                    start=envelope["start"],
+                    end=envelope["end"],
+                )
+            )
+        return outcomes
+
+    def close(self, interrupt: bool = False) -> None:
+        pool, self._pool = self._pool, None
+        self._futures.clear()
+        if pool is None:
+            return
+        if interrupt:
+            # Abandon queued work and put the worker processes down now: a
+            # Ctrl-C should not wait out a multi-second compile.  _processes
+            # is a private detail, so degrade to a plain shutdown without it.
+            pool.shutdown(wait=False, cancel_futures=True)
+            processes = getattr(pool, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+        else:
+            pool.shutdown()
+
+
+# ---------------------------------------------------------------------------
 # scheduler
 # ---------------------------------------------------------------------------
 
@@ -358,19 +498,28 @@ def aggregate_task(
 class TaskScheduler:
     """Executes a :class:`TaskGraph`, honouring dependencies.
 
-    * ``jobs <= 1`` (or ``None``): every task runs in the parent, in
-      topological (declaration-stable) order.
-    * ``jobs > 1``: ready worker tasks are fanned out over one shared
-      :class:`ProcessPoolExecutor`; aggregates always run in the parent as
-      soon as their dependencies finish.  Pool workers exchange artefacts
-      through *cache* rather than over the pipe; without a cache only
+    * ``jobs <= 1`` (or ``None``) and no *executor*: every task runs in the
+      parent, in topological (declaration-stable) order.
+    * ``jobs > 1``: ready worker tasks are fanned out over a
+      :class:`LocalProcessExecutor`; aggregates always run in the parent as
+      soon as their dependencies finish.  Workers exchange artefacts through
+      *cache* rather than over the pipe; without a cache only
       dependency-free tasks (compiles) are pooled and dependent sweep points
       run in the parent.
+    * an explicit *executor* (e.g. :class:`~repro.eval.remote.executor.
+      RemoteExecutor`) replaces the pool entirely; tasks the executor cannot
+      run (``can_execute`` false) fall back to the parent.
 
     Keyed tasks are memoised through *cache* (parent-side pre-check, then
     worker-side ``get_or_compute`` under the per-key lock).  *seeds* maps
     task ids to already-known values (the harness's in-memory layer), which
-    count as completed without running anything.
+    count as completed without running anything.  *trace* is an optional
+    :class:`repro.eval.trace.TraceRecorder` collecting per-task spans.
+
+    A :class:`KeyboardInterrupt` shuts down gracefully: the executor is
+    closed in interrupt mode (pool processes terminated, worker leases
+    revoked) and the per-key lock files of in-flight tasks are removed, so
+    an aborted run leaves no stale single-flight state behind.
     """
 
     def __init__(
@@ -379,21 +528,42 @@ class TaskScheduler:
         cache: Optional[ArtifactCache] = None,
         jobs: Optional[int] = None,
         seeds: Optional[Mapping[str, Any]] = None,
+        executor: Optional[TaskExecutor] = None,
+        trace: Optional[TraceRecorder] = None,
     ):
         self.graph = graph
         self.cache = cache
         self.jobs = jobs
         self.seeds = dict(seeds or {})
+        self.executor = executor
+        self.trace = trace
 
     # -- execution -----------------------------------------------------------------
 
     def run(self) -> Dict[str, Any]:
         """Execute every task; returns ``{task_id: value}`` for the whole graph."""
         order = self.graph.topological_order()
-        jobs = self.jobs or 1
-        if jobs > 1:
-            return self._run_parallel(order, jobs)
-        return self._run_serial(order)
+        keyed = self.cache is not None and bool(self.cache.hmac_key)
+        if keyed:
+            # Sweep payloads running *inline* rebuild their cache from the
+            # spec string (exactly as pool/remote workers do), so the parent
+            # process must carry the envelope key the same way workers get
+            # it via _execute_in_worker — otherwise an explicitly keyed run
+            # would reject its own signed compile artifacts when the
+            # in-memory sweep-input memo misses.  Restored afterwards so the
+            # key stays scoped to this run, not the whole process.
+            previous_key = set_process_hmac_key(self.cache.hmac_key)
+        try:
+            executor = self.executor
+            if executor is None:
+                jobs = self.jobs or 1
+                if jobs <= 1:
+                    return self._run_serial(order)
+                executor = LocalProcessExecutor(jobs)
+            return self._run_with_executor(order, executor)
+        finally:
+            if keyed:
+                set_process_hmac_key(previous_key)
 
     def _cached_or_none(self, task: Task) -> Optional[Any]:
         if task.key is not None and self.cache is not None:
@@ -416,89 +586,106 @@ class TaskScheduler:
             # workers) reuse the in-memory artifact instead of re-reading it.
             seed_sweep_input(task.key, value)
 
+    def _trace_span(self, task: Task, worker: str, start: float, end: float) -> None:
+        if self.trace is not None:
+            self.trace.record(task.task_id, task.kind, worker, start, end)
+
+    def _sweep_locks(self, tasks: Sequence[Task]) -> None:
+        """Interrupt cleanup: drop the per-key lock files of abandoned tasks."""
+        if self.cache is None:
+            return
+        for task in tasks:
+            if task.key is not None:
+                self.cache.discard_lock_file(task.key)
+
     def _run_serial(self, order: List[Task]) -> Dict[str, Any]:
         results: Dict[str, Any] = {}
         for task in order:
             if task.task_id in self.seeds:
                 self._record(task, self.seeds[task.task_id], results)
                 continue
-            self._record(task, self._run_task_inline(task, results), results)
+            start = time.time()
+            try:
+                value = self._run_task_inline(task, results)
+            except KeyboardInterrupt:
+                self._sweep_locks([task])
+                raise
+            self._trace_span(task, "parent", start, time.time())
+            self._record(task, value, results)
         return results
 
-    def _run_parallel(self, order: List[Task], jobs: int) -> Dict[str, Any]:
+    def _run_with_executor(self, order: List[Task], executor: TaskExecutor) -> Dict[str, Any]:
         results: Dict[str, Any] = {}
-        done: set = set()
         dependents: Dict[str, List[Task]] = {t.task_id: [] for t in order}
         for task in order:
             for dep in task.deps:
                 dependents[dep].append(task)
-        waiting: Dict[str, int] = {}
-        ready: deque = deque()
-        for task in order:
-            waiting[task.task_id] = len(task.deps)
+        waiting: Dict[str, int] = {t.task_id: len(t.deps) for t in order}
+        ready: deque = deque(t for t in order if not t.deps)
+        in_flight: Dict[str, Task] = {}
 
         def complete(task: Task, value: Any) -> None:
             self._record(task, value, results)
-            done.add(task.task_id)
             for dependent in dependents[task.task_id]:
                 waiting[dependent.task_id] -= 1
                 if waiting[dependent.task_id] == 0:
                     ready.append(dependent)
 
-        for task in order:
-            if not task.deps:
-                ready.append(task)
+        def run_inline(task: Task) -> None:
+            start = time.time()
+            value = self._run_task_inline(task, results)
+            self._trace_span(task, "parent", start, time.time())
+            complete(task, value)
 
-        cache_root = str(self.cache.root) if self.cache is not None else None
-        # Honour the requested degree rather than capping at os.cpu_count():
-        # in cgroup-limited containers the reported count is often wrong, and
-        # an explicit --parallel N is an informed opt-in.
-        max_workers = max(1, min(jobs, 32))
-        pool: Optional[ProcessPoolExecutor] = None
-        futures: Dict[Any, Task] = {}
+        current: Optional[Task] = None
         try:
-            while ready or futures:
-                while ready:
-                    task = ready.popleft()
-                    if task.task_id in self.seeds:
-                        complete(task, self.seeds[task.task_id])
-                        continue
-                    if not task.runs_in_worker():
-                        complete(task, task.fn(results, *task.args))
-                        continue
-                    hit = self._cached_or_none(task)
-                    if hit is not None:
-                        complete(task, hit)
-                        continue
-                    if cache_root is None and task.deps:
-                        # Without the shared cache a worker cannot see its
-                        # dependencies' artefacts, so dependent tasks (sweep
-                        # points) run in the parent off the in-memory memo;
-                        # dep-free compiles still fan out over the pool.
-                        complete(task, self._run_task_inline(task, results))
-                        continue
-                    if pool is None:
-                        pool = ProcessPoolExecutor(max_workers=max_workers)
-                    future = pool.submit(
-                        _execute_in_worker,
-                        task.fn,
-                        task.args,
-                        task.key,
-                        cache_root,
-                        task.serializer,
-                    )
-                    futures[future] = task
-                if futures:
-                    finished, _ = wait(list(futures), return_when=FIRST_COMPLETED)
-                    for future in finished:
-                        task = futures.pop(future)
-                        value = future.result()
-                        if isinstance(value, str) and value == _IN_CACHE:
-                            value = self._cached_or_none(task)
-                            if value is None:  # pruned/corrupted between write and read
-                                value = self._run_task_inline(task, results)
-                        complete(task, value)
+            try:
+                while ready or in_flight:
+                    while ready:
+                        task = ready.popleft()
+                        current = task
+                        if task.task_id in self.seeds:
+                            complete(task, self.seeds[task.task_id])
+                            continue
+                        if not task.runs_in_worker():
+                            start = time.time()
+                            value = task.fn(results, *task.args)
+                            self._trace_span(task, "parent", start, time.time())
+                            complete(task, value)
+                            continue
+                        hit = self._cached_or_none(task)
+                        if hit is not None:
+                            complete(task, hit)
+                            continue
+                        if (self.cache is None and task.deps) or not executor.can_execute(task):
+                            # Without the shared cache a worker cannot see its
+                            # dependencies' artefacts (and some executors only
+                            # speak the registered payload protocol), so such
+                            # tasks run in the parent off the in-memory memo;
+                            # everything else fans out.
+                            run_inline(task)
+                            continue
+                        executor.submit(task, self.cache)
+                        in_flight[task.task_id] = task
+                    current = None
+                    if in_flight:
+                        for outcome in executor.wait():
+                            task = outcome.task
+                            in_flight.pop(task.task_id, None)
+                            value = outcome.value
+                            if outcome.in_cache:
+                                value = self._cached_or_none(task)
+                                if value is None:  # pruned/corrupted between write and read
+                                    value = self._run_task_inline(task, results)
+                            self._trace_span(task, outcome.worker, outcome.start, outcome.end)
+                            complete(task, value)
+            except KeyboardInterrupt:
+                executor.close(interrupt=True)
+                abandoned = list(in_flight.values())
+                if current is not None and current.task_id not in in_flight:
+                    abandoned.append(current)
+                self._sweep_locks(abandoned)
+                raise
         finally:
-            if pool is not None:
-                pool.shutdown()
+            executor.close()
         return results

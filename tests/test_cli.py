@@ -194,11 +194,48 @@ def test_jobs_alias_for_parallel(tmp_path, capsys):
     assert "Table 6.1" in out
 
 
+def test_report_trace_writes_chrome_tracing_json(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    code, out, _ = run_cli(
+        ["report", "--benchmarks", "blowfish", "--trace", str(trace_path)], tmp_path, capsys
+    )
+    assert code == 0
+    document = json.loads(trace_path.read_text())
+    names = [e["name"] for e in document["traceEvents"] if e.get("ph") == "X"]
+    assert "compile:blowfish" in names
+    assert "summary:6.7" in names  # aggregates are traced too
+    assert any("sweep:" in n for n in names)
+    # Stdout stayed pure report output (trace status goes to stderr).
+    assert "Table 6.1" in out and "trace" not in out
+
+
+def test_report_workers_rejects_no_cache(tmp_path, capsys):
+    code, _, err = run_cli(
+        ["report", "--workers", "127.0.0.1:0", "--no-cache"], tmp_path, capsys
+    )
+    assert code == 2
+    assert "--workers" in err and "cache" in err
+
+
+def test_report_workers_rejects_malformed_address(tmp_path, capsys):
+    code, _, err = run_cli(["report", "--workers", "nonsense"], tmp_path, capsys)
+    assert code == 2
+    assert "invalid --workers address" in err
+
+
 def test_parser_covers_all_documented_subcommands():
     parser = build_parser()
     actions = [a for a in parser._actions if hasattr(a, "choices") and a.choices]
     subcommands = set(actions[0].choices)
-    assert {"list", "run", "sweep", "table", "figure", "report", "graph", "cache"} <= subcommands
+    assert {"list", "run", "sweep", "table", "figure", "report", "graph", "cache", "worker"} <= subcommands
+
+
+def test_cache_and_worker_serve_actions_are_wired():
+    parser = build_parser()
+    args = parser.parse_args(["cache", "serve", "--port", "0"])
+    assert args.action == "serve" and args.port == 0
+    args = parser.parse_args(["worker", "serve", "--coordinator", "http://h:1", "--max-tasks", "3"])
+    assert args.action == "serve" and args.coordinator == "http://h:1" and args.max_tasks == 3
 
 
 def test_cli_and_report_artefact_registries_stay_in_sync():

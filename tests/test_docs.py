@@ -43,8 +43,23 @@ def test_architecture_doc_covers_every_package():
 
 def test_caching_doc_matches_the_implementation():
     doc = _read("docs", "CACHING.md")
-    from repro.eval.cache import CACHE_DIR_ENV, CACHE_SCHEMA_VERSION, DEFAULT_CACHE_DIR
+    from repro.eval.cache import CACHE_DIR_ENV, CACHE_HMAC_ENV, CACHE_SCHEMA_VERSION, DEFAULT_CACHE_DIR
 
     assert DEFAULT_CACHE_DIR in doc
     assert CACHE_DIR_ENV in doc
+    assert CACHE_HMAC_ENV in doc
     assert f"schema version: {CACHE_SCHEMA_VERSION}" in doc.lower() or str(CACHE_SCHEMA_VERSION) in doc
+
+
+def test_distributed_doc_covers_the_cli_surface():
+    doc = _read("docs", "DISTRIBUTED.md")
+    for needle in (
+        "repro cache serve",
+        "repro worker serve",
+        "--workers",
+        "lease",
+        "heartbeat",
+        "REPRO_CACHE_HMAC_KEY",
+        "byte-identical",
+    ):
+        assert needle in doc, f"DISTRIBUTED.md does not mention {needle!r}"

@@ -1,0 +1,555 @@
+"""Tests of the distributed execution subsystem (`repro.eval.remote`).
+
+Three layers, cheapest first:
+
+* pure-logic tests of the :class:`Coordinator` state machine (lease,
+  heartbeat, expiry-reassignment, retry cap) and the wire protocol;
+* live-socket tests of the HTTP cache service (round trip, server-side
+  single-flight) and of a real worker loop driving a
+  :class:`RemoteExecutor`-backed scheduler — all in-process with fake
+  (cheap) payload functions, no workload compiles;
+* one subprocess end-to-end smoke (``tools/distributed_smoke.py``): cache
+  server + two workers + ``repro report --workers`` with crash injection,
+  asserting byte-identical output to a cold serial run.
+"""
+
+import json
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.errors import RemoteProtocolError, RemoteTaskError, ReproError
+from repro.config import CompilerConfig, RuntimeConfig
+from repro.eval.cache import ArtifactCache, LocalFSBackend, sign_envelope
+from repro.eval.remote import protocol
+from repro.eval.remote.cache_http import HTTPCacheBackend, make_cache_server
+from repro.eval.remote.coordinator import Coordinator
+from repro.eval.remote.executor import RemoteExecutor
+from repro.eval.remote.worker import run_worker
+from repro.eval.taskgraph import Task, TaskGraph, TaskScheduler, aggregate_task
+from repro.eval.trace import TraceRecorder
+
+
+def make_spec(task_id="sweep:fake", attempt=None):
+    spec = {
+        "task_id": task_id,
+        "kind": "runtime",
+        "fn": "compute_runtime_point",
+        "args": [],
+        "key": "f" * 64,
+        "serializer": "json",
+    }
+    if attempt is not None:
+        spec["attempt"] = attempt
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# coordinator state machine (fake workers, no HTTP, no compiles)
+# ---------------------------------------------------------------------------
+
+
+def test_lease_and_complete_round_trip():
+    coordinator = Coordinator(lease_timeout=5.0)
+    registration = coordinator.register()
+    worker = registration["worker_id"]
+    assert registration["lease_timeout"] == 5.0
+    coordinator.submit(make_spec())
+    response = coordinator.lease(worker, wait=0.1)
+    assert response["task"]["task_id"] == "sweep:fake"
+    assert response["task"]["attempt"] == 1
+    # Nothing else queued: an immediate second lease long-polls to empty.
+    assert coordinator.lease(worker, wait=0.05)["task"] is None
+    coordinator.complete(worker, "sweep:fake", ok=True, value=42.0)
+    [completion] = coordinator.wait_completions(timeout=1.0)
+    assert completion["value"] == 42.0
+    assert completion["error"] is None
+    assert coordinator.inflight == 0
+
+
+def test_dead_worker_lease_expires_and_task_is_reassigned():
+    coordinator = Coordinator(lease_timeout=0.15)
+    dead = coordinator.register(name="doomed")["worker_id"]
+    survivor = coordinator.register(name="survivor")["worker_id"]
+    coordinator.submit(make_spec())
+    assert coordinator.lease(dead, wait=0.05)["task"] is not None
+    # `dead` never heartbeats; after the lease timeout the survivor gets the
+    # same task with the attempt counter bumped.
+    time.sleep(0.2)
+    response = coordinator.lease(survivor, wait=1.0)
+    assert response["task"]["task_id"] == "sweep:fake"
+    assert response["task"]["attempt"] == 2
+    # The late completion from the presumed-dead worker is dropped...
+    assert coordinator.complete(dead, "sweep:fake", ok=True, value=1.0) == {"accepted": False}
+    assert coordinator.wait_completions(timeout=0.05) == []
+    # ...while the survivor's goes through.
+    assert coordinator.complete(survivor, "sweep:fake", ok=True, value=2.0)["accepted"]
+    [completion] = coordinator.wait_completions(timeout=1.0)
+    assert completion["value"] == 2.0 and completion["worker_id"] == survivor
+
+
+def test_heartbeat_renews_leases():
+    coordinator = Coordinator(lease_timeout=0.3)
+    worker = coordinator.register()["worker_id"]
+    coordinator.submit(make_spec())
+    assert coordinator.lease(worker, wait=0.05)["task"] is not None
+    for _ in range(3):  # keep renewing well past the original deadline
+        time.sleep(0.15)
+        assert coordinator.heartbeat(worker) == {"shutdown": False}
+    assert coordinator.wait_completions(timeout=0.05) == []  # never reaped
+    coordinator.complete(worker, "sweep:fake", ok=True, value=7)
+    assert coordinator.wait_completions(timeout=1.0)[0]["value"] == 7
+
+
+def test_heartbeat_only_renews_listed_tasks():
+    """A finished task whose completion notice was lost must not be kept
+    alive by the worker's heartbeats — it has to expire and be reassigned."""
+    coordinator = Coordinator(lease_timeout=0.2)
+    worker = coordinator.register()["worker_id"]
+    survivor = coordinator.register()["worker_id"]
+    coordinator.submit(make_spec())
+    assert coordinator.lease(worker, wait=0.05)["task"] is not None
+    # The worker finished the task (its result is in the cache) but the
+    # complete POST was lost; it now heartbeats with an empty active list.
+    deadline = time.time() + 1.0
+    reassigned = None
+    while time.time() < deadline:
+        coordinator.heartbeat(worker, tasks=[])
+        reassigned = coordinator.lease(survivor, wait=0.05)["task"]
+        if reassigned:
+            break
+    assert reassigned and reassigned["attempt"] == 2  # lease expired despite heartbeats
+
+
+def test_retry_cap_fails_the_task():
+    coordinator = Coordinator(lease_timeout=0.05, max_attempts=2)
+    coordinator.submit(make_spec())
+    for expected_attempt in (1, 2):
+        worker = coordinator.register()["worker_id"]
+        response = coordinator.lease(worker, wait=1.0)
+        assert response["task"]["attempt"] == expected_attempt
+        time.sleep(0.1)  # abandon the lease
+    [completion] = coordinator.wait_completions(timeout=2.0)
+    assert "giving up" in completion["error"]
+
+
+def test_silent_workers_are_pruned_and_names_freed():
+    coordinator = Coordinator(lease_timeout=0.1)
+    worker = coordinator.register(name="stable")["worker_id"]
+    assert worker == "stable"
+    assert coordinator.worker_count == 1
+    time.sleep(0.15)  # no heartbeat, no poll: the worker is presumed dead
+    assert coordinator.wait_completions(timeout=0.01) == []  # drives the reaper
+    # worker_count is honest again (the executor's no-live-worker watchdog
+    # relies on this to fail instead of hanging when every worker died)...
+    assert coordinator.worker_count == 0
+    # ...and a restarted worker gets its stable --name back, not a suffix.
+    assert coordinator.register(name="stable")["worker_id"] == "stable"
+
+
+def test_shutdown_tells_workers_to_exit():
+    coordinator = Coordinator()
+    worker = coordinator.register()["worker_id"]
+    coordinator.submit(make_spec())
+    coordinator.shutdown()
+    response = coordinator.lease(worker, wait=0.05)
+    assert response == {"task": None, "shutdown": True}
+    assert coordinator.heartbeat(worker)["shutdown"] is True
+
+
+# ---------------------------------------------------------------------------
+# wire protocol
+# ---------------------------------------------------------------------------
+
+
+def test_task_spec_round_trip_substitutes_configs_and_cache_spec():
+    from repro.eval import taskgraph
+
+    config = CompilerConfig()
+    task = taskgraph.runtime_task(
+        "blowfish", config, "/parent/cache", RuntimeConfig(queue_latency=8), "latency:blowfish:8"
+    )
+    spec = json.loads(json.dumps(protocol.encode_task(task, "/parent/cache")))
+    task_id, fn, args, key, serializer = protocol.decode_task(spec, "http://worker-view:1")
+    assert task_id == task.task_id and key == task.key and serializer == "json"
+    assert fn is taskgraph.compute_runtime_point
+    name, decoded_config, cache_spec, runtime = args
+    assert name == "blowfish"
+    assert cache_spec == "http://worker-view:1"  # the worker's own cache, not the parent path
+    assert decoded_config.content_hash() == config.content_hash()  # identical cache keys
+    assert runtime.queue_latency == 8
+
+
+def test_unregistered_payloads_and_keyless_tasks_are_rejected():
+    task = Task(task_id="t", kind="runtime", fn=lambda: None, key="a" * 64)
+    with pytest.raises(RemoteProtocolError, match="unregistered payload"):
+        protocol.encode_task(task, None)
+    from repro.eval.taskgraph import compute_compile
+
+    keyless = Task(task_id="t", kind="compile", fn=compute_compile, key=None)
+    with pytest.raises(RemoteProtocolError, match="no content key"):
+        protocol.encode_task(keyless, None)
+    with pytest.raises(RemoteProtocolError, match="unknown payload function"):
+        protocol.decode_task(make_spec() | {"fn": "os.system"}, None)
+
+
+# ---------------------------------------------------------------------------
+# HMAC-signed envelope
+# ---------------------------------------------------------------------------
+
+
+def test_signed_pickles_round_trip_and_reject_tampering(tmp_path):
+    cache = ArtifactCache(tmp_path, hmac_key="s3cret")
+    path = cache.put("a" * 64, {"payload": [1, 2, 3]}, serializer="pickle")
+    raw = path.read_bytes()
+    assert raw.startswith(b"repro-hmac-v1\n")
+    assert cache.get("a" * 64) == {"payload": [1, 2, 3]}
+    # Flip one payload byte: signature check fails and the entry reads as a
+    # miss — never unpickled.  It is NOT deleted (a mis-signed entry is
+    # indistinguishable from another reader's validly keyed one); the
+    # recompute that follows the miss overwrites it in place.
+    path.write_bytes(raw[:-1] + bytes([raw[-1] ^ 0xFF]))
+    assert cache.get("a" * 64) is None
+    assert path.exists()
+    recomputed = cache.get_or_compute("a" * 64, lambda: {"payload": "fresh"}, serializer="pickle")
+    assert recomputed == {"payload": "fresh"}
+    assert cache.get("a" * 64) == {"payload": "fresh"}
+
+
+def test_key_mismatch_and_unsigned_entries_read_as_misses(tmp_path):
+    signed = ArtifactCache(tmp_path, hmac_key="key-one")
+    signed.put("b" * 64, "value", serializer="pickle")
+    assert ArtifactCache(tmp_path, hmac_key="key-two").get("b" * 64) is None  # wrong key
+    unsigned = ArtifactCache(tmp_path)
+    unsigned.put("c" * 64, "legacy", serializer="pickle")
+    assert ArtifactCache(tmp_path, hmac_key="key-one").get("c" * 64) is None  # unsigned entry
+    # JSON entries carry no envelope and are unaffected by keys.
+    signed2 = ArtifactCache(tmp_path, hmac_key="key-one")
+    signed2.put("d" * 64, {"v": 1}, serializer="json")
+    assert ArtifactCache(tmp_path).get("d" * 64) == {"v": 1}
+
+
+def test_scheduler_scopes_the_process_hmac_key_to_the_run(tmp_path):
+    """A keyed run must not leak its envelope key into later key-less caches
+    constructed in the same process."""
+    from repro.eval.cache import process_hmac_key
+
+    before = process_hmac_key()
+    cache = ArtifactCache(tmp_path, hmac_key="run-scoped")
+    graph = TaskGraph()
+    graph.add(aggregate_task("noop", lambda results: 1, []))
+    TaskScheduler(graph, cache=cache).run()
+    assert process_hmac_key() == before  # restored, not "run-scoped"
+
+
+def test_crashed_lock_holder_is_reaped_without_further_acquires(tmp_path):
+    """The cache service's reaper must free an expired lock lease on its own,
+    or a co-located local flock waiter could block forever."""
+    server = make_cache_server(tmp_path / "served", port=0, lock_lease_seconds=0.3)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        token = server.try_acquire("a" * 64)
+        assert token is not None  # "client" acquires, then crashes silently
+        deadline = time.time() + 5.0
+        while server.lock_leases and time.time() < deadline:
+            time.sleep(0.05)
+        assert not server.lock_leases  # reaper released the flock unprompted
+        with LocalFSBackend(tmp_path / "served").lock("a" * 64):
+            pass  # a local flock waiter gets through
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_envelope_helpers_reject_truncation():
+    from repro.errors import CacheIntegrityError
+    from repro.eval.cache import open_envelope
+
+    data = sign_envelope(b"payload", "k")
+    assert open_envelope(data, "k") == b"payload"
+    with pytest.raises(CacheIntegrityError):
+        open_envelope(data[: len(b"repro-hmac-v1\n") + 10], "k")
+    with pytest.raises(CacheIntegrityError):
+        open_envelope(b"not an envelope", "k")
+
+
+# ---------------------------------------------------------------------------
+# HTTP cache service
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def cache_server(tmp_path):
+    server = make_cache_server(tmp_path / "served", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_http_cache_round_trip_json_and_pickle(cache_server):
+    remote = ArtifactCache(backend=HTTPCacheBackend(cache_server.url))
+    assert remote.get("1" * 64) is None
+    assert not remote.contains("1" * 64)
+    remote.put("1" * 64, {"cycles": 123.5}, serializer="json")
+    remote.put("2" * 64, ("tuple", [1, 2]), serializer="pickle")
+    assert remote.get("1" * 64) == {"cycles": 123.5}
+    assert remote.get("2" * 64) == ("tuple", [1, 2])
+    assert remote.contains("2" * 64)
+    # The served store is an ordinary local cache: a direct reader sees the
+    # same entries, byte-compatibly.
+    local = ArtifactCache(backend=cache_server.backend)
+    assert local.get("1" * 64) == {"cycles": 123.5}
+    assert remote.stats()["entries"] == 2
+
+
+def test_http_cache_single_flight_across_clients(cache_server):
+    computed = []
+
+    def compute():
+        computed.append(1)
+        time.sleep(0.3)
+        return {"v": 9}
+
+    def contend():
+        backend = HTTPCacheBackend(cache_server.url)
+        assert ArtifactCache(backend=backend).get_or_compute(
+            "9" * 64, compute, serializer="json"
+        ) == {"v": 9}
+
+    threads = [threading.Thread(target=contend) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert len(computed) == 1  # the second client waited on the server-side lock
+
+
+def test_http_cache_rejects_bad_keys_and_paths(cache_server):
+    backend = HTTPCacheBackend(cache_server.url)
+    with pytest.raises(ReproError):
+        backend.get_blob("../../etc/passwd")
+    request = urllib.request.Request(f"{cache_server.url}/objects/nothex", method="GET")
+    with pytest.raises(urllib.error.HTTPError):
+        urllib.request.urlopen(request, timeout=5)
+
+
+def test_maintenance_requires_local_cache(cache_server):
+    remote = ArtifactCache(backend=HTTPCacheBackend(cache_server.url))
+    with pytest.raises(ReproError, match="local cache"):
+        remote.clear()
+    with pytest.raises(ReproError, match="local cache"):
+        remote.prune(0)
+    assert remote.root is None
+
+
+def test_from_spec_picks_backend(tmp_path):
+    assert isinstance(ArtifactCache.from_spec(str(tmp_path)).backend, LocalFSBackend)
+    assert isinstance(ArtifactCache.from_spec("http://example:1").backend, HTTPCacheBackend)
+    assert ArtifactCache.from_spec("http://example:1").spec == "http://example:1"
+
+
+# ---------------------------------------------------------------------------
+# remote executor + real worker loop (cheap fake payloads)
+# ---------------------------------------------------------------------------
+
+
+def fake_payload(base):
+    """Cheap stand-in for a sweep payload (registered on the wire below)."""
+    return {"value": base * 2}
+
+
+protocol.register_payload_function("_test_fake_payload", fake_payload)
+
+
+def fake_task(task_id="sweep:fake:21", base=21, key="e" * 64):
+    return Task(
+        task_id=task_id, kind="runtime", fn=fake_payload, args=(base,), key=key,
+        serializer="json",
+    )
+
+
+def test_scheduler_with_remote_executor_and_real_worker(tmp_path):
+    graph = TaskGraph()
+    graph.add(fake_task())
+    graph.add(aggregate_task("agg", lambda results: results["sweep:fake:21"]["value"], ["sweep:fake:21"]))
+    cache = ArtifactCache(tmp_path / "cache")
+    trace = TraceRecorder()
+    executor = RemoteExecutor(port=0, lease_timeout=10.0, worker_timeout=60.0)
+    worker = threading.Thread(
+        target=run_worker,
+        kwargs=dict(
+            coordinator_url=executor.url,
+            cache_spec=str(tmp_path / "cache"),
+            poll_wait=0.5,
+            verbose=False,
+        ),
+        daemon=True,
+    )
+    worker.start()
+    try:
+        results = TaskScheduler(graph, cache=cache, executor=executor, trace=trace).run()
+        assert results["agg"] == 42
+        # The worker published through the cache, not the coordinator wire.
+        assert cache.get("e" * 64) == {"value": 42}
+        # Both the remote task and the parent-side aggregate were traced,
+        # on different lanes.
+        spans = {event["name"]: event for event in trace.events}
+        assert spans["sweep:fake:21"]["tid"] != spans["agg"]["tid"]
+        # After the run the worker is told to shut down and exits.
+        worker.join(timeout=15)
+        assert not worker.is_alive()
+    finally:
+        executor.stop_server()
+
+
+def test_worker_accepts_schemeless_coordinator_address(tmp_path):
+    """`--coordinator HOST:PORT` (the form `--workers` prints/accepts) must
+    work, not crash with an unknown-url-type ValueError."""
+    executor = RemoteExecutor(port=0, worker_timeout=60.0)
+    address = executor.url[len("http://"):]
+    worker = threading.Thread(
+        target=run_worker,
+        kwargs=dict(coordinator_url=address, cache_spec=str(tmp_path), poll_wait=0.2,
+                    verbose=False),
+        daemon=True,
+    )
+    worker.start()
+    try:
+        deadline = time.time() + 15
+        while executor.coordinator.worker_count == 0 and time.time() < deadline:
+            time.sleep(0.05)
+        assert executor.coordinator.worker_count == 1  # registration worked
+        executor.close()  # run over: the worker must notice and exit
+        worker.join(timeout=15)
+        assert not worker.is_alive()
+    finally:
+        executor.stop_server()
+
+
+def test_worker_reported_failure_aborts_the_run(tmp_path):
+    def exploding(base):
+        raise ValueError("boom")
+
+    protocol.register_payload_function("_test_exploding", exploding)
+    graph = TaskGraph()
+    graph.add(Task(task_id="sweep:boom", kind="runtime", fn=exploding, args=(1,),
+                   key="b" * 64, serializer="json"))
+    executor = RemoteExecutor(port=0, lease_timeout=10.0, worker_timeout=60.0)
+    worker = threading.Thread(
+        target=run_worker,
+        kwargs=dict(coordinator_url=executor.url, cache_spec=str(tmp_path), poll_wait=0.5,
+                    verbose=False, max_tasks=1),
+        daemon=True,
+    )
+    worker.start()
+    try:
+        with pytest.raises(RemoteTaskError, match="boom"):
+            TaskScheduler(graph, cache=ArtifactCache(tmp_path), executor=executor).run()
+    finally:
+        executor.stop_server()
+        worker.join(timeout=15)
+
+
+def test_tasks_the_executor_cannot_run_fall_back_to_the_parent(tmp_path):
+    ran_inline = []
+
+    def unregistered():
+        ran_inline.append(True)
+        return {"ok": 1}
+
+    graph = TaskGraph()
+    graph.add(Task(task_id="sweep:inline", kind="runtime", fn=unregistered,
+                   key="c" * 64, serializer="json"))
+    executor = RemoteExecutor(port=0, worker_timeout=60.0)
+    try:
+        results = TaskScheduler(graph, cache=ArtifactCache(tmp_path), executor=executor).run()
+    finally:
+        executor.stop_server()
+    assert results["sweep:inline"] == {"ok": 1}
+    assert ran_inline  # no worker existed; the parent ran it inline
+
+
+# ---------------------------------------------------------------------------
+# graceful interrupt
+# ---------------------------------------------------------------------------
+
+
+def test_keyboard_interrupt_sweeps_lock_files_serial(tmp_path):
+    cache = ArtifactCache(tmp_path)
+
+    def interrupted():
+        raise KeyboardInterrupt
+
+    graph = TaskGraph()
+    graph.add(Task(task_id="sweep:interrupted", kind="runtime", fn=interrupted,
+                   key="a" * 64, serializer="json"))
+    with pytest.raises(KeyboardInterrupt):
+        TaskScheduler(graph, cache=cache).run()
+    # get_or_compute created the per-key lock file; the graceful-shutdown
+    # path must not leave it behind.
+    assert not cache.backend.lock_path("a" * 64).exists()
+    assert list((tmp_path / "locks").rglob("*.lock")) == []
+
+
+def test_keyboard_interrupt_with_executor_closes_it(tmp_path):
+    closed = []
+
+    class Recorder:
+        def can_execute(self, task):
+            return False
+
+        def submit(self, task, cache):  # pragma: no cover - never reached
+            raise AssertionError
+
+        def wait(self):  # pragma: no cover - never reached
+            return []
+
+        def close(self, interrupt=False):
+            closed.append(interrupt)
+
+    def interrupted():
+        raise KeyboardInterrupt
+
+    graph = TaskGraph()
+    graph.add(Task(task_id="sweep:interrupted", kind="runtime", fn=interrupted,
+                   key="d" * 64, serializer="json"))
+    cache = ArtifactCache(tmp_path)
+    with pytest.raises(KeyboardInterrupt):
+        TaskScheduler(graph, cache=cache, executor=Recorder()).run()
+    assert True in closed  # interrupt-mode close happened
+    assert not cache.backend.lock_path("d" * 64).exists()
+
+
+# ---------------------------------------------------------------------------
+# end-to-end localhost smoke (subprocesses; the acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+def test_distributed_smoke_localhost():
+    """Cache server + two workers (one crash-injected) + ``repro report
+    --workers`` must be byte-identical to a cold serial run."""
+    import subprocess
+    import sys as _sys
+
+    repo_root = Path(__file__).resolve().parent.parent
+    proc = subprocess.run(
+        [
+            _sys.executable,
+            str(repo_root / "tools" / "distributed_smoke.py"),
+            "--benchmarks", "blowfish",
+            "--lease-timeout", "10",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    assert "byte-identical" in proc.stdout
