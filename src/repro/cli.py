@@ -10,12 +10,16 @@ suite use, so numbers never diverge between entry points:
 * ``repro sweep {latency,depth,split}`` — the sensitivity sweeps behind
   Figures 6.3-6.6;
 * ``repro table {6.1,6.2}`` / ``repro figure {6.1..6.6}`` — one thesis
-  artefact;
+  artefact; ``repro figure 6.x --svg FILE`` renders it as a standalone SVG
+  chart (``-`` for stdout) through :mod:`repro.viz`;
 * ``repro report`` — every table and figure plus the §6.7 headline summary
   (``--json`` / ``--markdown`` for machine- or doc-friendly output),
-  computed as one task graph; ``--workers HOST:PORT`` runs it distributed
-  (an embedded coordinator that ``repro worker serve`` daemons poll) and
-  ``--trace trace.json`` records a chrome://tracing timeline;
+  computed as one task graph; ``--html DIR`` writes a single self-contained
+  ``report.html`` with every figure as inline SVG (see docs/REPORTING.md);
+  ``--workers HOST:PORT`` runs it distributed (an embedded coordinator that
+  ``repro worker serve`` daemons poll) and ``--trace trace.json`` records a
+  chrome://tracing timeline (embedded in the HTML report when combined
+  with ``--html``);
 * ``repro graph`` — print that task graph (every compile, sweep-point and
   aggregate node with its dependencies) without executing it;
 * ``repro cache {stats,clear,prune}`` — inspect, empty, or LRU-bound the
@@ -23,7 +27,13 @@ suite use, so numbers never diverge between entry points:
 * ``repro cache serve`` — share one artifact store over HTTP so workers on
   other hosts publish through it;
 * ``repro worker serve`` — a worker daemon: long-polls a coordinator for
-  ready tasks and executes them (see ``docs/DISTRIBUTED.md``).
+  ready tasks and executes them; ``--pool N`` drives N executor processes
+  from one daemon (see ``docs/DISTRIBUTED.md``).
+
+The cache and coordinator services optionally require a shared secret on
+every request: set ``REPRO_SERVICE_TOKEN`` (or
+``RuntimeConfig.service_token``) on both ends — see docs/DISTRIBUTED.md
+"Trust model".
 
 All experiment commands accept ``--benchmarks`` (restrict the workload set),
 ``--parallel N`` / ``--jobs N`` (execute ready task-graph nodes over N
@@ -234,12 +244,55 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     if split_workload:
         _check_split_workload(split_workload, args)
     harness = _make_harness(args, benchmarks=[split_workload] if split_workload else None)
+    if args.svg:
+        markup = experiments.figure_svg(args.id, harness, parallel=args.parallel)
+        if args.svg == "-":
+            print(markup, end="")
+        else:
+            path = Path(args.svg)
+            if path.parent != Path("."):
+                path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(markup, encoding="utf-8")
+            print(f"wrote {path}", file=sys.stderr)
+        return 0
     _emit(FIGURES[args.id](harness, parallel=args.parallel), args)
     return 0
 
 
+def _write_report_html(args: argparse.Namespace, harness, artefacts, figures, trace) -> int:
+    """Assemble and write the self-contained ``report.html``."""
+    from repro.viz.charts import Span
+    from repro.viz.report_html import build_report_html
+
+    metadata = {
+        "config_hash": harness.config.content_hash(),
+        "benchmarks": harness.benchmark_names,
+        "cache": harness.cache.spec if harness.cache is not None else "",
+        "scheduler": harness.last_stats,
+    }
+    spans = [Span(**span) for span in trace.spans] if trace is not None else None
+    document = build_report_html(artefacts, figures, metadata, trace_spans=spans)
+    out_dir = Path(args.html)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / "report.html"
+    path.write_text(document, encoding="utf-8")
+    print(f"wrote {path} ({len(figures)} figures)", file=sys.stderr)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.html and (args.json or args.markdown):
+        # One output contract per invocation: --html writes a document and
+        # keeps stdout empty, so combining it with a stdout format would
+        # silently starve whatever consumes stdout.
+        raise ReproError("--html cannot be combined with --json/--markdown; run them separately")
     harness = _make_harness(args)
+    if harness.config.runtime.service_token:
+        # Library-style configs can carry the shared service secret; the CLI
+        # itself sources it from $REPRO_SERVICE_TOKEN (see docs/DISTRIBUTED.md).
+        from repro.eval.remote import protocol
+
+        protocol.set_process_service_token(harness.config.runtime.service_token)
     executor = None
     if args.workers:
         if args.no_cache:
@@ -274,15 +327,23 @@ def _cmd_report(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     trace = TraceRecorder() if args.trace else None
-    # One merged task graph: every compile and every (workload, sweep-point)
-    # node schedules as an independent job under --parallel/--jobs (or on the
-    # registered remote workers under --workers).
-    artefacts = experiments.run_report(
-        harness, parallel=args.parallel, executor=executor, trace=trace
-    )
+    # One merged task graph: every compile, every (workload, sweep-point)
+    # node and (with --html) every figure render schedules as an independent
+    # job under --parallel/--jobs (or on the registered remote workers under
+    # --workers).
+    if args.html:
+        artefacts, figures = experiments.run_report_figures(
+            harness, parallel=args.parallel, executor=executor, trace=trace
+        )
+    else:
+        artefacts = experiments.run_report(
+            harness, parallel=args.parallel, executor=executor, trace=trace
+        )
     if trace is not None:
         trace.write(args.trace)
         print(f"wrote task trace to {args.trace} (open in chrome://tracing)", file=sys.stderr)
+    if args.html:
+        return _write_report_html(args, harness, artefacts, figures, trace)
 
     if args.json:
         payload = {
@@ -351,9 +412,9 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 def _cmd_worker(args: argparse.Namespace) -> int:
     """``repro worker serve``: execute tasks for a remote coordinator."""
-    from repro.eval.remote.worker import run_worker
+    from repro.eval.remote.worker import run_worker, run_worker_pool
 
-    return run_worker(
+    options = dict(
         coordinator_url=args.coordinator,
         cache_spec=args.cache_dir,
         name=args.name,
@@ -363,6 +424,11 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         hmac_key=args.cache_hmac_key,
         verbose=not args.quiet,
     )
+    if args.pool is not None and args.pool != 1:
+        if args.pool < 1:
+            raise ReproError(f"--pool must be >= 1, got {args.pool}")
+        return run_worker_pool(args.pool, **options)
+    return run_worker(**options)
 
 
 def _cmd_graph(args: argparse.Namespace) -> int:
@@ -471,9 +537,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_figure = sub.add_parser("figure", parents=[common], help="regenerate one thesis figure")
     p_figure.add_argument("id", choices=sorted(FIGURES))
+    p_figure.add_argument(
+        "--svg",
+        metavar="FILE",
+        help="render the figure as a standalone SVG chart to FILE ('-' for stdout)",
+    )
     p_figure.set_defaults(func=_cmd_figure)
 
     p_report = sub.add_parser("report", parents=[common], help="every table + figure + §6.7 summary")
+    p_report.add_argument(
+        "--html",
+        metavar="DIR",
+        help=(
+            "write a single self-contained report.html (all figures as inline "
+            "SVG + tables + run metadata) into DIR instead of printing tables"
+        ),
+    )
     p_report.add_argument(
         "--workers",
         metavar="HOST:PORT",
@@ -541,6 +620,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="coordinator URL printed by 'repro report --workers' (e.g. http://host:8901)",
     )
     p_worker.add_argument("--name", help="stable worker name (default: assigned by coordinator)")
+    p_worker.add_argument(
+        "--pool",
+        type=int,
+        metavar="N",
+        help="drive N local executor processes from this one daemon",
+    )
     p_worker.add_argument(
         "--startup-timeout",
         type=float,

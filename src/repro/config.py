@@ -96,6 +96,11 @@ class RuntimeConfig:
     # the REPRO_CACHE_HMAC_KEY environment variable when unset; never part of
     # content hashes, and never sent over the remote-execution wire.
     cache_hmac_key: Optional[str] = None
+    # Host policy: shared secret required (constant-time checked) on every
+    # cache-service and coordinator request (docs/DISTRIBUTED.md "Trust
+    # model").  Falls back to the REPRO_SERVICE_TOKEN environment variable;
+    # never part of content hashes, never sent as a task argument.
+    service_token: Optional[str] = None
 
     def validate(self) -> None:
         if self.queue_depth < 1:
@@ -117,7 +122,7 @@ class RuntimeConfig:
 
     #: Fields that tune the evaluation host rather than the simulated
     #: architecture; kept out of the content hash so they never change keys.
-    _POLICY_FIELDS = ("cache_max_bytes", "cache_hmac_key")
+    _POLICY_FIELDS = ("cache_max_bytes", "cache_hmac_key", "service_token")
 
     def to_dict(self) -> Dict:
         """Plain-dict form (stable field order) used for cache keys and reports.

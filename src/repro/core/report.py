@@ -7,6 +7,22 @@ from typing import Dict, Iterable, List, Sequence, Union
 Number = Union[int, float]
 
 
+def format_cell(value: object, float_format: str = "{:.2f}") -> str:
+    """One value's display text: floats via *float_format*, ints comma-grouped.
+
+    The single formatting rule behind the plain-text tables, the HTML report
+    tables (:mod:`repro.viz.report_html`) and anything else that must agree
+    with them byte-for-byte.
+    """
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return float_format.format(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
 def format_result_table(
     headers: Sequence[str],
     rows: Iterable[Sequence[Union[str, Number]]],
@@ -20,19 +36,9 @@ def format_result_table(
     mirrors the corresponding table/figure of the thesis.
     """
     rows = [list(r) for r in rows]
-    rendered: List[List[str]] = []
-    for row in rows:
-        cells: List[str] = []
-        for value in row:
-            if isinstance(value, bool):
-                cells.append(str(value))
-            elif isinstance(value, float):
-                cells.append(float_format.format(value))
-            elif isinstance(value, int):
-                cells.append(f"{value:,}")
-            else:
-                cells.append(str(value))
-        rendered.append(cells)
+    rendered: List[List[str]] = [
+        [format_cell(value, float_format) for value in row] for row in rows
+    ]
 
     widths = [len(h) for h in headers]
     for cells in rendered:

@@ -102,6 +102,10 @@ class EvaluationHarness:
         self._runs: Dict[str, BenchmarkRun] = {}
         self._compile_keys: Dict[str, str] = {}
         self._derived: Dict[str, Any] = {}
+        #: Execution statistics of the most recent :meth:`execute` (cache
+        #: hits, seeds, executed tasks by kind) — what ``repro report --html``
+        #: publishes as the run's cache-hit stats.
+        self.last_stats: Dict[str, Any] = {}
 
     # -- shared instances --------------------------------------------------------------
 
@@ -205,11 +209,12 @@ class EvaluationHarness:
             graph, cache=self.cache, jobs=parallel, seeds=seeds, executor=executor, trace=trace
         )
         results = scheduler.run()
+        self.last_stats = scheduler.stats
         for task in graph:
             if task.kind == taskgraph.KIND_COMPILE:
                 if task.workload not in self._runs:
                     self._admit(task.workload, results[task.task_id])
-            elif task.kind in (taskgraph.KIND_RUNTIME, taskgraph.KIND_SPLIT):
+            elif task.kind in (taskgraph.KIND_RUNTIME, taskgraph.KIND_SPLIT, taskgraph.KIND_RENDER):
                 self._derived[task.key] = results[task.task_id]
         self._auto_prune()
         return results

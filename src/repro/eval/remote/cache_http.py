@@ -18,7 +18,12 @@ Endpoints (keys are validated as 64 hex chars, so no path escapes):
 | ``POST /locks/<key>/acquire`` | single-flight lock; long-polls until granted or ``wait`` expires |
 | ``POST /locks/<key>/release`` | release by token                               |
 | ``GET /stats``                | the underlying store's ``cache stats`` dict    |
-| ``GET /healthz``              | liveness probe for scripts and CI              |
+| ``GET /healthz``              | liveness probe for scripts and CI (never auth'd) |
+
+With a service token configured (``REPRO_SERVICE_TOKEN`` /
+``RuntimeConfig.service_token``) every endpoint except the liveness probe
+requires the shared secret under a constant-time compare; mismatches get a
+401 (docs/DISTRIBUTED.md "Trust model").
 
 Single-flight is preserved *server-side*: an acquire takes the store's
 per-key ``flock`` in the handler thread and parks it in a lease table, so
@@ -53,10 +58,15 @@ from repro.errors import RemoteError
 from repro.eval.cache import SERIALIZERS, LocalFSBackend
 from repro.eval.remote.protocol import (
     TRANSPORT_ERRORS,
+    auth_headers,
+    check_auth,
     http_get_json,
     http_post_json,
+    raise_for_auth,
     read_json,
     send_json,
+    service_token,
+    token_matches,
 )
 
 SERIALIZER_HEADER = "X-Repro-Serializer"
@@ -90,11 +100,15 @@ class CacheHTTPServer(ThreadingHTTPServer):
         backend: LocalFSBackend,
         lock_lease_seconds: float = DEFAULT_LOCK_LEASE_SECONDS,
         verbose: bool = False,
+        token: Optional[str] = None,
     ):
         super().__init__(address, _CacheRequestHandler)
         self.backend = backend
         self.lock_lease_seconds = lock_lease_seconds
         self.verbose = verbose
+        # Shared service secret (docs/DISTRIBUTED.md "Trust model"): when
+        # set, every request except GET /healthz must present it.
+        self.token = token if token is not None else service_token()
         self.lock_mutex = threading.Lock()
         self.lock_leases: Dict[str, _LockLease] = {}
         # Expired leases must be reclaimed even if no further HTTP acquire
@@ -199,6 +213,11 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
     # -- objects ------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        if self.path == "/healthz":  # liveness probe: exempt from auth
+            self._send_json(200, {"ok": True, "root": str(self.server.backend.root)})
+            return
+        if not check_auth(self, self.server.token):
+            return
         key = self._object_key()
         if key is not None:
             blob = self.server.backend.get_blob(key)
@@ -216,12 +235,15 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
         if self.path == "/stats":
             self._send_json(200, self.server.backend.stats())
             return
-        if self.path == "/healthz":
-            self._send_json(200, {"ok": True, "root": str(self.server.backend.root)})
-            return
         self._send_json(404, {"error": "unknown path"})
 
     def do_HEAD(self) -> None:  # noqa: N802
+        if not token_matches(self, self.server.token):
+            # A HEAD response must not carry a body; send a bare 401.
+            self.send_response(401)
+            self.send_header("Content-Length", "0")
+            self.end_headers()
+            return
         key = self._object_key()
         if key is None:
             self.send_response(404)
@@ -245,6 +267,8 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
         # next request line, desynchronising the connection.
         length = int(self.headers.get("Content-Length") or 0)
         data = self.rfile.read(length) if length else b""
+        if not check_auth(self, self.server.token):
+            return
         key = self._object_key()
         if key is None:
             self._send_json(404, {"error": "unknown path"})
@@ -263,6 +287,8 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802
         body = self._read_json()  # always drain the body (keep-alive safety)
+        if not check_auth(self, self.server.token):
+            return
         key = self._lock_key("acquire")
         if key is not None:
             wait = float(body.get("wait", DEFAULT_LOCK_WAIT_SECONDS))
@@ -290,10 +316,11 @@ def make_cache_server(
     port: int = 0,
     lock_lease_seconds: float = DEFAULT_LOCK_LEASE_SECONDS,
     verbose: bool = False,
+    token: Optional[str] = None,
 ) -> CacheHTTPServer:
     """Build (but do not run) a cache server over the store at *root*."""
     return CacheHTTPServer(
-        (host, port), LocalFSBackend(Path(root)), lock_lease_seconds, verbose
+        (host, port), LocalFSBackend(Path(root)), lock_lease_seconds, verbose, token=token
     )
 
 
@@ -303,10 +330,12 @@ def serve_cache(
     port: int = 8737,
     lock_lease_seconds: float = DEFAULT_LOCK_LEASE_SECONDS,
     verbose: bool = False,
+    token: Optional[str] = None,
 ) -> int:
     """``repro cache serve``: serve *root* until interrupted (blocking)."""
-    server = make_cache_server(root, host, port, lock_lease_seconds, verbose)
-    print(f"serving artifact cache {root} at {server.url}", file=sys.stderr)
+    server = make_cache_server(root, host, port, lock_lease_seconds, verbose, token=token)
+    auth = "shared-secret auth on" if server.token else "no auth (trusted network)"
+    print(f"serving artifact cache {root} at {server.url} ({auth})", file=sys.stderr)
     try:
         server.serve_forever(poll_interval=0.2)
     finally:
@@ -344,13 +373,15 @@ class HTTPCacheBackend:
         return f"{self.base_url}/objects/{key}"
 
     def get_blob(self, key: str) -> Optional[Tuple[str, bytes]]:
+        request = urllib.request.Request(self._object_url(key), headers=auth_headers())
         try:
-            with urllib.request.urlopen(self._object_url(key), timeout=self.timeout) as response:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 serializer = response.headers.get(SERIALIZER_HEADER, "pickle")
                 return serializer, response.read()
         except urllib.error.HTTPError as exc:
             if exc.code == 404:
                 return None
+            raise_for_auth(exc, self.base_url)
             raise RemoteError(f"cache service GET failed: {exc}") from exc
         except urllib.error.URLError as exc:
             raise RemoteError(f"cache service unreachable at {self.base_url}: {exc}") from exc
@@ -363,22 +394,29 @@ class HTTPCacheBackend:
             headers={
                 "Content-Type": "application/octet-stream",
                 SERIALIZER_HEADER: serializer,
+                **auth_headers(),
             },
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout):
                 pass
+        except urllib.error.HTTPError as exc:
+            raise_for_auth(exc, self.base_url)
+            raise RemoteError(f"cache service PUT failed: {exc}") from exc
         except urllib.error.URLError as exc:
             raise RemoteError(f"cache service PUT failed: {exc}") from exc
 
     def contains(self, key: str) -> bool:
-        request = urllib.request.Request(self._object_url(key), method="HEAD")
+        request = urllib.request.Request(
+            self._object_url(key), method="HEAD", headers=auth_headers()
+        )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout):
                 return True
         except urllib.error.HTTPError as exc:
             if exc.code == 404:
                 return False
+            raise_for_auth(exc, self.base_url)
             raise RemoteError(f"cache service HEAD failed: {exc}") from exc
         except urllib.error.URLError as exc:
             raise RemoteError(f"cache service unreachable at {self.base_url}: {exc}") from exc

@@ -9,7 +9,9 @@ calling its methods directly (the fake-worker tests do exactly that).
 Lifecycle of one task spec:
 
 1. the executor :meth:`~Coordinator.submit`\\ s it (state *queued*);
-2. a worker's long-polling :meth:`~Coordinator.lease` hands it out with a
+2. a worker's long-polling :meth:`~Coordinator.lease` hands out the
+   **costliest** ready task (static cost table: compiles before sweep
+   points before renders, heavy workloads first, FIFO among equals) with a
    deadline of ``now + lease_timeout`` (state *leased*).  Heartbeats renew
    every lease the worker holds;
 3. :meth:`~Coordinator.complete` moves it to the completion queue the
@@ -26,11 +28,15 @@ work harmless (both workers wrote identical bytes under the same key).
 HTTP endpoints (JSON bodies both ways): ``POST /workers/register``,
 ``POST /workers/heartbeat``, ``POST /tasks/lease`` (long-poll, honouring a
 client ``wait``), ``POST /tasks/complete``, and ``GET /status`` for
-debugging/monitoring.
+debugging/monitoring.  With a service token configured every endpoint
+except ``GET /healthz`` requires the shared secret (docs/DISTRIBUTED.md
+"Trust model").
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import sys
 import threading
 import time
@@ -39,7 +45,7 @@ from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.eval.remote.protocol import read_json, send_json
+from repro.eval.remote.protocol import check_auth, read_json, send_json, service_token
 
 #: Default seconds a leased task may go without a heartbeat before it is
 #: presumed lost and requeued.
@@ -47,6 +53,55 @@ DEFAULT_LEASE_TIMEOUT = 60.0
 
 #: Default number of lease attempts before a task is declared failed.
 DEFAULT_MAX_ATTEMPTS = 3
+
+
+# -- work shaping ----------------------------------------------------------------
+
+#: Static observed-cost model (relative weights, roughly seconds on the CI
+#: host).  Ready tasks lease in descending cost order so the long poles —
+#: compiles generally, and the heavy workloads within a kind — start first
+#: and the makespan is bounded by them instead of by whatever FIFO order the
+#: graph happened to declare.  Purely advisory: results are content-addressed,
+#: so lease order can never change any output.
+KIND_COST: Dict[str, float] = {
+    "compile": 100.0,
+    "split": 3.0,
+    "runtime": 2.0,
+    "render": 1.0,
+}
+
+#: Per-workload multipliers (mpeg2/jpeg dominate; blowfish is the cheapest).
+WORKLOAD_COST: Dict[str, float] = {
+    "mpeg2": 8.0,
+    "jpeg": 6.0,
+    "gsm": 4.0,
+    "aes": 3.0,
+    "adpcm": 2.5,
+    "sha": 2.0,
+    "mips": 1.5,
+    "blowfish": 1.0,
+}
+
+#: Multiplier for tasks whose workload is unknown (renders, test payloads).
+DEFAULT_WORKLOAD_COST = 2.0
+
+
+def _spec_workload(spec: Dict[str, Any]) -> Optional[str]:
+    workload = spec.get("workload")
+    if workload:
+        return str(workload)
+    # Older specs: recover the workload from the task id's components.
+    for part in str(spec.get("task_id", "")).split(":"):
+        if part in WORKLOAD_COST:
+            return part
+    return None
+
+
+def task_cost(spec: Dict[str, Any]) -> float:
+    """Estimated cost of one task spec under the static cost table."""
+    base = KIND_COST.get(str(spec.get("kind", "")), 1.0)
+    workload = _spec_workload(spec)
+    return base * WORKLOAD_COST.get(workload or "", DEFAULT_WORKLOAD_COST)
 
 
 @dataclass
@@ -67,7 +122,11 @@ class Coordinator:
         self.lease_timeout = lease_timeout
         self.max_attempts = max_attempts
         self._cond = threading.Condition()
-        self._queue: "deque[Dict[str, Any]]" = deque()
+        # A max-cost priority queue: (-cost, sequence, spec).  The sequence
+        # number keeps equal-cost tasks FIFO (and the heap total-orderable
+        # without comparing dicts).
+        self._queue: List[Tuple[float, int, Dict[str, Any]]] = []
+        self._seq = itertools.count()
         self._leases: Dict[str, _Lease] = {}
         self._completions: "deque[Dict[str, Any]]" = deque()
         self._workers: Dict[str, float] = {}
@@ -77,10 +136,10 @@ class Coordinator:
     # -- executor side -------------------------------------------------------------
 
     def submit(self, spec: Dict[str, Any]) -> None:
-        """Queue one task spec for the next free worker."""
+        """Queue one task spec; the next lease pops the costliest ready task."""
         with self._cond:
             spec.setdefault("attempt", 1)
-            self._queue.append(spec)
+            heapq.heappush(self._queue, (-task_cost(spec), next(self._seq), spec))
             self._cond.notify_all()
 
     def wait_completions(self, timeout: Optional[float] = None) -> List[Dict[str, Any]]:
@@ -159,7 +218,7 @@ class Coordinator:
                 if self._shutdown:
                     return {"task": None, "shutdown": True}
                 if self._queue:
-                    spec = self._queue.popleft()
+                    _, _, spec = heapq.heappop(self._queue)
                     self._leases[spec["task_id"]] = _Lease(
                         worker_id=worker_id, deadline=now + self.lease_timeout, spec=spec
                     )
@@ -220,7 +279,9 @@ class Coordinator:
             lease = self._leases.pop(task_id)
             spec = dict(lease.spec)
             spec["attempt"] = spec.get("attempt", 1) + 1
-            if spec["attempt"] > self.max_attempts:
+            if spec["attempt"] <= self.max_attempts:
+                heapq.heappush(self._queue, (-task_cost(spec), next(self._seq), spec))
+            else:
                 self._completions.append(
                     {
                         "task_id": task_id,
@@ -235,8 +296,6 @@ class Coordinator:
                         "end": 0.0,
                     }
                 )
-            else:
-                self._queue.append(spec)
             self._cond.notify_all()
 
     # -- introspection -------------------------------------------------------------
@@ -268,14 +327,26 @@ class Coordinator:
 
 
 class CoordinatorHTTPServer(ThreadingHTTPServer):
-    """Threaded HTTP facade over one :class:`Coordinator`."""
+    """Threaded HTTP facade over one :class:`Coordinator`.
+
+    With a *token* (explicit, ``RuntimeConfig.service_token``, or
+    ``$REPRO_SERVICE_TOKEN``) every request except ``GET /healthz`` must
+    carry the matching shared secret; mismatches get a 401.
+    """
 
     daemon_threads = True
 
-    def __init__(self, address: Tuple[str, int], coordinator: Coordinator, verbose: bool = False):
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        coordinator: Coordinator,
+        verbose: bool = False,
+        token: Optional[str] = None,
+    ):
         super().__init__(address, _CoordinatorRequestHandler)
         self.coordinator = coordinator
         self.verbose = verbose
+        self.token = token if token is not None else service_token()
 
     @property
     def url(self) -> str:
@@ -300,17 +371,21 @@ class _CoordinatorRequestHandler(BaseHTTPRequestHandler):
         return read_json(self)
 
     def do_GET(self) -> None:  # noqa: N802
+        if self.path == "/healthz":  # liveness probe: exempt from auth
+            self._send_json(200, {"ok": True})
+            return
+        if not check_auth(self, self.server.token):
+            return
         if self.path == "/status":
             self._send_json(200, self.server.coordinator.status())
-            return
-        if self.path == "/healthz":
-            self._send_json(200, {"ok": True})
             return
         self._send_json(404, {"error": "unknown path"})
 
     def do_POST(self) -> None:  # noqa: N802
         coordinator = self.server.coordinator
-        body = self._read_json()
+        body = self._read_json()  # drain first (keep-alive safety), then auth
+        if not check_auth(self, self.server.token):
+            return
         if self.path == "/workers/register":
             self._send_json(200, coordinator.register(body.get("name")))
             return
@@ -351,10 +426,14 @@ class _CoordinatorRequestHandler(BaseHTTPRequestHandler):
 
 
 def start_coordinator_server(
-    coordinator: Coordinator, host: str = "127.0.0.1", port: int = 0, verbose: bool = False
+    coordinator: Coordinator,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+    token: Optional[str] = None,
 ) -> CoordinatorHTTPServer:
     """Bind and start serving *coordinator* on a daemon thread."""
-    server = CoordinatorHTTPServer((host, port), coordinator, verbose=verbose)
+    server = CoordinatorHTTPServer((host, port), coordinator, verbose=verbose, token=token)
     thread = threading.Thread(target=server.serve_forever, kwargs={"poll_interval": 0.2})
     thread.daemon = True
     thread.start()

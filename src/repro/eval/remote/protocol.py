@@ -27,14 +27,17 @@ client, cache client and worker daemon on one code path for JSON-over-HTTP.
 
 from __future__ import annotations
 
+import hmac
 import http.client
 import json
+import os
+import urllib.error
 import urllib.request
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.config import CompilerConfig, RuntimeConfig
-from repro.errors import RemoteProtocolError
-from repro.eval import taskgraph
+from repro.errors import RemoteError, RemoteProtocolError
+from repro.eval import experiments, taskgraph
 
 #: The closed set of payload functions a worker will execute, by wire name.
 #: :func:`register_payload_function` may extend it (tests, future sweeps).
@@ -42,6 +45,7 @@ PAYLOAD_FUNCTIONS: Dict[str, Callable[..., Any]] = {
     "compute_compile": taskgraph.compute_compile,
     "compute_runtime_point": taskgraph.compute_runtime_point,
     "compute_split_point": taskgraph.compute_split_point,
+    "compute_figure_render": experiments.compute_figure_render,
 }
 
 _FUNCTION_NAMES: Dict[Callable[..., Any], str] = {fn: name for name, fn in PAYLOAD_FUNCTIONS.items()}
@@ -71,13 +75,17 @@ def payload_name(fn: Callable[..., Any]) -> Optional[str]:
 
 
 def encode_arg(value: Any, cache_spec: Optional[str]) -> Any:
-    """One task argument → its JSON wire form."""
+    """One task argument → its JSON wire form (sequences recurse)."""
     if isinstance(value, CompilerConfig):
         return {"__repro__": "compiler_config", "data": value.to_dict()}
     if isinstance(value, RuntimeConfig):
         return {"__repro__": "runtime_config", "data": value.to_dict()}
     if isinstance(value, str) and cache_spec is not None and value == cache_spec:
         return {"__repro__": _CACHE_SPEC_TAG}
+    if isinstance(value, (list, tuple)):
+        # Render tasks carry dependency id/key lists; tuples become JSON
+        # arrays (payloads re-tuple where identity matters).
+        return [encode_arg(item, cache_spec) for item in value]
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     raise RemoteProtocolError(
@@ -96,6 +104,8 @@ def decode_arg(value: Any, cache_spec: Optional[str]) -> Any:
         if tag == _CACHE_SPEC_TAG:
             return cache_spec
         raise RemoteProtocolError(f"unknown wire tag '{tag}'")
+    if isinstance(value, list):
+        return [decode_arg(item, cache_spec) for item in value]
     return value
 
 
@@ -120,7 +130,7 @@ def encode_task(task: "taskgraph.Task", cache_spec: Optional[str]) -> Dict[str, 
             f"task '{task.task_id}' has no content key; remote workers publish "
             "results through the cache and need one"
         )
-    return {
+    spec = {
         "task_id": task.task_id,
         "kind": task.kind,
         "fn": name,
@@ -128,6 +138,11 @@ def encode_task(task: "taskgraph.Task", cache_spec: Optional[str]) -> Dict[str, 
         "key": task.key,
         "serializer": task.serializer,
     }
+    if task.workload is not None:
+        # Advisory only: the coordinator's cost-ordered lease queue weighs
+        # specs by (kind, workload); execution never depends on it.
+        spec["workload"] = task.workload
+    return spec
 
 
 def decode_task(
@@ -147,6 +162,81 @@ def decode_task(
         raise RemoteProtocolError(f"task '{task_id}' names unknown payload function '{name}'")
     args = tuple(decode_arg(a, cache_spec) for a in raw_args)
     return task_id, fn, args, key, serializer
+
+
+# -- shared-secret service auth --------------------------------------------------
+
+#: Environment variable supplying the shared service secret.
+SERVICE_TOKEN_ENV = "REPRO_SERVICE_TOKEN"
+
+#: Header carrying the secret on every cache-service and coordinator request.
+TOKEN_HEADER = "X-Repro-Service-Token"
+
+_process_service_token: Optional[str] = None
+
+
+def set_process_service_token(token: Optional[str]) -> Optional[str]:
+    """Set the process-default service token (CLI, worker daemons).
+
+    ``None`` restores the ``$REPRO_SERVICE_TOKEN`` fallback.  Returns the
+    previous override so a scoped caller can restore it.
+    """
+    global _process_service_token
+    previous = _process_service_token
+    _process_service_token = token or None
+    return previous
+
+
+def service_token() -> Optional[str]:
+    """The effective shared secret for this process (``None`` = auth off)."""
+    if _process_service_token:
+        return _process_service_token
+    return os.environ.get(SERVICE_TOKEN_ENV) or None
+
+
+def auth_headers() -> Dict[str, str]:
+    """The headers a client must attach (empty when no token is configured)."""
+    token = service_token()
+    return {TOKEN_HEADER: token} if token else {}
+
+
+def token_matches(handler: Any, token: Optional[str]) -> bool:
+    """Whether one request presents the shared secret (constant-time compare).
+
+    With no *token* configured every request passes (trusted-network mode).
+    """
+    if not token:
+        return True
+    presented = handler.headers.get(TOKEN_HEADER) or ""
+    return hmac.compare_digest(presented.encode("utf-8"), token.encode("utf-8"))
+
+
+def check_auth(handler: Any, token: Optional[str]) -> bool:
+    """Server-side auth gate for one request; sends the 401 itself on failure.
+
+    A missing or wrong secret gets a 401 JSON body and the handler must
+    return without processing the request.  ``GET /healthz`` is exempted by
+    the callers (a liveness probe carries no secrets), and HEAD handlers use
+    :func:`token_matches` directly (a HEAD response must not carry a body).
+    """
+    if token_matches(handler, token):
+        return True
+    send_json(handler, 401, {"error": f"missing or invalid {TOKEN_HEADER} header"})
+    return False
+
+
+def raise_for_auth(exc: "urllib.error.HTTPError", url: str) -> None:
+    """Turn a 401 into a loud, actionable error instead of a transport retry.
+
+    ``HTTPError`` is an ``OSError``, so without this the retry loops in the
+    worker and cache client would treat an auth mismatch as a transient
+    outage and spin; a :class:`RemoteError` escapes those loops.
+    """
+    if exc.code == 401:
+        raise RemoteError(
+            f"service at {url} rejected the request (401): set a matching "
+            f"{SERVICE_TOKEN_ENV} (or RuntimeConfig.service_token)"
+        ) from exc
 
 
 # -- JSON over HTTP -------------------------------------------------------------
@@ -180,18 +270,32 @@ def read_json(handler: Any) -> Dict[str, Any]:
 
 
 def http_post_json(url: str, payload: Dict[str, Any], timeout: float = 30.0) -> Dict[str, Any]:
-    """POST *payload* as JSON and return the decoded JSON response body."""
+    """POST *payload* as JSON (with the auth header when a token is set) and
+    return the decoded JSON response body; a 401 raises :class:`RemoteError`."""
     body = json.dumps(payload).encode("utf-8")
     request = urllib.request.Request(
-        url, data=body, method="POST", headers={"Content-Type": "application/json"}
+        url,
+        data=body,
+        method="POST",
+        headers={"Content-Type": "application/json", **auth_headers()},
     )
-    with urllib.request.urlopen(request, timeout=timeout) as response:
-        data = response.read()
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            data = response.read()
+    except urllib.error.HTTPError as exc:
+        raise_for_auth(exc, url)
+        raise
     return json.loads(data.decode("utf-8")) if data else {}
 
 
 def http_get_json(url: str, timeout: float = 30.0) -> Dict[str, Any]:
-    """GET *url* and return the decoded JSON response body."""
-    with urllib.request.urlopen(url, timeout=timeout) as response:
-        data = response.read()
+    """GET *url* (with the auth header when a token is set) and return the
+    decoded JSON response body; a 401 raises :class:`RemoteError`."""
+    request = urllib.request.Request(url, headers=auth_headers())
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            data = response.read()
+    except urllib.error.HTTPError as exc:
+        raise_for_auth(exc, url)
+        raise
     return json.loads(data.decode("utf-8")) if data else {}

@@ -16,6 +16,8 @@ missing heartbeats let the coordinator reassign its tasks.  The worker
 exits when the coordinator says ``shutdown`` (the run finished), when the
 coordinator becomes unreachable after successful registration (the parent
 exited), or after ``--max-tasks`` tasks (useful for tests and draining).
+``repro worker serve --pool N`` (:func:`run_worker_pool`) supervises N of
+these loops as child processes from one daemon.
 
 Failure-injection hook for tests: when the ``REPRO_WORKER_SELF_DESTRUCT``
 environment variable is set and its value is a substring of a leased task
@@ -25,11 +27,12 @@ crash mid-task so reassignment paths can be exercised end to end.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import sys
 import threading
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.errors import RemoteError
 from repro.eval.cache import ArtifactCache, set_process_hmac_key
@@ -205,3 +208,52 @@ def run_worker(
     finally:
         stop.set()
     return 0
+
+
+def _pool_child(kwargs: Dict[str, Any]) -> None:
+    """Entry point of one pool member process (module-level for spawn)."""
+    sys.exit(run_worker(**kwargs))
+
+
+def run_worker_pool(pool: int, name: Optional[str] = None, **kwargs: Any) -> int:
+    """``repro worker serve --pool N``: one daemon driving N executor processes.
+
+    Replaces N foreground ``repro worker serve`` invocations: each child is a
+    full :func:`run_worker` loop (own registration, own heartbeats, so a
+    crashed member's leases expire independently), named ``<name>-<i>`` when
+    a stable ``--name`` was given.  The parent just supervises: it waits for
+    the children to observe the coordinator's shutdown and exit, forwards
+    Ctrl-C as termination, and returns the worst child exit code.  Children
+    inherit the environment, so ``$REPRO_CACHE_HMAC_KEY`` and
+    ``$REPRO_SERVICE_TOKEN`` apply pool-wide.
+    """
+    if pool < 1:
+        raise ValueError(f"pool size must be >= 1, got {pool}")
+    members: List[multiprocessing.Process] = []
+    for index in range(1, pool + 1):
+        child_kwargs = dict(kwargs, name=f"{name}-{index}" if name else None)
+        process = multiprocessing.Process(
+            target=_pool_child, args=(child_kwargs,), name=f"repro-worker-{index}"
+        )
+        process.daemon = False  # members must outlive transient parent hiccups
+        process.start()
+        members.append(process)
+    _log(f"pool of {pool} workers started (pids {[p.pid for p in members]})",
+         kwargs.get("verbose", False))
+    try:
+        for process in members:
+            process.join()
+    except KeyboardInterrupt:
+        for process in members:
+            if process.is_alive():
+                process.terminate()
+        for process in members:
+            process.join(timeout=10)
+        return 130
+    # Normalise to shell convention: a member killed by signal N has
+    # exitcode -N, which must read as failure (128+N), never as success.
+    codes = [
+        (128 - code) if (code := process.exitcode or 0) < 0 else code
+        for process in members
+    ]
+    return max(codes, default=0)

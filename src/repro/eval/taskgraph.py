@@ -1,6 +1,6 @@
 """Task-graph execution engine for the evaluation stack.
 
-Every thesis artefact is a small DAG over three node kinds:
+Every thesis artefact is a small DAG over four node kinds:
 
 * **compile** — the full pipeline for one workload (front end → passes →
   functional trace → DSWP → HLS → three timing replays), producing a
@@ -8,6 +8,9 @@ Every thesis artefact is a small DAG over three node kinds:
 * **sweep points** (``runtime`` / ``split``) — cheap re-simulations of an
   existing compile artifact under one swept parameter (queue latency, queue
   depth, targeted partition split), one node per (workload, sweep-point);
+* **render** — one figure's SVG markup (``repro.viz``), keyed by the content
+  addresses of the artefacts it draws, so warm reports re-render nothing and
+  cold figures fan out like any other derived artefact;
 * **aggregate** — parent-side row/table construction from the values of its
   dependencies (a table, a figure, the §6.7 summary).
 
@@ -39,7 +42,13 @@ from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Seque
 from repro.config import CompilerConfig, RuntimeConfig
 from repro.core.compiler import CompilationResult, TwillCompiler
 from repro.errors import TaskGraphCycleError, TaskGraphError
-from repro.eval.cache import ArtifactCache, compile_key, derived_key, set_process_hmac_key
+from repro.eval.cache import (
+    ArtifactCache,
+    compile_key,
+    derived_key,
+    render_key,
+    set_process_hmac_key,
+)
 from repro.eval.trace import TraceRecorder
 from repro.sim.system import resimulate_with_split
 from repro.sim.timing import simulate_partitioned
@@ -50,10 +59,11 @@ from repro.workloads import get_workload
 KIND_COMPILE = "compile"
 KIND_RUNTIME = "runtime"
 KIND_SPLIT = "split"
+KIND_RENDER = "render"
 KIND_AGGREGATE = "aggregate"
 
 #: Kinds whose payload is picklable and may run in a worker process.
-WORKER_KINDS = (KIND_COMPILE, KIND_RUNTIME, KIND_SPLIT)
+WORKER_KINDS = (KIND_COMPILE, KIND_RUNTIME, KIND_SPLIT, KIND_RENDER)
 
 
 @dataclass(frozen=True)
@@ -366,6 +376,38 @@ def aggregate_task(
     )
 
 
+def render_task(
+    figure_id: str,
+    fn: Callable[..., Any],
+    deps: Sequence[str],
+    dep_keys: Sequence[str],
+    agg_arg: Any,
+    cache_root: Optional[str],
+) -> Task:
+    """One figure-render node (id ``render:<figure_id>``).
+
+    A render is a worker task like any sweep point: *fn* (a registered
+    payload such as ``experiments.compute_figure_render``) rebuilds the
+    figure's input mapping from the shared cache using the dependency task
+    ids and content keys, aggregates it and returns the SVG markup.  The
+    node is keyed by :func:`repro.eval.cache.render_key` over the dependency
+    keys, so a warm run re-renders nothing and figures fan out across the
+    pool (or remote workers) on cold runs.  When the scheduler runs a render
+    *inline* it passes the in-memory dependency values instead (see
+    :meth:`TaskScheduler._run_task_inline`), so ``--no-cache`` runs render
+    without re-reading anything.
+    """
+    return Task(
+        task_id=f"render:{figure_id}",
+        kind=KIND_RENDER,
+        fn=fn,
+        args=(figure_id, tuple(deps), tuple(dep_keys), agg_arg, cache_root),
+        deps=tuple(deps),
+        key=render_key(figure_id, list(dep_keys)),
+        serializer="json",
+    )
+
+
 # ---------------------------------------------------------------------------
 # executors
 # ---------------------------------------------------------------------------
@@ -537,6 +579,29 @@ class TaskScheduler:
         self.seeds = dict(seeds or {})
         self.executor = executor
         self.trace = trace
+        #: Execution statistics of the last :meth:`run` — how each task was
+        #: satisfied.  Purely observational (the HTML report's "cache hit
+        #: stats" and the warm-run re-render assertions read it); only
+        #: order-independent counts, so serial and parallel runs agree.
+        self.stats: Dict[str, Any] = {
+            "total": len(graph),
+            "seeded": 0,
+            "cache_hits": 0,
+            "executed": {},
+            "cache_hit_kinds": {},
+        }
+
+    def _count_seeded(self, task: Task) -> None:
+        self.stats["seeded"] += 1
+
+    def _count_hit(self, task: Task) -> None:
+        self.stats["cache_hits"] += 1
+        kinds = self.stats["cache_hit_kinds"]
+        kinds[task.kind] = kinds.get(task.kind, 0) + 1
+
+    def _count_executed(self, task: Task) -> None:
+        executed = self.stats["executed"]
+        executed[task.kind] = executed.get(task.kind, 0) + 1
 
     # -- execution -----------------------------------------------------------------
 
@@ -573,11 +638,17 @@ class TaskScheduler:
     def _run_task_inline(self, task: Task, results: Dict[str, Any]) -> Any:
         if not task.runs_in_worker():
             return task.fn(results, *task.args)
+        kwargs: Dict[str, Any] = {}
+        if task.kind == KIND_RENDER:
+            # Inline renders aggregate straight from the in-memory dependency
+            # values (all completed before this point) instead of re-reading
+            # the shared cache — which also makes --no-cache runs renderable.
+            kwargs["values"] = {dep: results[dep] for dep in task.deps}
         if task.key is not None and self.cache is not None:
             return self.cache.get_or_compute(
-                task.key, lambda: task.fn(*task.args), serializer=task.serializer
+                task.key, lambda: task.fn(*task.args, **kwargs), serializer=task.serializer
             )
-        return task.fn(*task.args)
+        return task.fn(*task.args, **kwargs)
 
     def _record(self, task: Task, value: Any, results: Dict[str, Any]) -> None:
         results[task.task_id] = value
@@ -602,7 +673,13 @@ class TaskScheduler:
         results: Dict[str, Any] = {}
         for task in order:
             if task.task_id in self.seeds:
+                self._count_seeded(task)
                 self._record(task, self.seeds[task.task_id], results)
+                continue
+            hit = self._cached_or_none(task)
+            if hit is not None:
+                self._count_hit(task)
+                self._record(task, hit, results)
                 continue
             start = time.time()
             try:
@@ -610,6 +687,7 @@ class TaskScheduler:
             except KeyboardInterrupt:
                 self._sweep_locks([task])
                 raise
+            self._count_executed(task)
             self._trace_span(task, "parent", start, time.time())
             self._record(task, value, results)
         return results
@@ -623,6 +701,13 @@ class TaskScheduler:
         waiting: Dict[str, int] = {t.task_id: len(t.deps) for t in order}
         ready: deque = deque(t for t in order if not t.deps)
         in_flight: Dict[str, Task] = {}
+        # Distinct task ids can share one content key (e.g. the latency-2 and
+        # depth-8 sweep points are both the default runtime config).  Only
+        # one such task is submitted; the twins park here and complete as
+        # cache hits off the owner's value — exactly how the serial path
+        # resolves them, so the run statistics stay scheduling-invariant.
+        in_flight_keys: Dict[str, str] = {}
+        parked: Dict[str, List[Task]] = {}
 
         def complete(task: Task, value: Any) -> None:
             self._record(task, value, results)
@@ -631,9 +716,18 @@ class TaskScheduler:
                 if waiting[dependent.task_id] == 0:
                     ready.append(dependent)
 
+        def complete_with_twins(task: Task, value: Any) -> None:
+            complete(task, value)
+            if task.key is not None:
+                in_flight_keys.pop(task.key, None)
+                for twin in parked.pop(task.key, ()):  # noqa: B905 - list default
+                    self._count_hit(twin)
+                    complete(twin, value)
+
         def run_inline(task: Task) -> None:
             start = time.time()
             value = self._run_task_inline(task, results)
+            self._count_executed(task)
             self._trace_span(task, "parent", start, time.time())
             complete(task, value)
 
@@ -645,16 +739,19 @@ class TaskScheduler:
                         task = ready.popleft()
                         current = task
                         if task.task_id in self.seeds:
+                            self._count_seeded(task)
                             complete(task, self.seeds[task.task_id])
                             continue
                         if not task.runs_in_worker():
                             start = time.time()
                             value = task.fn(results, *task.args)
+                            self._count_executed(task)
                             self._trace_span(task, "parent", start, time.time())
                             complete(task, value)
                             continue
                         hit = self._cached_or_none(task)
                         if hit is not None:
+                            self._count_hit(task)
                             complete(task, hit)
                             continue
                         if (self.cache is None and task.deps) or not executor.can_execute(task):
@@ -665,8 +762,14 @@ class TaskScheduler:
                             # everything else fans out.
                             run_inline(task)
                             continue
+                        if task.key is not None and task.key in in_flight_keys:
+                            parked.setdefault(task.key, []).append(task)
+                            continue
                         executor.submit(task, self.cache)
+                        self._count_executed(task)
                         in_flight[task.task_id] = task
+                        if task.key is not None:
+                            in_flight_keys[task.key] = task.task_id
                     current = None
                     if in_flight:
                         for outcome in executor.wait():
@@ -678,7 +781,7 @@ class TaskScheduler:
                                 if value is None:  # pruned/corrupted between write and read
                                     value = self._run_task_inline(task, results)
                             self._trace_span(task, outcome.worker, outcome.start, outcome.end)
-                            complete(task, value)
+                            complete_with_twins(task, value)
             except KeyboardInterrupt:
                 executor.close(interrupt=True)
                 abandoned = list(in_flight.values())

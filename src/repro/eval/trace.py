@@ -32,6 +32,7 @@ class TraceRecorder:
         self._lock = threading.Lock()
         self._events: List[Dict[str, Any]] = []
         self._lanes: Dict[str, int] = {}
+        self._spans: List[Dict[str, Any]] = []
 
     def _lane(self, worker: str) -> int:
         lane = self._lanes.get(worker)
@@ -51,6 +52,9 @@ class TraceRecorder:
     ) -> None:
         """Add one complete ("X") event; times are ``time.time()`` seconds."""
         with self._lock:
+            self._spans.append(
+                {"name": name, "kind": category, "worker": worker, "start": start, "end": end}
+            )
             self._events.append(
                 {
                     "name": name,
@@ -69,6 +73,17 @@ class TraceRecorder:
         """The recorded complete events (no metadata), oldest first."""
         with self._lock:
             return list(self._events)
+
+    @property
+    def spans(self) -> List[Dict[str, Any]]:
+        """The raw recorded spans (name/kind/worker/start/end), oldest first.
+
+        What the HTML report's embedded timeline chart is built from —
+        sorted deterministically by (start, worker, name) since completion
+        callbacks may arrive on several threads.
+        """
+        with self._lock:
+            return sorted(self._spans, key=lambda s: (s["start"], s["worker"], s["name"]))
 
     def to_chrome(self) -> Dict[str, Any]:
         """The full trace document: metadata + events sorted by start time."""

@@ -1,0 +1,254 @@
+"""Self-contained HTML report assembler (``repro report --html``).
+
+:func:`build_report_html` takes the artefact dictionaries produced by
+:mod:`repro.eval.experiments`, the already-rendered figure SVGs, and the
+run's metadata, and emits one ``report.html`` with **no external assets**:
+styles are embedded, figures are inline SVG, and the only fonts named are
+the viewer's system stack.  The document carries:
+
+* the §6.7 headline numbers as stat tiles (measured beside the paper's);
+* every rendered figure with its caption;
+* Tables 6.1 and 6.2 plus the summary as real HTML tables;
+* run metadata — configuration hash, benchmark set, and the scheduler's
+  cache-hit statistics (a warm run shows zero executed render tasks);
+* optionally, when a ``--trace`` was captured, the per-worker execution
+  timeline.
+
+Everything except the (explicitly opt-in) timeline is a pure function of
+the artefact data: no clocks, no hostnames, no versions — so repeated warm
+runs, and serial vs parallel runs, produce byte-identical documents.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.report import format_cell
+from repro.viz import theme
+from repro.viz.charts import Span, timeline_chart
+from repro.viz.figures import FIGURE_SPECS
+
+#: Figure order in the document: the FIGURE_SPECS registry's own order
+#: (thesis figures first, composites after) — one canonical list, so a
+#: figure added to the registry can never be silently dropped here.
+FIGURE_ORDER = tuple(FIGURE_SPECS)
+
+#: §6.7 headline metrics shown as stat tiles: (key, label, paper key).
+_SUMMARY_TILES = (
+    ("mean_speedup_vs_sw", "Twill speedup vs pure SW", "paper_speedup_vs_sw"),
+    ("mean_speedup_vs_hw", "Twill speedup vs pure HW", "paper_speedup_vs_hw"),
+    ("mean_hw_area_reduction", "HW-thread area reduction", "paper_hw_area_reduction"),
+    ("mean_total_area_increase", "Total area increase", "paper_total_area_increase"),
+)
+
+#: Tables embedded as HTML, in order: (artefact key, fallback heading).
+_TABLE_ARTEFACTS = (
+    ("table_6.1", "Table 6.1"),
+    ("table_6.2", "Table 6.2"),
+    ("summary", "Results overview (§6.7)"),
+)
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _css() -> str:
+    """The document stylesheet (light + dark), from the shared theme."""
+    light, dark = 0, 1
+    return f"""
+:root {{ color-scheme: light dark; }}
+body {{
+  margin: 0; padding: 32px 20px 48px;
+  background: {theme.PAGE[light]}; color: {theme.INK_PRIMARY[light]};
+  font-family: {theme.FONT_STACK}; font-size: 15px; line-height: 1.5;
+}}
+main {{ max-width: 880px; margin: 0 auto; }}
+h1 {{ font-size: 26px; margin: 0 0 4px; }}
+h2 {{ font-size: 18px; margin: 36px 0 6px; }}
+p.caption, p.subtitle {{ color: {theme.INK_SECONDARY[light]}; margin: 0 0 12px; }}
+section.card {{
+  background: {theme.SURFACE[light]}; border: 1px solid rgba(11,11,11,0.10);
+  border-radius: 10px; padding: 16px 18px; margin: 14px 0;
+}}
+section.card svg {{ max-width: 100%; height: auto; }}
+.tiles {{ display: flex; flex-wrap: wrap; gap: 12px; margin: 18px 0; }}
+.tile {{
+  flex: 1 1 180px; background: {theme.SURFACE[light]};
+  border: 1px solid rgba(11,11,11,0.10); border-radius: 10px; padding: 12px 16px;
+}}
+.tile .label {{ font-size: 13px; color: {theme.INK_SECONDARY[light]}; }}
+.tile .value {{ font-size: 30px; font-weight: 600; }}
+.tile .paper {{ font-size: 12px; color: {theme.INK_MUTED[light]}; }}
+table.data {{ border-collapse: collapse; width: 100%; font-size: 13px; }}
+table.data th, table.data td {{
+  padding: 5px 10px; border-bottom: 1px solid {theme.GRIDLINE[light]}; text-align: left;
+}}
+table.data th {{ color: {theme.INK_SECONDARY[light]}; font-weight: 600; }}
+table.data td.num {{ text-align: right; font-variant-numeric: tabular-nums; }}
+table.meta {{ font-size: 13px; border-collapse: collapse; }}
+table.meta th {{ text-align: left; padding: 2px 14px 2px 0; color: {theme.INK_SECONDARY[light]};
+  font-weight: 600; vertical-align: top; white-space: nowrap; }}
+table.meta td {{ padding: 2px 0; font-variant-numeric: tabular-nums; overflow-wrap: anywhere; }}
+footer {{ margin-top: 36px; font-size: 12px; color: {theme.INK_MUTED[light]}; }}
+code {{ font-size: 13px; }}
+@media (prefers-color-scheme: dark) {{
+  body {{ background: {theme.PAGE[dark]}; color: {theme.INK_PRIMARY[dark]}; }}
+  p.caption, p.subtitle, .tile .label, table.data th, table.meta th
+    {{ color: {theme.INK_SECONDARY[dark]}; }}
+  section.card, .tile {{ background: {theme.SURFACE[dark]}; border-color: rgba(255,255,255,0.10); }}
+  table.data th, table.data td {{ border-bottom-color: {theme.GRIDLINE[dark]}; }}
+  .tile .paper, footer {{ color: {theme.INK_MUTED[dark]}; }}
+}}
+"""
+
+
+def html_table(rows: Sequence[Dict[str, Any]]) -> str:
+    """Rows-of-dicts → an HTML table (all columns, numerics right-aligned)."""
+    if not rows:
+        return "<p>(no rows)</p>"
+    headers = list(rows[0].keys())
+    out: List[str] = ['<table class="data">', "<thead><tr>"]
+    for header in headers:
+        out.append(f"<th>{_esc(header)}</th>")
+    out.append("</tr></thead>")
+    out.append("<tbody>")
+    for row in rows:
+        out.append("<tr>")
+        for header in headers:
+            value = row.get(header, "")
+            numeric = isinstance(value, (int, float)) and not isinstance(value, bool)
+            cell = _esc(format_cell(value))
+            out.append(f'<td class="num">{cell}</td>' if numeric else f"<td>{cell}</td>")
+        out.append("</tr>")
+    out.append("</tbody></table>")
+    return "\n".join(out)
+
+
+def _metadata_rows(metadata: Dict[str, Any]) -> List[str]:
+    """The run-metadata table body, in a fixed, documented order."""
+    out: List[str] = []
+
+    def row(label: str, value: str) -> None:
+        out.append(f"<tr><th>{_esc(label)}</th><td>{value}</td></tr>")
+
+    if "config_hash" in metadata:
+        row("configuration hash", f"<code>{_esc(metadata['config_hash'])}</code>")
+    if "benchmarks" in metadata:
+        row("benchmark set", _esc(", ".join(metadata["benchmarks"])))
+    if metadata.get("cache"):
+        row("artifact cache", f"<code>{_esc(metadata['cache'])}</code>")
+    stats = metadata.get("scheduler") or {}
+    if stats:
+        executed = stats.get("executed") or {}
+        executed_total = sum(executed.values())
+        row(
+            "task graph",
+            _esc(
+                f"{stats.get('total', 0)} tasks: {stats.get('cache_hits', 0)} cache hits, "
+                f"{stats.get('seeded', 0)} seeded, {executed_total} executed"
+            ),
+        )
+        renders = executed.get("render", 0)
+        hits = stats.get("cache_hit_kinds", {}).get("render", 0)
+        row("figure renders", _esc(f"{renders} rendered, {hits} from cache"))
+    return out
+
+
+def _stat_tiles(summary: Dict[str, Any]) -> str:
+    tiles: List[str] = ['<div class="tiles">']
+    for key, label, paper_key in _SUMMARY_TILES:
+        if key not in summary:
+            continue
+        tiles.append(
+            '<div class="tile">'
+            f'<div class="label">{_esc(label)}</div>'
+            f'<div class="value">{summary[key]:.2f}&times;</div>'
+            f'<div class="paper">paper: {summary.get(paper_key, 0):.2f}&times;</div>'
+            "</div>"
+        )
+    tiles.append("</div>")
+    return "\n".join(tiles)
+
+
+def build_report_html(
+    artefacts: Dict[str, Dict],
+    figures: Dict[str, str],
+    metadata: Dict[str, Any],
+    trace_spans: Optional[Sequence[Span]] = None,
+) -> str:
+    """Assemble the complete, self-contained report document."""
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en">',
+        "<head>",
+        '<meta charset="utf-8"/>',
+        '<meta name="viewport" content="width=device-width, initial-scale=1"/>',
+        "<title>Twill reproduction — evaluation report</title>",
+        f"<style>{_css()}</style>",
+        "</head>",
+        "<body>",
+        "<main>",
+        "<h1>Twill reproduction — evaluation report</h1>",
+        '<p class="subtitle">Every table and figure of thesis Chapter 6, '
+        "regenerated from the checked-in compiler and simulator.</p>",
+    ]
+
+    summary = artefacts.get("summary")
+    if summary:
+        parts.append(_stat_tiles(summary))
+
+    parts.append('<section class="card" id="metadata">')
+    parts.append("<h2>Run metadata</h2>")
+    parts.append('<table class="meta"><tbody>')
+    parts.extend(_metadata_rows(metadata))
+    parts.append("</tbody></table>")
+    parts.append("</section>")
+
+    for figure_id in FIGURE_ORDER:
+        markup = figures.get(figure_id)
+        if not markup:
+            continue
+        spec = FIGURE_SPECS[figure_id]
+        parts.append(f'<section class="card" id="figure-{_esc(figure_id)}">')
+        parts.append(f"<h2>{_esc(spec.title)}</h2>")
+        parts.append(f'<p class="caption">{_esc(spec.caption)}</p>')
+        parts.append(markup.rstrip("\n"))
+        parts.append("</section>")
+
+    for artefact_key, fallback in _TABLE_ARTEFACTS:
+        data = artefacts.get(artefact_key)
+        if not data:
+            continue
+        heading = (data.get("table") or fallback).splitlines()[0]
+        parts.append(f'<section class="card" id="{_esc(artefact_key)}">')
+        parts.append(f"<h2>{_esc(heading)}</h2>")
+        if data.get("rows"):
+            parts.append(html_table(data["rows"]))
+        else:
+            # The summary has no rows list; show its scalar metrics.
+            rows = [
+                {"metric": key, "value": value}
+                for key, value in data.items()
+                if isinstance(value, (int, float)) and not isinstance(value, bool)
+            ]
+            parts.append(html_table(rows))
+        parts.append("</section>")
+
+    if trace_spans:
+        parts.append('<section class="card" id="timeline">')
+        parts.append("<h2>Execution timeline</h2>")
+        parts.append(
+            '<p class="caption">Per-worker task execution recorded by '
+            "<code>--trace</code>; gaps are genuine idle time.</p>"
+        )
+        parts.append(timeline_chart(list(trace_spans)).rstrip("\n"))
+        parts.append("</section>")
+
+    parts.append("<footer>Generated by <code>repro report --html</code>. "
+                 "Self-contained: no external assets, no scripts.</footer>")
+    parts.append("</main>")
+    parts.append("</body>")
+    parts.append("</html>")
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,119 @@
+"""Scales and tick computation shared by every chart in ``repro.viz``.
+
+Three scale kinds cover the whole figure set:
+
+* :class:`LinearScale` — continuous value → pixel mapping (y axes, scatter);
+* :class:`BandScale` — one padded band per category (bar charts);
+* :class:`PointScale` — evenly spaced points for swept parameter values
+  (the x axis of the sensitivity sweeps, where 2/8/32/128 are *settings*,
+  not a continuous quantity).
+
+:func:`nice_ticks` produces the classic 1-2-5-stepped "nice" tick values.
+Everything here is plain float arithmetic — deterministic by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class LinearScale:
+    """Affine map from a value domain onto a pixel range."""
+
+    domain: Tuple[float, float]
+    range: Tuple[float, float]
+
+    def __call__(self, value: float) -> float:
+        d0, d1 = self.domain
+        r0, r1 = self.range
+        span = d1 - d0
+        if span == 0:
+            return r0
+        return r0 + (value - d0) / span * (r1 - r0)
+
+
+def nice_ticks(lo: float, hi: float, count: int = 5) -> List[float]:
+    """"Nice" tick values covering ``[lo, hi]`` with about *count* steps.
+
+    Steps are 1, 2 or 5 times a power of ten; the returned list starts at or
+    below *lo* and ends at or above *hi*, so the outermost gridlines always
+    bracket the data.
+    """
+    if hi < lo:
+        lo, hi = hi, lo
+    if hi == lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw_step = span / max(count, 1)
+    magnitude = 10.0 ** math.floor(math.log10(raw_step))
+    step = magnitude
+    for multiplier in (1.0, 2.0, 5.0, 10.0):
+        step = magnitude * multiplier
+        if raw_step <= step:
+            break
+    first = math.floor(lo / step) * step
+    ticks: List[float] = []
+    value = first
+    # Guard with a generous iteration cap: float drift must never loop forever.
+    for _ in range(1000):
+        ticks.append(round(value, 10))
+        if value >= hi - 1e-12:
+            break
+        value += step
+    return ticks
+
+
+@dataclass(frozen=True)
+class BandScale:
+    """One band per category with symmetric outer padding.
+
+    ``position(i)`` is the left edge of band *i*; :attr:`bandwidth` the band
+    width.  Inner padding is a fixed fraction of the step, which keeps bar
+    groups visually separated at any category count.
+    """
+
+    categories: Tuple[str, ...]
+    range: Tuple[float, float]
+    padding: float = 0.22  # fraction of one step left as air on each side of a band
+
+    @property
+    def step(self) -> float:
+        r0, r1 = self.range
+        return (r1 - r0) / max(len(self.categories), 1)
+
+    @property
+    def bandwidth(self) -> float:
+        return self.step * (1.0 - 2.0 * self.padding)
+
+    def position(self, index: int) -> float:
+        return self.range[0] + self.step * index + self.step * self.padding
+
+    def center(self, index: int) -> float:
+        return self.position(index) + self.bandwidth / 2.0
+
+
+@dataclass(frozen=True)
+class PointScale:
+    """Evenly spaced points (with half-step outer padding) for swept values."""
+
+    categories: Tuple[str, ...]
+    range: Tuple[float, float]
+
+    def __call__(self, index: int) -> float:
+        r0, r1 = self.range
+        n = len(self.categories)
+        if n <= 1:
+            return (r0 + r1) / 2.0
+        step = (r1 - r0) / n
+        return r0 + step / 2.0 + step * index
+
+
+def value_domain(values: Sequence[float], headroom: float = 0.08) -> Tuple[float, float]:
+    """Bar/line y domain: zero-based, with *headroom* above the maximum."""
+    top = max([v for v in values if v == v], default=1.0)  # NaN-safe max
+    if top <= 0:
+        top = 1.0
+    return (0.0, top * (1.0 + headroom))

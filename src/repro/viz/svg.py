@@ -1,0 +1,159 @@
+"""Deterministic SVG element builder (the bottom layer of ``repro.viz``).
+
+A chart is assembled as a tree of :class:`Element` nodes and serialised with
+:func:`render`.  Everything about the output is stable run-to-run:
+
+* attributes are emitted in the order they were given (Python dicts preserve
+  insertion order, and every caller builds them literally);
+* children are emitted in the order they were added;
+* numbers go through :func:`fmt_num` — fixed two-decimal precision with
+  trailing zeros stripped and ``-0`` normalised — so no float-repr noise
+  ever reaches the markup.
+
+No ``id`` attributes, no timestamps, no randomness: rendering the same data
+twice produces byte-identical bytes, which is what lets the task graph cache
+figures by the content hash of their inputs alone (and what the golden-file
+tests in ``tests/test_viz.py`` pin down).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+Scalar = Union[str, int, float]
+
+_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {**_ESCAPES, '"': "&quot;"}
+
+
+def escape_text(value: str) -> str:
+    """Escape a string for use as SVG/XML text content."""
+    out = str(value)
+    for char, entity in _ESCAPES.items():
+        out = out.replace(char, entity)
+    return out
+
+
+def escape_attr(value: str) -> str:
+    """Escape a string for use inside a double-quoted attribute value."""
+    out = str(value)
+    for char, entity in _ATTR_ESCAPES.items():
+        out = out.replace(char, entity)
+    return out
+
+
+def fmt_num(value: Scalar) -> str:
+    """Deterministic, compact formatting for coordinates and lengths.
+
+    Integers stay integers; floats are rounded to two decimals with trailing
+    zeros (and a trailing dot) stripped; a rounded ``-0`` collapses to ``0``.
+    """
+    if isinstance(value, bool):  # bool is an int subclass; never meaningful here
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        text = f"{value:.2f}".rstrip("0").rstrip(".")
+        return "0" if text in ("-0", "") else text
+    return str(value)
+
+
+class Element:
+    """One SVG element: tag, ordered attributes, ordered children, text."""
+
+    __slots__ = ("tag", "attrs", "children", "text")
+
+    def __init__(
+        self,
+        tag: str,
+        attrs: Optional[Dict[str, Scalar]] = None,
+        text: Optional[str] = None,
+    ):
+        self.tag = tag
+        self.attrs: Dict[str, Scalar] = dict(attrs or {})
+        self.children: List[Union["Element", str]] = []
+        self.text = text
+
+    def add(self, child: Union["Element", str]) -> Union["Element", str]:
+        """Append a child element (or a raw, pre-serialised string); returns it."""
+        self.children.append(child)
+        return child
+
+    def elem(
+        self, tag: str, attrs: Optional[Dict[str, Scalar]] = None, text: Optional[str] = None
+    ) -> "Element":
+        """Append and return a fresh child element (the main builder call)."""
+        child = Element(tag, attrs, text)
+        self.children.append(child)
+        return child
+
+    # -- serialisation ---------------------------------------------------------
+
+    def _open_tag(self) -> str:
+        parts = [self.tag]
+        for name, value in self.attrs.items():
+            parts.append(f'{name}="{escape_attr(fmt_num(value))}"')
+        return " ".join(parts)
+
+    def _render(self, lines: List[str], depth: int) -> None:
+        pad = "  " * depth
+        if not self.children and self.text is None:
+            lines.append(f"{pad}<{self._open_tag()}/>")
+            return
+        if not self.children:
+            lines.append(f"{pad}<{self._open_tag()}>{escape_text(self.text)}</{self.tag}>")
+            return
+        lines.append(f"{pad}<{self._open_tag()}>")
+        if self.text is not None:
+            lines.append(f"{pad}  {escape_text(self.text)}")
+        for child in self.children:
+            if isinstance(child, str):
+                lines.append(f"{pad}  {child}")
+            else:
+                child._render(lines, depth + 1)
+        lines.append(f"{pad}</{self.tag}>")
+
+
+def render(root: Element) -> str:
+    """Serialise an element tree to markup (one element per line, indented)."""
+    lines: List[str] = []
+    root._render(lines, 0)
+    return "\n".join(lines) + "\n"
+
+
+def svg_root(width: int, height: int, style: str, label: str) -> Element:
+    """The ``<svg>`` root every chart hangs off.
+
+    *style* is the embedded stylesheet (see :mod:`repro.viz.theme`); *label*
+    becomes the accessible name (``role="img"`` + ``aria-label``).  A
+    ``viewBox`` plus a 100%-width style keeps figures responsive when inlined
+    into the HTML report while standalone files keep their natural size.
+    """
+    root = Element(
+        "svg",
+        {
+            "xmlns": "http://www.w3.org/2000/svg",
+            "viewBox": f"0 0 {width} {height}",
+            "width": width,
+            "height": height,
+            "role": "img",
+            "aria-label": label,
+            "class": "vz",
+        },
+    )
+    root.elem("style", text=style)
+    return root
+
+
+def text_width(text: str, font_size: float = 11.0) -> float:
+    """Deterministic width estimate for layout decisions (no font metrics).
+
+    ~0.62 em per character is a slight over-estimate for the system sans
+    stack, which errs on the side of extra padding rather than collisions.
+    """
+    return len(str(text)) * font_size * 0.62
+
+
+def polyline_points(points: Sequence[Sequence[float]]) -> str:
+    """``points`` attribute value for a ``<polyline>``: "x,y x,y ..."."""
+    return " ".join(f"{fmt_num(x)},{fmt_num(y)}" for x, y in points)

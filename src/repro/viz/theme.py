@@ -1,0 +1,110 @@
+"""Palette, mark metrics and embedded stylesheet for ``repro.viz`` charts.
+
+The colours are a validated colourblind-safe categorical palette (eight
+slots, fixed order — the ordering is the CVD-safety mechanism, so slots are
+assigned by entity and never cycled or re-ranked), plus neutral ink/grid
+tones for chart chrome, each with a dark-mode step selected for the dark
+surface rather than auto-inverted.  Series colours are applied through CSS
+classes (``vz-s<N>`` fills, ``vz-ln<N>`` strokes) defined in one embedded
+stylesheet per SVG, so the same figure adapts to ``prefers-color-scheme``
+both standalone and inlined in the HTML report; because every figure embeds
+the identical stylesheet, inlining several into one document is harmless.
+
+Fixed entity slots keep identity stable across the whole report: Twill is
+always slot 0 (blue), the LegUp pure-hardware baseline slot 1 (orange), the
+pure-software baseline slot 2 (aqua); the eight benchmarks take slots 0-7 in
+registry order in the figures where the series *are* the benchmarks.
+"""
+
+from __future__ import annotations
+
+#: Categorical palette, light-mode steps (slot order is load-bearing).
+SERIES_LIGHT = (
+    "#2a78d6",  # 0 blue
+    "#eb6834",  # 1 orange
+    "#1baf7a",  # 2 aqua
+    "#eda100",  # 3 yellow
+    "#e87ba4",  # 4 magenta
+    "#008300",  # 5 green
+    "#4a3aa7",  # 6 violet
+    "#e34948",  # 7 red
+)
+
+#: The same eight hues stepped for the dark surface (not an automatic flip).
+SERIES_DARK = (
+    "#3987e5",
+    "#d95926",
+    "#199e70",
+    "#c98500",
+    "#d55181",
+    "#008300",
+    "#9085e9",
+    "#e66767",
+)
+
+#: Fixed entity → slot assignment (identity is stable across figures).
+SLOT_TWILL = 0
+SLOT_LEGUP = 1
+SLOT_SOFTWARE = 2
+
+#: Chart chrome, light / dark.
+SURFACE = ("#fcfcfb", "#1a1a19")
+PAGE = ("#f9f9f7", "#0d0d0d")
+INK_PRIMARY = ("#0b0b0b", "#ffffff")
+INK_SECONDARY = ("#52514e", "#c3c2b7")
+INK_MUTED = ("#898781", "#898781")
+GRIDLINE = ("#e1e0d9", "#2c2c2a")
+AXIS = ("#c3c2b7", "#383835")
+
+FONT_STACK = 'system-ui, -apple-system, "Segoe UI", sans-serif'
+
+#: Mark metrics (px): the specs every chart obeys.
+BAR_MAX_THICKNESS = 24
+BAR_CORNER_RADIUS = 4
+LINE_WIDTH = 2
+MARKER_RADIUS = 4
+SURFACE_GAP = 2  # gap between touching fills; ring width on markers
+
+
+def _series_rules(colors, prefix: str = "") -> str:
+    rules = []
+    for slot, color in enumerate(colors):
+        rules.append(f"{prefix}.vz .vz-s{slot}{{fill:{color}}}")
+        rules.append(f"{prefix}.vz .vz-ln{slot}{{stroke:{color};fill:none}}")
+    return "".join(rules)
+
+
+def stylesheet() -> str:
+    """The stylesheet embedded in every chart SVG (light + dark)."""
+    light, dark = 0, 1
+    base = (
+        f".vz text{{font-family:{FONT_STACK};fill:{INK_SECONDARY[light]}}}"
+        f".vz .vz-surface{{fill:{SURFACE[light]}}}"
+        f".vz .vz-title{{font-size:13px;font-weight:600;fill:{INK_PRIMARY[light]}}}"
+        f".vz .vz-lab{{font-size:11px;fill:{INK_MUTED[light]}}}"
+        f".vz .vz-axlab{{font-size:11px;fill:{INK_SECONDARY[light]}}}"
+        f".vz .vz-dlab{{font-size:11px;fill:{INK_SECONDARY[light]}}}"
+        f".vz .vz-num{{font-variant-numeric:tabular-nums}}"
+        f".vz .vz-grid{{stroke:{GRIDLINE[light]};stroke-width:1}}"
+        f".vz .vz-axis{{stroke:{AXIS[light]};stroke-width:1}}"
+        f".vz .vz-ref{{stroke:{INK_MUTED[light]};stroke-width:1}}"
+        f".vz .vz-line{{stroke-width:{LINE_WIDTH};stroke-linejoin:round;stroke-linecap:round;fill:none}}"
+        f".vz .vz-ring{{stroke:{SURFACE[light]};stroke-width:{SURFACE_GAP}}}"
+        f".vz .vz-link{{stroke:{AXIS[light]};stroke-width:1}}"
+        + _series_rules(SERIES_LIGHT)
+    )
+    dark_rules = (
+        f".vz text{{fill:{INK_SECONDARY[dark]}}}"
+        f".vz .vz-surface{{fill:{SURFACE[dark]}}}"
+        f".vz .vz-title{{fill:{INK_PRIMARY[dark]}}}"
+        f".vz .vz-lab{{fill:{INK_MUTED[dark]}}}"
+        f".vz .vz-axlab{{fill:{INK_SECONDARY[dark]}}}"
+        f".vz .vz-dlab{{fill:{INK_SECONDARY[dark]}}}"
+        f".vz .vz-grid{{stroke:{GRIDLINE[dark]}}}"
+        f".vz .vz-axis{{stroke:{AXIS[dark]}}}"
+        f".vz .vz-ref{{stroke:{INK_MUTED[dark]}}}"
+        f".vz .vz-ring{{stroke:{SURFACE[dark]}}}"
+        f".vz .vz-link{{stroke:{AXIS[dark]}}}"
+        + _series_rules(SERIES_DARK)
+    )
+    return base + "@media (prefers-color-scheme:dark){" + dark_rules + "}"

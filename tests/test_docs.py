@@ -57,9 +57,29 @@ def test_distributed_doc_covers_the_cli_surface():
         "repro cache serve",
         "repro worker serve",
         "--workers",
+        "--pool",
         "lease",
         "heartbeat",
         "REPRO_CACHE_HMAC_KEY",
+        "REPRO_SERVICE_TOKEN",
         "byte-identical",
     ):
         assert needle in doc, f"DISTRIBUTED.md does not mention {needle!r}"
+
+
+def test_reporting_doc_covers_the_viz_surface():
+    doc = _read("docs", "REPORTING.md")
+    for needle in (
+        "repro report --html",
+        "--svg",
+        "render",
+        "render_key",
+        "byte-identical",
+        "prefers-color-scheme",
+    ):
+        assert needle in doc, f"REPORTING.md does not mention {needle!r}"
+    # Every renderable figure id is documented.
+    from repro.eval.experiments import RENDER_FIGURE_IDS
+
+    for figure_id in RENDER_FIGURE_IDS:
+        assert f"`{figure_id}`" in doc, f"REPORTING.md does not document figure {figure_id}"

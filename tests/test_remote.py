@@ -161,6 +161,50 @@ def test_shutdown_tells_workers_to_exit():
 
 
 # ---------------------------------------------------------------------------
+# coordinator work shaping (static cost table)
+# ---------------------------------------------------------------------------
+
+
+def test_lease_order_follows_the_static_cost_table():
+    """Ready tasks must lease costliest-first: compiles before sweep points,
+    and heavy workloads (mpeg2/jpeg) before light ones (blowfish)."""
+    coordinator = Coordinator(lease_timeout=5.0)
+    worker = coordinator.register()["worker_id"]
+    # Submitted cheapest-first on purpose; lease order must invert it.
+    coordinator.submit(make_spec("render:6.1") | {"kind": "render"})
+    coordinator.submit(make_spec("sweep:latency:mpeg2:8") | {"workload": "mpeg2"})
+    coordinator.submit(make_spec("compile:blowfish") | {"kind": "compile", "workload": "blowfish"})
+    coordinator.submit(make_spec("compile:mpeg2") | {"kind": "compile", "workload": "mpeg2"})
+    order = [coordinator.lease(worker, wait=0.05)["task"]["task_id"] for _ in range(4)]
+    assert order == [
+        "compile:mpeg2",       # heaviest kind x heaviest workload
+        "compile:blowfish",    # any compile beats any sweep point
+        "sweep:latency:mpeg2:8",
+        "render:6.1",
+    ]
+
+
+def test_equal_cost_tasks_lease_fifo():
+    coordinator = Coordinator(lease_timeout=5.0)
+    worker = coordinator.register()["worker_id"]
+    for index in range(3):
+        coordinator.submit(make_spec(f"sweep:latency:mips:{index}") | {"workload": "mips"})
+    order = [coordinator.lease(worker, wait=0.05)["task"]["task_id"] for _ in range(3)]
+    assert order == [f"sweep:latency:mips:{index}" for index in range(3)]
+
+
+def test_task_cost_recovers_workload_from_task_id():
+    from repro.eval.remote.coordinator import task_cost
+
+    tagged = task_cost({"kind": "compile", "workload": "mpeg2", "task_id": "compile:mpeg2"})
+    untagged = task_cost({"kind": "compile", "task_id": "compile:mpeg2"})
+    assert tagged == untagged
+    assert task_cost({"kind": "compile", "task_id": "compile:mpeg2"}) > task_cost(
+        {"kind": "compile", "task_id": "compile:blowfish"}
+    )
+
+
+# ---------------------------------------------------------------------------
 # wire protocol
 # ---------------------------------------------------------------------------
 
@@ -181,6 +225,30 @@ def test_task_spec_round_trip_substitutes_configs_and_cache_spec():
     assert cache_spec == "http://worker-view:1"  # the worker's own cache, not the parent path
     assert decoded_config.content_hash() == config.content_hash()  # identical cache keys
     assert runtime.queue_latency == 8
+
+
+def test_render_task_round_trips_list_args_on_the_wire():
+    from repro.eval import experiments, taskgraph
+
+    task = taskgraph.render_task(
+        "6.1",
+        experiments.compute_figure_render,
+        deps=("compile:blowfish", "compile:mips"),
+        dep_keys=["a" * 64, "b" * 64],
+        agg_arg=["blowfish", "mips"],
+        cache_root="/parent/cache",
+    )
+    spec = json.loads(json.dumps(protocol.encode_task(task, "/parent/cache")))
+    assert spec["kind"] == "render" and spec["fn"] == "compute_figure_render"
+    task_id, fn, args, key, serializer = protocol.decode_task(spec, "http://worker:1")
+    assert task_id == "render:6.1" and key == task.key and serializer == "json"
+    assert fn is experiments.compute_figure_render
+    figure_id, dep_ids, dep_keys, agg_arg, cache_spec = args
+    assert figure_id == "6.1"
+    assert list(dep_ids) == ["compile:blowfish", "compile:mips"]
+    assert list(dep_keys) == ["a" * 64, "b" * 64]
+    assert list(agg_arg) == ["blowfish", "mips"]
+    assert cache_spec == "http://worker:1"  # the worker's own cache spec
 
 
 def test_unregistered_payloads_and_keyless_tasks_are_rejected():
@@ -357,6 +425,128 @@ def test_from_spec_picks_backend(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# shared-secret service auth
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def scoped_token():
+    """Set (and always restore) the process-level service token."""
+
+    def set_token(token):
+        previous = protocol.set_process_service_token(token)
+        restores.append(previous)
+        return token
+
+    restores = []
+    yield set_token
+    for previous in reversed(restores):
+        protocol.set_process_service_token(previous)
+
+
+def test_cache_service_requires_matching_token(tmp_path, scoped_token):
+    from repro.errors import RemoteError
+
+    server = make_cache_server(tmp_path / "served", port=0, token="s3cret")
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        backend = HTTPCacheBackend(server.url)
+        # No token: every store operation is refused with an actionable error.
+        with pytest.raises(RemoteError, match="REPRO_SERVICE_TOKEN"):
+            backend.get_blob("1" * 64)
+        with pytest.raises(RemoteError):
+            backend.put_blob("1" * 64, "json", b"{}")
+        with pytest.raises(RemoteError):
+            backend.contains("1" * 64)
+        # Wrong token: same refusal (constant-time compare, no oracle).
+        scoped_token("wrong")
+        with pytest.raises(RemoteError, match="401"):
+            backend.get_blob("1" * 64)
+        # Matching token: full round trip works again.
+        scoped_token("s3cret")
+        cache = ArtifactCache(backend=HTTPCacheBackend(server.url))
+        cache.put("1" * 64, {"v": 1}, serializer="json")
+        assert cache.get("1" * 64) == {"v": 1}
+        assert cache.contains("1" * 64)
+        assert cache.stats()["entries"] == 1
+        # The liveness probe stays open for scripts and CI.
+        scoped_token(None)
+        assert protocol.http_get_json(f"{server.url}/healthz")["ok"] is True
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_cache_service_head_rejects_bad_token_without_body(tmp_path, scoped_token):
+    server = make_cache_server(tmp_path / "served", port=0, token="s3cret")
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        request = urllib.request.Request(f"{server.url}/objects/{'2' * 64}", method="HEAD")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5)
+        assert excinfo.value.code == 401
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_coordinator_requires_matching_token(scoped_token):
+    from repro.errors import RemoteError
+    from repro.eval.remote.coordinator import start_coordinator_server
+
+    coordinator = Coordinator()
+    server = start_coordinator_server(coordinator, port=0, token="s3cret")
+    try:
+        with pytest.raises(RemoteError, match="401"):
+            protocol.http_post_json(f"{server.url}/workers/register", {"name": "w"})
+        assert protocol.http_get_json(f"{server.url}/healthz")["ok"] is True
+        scoped_token("s3cret")
+        response = protocol.http_post_json(f"{server.url}/workers/register", {"name": "w"})
+        assert response["worker_id"] == "w"
+        assert protocol.http_get_json(f"{server.url}/status")["workers"] == ["w"]
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+# ---------------------------------------------------------------------------
+# worker pool daemon (--pool N)
+# ---------------------------------------------------------------------------
+
+
+def test_worker_pool_drives_n_registered_executors():
+    from repro.eval.remote.worker import run_worker_pool
+
+    executor = RemoteExecutor(port=0, worker_timeout=60.0)
+    result = {}
+
+    def drive_pool():
+        result["code"] = run_worker_pool(
+            2,
+            coordinator_url=executor.url,
+            poll_wait=0.2,
+            startup_timeout=30.0,
+            verbose=False,
+        )
+
+    supervisor = threading.Thread(target=drive_pool, daemon=True)
+    supervisor.start()
+    try:
+        deadline = time.time() + 30
+        while executor.coordinator.worker_count < 2 and time.time() < deadline:
+            time.sleep(0.05)
+        assert executor.coordinator.worker_count == 2  # both members registered
+        executor.close()  # run over: members observe shutdown and exit
+        supervisor.join(timeout=30)
+        assert not supervisor.is_alive()
+        assert result["code"] == 0
+    finally:
+        executor.stop_server()
+
+
+# ---------------------------------------------------------------------------
 # remote executor + real worker loop (cheap fake payloads)
 # ---------------------------------------------------------------------------
 
@@ -405,6 +595,40 @@ def test_scheduler_with_remote_executor_and_real_worker(tmp_path):
         assert spans["sweep:fake:21"]["tid"] != spans["agg"]["tid"]
         # After the run the worker is told to shut down and exits.
         worker.join(timeout=15)
+        assert not worker.is_alive()
+    finally:
+        executor.stop_server()
+
+
+def test_render_tasks_execute_on_remote_workers(tmp_path):
+    """A figure render must cross the wire like any sweep point: the worker
+    reads the dependency artefacts from the shared cache, renders, and ships
+    the SVG back as a JSON value."""
+    from repro.eval import experiments
+    from repro.eval.harness import EvaluationHarness
+
+    cache_dir = str(tmp_path / "cache")
+    harness = EvaluationHarness(benchmarks=["blowfish"], cache_dir=cache_dir)
+    executor = RemoteExecutor(port=0, lease_timeout=30.0, worker_timeout=120.0)
+    worker = threading.Thread(
+        target=run_worker,
+        kwargs=dict(coordinator_url=executor.url, cache_spec=cache_dir, poll_wait=0.5,
+                    verbose=False),
+        daemon=True,
+    )
+    worker.start()
+    try:
+        from repro.eval.taskgraph import TaskGraph
+
+        graph = TaskGraph()
+        render_id = experiments.declare_figure_render(graph, harness, "6.4")
+        results = harness.execute(graph, executor=executor)
+        markup = results[render_id]
+        assert markup.startswith("<svg") and "blowfish" in markup
+        # Byte-identical to a purely local render of the same artefacts.
+        local = EvaluationHarness(benchmarks=["blowfish"], cache_dir=cache_dir)
+        assert experiments.figure_svg("6.4", local) == markup
+        worker.join(timeout=30)
         assert not worker.is_alive()
     finally:
         executor.stop_server()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""CI gate for ``repro report --html``: complete, self-contained, cacheable.
+
+Asserts the produced ``report.html``
+
+* contains **all six thesis figures** (6.1-6.6) plus both tables as inline
+  sections (requires the full benchmark set, or at least blowfish+mips);
+* is **self-contained** — no ``<script>``, no ``<link>``, no ``src=``
+  attributes, nothing to fetch;
+* carries the run-metadata card (configuration hash + cache-hit stats).
+
+With ``--expect-warm`` it additionally asserts the run re-rendered nothing
+("0 rendered" in the metadata card) — the render-task caching guarantee.
+
+Usage: ``python tools/check_report_html.py out/report.html [--expect-warm]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REQUIRED_FIGURES = ("6.1", "6.2", "6.3", "6.4", "6.5", "6.6")
+REQUIRED_SECTIONS = ("table_6.1", "table_6.2", "metadata")
+FORBIDDEN_MARKUP = ("<script", "<link", "src=", "@import", "http-equiv")
+
+
+def check(path: Path, expect_warm: bool = False) -> list:
+    """Return a list of failure messages (empty = the report passes)."""
+    failures = []
+    if not path.is_file():
+        return [f"{path} does not exist"]
+    document = path.read_text(encoding="utf-8")
+    for figure_id in REQUIRED_FIGURES:
+        if f'id="figure-{figure_id}"' not in document:
+            failures.append(f"figure {figure_id} missing from the report")
+    for section in REQUIRED_SECTIONS:
+        if f'id="{section}"' not in document:
+            failures.append(f"section '{section}' missing from the report")
+    for needle in FORBIDDEN_MARKUP:
+        if needle in document:
+            failures.append(f"report is not self-contained: found {needle!r}")
+    if "configuration hash" not in document:
+        failures.append("run metadata (configuration hash) missing")
+    if expect_warm and "0 rendered" not in document:
+        failures.append("expected a warm run (0 re-renders), but renders executed")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", type=Path, help="path to report.html")
+    parser.add_argument(
+        "--expect-warm",
+        action="store_true",
+        help="also require the run to have re-rendered nothing (cache warm)",
+    )
+    args = parser.parse_args(argv)
+    failures = check(args.report, expect_warm=args.expect_warm)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    size_kib = args.report.stat().st_size / 1024
+    print(f"ok: {args.report} passes ({size_kib:.0f} KiB, all figures inline, no external assets)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
