@@ -13,13 +13,19 @@ suite use, so numbers never diverge between entry points:
   artefact; ``repro figure 6.x --svg FILE`` renders it as a standalone SVG
   chart (``-`` for stdout) through :mod:`repro.viz`;
 * ``repro report`` — every table and figure plus the §6.7 headline summary
-  (``--json`` / ``--markdown`` for machine- or doc-friendly output),
-  computed as one task graph; ``--html DIR`` writes a single self-contained
-  ``report.html`` with every figure as inline SVG (see docs/REPORTING.md);
-  ``--workers HOST:PORT`` runs it distributed (an embedded coordinator that
-  ``repro worker serve`` daemons poll) and ``--trace trace.json`` records a
-  chrome://tracing timeline (embedded in the HTML report when combined
-  with ``--html``);
+  and the embedded design-space-exploration section (``--json`` /
+  ``--markdown`` for machine- or doc-friendly output), computed as one task
+  graph; ``--html DIR`` writes a single self-contained ``report.html`` with
+  every figure as inline SVG (see docs/REPORTING.md); ``--compare
+  BASELINE.json`` diffs the run figure-by-figure against a saved ``--json``
+  payload; ``--workers HOST:PORT`` runs it distributed (an embedded
+  coordinator that ``repro worker serve`` daemons poll) and ``--trace
+  trace.json`` records a chrome://tracing timeline (embedded in the HTML
+  report when combined with ``--html``);
+* ``repro explore <workload|all> --strategy S --budget N --seed K`` — the
+  full design-space exploration engine: budgeted search (exhaustive,
+  random, greedy, annealing) over split/pipeline/queue/HLS candidates with
+  exact Pareto frontiers, journaled and resumable (docs/EXPLORATION.md);
 * ``repro graph`` — print that task graph (every compile, sweep-point and
   aggregate node with its dependencies) without executing it;
 * ``repro cache {stats,clear,prune}`` — inspect, empty, or LRU-bound the
@@ -58,10 +64,13 @@ from repro.config import CompilerConfig
 from repro.errors import ReproError
 from repro.eval import experiments
 from repro.eval.cache import ArtifactCache, default_cache_dir
+from repro.eval.compare import compare_reports
 from repro.eval.experiments import SPLIT_FIGURE_WORKLOADS
 from repro.eval.harness import EvaluationHarness
 from repro.eval.taskgraph import TaskGraph
 from repro.eval.trace import TraceRecorder
+from repro.explore.driver import ExplorationDriver
+from repro.explore.strategies import STRATEGIES
 from repro.workloads import all_workloads, get_workload
 
 #: Experiment generators by artefact id, in thesis order.
@@ -130,6 +139,42 @@ def _parse_bind(address: str) -> Tuple[str, int]:
     if not 0 <= port <= 65535:
         raise ReproError(f"invalid port {port} in --workers address '{address}'")
     return host, port
+
+
+def _apply_service_token(harness: EvaluationHarness) -> None:
+    """Honour a library-style ``RuntimeConfig.service_token`` (the CLI itself
+    sources the shared secret from ``$REPRO_SERVICE_TOKEN``)."""
+    if harness.config.runtime.service_token:
+        from repro.eval.remote import protocol
+
+        protocol.set_process_service_token(harness.config.runtime.service_token)
+
+
+def _make_remote_executor(args: argparse.Namespace, persistent: bool = False):
+    """Build the embedded coordinator behind ``--workers`` (shared by
+    ``repro report`` and ``repro explore``)."""
+    from repro.eval.remote.executor import RemoteExecutor
+
+    host, port = _parse_bind(args.workers)
+    try:
+        executor = RemoteExecutor(
+            host=host,
+            port=port,
+            lease_timeout=args.lease_timeout,
+            worker_timeout=args.worker_timeout,
+            persistent=persistent,
+        )
+    except OSError as exc:
+        # Port in use / unresolvable host: an operational mistake, not a bug.
+        raise ReproError(f"cannot bind coordinator at {host}:{port}: {exc}") from exc
+    # Status on stderr so --json/--markdown stdout stays byte-identical
+    # to the serial run.
+    print(
+        f"coordinator listening at {executor.url}; waiting for "
+        f"'repro worker serve --coordinator {executor.url}' daemons",
+        file=sys.stderr,
+    )
+    return executor
 
 
 def _requested_benchmarks(args: argparse.Namespace) -> Optional[List[str]]:
@@ -286,13 +331,26 @@ def _cmd_report(args: argparse.Namespace) -> int:
         # keeps stdout empty, so combining it with a stdout format would
         # silently starve whatever consumes stdout.
         raise ReproError("--html cannot be combined with --json/--markdown; run them separately")
+    if args.html and args.compare:
+        raise ReproError(
+            "--compare emits a diff on stdout and cannot be combined with --html; "
+            "run them separately"
+        )
+    baseline = None
+    if args.compare:
+        # Fail on a bad baseline *before* spending minutes regenerating.
+        baseline_path = Path(args.compare)
+        try:
+            baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise ReproError(f"cannot read baseline '{args.compare}': {exc}") from exc
+        except ValueError:
+            raise ReproError(
+                f"baseline '{args.compare}' is not valid JSON (save one with "
+                "'repro report --json > baseline.json')"
+            ) from None
     harness = _make_harness(args)
-    if harness.config.runtime.service_token:
-        # Library-style configs can carry the shared service secret; the CLI
-        # itself sources it from $REPRO_SERVICE_TOKEN (see docs/DISTRIBUTED.md).
-        from repro.eval.remote import protocol
-
-        protocol.set_process_service_token(harness.config.runtime.service_token)
+    _apply_service_token(harness)
     executor = None
     if args.workers:
         if args.no_cache:
@@ -306,26 +364,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 "the number of registered worker daemons",
                 file=sys.stderr,
             )
-        from repro.eval.remote.executor import RemoteExecutor
-
-        host, port = _parse_bind(args.workers)
-        try:
-            executor = RemoteExecutor(
-                host=host,
-                port=port,
-                lease_timeout=args.lease_timeout,
-                worker_timeout=args.worker_timeout,
-            )
-        except OSError as exc:
-            # Port in use / unresolvable host: an operational mistake, not a bug.
-            raise ReproError(f"cannot bind coordinator at {host}:{port}: {exc}") from exc
-        # Status on stderr so --json/--markdown stdout stays byte-identical
-        # to the serial run.
-        print(
-            f"coordinator listening at {executor.url}; waiting for "
-            f"'repro worker serve --coordinator {executor.url}' daemons",
-            file=sys.stderr,
-        )
+        executor = _make_remote_executor(args)
     trace = TraceRecorder() if args.trace else None
     # One merged task graph: every compile, every (workload, sweep-point)
     # node and (with --html) every figure render schedules as an independent
@@ -344,6 +383,19 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"wrote task trace to {args.trace} (open in chrome://tracing)", file=sys.stderr)
     if args.html:
         return _write_report_html(args, harness, artefacts, figures, trace)
+
+    if baseline is not None:
+        current = {
+            key: {k: v for k, v in data.items() if k != "table"}
+            for key, data in artefacts.items()
+        }
+        diff = compare_reports(current, baseline)
+        if args.json:
+            print(json.dumps({k: v for k, v in diff.items() if k != "table"},
+                             indent=2, sort_keys=True))
+        else:
+            print(diff["table"])
+        return 0
 
     if args.json:
         payload = {
@@ -365,6 +417,118 @@ def _cmd_report(args: argparse.Namespace) -> int:
         else:
             print(data["table"])
         print()
+    return 0
+
+
+def _explore_text(result) -> str:
+    """One workload's exploration outcome as aligned text tables."""
+    from repro.core.report import format_result_table
+
+    dims = [dim.name for dim in result.space.dimensions]
+    rows = [
+        [row["params"][dim] for dim in dims]
+        + [row["cycles"], row["area_luts"], row["power_mw"], row.get("speedup_vs_sw", 0.0)]
+        for row in result.frontier.to_rows()
+    ]
+    table = format_result_table(
+        dims + ["cycles", "area (LUTs)", "power (mW)", "speedup vs SW"],
+        rows,
+        title=(
+            f"{result.workload}: Pareto frontier — {len(rows)} of "
+            f"{len(result.evaluations)} evaluated candidates "
+            f"({result.strategy}, budget {result.budget}, seed {result.seed})"
+        ),
+    )
+    best = result.best_row()
+    best_params = ", ".join(f"{k}={v}" for k, v in best["params"].items())
+    return (
+        table
+        + f"\nbest found: {best_params} -> {best['cycles']:.0f} cycles, "
+        f"{best['area_luts']:,} LUTs, {best['power_mw']:.0f} mW "
+        f"({best['speedup_vs_sw']:.2f}x vs SW)"
+    )
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    """``repro explore``: search the partition/configuration design space."""
+    if args.workload == "all":
+        names = _requested_benchmarks(args) or [w.name for w in all_workloads()]
+    else:
+        get_workload(args.workload)  # fail fast before building a harness
+        requested = _requested_benchmarks(args)
+        if requested is not None and args.workload not in requested:
+            raise ReproError(
+                f"workload '{args.workload}' is not in --benchmarks {','.join(requested)}"
+            )
+        names = [args.workload]
+    harness = _make_harness(args, benchmarks=names)
+    _apply_service_token(harness)
+    executor = None
+    if args.workers:
+        if args.no_cache:
+            raise ReproError(
+                "--workers requires the shared artifact cache "
+                "(workers hand results back through it); drop --no-cache"
+            )
+        # One persistent coordinator serves every generation of every
+        # workload's search; finalized when the whole command is done.
+        executor = _make_remote_executor(args, persistent=True)
+    results = {}
+    try:
+        for name in names:
+            driver = ExplorationDriver(
+                harness,
+                name,
+                strategy=args.strategy,
+                budget=args.budget,
+                seed=args.seed,
+                jobs=args.parallel,
+                executor=executor,
+            )
+            results[name] = driver.run()
+            stats = driver.stats
+            # Effort goes to stderr: stdout stays byte-identical cold vs warm.
+            print(
+                f"explored {name}: {stats['evaluated']} candidates "
+                f"({stats['executed']} executed, {stats['cache_hits']} cache hits, "
+                f"{stats['replayed']} journal-replayed), "
+                f"frontier size {len(results[name].frontier)}",
+                file=sys.stderr,
+            )
+    finally:
+        if executor is not None:
+            executor.finalize()
+    if args.json:
+        if args.workload != "all":
+            # Explicit single-workload request: the bare result document.
+            # 'all' always gets the wrapped shape, even over one benchmark,
+            # so consumers never have to sniff which schema they received.
+            payload = results[names[0]].to_json_dict()
+        else:
+            payload = {
+                "strategy": args.strategy,
+                "budget": args.budget,
+                "seed": args.seed,
+                "workloads": {name: results[name].to_json_dict() for name in names},
+            }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for index, name in enumerate(names):
+        if index:
+            print()
+        if args.markdown:
+            result = results[name]
+            flat = [
+                {**row["params"],
+                 **{k: row[k] for k in ("cycles", "area_luts", "power_mw") if k in row},
+                 "speedup_vs_sw": row.get("speedup_vs_sw", 0.0)}
+                for row in result.frontier.to_rows()
+            ]
+            print(f"### {name}: Pareto frontier ({result.strategy}, "
+                  f"budget {result.budget}, seed {result.seed})\n")
+            print(_render_markdown({"rows": flat}))
+        else:
+            print(_explore_text(results[name]))
     return 0
 
 
@@ -472,6 +636,7 @@ def _cmd_graph(args: argparse.Namespace) -> int:
     sweep_points = counts.get("runtime", 0) + counts.get("split", 0)
     print(
         f"\n{len(order)} tasks ({counts.get('compile', 0)} compile, {sweep_points} sweep points, "
+        f"{counts.get('explore', 0)} explore points, "
         f"{counts.get('aggregate', 0)} aggregates), {graph.edge_count()} dependency edges"
     )
     return 0
@@ -580,7 +745,68 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write a chrome://tracing JSON timeline of per-task execution",
     )
+    p_report.add_argument(
+        "--compare",
+        metavar="BASELINE.json",
+        help=(
+            "diff this run figure-by-figure against a saved "
+            "'repro report --json' payload (per-cell delta table + "
+            "changed-artefact flags)"
+        ),
+    )
     p_report.set_defaults(func=_cmd_report)
+
+    p_explore = sub.add_parser(
+        "explore",
+        parents=[common],
+        help="design-space exploration: search partition/config candidates for Pareto-optimal trade-offs",
+    )
+    p_explore.add_argument(
+        "workload", help="workload name (see 'repro list'), or 'all' for the whole benchmark set"
+    )
+    p_explore.add_argument(
+        "--strategy",
+        choices=sorted(STRATEGIES),
+        default="annealing",
+        help="search strategy (default: annealing)",
+    )
+    p_explore.add_argument(
+        "--budget",
+        type=int,
+        default=32,
+        metavar="N",
+        help="maximum number of unique candidates to evaluate (default: 32)",
+    )
+    p_explore.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="K",
+        help="RNG seed; same seed + budget reproduces the search exactly (default: 0)",
+    )
+    p_explore.add_argument(
+        "--workers",
+        metavar="HOST:PORT",
+        help=(
+            "run distributed: bind the task coordinator at this address and "
+            "dispatch candidate evaluations to 'repro worker serve' daemons"
+        ),
+    )
+    p_explore.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="reassign a leased task after this long without a worker heartbeat (default: 60)",
+    )
+    p_explore.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="fail if no worker registers within this long (default: 300)",
+    )
+    p_explore.set_defaults(func=_cmd_explore)
 
     p_graph = sub.add_parser(
         "graph", parents=[common], help="print the report task graph without executing it"

@@ -1,0 +1,218 @@
+"""Figure-by-figure comparison of two report runs (``repro report --compare``).
+
+Feeds on the machine-readable artefact payloads ``repro report --json``
+emits: save a baseline once (``repro report --json > baseline.json``), then
+``repro report --compare baseline.json`` regenerates the current artefacts
+and diffs them **cell by cell** — every ``rows`` entry of every artefact,
+plus the scalar headline metrics (the §6.7 summary values) — flagging each
+artefact as ``unchanged``, ``changed``, ``added`` or ``removed``.
+
+The output is structured first (:func:`compare_reports` returns a plain
+dict, rendered to JSON by ``--json``) with a human table on top: one line
+per differing cell, its baseline and current values, and the delta
+(absolute and relative for numerics).  Numeric comparison uses a relative
+tolerance so an intentional float-format round trip through JSON never
+reads as a regression, while any genuine drift — a changed speedup, a
+different queue count, a frontier that moved — is caught precisely.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.report import format_result_table
+
+#: Relative tolerance below which two numeric cells count as equal — wide
+#: enough for JSON float round-trips, far below any real model change.
+REL_TOLERANCE = 1e-9
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _numbers_equal(a: float, b: float, rel_tol: float) -> bool:
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=rel_tol)
+
+
+def _row_label(row: Dict[str, Any], index: int) -> str:
+    """A stable human label for one row (benchmark name where present)."""
+    for key in ("benchmark", "metric", "sw_fraction"):
+        if key in row:
+            return f"{row[key]}"
+    return f"#{index}"
+
+
+def _cell_diff(
+    artefact: str,
+    row_label: str,
+    column: str,
+    baseline: Any,
+    current: Any,
+    rel_tol: float,
+) -> Optional[Dict[str, Any]]:
+    """One differing cell as a diff record, or ``None`` when equal."""
+    if _is_number(baseline) and _is_number(current):
+        if _numbers_equal(float(baseline), float(current), rel_tol):
+            return None
+        delta = float(current) - float(baseline)
+        # A zero baseline has no meaningful relative delta; None keeps the
+        # --json output strict-parser valid (json.dumps(inf) emits the
+        # non-standard token `Infinity`).
+        rel = delta / abs(baseline) if baseline else None
+        return {
+            "artefact": artefact,
+            "row": row_label,
+            "column": column,
+            "baseline": baseline,
+            "current": current,
+            "delta": delta,
+            "rel_delta": rel,
+        }
+    if baseline == current:
+        return None
+    return {
+        "artefact": artefact,
+        "row": row_label,
+        "column": column,
+        "baseline": baseline,
+        "current": current,
+        "delta": None,
+        "rel_delta": None,
+    }
+
+
+def _artefact_cells(
+    artefact: str,
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    rel_tol: float,
+) -> List[Dict[str, Any]]:
+    """Every differing cell of one artefact: its rows, then its scalars."""
+    cells: List[Dict[str, Any]] = []
+    base_rows: Sequence[Dict] = baseline.get("rows") or []
+    curr_rows: Sequence[Dict] = current.get("rows") or []
+    for index in range(max(len(base_rows), len(curr_rows))):
+        base_row = base_rows[index] if index < len(base_rows) else {}
+        curr_row = curr_rows[index] if index < len(curr_rows) else {}
+        label = _row_label(curr_row or base_row, index)
+        for column in sorted(set(base_row) | set(curr_row)):
+            diff = _cell_diff(
+                artefact,
+                label,
+                column,
+                base_row.get(column, "(absent)"),
+                curr_row.get(column, "(absent)"),
+                rel_tol,
+            )
+            if diff is not None:
+                cells.append(diff)
+    scalar_keys = sorted(
+        key
+        for key in set(baseline) | set(current)
+        if key not in ("rows", "table") and (_is_number(baseline.get(key)) or _is_number(current.get(key)))
+    )
+    for key in scalar_keys:
+        diff = _cell_diff(
+            artefact, "(scalar)", key, baseline.get(key, "(absent)"),
+            current.get(key, "(absent)"), rel_tol,
+        )
+        if diff is not None:
+            cells.append(diff)
+    return cells
+
+
+def _artefact_payloads(payload: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """Accept either a full ``report --json`` payload or a bare artefact map."""
+    if "artefacts" in payload and isinstance(payload["artefacts"], dict):
+        return payload["artefacts"]
+    return payload
+
+
+def compare_reports(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    rel_tol: float = REL_TOLERANCE,
+) -> Dict[str, Any]:
+    """Diff two report payloads; returns the structured comparison document.
+
+    The document carries per-artefact status flags, the list of changed
+    artefact keys, every differing cell, and a rendered ``table`` string for
+    terminal output.  Two byte-identical runs produce ``changed: []`` and an
+    explicit all-clear table.
+    """
+    current_artefacts = _artefact_payloads(current)
+    baseline_artefacts = _artefact_payloads(baseline)
+    artefact_keys = sorted(set(current_artefacts) | set(baseline_artefacts))
+    statuses: Dict[str, str] = {}
+    all_cells: List[Dict[str, Any]] = []
+    for key in artefact_keys:
+        in_base = key in baseline_artefacts
+        in_curr = key in current_artefacts
+        if not in_base:
+            statuses[key] = "added"
+            continue
+        if not in_curr:
+            statuses[key] = "removed"
+            continue
+        cells = _artefact_cells(
+            key, baseline_artefacts[key], current_artefacts[key], rel_tol
+        )
+        statuses[key] = "changed" if cells else "unchanged"
+        all_cells.extend(cells)
+    changed = sorted(k for k, status in statuses.items() if status != "unchanged")
+    return {
+        "changed": changed,
+        "statuses": statuses,
+        "cells": all_cells,
+        "table": _render_table(statuses, all_cells),
+    }
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _render_table(statuses: Dict[str, str], cells: List[Dict[str, Any]]) -> str:
+    """The human-readable diff: a status summary plus one line per cell."""
+    lines: List[str] = []
+    flagged = {k: s for k, s in statuses.items() if s != "unchanged"}
+    unchanged = sum(1 for s in statuses.values() if s == "unchanged")
+    if not flagged:
+        lines.append(
+            f"report comparison: all {unchanged} artefacts match the baseline"
+        )
+        return "\n".join(lines)
+    summary = ", ".join(f"{key} ({status})" for key, status in sorted(flagged.items()))
+    lines.append(
+        f"report comparison: {len(flagged)} artefact(s) differ, {unchanged} unchanged"
+    )
+    lines.append(f"changed: {summary}")
+    if cells:
+        rows: List[List[Any]] = []
+        for cell in cells:
+            delta = cell["delta"]
+            rel = cell["rel_delta"]
+            rows.append(
+                [
+                    cell["artefact"],
+                    cell["row"],
+                    cell["column"],
+                    _format_value(cell["baseline"]),
+                    _format_value(cell["current"]),
+                    f"{delta:+.6g}" if delta is not None else "-",
+                    f"{rel * 100:+.3f}%" if rel is not None else "-",
+                ]
+            )
+        lines.append("")
+        lines.append(
+            format_result_table(
+                ["artefact", "row", "column", "baseline", "current", "delta", "rel"],
+                rows,
+                title="Per-cell differences vs baseline",
+            )
+        )
+    return "\n".join(lines)

@@ -19,6 +19,7 @@ parallel runs produce byte-identical artefacts.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import CompilerConfig, RuntimeConfig
@@ -29,6 +30,9 @@ from repro.eval.cache import ArtifactCache
 from repro.eval.harness import EvaluationHarness
 from repro.eval.taskgraph import TaskExecutor, TaskGraph, aggregate_task
 from repro.eval.trace import TraceRecorder
+from repro.explore.evaluate import explore_task_id
+from repro.explore.frontier import Frontier, scalar_cost
+from repro.explore.space import report_space
 from repro.viz.figures import FIGURE_SPECS, render_figure
 from repro.workloads import get_workload
 
@@ -479,10 +483,139 @@ def summary(
 
 
 # ---------------------------------------------------------------------------
+# the report's embedded design-space exploration (repro.explore)
+# ---------------------------------------------------------------------------
+
+#: Workloads the report explores (the two the thesis dedicates split-sweep
+#: figures to — also the two cheapest to re-simulate); restricted benchmark
+#: sets explore the intersection.
+EXPLORE_REPORT_WORKLOADS = ("mips", "blowfish")
+
+#: Figure ids of the exploration section (frontier scatter + progress line).
+EXPLORE_FIGURE_IDS = ("explore", "explore-progress")
+
+
+def report_candidates() -> List:
+    """The report's exhaustive candidate list (deterministic order).
+
+    The full budgeted search lives behind ``repro explore``; the report
+    embeds a small *fixed* exploration — the nine-point
+    :func:`repro.explore.space.report_space` enumerated exhaustively — so
+    the exploration section stays a pure, declarable function of the
+    compile artefacts like every other report artefact.
+    """
+    return list(report_space().candidates())
+
+
+def explored_workloads(names: Sequence[str]) -> Tuple[str, ...]:
+    """The subset of *names* the report's exploration section covers."""
+    return tuple(n for n in EXPLORE_REPORT_WORKLOADS if n in set(names))
+
+
+def _agg_exploration(results: Dict, names: Tuple[str, ...]) -> Dict:
+    """Rows, Pareto flags, per-workload bests and search progress.
+
+    *names* is the tuple of **explored** workloads.  Reads one explore node
+    per (workload, report candidate); every derived quantity (frontier
+    membership, best-found, the progress curve) is recomputed here from
+    those values, so the exploration section can never disagree with the
+    cached candidate evaluations.
+    """
+    candidates = report_candidates()
+    space = report_space()
+    rows: List[Dict] = []
+    best_rows: List[Dict] = []
+    progress: Dict[str, List[float]] = {}
+    frontier_sizes: Dict[str, int] = {}
+    for name in names:
+        evaluations = [
+            (candidate.params(), results[explore_task_id(name, candidate)])
+            for candidate in candidates
+        ]
+        frontier = Frontier(evaluations)
+        frontier_indices = set(frontier.indices)
+        frontier_sizes[name] = len(frontier)
+        for index, (params, result) in enumerate(evaluations):
+            rows.append(
+                {
+                    "benchmark": name,
+                    **params,
+                    "cycles": result["cycles"],
+                    "area_luts": result["area_luts"],
+                    "power_mw": result["power_mw"],
+                    "speedup_vs_sw": result["speedup_vs_sw"],
+                    "pareto": index in frontier_indices,
+                }
+            )
+        best_params, best_result = min(
+            evaluations, key=lambda pair: (scalar_cost(pair[1]), sorted(pair[0].items()))
+        )
+        best_rows.append(
+            {
+                "benchmark": name,
+                **best_params,
+                "cycles": best_result["cycles"],
+                "area_luts": best_result["area_luts"],
+                "power_mw": best_result["power_mw"],
+                "speedup_vs_sw": best_result["speedup_vs_sw"],
+            }
+        )
+        # Best-so-far objective product relative to the first evaluation —
+        # the search-progress curve (1.0 = no better than the start).
+        curve: List[float] = []
+        best_cost = float("inf")
+        first_cost: Optional[float] = None
+        for _, result in evaluations:
+            cost = scalar_cost(result)
+            if first_cost is None:
+                first_cost = cost
+            best_cost = min(best_cost, cost)
+            curve.append(math.exp(best_cost - first_cost))
+        progress[name] = curve
+    table = format_result_table(
+        ["benchmark"] + [dim.name for dim in space.dimensions]
+        + ["cycles", "area (LUTs)", "power (mW)", "speedup vs SW"],
+        [
+            [r["benchmark"]] + [r[dim.name] for dim in space.dimensions]
+            + [r["cycles"], r["area_luts"], r["power_mw"], r["speedup_vs_sw"]]
+            for r in best_rows
+        ],
+        title="Design-space exploration — best configuration found per workload",
+    )
+    return {
+        "rows": rows,
+        "best_rows": best_rows,
+        "workloads": list(names),
+        "frontier_sizes": frontier_sizes,
+        "progress": progress,
+        "evaluations_per_workload": len(candidates),
+        "table": table,
+    }
+
+
+def declare_exploration(graph: TaskGraph, harness: EvaluationHarness) -> str:
+    """Declare the report's exploration subgraph: one ``explore`` node per
+    (explored workload, report candidate) fanning into one aggregate."""
+    names = explored_workloads(harness.benchmark_names)
+    if not names:
+        raise ReproError(
+            "the report exploration is defined over "
+            f"{', '.join(EXPLORE_REPORT_WORKLOADS)}; none is in this benchmark set"
+        )
+    space = report_space()
+    deps: List[str] = []
+    for name in names:
+        for candidate in report_candidates():
+            deps.append(harness.declare_explore_point(graph, name, space, candidate))
+    return graph.add(aggregate_task("exploration", _agg_exploration, deps, (names,)))
+
+
+# ---------------------------------------------------------------------------
 # the full report as one graph
 # ---------------------------------------------------------------------------
 
-#: Artefact key → declarer, in thesis (and ``repro report``) order.
+#: Artefact key → declarer, in thesis (and ``repro report``) order; the
+#: exploration section follows the thesis artefacts.
 ARTEFACT_DECLARERS: Dict[str, Callable[[TaskGraph, EvaluationHarness], str]] = {
     "table_6.1": _declare_table_6_1,
     "table_6.2": _declare_table_6_2,
@@ -493,6 +626,7 @@ ARTEFACT_DECLARERS: Dict[str, Callable[[TaskGraph, EvaluationHarness], str]] = {
     "figure_6.5": _declare_figure_6_5,
     "figure_6.6": _declare_figure_6_6,
     "summary": _declare_summary,
+    "exploration": declare_exploration,
 }
 
 #: Artefacts that are only defined when a specific workload is in the
@@ -539,6 +673,9 @@ FIGURE_DATA_AGGREGATORS: Dict[str, Callable[..., Dict]] = {
     "6.6": _agg_figure_6_6,
     "area": _agg_table_6_2,
     "pareto": _agg_pareto,
+    # Both exploration figures draw the same aggregated search data.
+    "explore": _agg_exploration,
+    "explore-progress": _agg_exploration,
 }
 
 #: Figures renderable to SVG, in HTML-report order: the six thesis figures
@@ -602,6 +739,15 @@ def declare_figure_render(graph: TaskGraph, harness: EvaluationHarness, figure_i
     elif figure_id in ("area", "pareto"):
         deps = tuple(harness.declare_compile(graph, name) for name in names)
         agg_arg = list(names)
+    elif figure_id in EXPLORE_FIGURE_IDS:
+        explored = explored_workloads(names)
+        space = report_space()
+        deps = tuple(
+            harness.declare_explore_point(graph, name, space, candidate)
+            for name in explored
+            for candidate in report_candidates()
+        )
+        agg_arg = list(explored)
     else:
         declarer = ARTEFACT_DECLARERS.get(f"figure_{figure_id}")
         if declarer is None:
@@ -625,6 +771,8 @@ def declare_report_renders(graph: TaskGraph, harness: EvaluationHarness) -> Dict
     for figure_id in RENDER_FIGURE_IDS:
         workload = SPLIT_FIGURE_WORKLOADS.get(figure_id)
         if workload is not None and workload not in names:
+            continue
+        if figure_id in EXPLORE_FIGURE_IDS and not explored_workloads(names):
             continue
         mapping[figure_id] = declare_figure_render(graph, harness, figure_id)
     return mapping
@@ -680,6 +828,8 @@ def declare_report(graph: TaskGraph, harness: EvaluationHarness) -> Dict[str, st
     for artefact, declare in ARTEFACT_DECLARERS.items():
         workload = ARTEFACT_REQUIRED_WORKLOAD.get(artefact)
         if workload is not None and workload not in names:
+            continue
+        if artefact == "exploration" and not explored_workloads(names):
             continue
         mapping[artefact] = declare(graph, harness)
     return mapping

@@ -178,6 +178,20 @@ class EvaluationHarness:
             taskgraph.split_task(name, self.config, self._cache_root, sw_fraction)
         )
 
+    def declare_explore_point(self, graph: TaskGraph, name: str, space, candidate) -> str:
+        """Add one design-space-exploration candidate node (and its compile dep).
+
+        *space* / *candidate* come from :mod:`repro.explore.space`; imported
+        lazily so the harness stays importable without the explore package
+        loaded (and to keep the module dependency graph acyclic).
+        """
+        from repro.explore.evaluate import explore_task
+
+        self.declare_compile(graph, name)
+        return graph.add(
+            explore_task(name, self.config, self._cache_root, space, candidate)
+        )
+
     # -- graph execution ---------------------------------------------------------------
 
     def execute(
@@ -214,7 +228,7 @@ class EvaluationHarness:
             if task.kind == taskgraph.KIND_COMPILE:
                 if task.workload not in self._runs:
                     self._admit(task.workload, results[task.task_id])
-            elif task.kind in (taskgraph.KIND_RUNTIME, taskgraph.KIND_SPLIT, taskgraph.KIND_RENDER):
+            elif task.kind in taskgraph.DERIVED_KINDS:
                 self._derived[task.key] = results[task.task_id]
         self._auto_prune()
         return results

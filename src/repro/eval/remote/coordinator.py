@@ -12,7 +12,10 @@ Lifecycle of one task spec:
 2. a worker's long-polling :meth:`~Coordinator.lease` hands out the
    **costliest** ready task (static cost table: compiles before sweep
    points before renders, heavy workloads first, FIFO among equals) with a
-   deadline of ``now + lease_timeout`` (state *leased*).  Heartbeats renew
+   deadline of ``now + lease_timeout`` (state *leased*) — preferring, per
+   worker, tasks of workloads that worker already compiled (**affinity
+   sharding**: its sweep-input memo is hot), and deferring tasks another
+   live worker compiled while other work is available.  Heartbeats renew
    every lease the worker holds;
 3. :meth:`~Coordinator.complete` moves it to the completion queue the
    executor drains — or, if the deadline passes first (worker crashed,
@@ -66,6 +69,7 @@ DEFAULT_MAX_ATTEMPTS = 3
 KIND_COST: Dict[str, float] = {
     "compile": 100.0,
     "split": 3.0,
+    "explore": 3.0,
     "runtime": 2.0,
     "render": 1.0,
 }
@@ -132,6 +136,11 @@ class Coordinator:
         self._workers: Dict[str, float] = {}
         self._worker_counter = 0
         self._shutdown = False
+        # Affinity sharding: workloads each worker has compiled.  A worker
+        # whose memo already holds a workload's compile artifact executes
+        # that workload's sweep/explore points without re-reading (or
+        # recompiling) it, so leases prefer the compiling worker.
+        self._affinity: Dict[str, set] = {}
 
     # -- executor side -------------------------------------------------------------
 
@@ -206,6 +215,45 @@ class Coordinator:
                     lease.deadline = now + self.lease_timeout
             return {"shutdown": self._shutdown}
 
+    def _pop_spec_for(self, worker_id: str) -> Dict[str, Any]:
+        """Pop the best queued spec for *worker_id* under affinity sharding.
+
+        Three preference tiers, costliest-first (FIFO tie-break) within each:
+
+        1. compiles (the cost-ordered long poles always start first) and
+           tasks of a workload **this** worker compiled (its memo is hot);
+        2. tasks no live worker has an affinity claim on (workloads whose
+           compiler has since died, tasks without a workload);
+        3. tasks another live worker compiled — deferred while tiers 1-2
+           have work, but still leased rather than idling the caller
+           ("prefer the compiling worker, fall back to any worker").
+
+        Purely advisory, like the cost table: results are content-addressed,
+        so placement can never change any output.
+        """
+        mine = self._affinity.get(worker_id, set())
+        best_index = 0
+        best_rank: Optional[Tuple[float, float, int]] = None
+        for index, (neg_cost, seq, spec) in enumerate(self._queue):
+            workload = _spec_workload(spec)
+            is_compile = spec.get("kind") == "compile"
+            if is_compile or (workload is not None and workload in mine):
+                tier = 0.0
+            elif workload is not None and any(
+                workload in owned
+                for owner, owned in self._affinity.items()
+                if owner != worker_id and owner in self._workers
+            ):
+                tier = 2.0
+            else:
+                tier = 1.0
+            rank = (tier, neg_cost, seq)
+            if best_rank is None or rank < best_rank:
+                best_index, best_rank = index, rank
+        _, _, spec = self._queue.pop(best_index)
+        heapq.heapify(self._queue)
+        return spec
+
     def lease(self, worker_id: str, wait: float = 10.0) -> Dict[str, Any]:
         """Long-poll for one ready task; returns ``{"task": spec-or-None,
         "shutdown": bool}`` within roughly *wait* seconds."""
@@ -218,7 +266,11 @@ class Coordinator:
                 if self._shutdown:
                     return {"task": None, "shutdown": True}
                 if self._queue:
-                    _, _, spec = heapq.heappop(self._queue)
+                    spec = self._pop_spec_for(worker_id)
+                    if spec.get("kind") == "compile":
+                        workload = _spec_workload(spec)
+                        if workload is not None:
+                            self._affinity.setdefault(worker_id, set()).add(workload)
                     self._leases[spec["task_id"]] = _Lease(
                         worker_id=worker_id, deadline=now + self.lease_timeout, spec=spec
                     )

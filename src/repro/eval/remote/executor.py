@@ -52,12 +52,19 @@ class RemoteExecutor(TaskExecutor):
         max_attempts: int = 3,
         worker_timeout: float = 300.0,
         verbose: bool = False,
+        persistent: bool = False,
     ):
         self.coordinator = Coordinator(lease_timeout=lease_timeout, max_attempts=max_attempts)
         self.server: CoordinatorHTTPServer = start_coordinator_server(
             self.coordinator, host=host, port=port, verbose=verbose
         )
         self.worker_timeout = worker_timeout
+        #: With ``persistent=True`` a normal (non-interrupt) ``close`` is a
+        #: no-op, so one executor — one coordinator, one set of registered
+        #: workers — can serve several scheduler runs in sequence (the
+        #: generations of ``repro explore --workers``).  The owner must call
+        #: :meth:`finalize` when the last run is done.
+        self.persistent = persistent
         self._tasks: Dict[str, Task] = {}
         self._last_alive: Optional[float] = None
         self._closed = False
@@ -135,6 +142,8 @@ class RemoteExecutor(TaskExecutor):
         connection; once the process does exit, their unreachability
         fallback retires them anyway.
         """
+        if self.persistent and not interrupt:
+            return  # the owner finalize()s after its last scheduler run
         if self._closed:
             return
         self._closed = True
@@ -145,6 +154,11 @@ class RemoteExecutor(TaskExecutor):
         timer = threading.Timer(_SERVER_LINGER_SECONDS, self.stop_server)
         timer.daemon = True
         timer.start()
+
+    def finalize(self) -> None:
+        """End a persistent executor's run for real (revoke leases, shut down)."""
+        self.persistent = False
+        self.close()
 
     def stop_server(self) -> None:
         """Hard-stop the embedded HTTP server (idempotent; used by tests)."""

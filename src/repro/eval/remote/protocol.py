@@ -38,6 +38,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 from repro.config import CompilerConfig, RuntimeConfig
 from repro.errors import RemoteError, RemoteProtocolError
 from repro.eval import experiments, taskgraph
+from repro.explore import evaluate as explore_evaluate
 
 #: The closed set of payload functions a worker will execute, by wire name.
 #: :func:`register_payload_function` may extend it (tests, future sweeps).
@@ -45,6 +46,7 @@ PAYLOAD_FUNCTIONS: Dict[str, Callable[..., Any]] = {
     "compute_compile": taskgraph.compute_compile,
     "compute_runtime_point": taskgraph.compute_runtime_point,
     "compute_split_point": taskgraph.compute_split_point,
+    "compute_explore_point": explore_evaluate.compute_explore_point,
     "compute_figure_render": experiments.compute_figure_render,
 }
 
@@ -86,6 +88,15 @@ def encode_arg(value: Any, cache_spec: Optional[str]) -> Any:
         # Render tasks carry dependency id/key lists; tuples become JSON
         # arrays (payloads re-tuple where identity matters).
         return [encode_arg(item, cache_spec) for item in value]
+    if isinstance(value, dict):
+        # Explore tasks carry candidate-parameter and space dicts.  Plain
+        # string-keyed dicts pass through as JSON objects; the tag key is
+        # reserved for the extensions above.
+        if "__repro__" in value:
+            raise RemoteProtocolError("task argument dicts must not use the '__repro__' key")
+        if not all(isinstance(k, str) for k in value):
+            raise RemoteProtocolError("task argument dicts must have string keys")
+        return {k: encode_arg(v, cache_spec) for k, v in value.items()}
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     raise RemoteProtocolError(
@@ -104,6 +115,8 @@ def decode_arg(value: Any, cache_spec: Optional[str]) -> Any:
         if tag == _CACHE_SPEC_TAG:
             return cache_spec
         raise RemoteProtocolError(f"unknown wire tag '{tag}'")
+    if isinstance(value, dict):
+        return {k: decode_arg(v, cache_spec) for k, v in value.items()}
     if isinstance(value, list):
         return [decode_arg(item, cache_spec) for item in value]
     return value

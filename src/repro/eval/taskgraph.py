@@ -8,6 +8,10 @@ Every thesis artefact is a small DAG over four node kinds:
 * **sweep points** (``runtime`` / ``split``) — cheap re-simulations of an
   existing compile artifact under one swept parameter (queue latency, queue
   depth, targeted partition split), one node per (workload, sweep-point);
+* **explore points** (``explore``) — design-space-exploration candidate
+  evaluations (:mod:`repro.explore`): a full configuration candidate
+  re-partitioned and re-simulated from the baseline compile artifact,
+  keyed by the candidate's canonical parameters;
 * **render** — one figure's SVG markup (``repro.viz``), keyed by the content
   addresses of the artefacts it draws, so warm reports re-render nothing and
   cold figures fan out like any other derived artefact;
@@ -59,11 +63,16 @@ from repro.workloads import get_workload
 KIND_COMPILE = "compile"
 KIND_RUNTIME = "runtime"
 KIND_SPLIT = "split"
+KIND_EXPLORE = "explore"
 KIND_RENDER = "render"
 KIND_AGGREGATE = "aggregate"
 
 #: Kinds whose payload is picklable and may run in a worker process.
-WORKER_KINDS = (KIND_COMPILE, KIND_RUNTIME, KIND_SPLIT, KIND_RENDER)
+WORKER_KINDS = (KIND_COMPILE, KIND_RUNTIME, KIND_SPLIT, KIND_EXPLORE, KIND_RENDER)
+
+#: Kinds whose value is a derived (JSON) artifact of a compile node — the
+#: harness memoises them in its in-memory derived layer after a run.
+DERIVED_KINDS = (KIND_RUNTIME, KIND_SPLIT, KIND_EXPLORE, KIND_RENDER)
 
 
 @dataclass(frozen=True)

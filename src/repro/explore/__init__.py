@@ -1,0 +1,52 @@
+"""Design-space exploration (DSE) over the Twill partition/configuration space.
+
+The thesis picks one hardware/software partition per benchmark by hand; this
+package turns the reproduction into an auto-partitioning tool.  It searches
+the configuration space the compiler already exposes — targeted DSWP split,
+pipeline depth, queue geometry, HLS loop pipelining — for area/cycles/power
+trade-offs, and reports the exact Pareto frontier of everything it evaluated.
+
+The pieces (one module each):
+
+* :mod:`repro.explore.space` — a declarative :class:`SearchSpace` of typed
+  dimensions derived from :mod:`repro.core.config`; every
+  :class:`Candidate` is hashable and maps onto an existing cache content
+  key, so search never re-evaluates a configuration any run has seen;
+* :mod:`repro.explore.evaluate` — the pure ``explore`` task payload
+  (re-partition + re-simulate one candidate from the workload's compile
+  artifact) and its task-graph node constructor;
+* :mod:`repro.explore.frontier` — exact multi-objective Pareto sets over
+  the evaluated candidates, with deterministic tie-breaking;
+* :mod:`repro.explore.strategies` — pluggable search strategies
+  (``exhaustive``, ``random``, ``greedy``, ``annealing``) behind one
+  generation-oriented :class:`Strategy` interface;
+* :mod:`repro.explore.driver` — the :class:`ExplorationDriver` that submits
+  each generation as ordinary task-graph nodes (parallel, disk-cached,
+  distributable over ``repro worker serve``) and journals search state as a
+  structured-JSON derived artifact so a killed search resumes mid-way.
+
+``repro explore <workload> --strategy S --budget N --seed K`` is the CLI
+entry point; see ``docs/EXPLORATION.md``.
+"""
+
+from repro.explore.driver import ExplorationDriver, ExplorationResult
+from repro.explore.frontier import OBJECTIVES, Frontier, Objective, pareto_indices
+from repro.explore.space import Candidate, Dimension, SearchSpace, default_space, report_space
+from repro.explore.strategies import STRATEGIES, Strategy, make_strategy
+
+__all__ = [
+    "Candidate",
+    "Dimension",
+    "ExplorationDriver",
+    "ExplorationResult",
+    "Frontier",
+    "OBJECTIVES",
+    "Objective",
+    "STRATEGIES",
+    "SearchSpace",
+    "Strategy",
+    "default_space",
+    "make_strategy",
+    "pareto_indices",
+    "report_space",
+]

@@ -1,0 +1,118 @@
+"""The ``explore`` task payload: evaluate one candidate from a compile artifact.
+
+Evaluating a candidate does **not** recompile the workload: every knob the
+search space exposes (partitioning, queue geometry, HLS scheduling) acts
+after the front end, so a candidate is a *derived* artifact of the
+workload's baseline compile — re-run DSWP under the candidate's partition
+config, re-schedule/re-roll-up area, and re-simulate timing and power,
+exactly the generalisation of the Figure 6.3/6.4 split re-simulation.
+
+That makes exploration cheap and perfectly cacheable: the content key is
+:func:`repro.eval.cache.derived_key` over the baseline compile key (which
+already folds in the workload source, the full baseline configuration and
+the code digest) plus the candidate's canonical parameters — so a second
+search, a resumed search, or a report that happens to touch the same
+candidate hits the cache instead of re-evaluating.
+
+:func:`compute_explore_point` is a registered remote payload
+(``repro.eval.remote.protocol``), so ``repro explore --workers``
+distributes candidates over ``repro worker serve`` daemons unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.config import CompilerConfig
+from repro.eval import taskgraph
+from repro.eval.cache import compile_key, derived_key
+from repro.explore.space import Candidate, Dimension, SearchSpace
+from repro.sim.system import resimulate_with_split
+from repro.workloads import get_workload
+
+
+def apply_params(
+    space: SearchSpace, config: CompilerConfig, params: Dict[str, Any]
+) -> CompilerConfig:
+    """Validate *params* against *space* and apply them to *config*."""
+    return space.candidate(dict(params)).apply(space, config)
+
+
+def space_from_dict(space_dict: Dict[str, Any]) -> SearchSpace:
+    """Inverse of :meth:`SearchSpace.to_dict` (the wire/journal form)."""
+    return SearchSpace(
+        dimensions=tuple(
+            Dimension(d["name"], d["section"], d["field"], tuple(d["values"]))
+            for d in space_dict["dimensions"]
+        )
+    )
+
+
+def compute_explore_point(
+    name: str,
+    config: CompilerConfig,
+    cache_root: Optional[str],
+    params: Dict[str, Any],
+    space_dict: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Evaluate one candidate: re-partition + re-simulate, return objectives.
+
+    Pure and picklable (pool workers) and wire-encodable (remote workers):
+    *params* is the candidate's plain parameter dict and *space_dict* the
+    space's ``to_dict()`` form, rebuilt here so validation travels with the
+    task.  The result is a small structured-JSON document carrying the
+    objective values, the echo of the parameters (so aggregators and
+    journals never have to reverse-engineer task ids) and the headline
+    speedup for the report figures.
+    """
+    result = taskgraph._sweep_input(name, config, cache_root)
+    candidate_config = apply_params(space_from_dict(space_dict), config, params)
+    dswp, system = resimulate_with_split(
+        result.name,
+        result.module,
+        result.execution.trace,
+        result.profile,
+        result.legup,
+        candidate_config,
+        candidate_config.partition.sw_fraction,
+    )
+    return {
+        "workload": name,
+        "params": dict(sorted(params.items())),
+        "cycles": system.twill.cycles,
+        "area_luts": system.twill.area.luts,
+        "power_mw": system.twill.power.total_mw,
+        "speedup_vs_sw": system.speedup_vs_software,
+        "queues": float(dswp.partitioning.total_queues),
+    }
+
+
+def explore_task_id(name: str, candidate: Candidate) -> str:
+    """The deterministic task id of one (workload, candidate) node."""
+    return f"explore:{name}:{candidate.short_id()}"
+
+
+def explore_key(parent_compile_key: str, candidate: Candidate) -> str:
+    """The content address of one candidate's evaluation."""
+    return derived_key(parent_compile_key, "explore", candidate.params())
+
+
+def explore_task(
+    name: str,
+    config: CompilerConfig,
+    cache_root: Optional[str],
+    space: SearchSpace,
+    candidate: Candidate,
+) -> "taskgraph.Task":
+    """One candidate-evaluation node depending on its workload's compile node."""
+    parent = compile_key(get_workload(name).source, config)
+    return taskgraph.Task(
+        task_id=explore_task_id(name, candidate),
+        kind=taskgraph.KIND_EXPLORE,
+        fn=compute_explore_point,
+        args=(name, config, cache_root, candidate.params(), space.to_dict()),
+        deps=(f"compile:{name}",),
+        key=explore_key(parent, candidate),
+        serializer="json",
+        workload=name,
+    )

@@ -1,8 +1,10 @@
 """Declarative figure specs: thesis result dicts → ``repro.viz`` charts.
 
 Each :class:`FigureSpec` names one renderable figure — the six thesis
-figures (6.1-6.6) plus two composites (``area``: Twill's LUT composition
-from the Table 6.2 rows; ``pareto``: the area/performance trade-off) — and
+figures (6.1-6.6), two composites (``area``: Twill's LUT composition from
+the Table 6.2 rows; ``pareto``: the area/performance trade-off) and the
+design-space-exploration pair (``explore``: the candidate scatter with its
+Pareto frontier; ``explore-progress``: the search curve) — and
 holds a pure ``build`` function mapping the corresponding
 :mod:`repro.eval.experiments` result dictionary onto a chart.  The specs
 read only the ``rows`` lists of those dicts, so a figure is a pure function
@@ -159,6 +161,73 @@ def _build_area(data: Dict) -> str:
     )
 
 
+def _build_explore_frontier(data: Dict) -> str:
+    """Exploration scatter: every evaluated candidate, frontier chained.
+
+    One palette slot per explored workload (workload order fixes identity);
+    Pareto-optimal candidates are direct-labelled with their split target
+    and connected left-to-right, dominated candidates stay unlabelled.
+    """
+    rows = data["rows"]
+    names: List[str] = list(data["workloads"])
+    points: List[ScatterPoint] = []
+    links: List = []
+    frontier_indices: Dict[str, List[int]] = {name: [] for name in names}
+    for row in rows:
+        name = row["benchmark"]
+        slot = names.index(name) % len(theme.SERIES_LIGHT)
+        params = ", ".join(
+            f"{key}={row[key]}" for key in sorted(row)
+            if key not in ("benchmark", "cycles", "area_luts", "power_mw",
+                           "speedup_vs_sw", "pareto")
+        )
+        pareto = bool(row.get("pareto"))
+        if pareto:
+            frontier_indices[name].append(len(points))
+        points.append(
+            ScatterPoint(
+                x=float(row["area_luts"]),
+                y=float(row["speedup_vs_sw"]),
+                slot=slot,
+                label=f"sw={row['sw_fraction']:g}" if pareto and "sw_fraction" in row else "",
+                tooltip=(
+                    f"{name} · {params}: {row['area_luts']:,.0f} LUTs, "
+                    f"{row['speedup_vs_sw']:.2f}x, {row['power_mw']:.0f} mW"
+                    + (" · Pareto-optimal" if pareto else "")
+                ),
+            )
+        )
+    for name in names:
+        chain = sorted(frontier_indices[name], key=lambda i: (points[i].x, points[i].y))
+        links.extend(zip(chain, chain[1:]))
+    return scatter_chart(
+        points,
+        legend=[(name, names.index(name) % len(theme.SERIES_LIGHT)) for name in names],
+        links=links,
+        title="Exploration — every evaluated candidate, Pareto frontier linked",
+        y_label="speedup vs pure SW (x)",
+        x_axis_label="FPGA area (LUTs)",
+    )
+
+
+def _build_explore_progress(data: Dict) -> str:
+    """Search-progress line: best objective product vs evaluations spent."""
+    progress: Dict[str, List[float]] = data["progress"]
+    names = list(data["workloads"])
+    count = max((len(curve) for curve in progress.values()), default=0)
+    series = [
+        Series(name, tuple(progress[name]), names.index(name) % len(theme.SERIES_LIGHT))
+        for name in names
+    ]
+    return line_chart(
+        [str(i) for i in range(1, count + 1)],
+        series,
+        title="Exploration — best objective product found vs candidates evaluated",
+        y_label="best area x cycles x power (rel. to first)",
+        x_axis_label="candidates evaluated",
+    )
+
+
 def _build_pareto(data: Dict) -> str:
     rows = data["rows"]
     points: List[ScatterPoint] = []
@@ -258,6 +327,23 @@ FIGURE_SPECS: Dict[str, FigureSpec] = {
         "Twill hybrid (including the MicroBlaze), connected per benchmark. "
         "Up and to the left is better.",
         _build_pareto,
+    ),
+    "explore": FigureSpec(
+        "explore",
+        "Exploration — Pareto frontier",
+        "Every configuration candidate the report's design-space exploration "
+        "evaluated (split target x queue depth per workload); candidates on "
+        "the exact area/cycles/power Pareto frontier are labelled and "
+        "chained. Up and to the left is better.",
+        _build_explore_frontier,
+    ),
+    "explore-progress": FigureSpec(
+        "explore-progress",
+        "Exploration — search progress",
+        "How quickly the search closed in on its best configuration: the "
+        "best area x cycles x power product found so far, relative to the "
+        "first candidate, per candidate evaluated.",
+        _build_explore_progress,
     ),
 }
 

@@ -7,7 +7,9 @@ styles are embedded, figures are inline SVG, and the only fonts named are
 the viewer's system stack.  The document carries:
 
 * the §6.7 headline numbers as stat tiles (measured beside the paper's);
-* every rendered figure with its caption;
+* every rendered figure with its caption — including the design-space
+  exploration pair (frontier scatter + search-progress line);
+* the exploration section's best-found-configuration table;
 * Tables 6.1 and 6.2 plus the summary as real HTML tables;
 * run metadata — configuration hash, benchmark set, and the scheduler's
   cache-hit statistics (a warm run shows zero executed render tasks);
@@ -215,6 +217,25 @@ def build_report_html(
         parts.append(f"<h2>{_esc(spec.title)}</h2>")
         parts.append(f'<p class="caption">{_esc(spec.caption)}</p>')
         parts.append(markup.rstrip("\n"))
+        parts.append("</section>")
+
+    exploration = artefacts.get("exploration")
+    if exploration and exploration.get("best_rows"):
+        parts.append('<section class="card" id="exploration">')
+        parts.append("<h2>Design-space exploration — best configurations found</h2>")
+        sizes = exploration.get("frontier_sizes") or {}
+        evaluated = exploration.get("evaluations_per_workload", 0)
+        frontier_note = ", ".join(
+            f"{workload}: {size} Pareto-optimal of {evaluated}" for workload, size in sizes.items()
+        )
+        parts.append(
+            '<p class="caption">The report\'s embedded exhaustive search over '
+            "split target &times; queue depth; the frontier scatter and search "
+            f"curve above plot the same data ({_esc(frontier_note)}). "
+            "Run <code>repro explore</code> for budgeted strategies over the "
+            "full space.</p>"
+        )
+        parts.append(html_table(exploration["best_rows"]))
         parts.append("</section>")
 
     for artefact_key, fallback in _TABLE_ARTEFACTS:

@@ -223,11 +223,107 @@ def test_report_workers_rejects_malformed_address(tmp_path, capsys):
     assert "invalid --workers address" in err
 
 
+def test_explore_json_is_deterministic_and_warm(tmp_path, capsys):
+    argv = ["explore", "blowfish", "--strategy", "annealing", "--budget", "4",
+            "--seed", "7", "--json"]
+    code, cold_out, cold_err = run_cli(argv, tmp_path, capsys)
+    assert code == 0
+    payload = json.loads(cold_out)
+    assert payload["workload"] == "blowfish"
+    assert payload["strategy"] == "annealing"
+    assert payload["frontier"] and payload["best"]["params"]
+    assert len(payload["evaluations"]) <= 4
+    assert "explored blowfish" in cold_err  # effort stays on stderr
+    # Same cache dir: byte-identical stdout, nothing re-executed.
+    code, warm_out, warm_err = run_cli(argv, tmp_path, capsys)
+    assert code == 0
+    assert warm_out == cold_out
+    assert "0 executed" in warm_err
+
+
+def test_explore_text_output_and_benchmark_guard(tmp_path, capsys):
+    code, out, _ = run_cli(
+        ["explore", "blowfish", "--strategy", "exhaustive", "--budget", "3"],
+        tmp_path, capsys,
+    )
+    assert code == 0
+    assert "Pareto frontier" in out and "best found:" in out
+    code, _, err = run_cli(
+        ["explore", "mips", "--benchmarks", "blowfish", "--budget", "2"], tmp_path, capsys
+    )
+    assert code == 2
+    assert "not in --benchmarks" in err
+
+
+def test_explore_rejects_unknown_workload_and_bad_budget(tmp_path, capsys):
+    code, _, err = run_cli(["explore", "ghost"], tmp_path, capsys)
+    assert code == 2 and "Traceback" not in err
+    code, _, err = run_cli(["explore", "blowfish", "--budget", "0"], tmp_path, capsys)
+    assert code == 2
+    assert "budget" in err
+
+
+def test_report_compare_detects_changes_and_all_clear(tmp_path, capsys):
+    code, baseline_json, _ = run_cli(
+        ["report", "--json", "--benchmarks", "blowfish"], tmp_path, capsys
+    )
+    assert code == 0
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(baseline_json, encoding="utf-8")
+    # Same configuration: every artefact matches.
+    code, out, _ = run_cli(
+        ["report", "--compare", str(baseline_path), "--benchmarks", "blowfish"],
+        tmp_path, capsys,
+    )
+    assert code == 0
+    assert "all" in out and "match the baseline" in out
+    # Tamper with one cell: the diff names the artefact, row and column.
+    doctored = json.loads(baseline_json)
+    doctored["artefacts"]["table_6.1"]["rows"][0]["queues"] += 1
+    baseline_path.write_text(json.dumps(doctored), encoding="utf-8")
+    code, out, _ = run_cli(
+        ["report", "--compare", str(baseline_path), "--benchmarks", "blowfish"],
+        tmp_path, capsys,
+    )
+    assert code == 0
+    assert "table_6.1 (changed)" in out
+    assert "queues" in out and "blowfish" in out
+    # JSON mode emits the structured diff.
+    code, out, _ = run_cli(
+        ["report", "--compare", str(baseline_path), "--json", "--benchmarks", "blowfish"],
+        tmp_path, capsys,
+    )
+    assert code == 0
+    diff = json.loads(out)
+    assert diff["changed"] == ["table_6.1"]
+    assert diff["cells"][0]["column"] == "queues"
+    assert diff["cells"][0]["delta"] == -1
+
+
+def test_report_compare_rejects_bad_baselines(tmp_path, capsys):
+    code, _, err = run_cli(
+        ["report", "--compare", str(tmp_path / "missing.json")], tmp_path, capsys
+    )
+    assert code == 2
+    assert "cannot read baseline" in err and "Traceback" not in err
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json", encoding="utf-8")
+    code, _, err = run_cli(["report", "--compare", str(bad)], tmp_path, capsys)
+    assert code == 2
+    assert "not valid JSON" in err
+    code, _, err = run_cli(
+        ["report", "--compare", str(bad), "--html", str(tmp_path / "out")], tmp_path, capsys
+    )
+    assert code == 2
+    assert "--html" in err
+
+
 def test_parser_covers_all_documented_subcommands():
     parser = build_parser()
     actions = [a for a in parser._actions if hasattr(a, "choices") and a.choices]
     subcommands = set(actions[0].choices)
-    assert {"list", "run", "sweep", "table", "figure", "report", "graph", "cache", "worker"} <= subcommands
+    assert {"list", "run", "sweep", "table", "figure", "report", "graph", "cache",
+            "worker", "explore"} <= subcommands
 
 
 def test_cache_and_worker_serve_actions_are_wired():
@@ -248,7 +344,7 @@ def test_cli_and_report_artefact_registries_stay_in_sync():
     expected = (
         {f"table_{table_id}" for table_id in cli.TABLES}
         | {f"figure_{figure_id}" for figure_id in cli.FIGURES}
-        | {"summary"}
+        | {"summary", "exploration"}
     )
     assert set(experiments.ARTEFACT_DECLARERS) == expected
 

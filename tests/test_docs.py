@@ -67,6 +67,31 @@ def test_distributed_doc_covers_the_cli_surface():
         assert needle in doc, f"DISTRIBUTED.md does not mention {needle!r}"
 
 
+def test_exploration_doc_covers_the_engine_surface():
+    doc = _read("docs", "EXPLORATION.md")
+    from repro.explore.strategies import STRATEGIES
+
+    for strategy in STRATEGIES:
+        assert f"`{strategy}`" in doc, f"EXPLORATION.md does not document strategy {strategy!r}"
+    for needle in (
+        "repro explore",
+        "--budget",
+        "--seed",
+        "Pareto",
+        "journal",
+        "byte-identical",
+        "explore-smoke",
+    ):
+        assert needle in doc, f"EXPLORATION.md does not mention {needle!r}"
+    # Every dimension of the default CLI space is documented.
+    from repro.explore.space import default_space
+
+    for dimension in default_space().dimensions:
+        assert f"`{dimension.name}`" in doc, (
+            f"EXPLORATION.md does not document dimension {dimension.name!r}"
+        )
+
+
 def test_reporting_doc_covers_the_viz_surface():
     doc = _read("docs", "REPORTING.md")
     for needle in (

@@ -205,6 +205,72 @@ def test_task_cost_recovers_workload_from_task_id():
 
 
 # ---------------------------------------------------------------------------
+# coordinator affinity sharding
+# ---------------------------------------------------------------------------
+
+
+def test_sweeps_lease_to_the_worker_that_compiled_their_workload():
+    """Affinity sharding: each compiler's sweep/explore tasks prefer it, so
+    its in-process sweep-input memo stays hot."""
+    coordinator = Coordinator(lease_timeout=5.0)
+    alpha = coordinator.register("alpha")["worker_id"]
+    beta = coordinator.register("beta")["worker_id"]
+    coordinator.submit(make_spec("compile:mips") | {"kind": "compile", "workload": "mips"})
+    coordinator.submit(make_spec("compile:blowfish") | {"kind": "compile", "workload": "blowfish"})
+    assert coordinator.lease(alpha, wait=0.05)["task"]["task_id"] == "compile:mips"
+    assert coordinator.lease(beta, wait=0.05)["task"]["task_id"] == "compile:blowfish"
+    coordinator.submit(
+        make_spec("explore:blowfish:1") | {"kind": "explore", "workload": "blowfish"}
+    )
+    coordinator.submit(make_spec("explore:mips:1") | {"kind": "explore", "workload": "mips"})
+    # beta asks first: cost order alone would hand it the costlier mips
+    # explore — affinity must route it to its own (blowfish) work instead.
+    assert coordinator.lease(beta, wait=0.05)["task"]["task_id"] == "explore:blowfish:1"
+    assert coordinator.lease(alpha, wait=0.05)["task"]["task_id"] == "explore:mips:1"
+
+
+def test_affinity_falls_back_to_any_worker():
+    """A task whose compiling worker is gone (or busy with nothing else to
+    offer) must still lease rather than idle the cluster."""
+    coordinator = Coordinator(lease_timeout=0.2)
+    alpha = coordinator.register("alpha")["worker_id"]
+    beta = coordinator.register("beta")["worker_id"]
+    coordinator.submit(make_spec("compile:mips") | {"kind": "compile", "workload": "mips"})
+    assert coordinator.lease(alpha, wait=0.05)["task"] is not None
+    coordinator.submit(make_spec("sweep:latency:mips:8") | {"workload": "mips"})
+    # alpha is alive: beta defers... but only while something else is queued.
+    # With the mips sweep as the sole ready task, beta leases it immediately.
+    assert coordinator.lease(beta, wait=0.05)["task"]["task_id"] == "sweep:latency:mips:8"
+
+
+def test_affinity_defers_claimed_work_while_other_work_exists():
+    coordinator = Coordinator(lease_timeout=5.0)
+    alpha = coordinator.register("alpha")["worker_id"]
+    beta = coordinator.register("beta")["worker_id"]
+    coordinator.submit(make_spec("compile:mips") | {"kind": "compile", "workload": "mips"})
+    assert coordinator.lease(alpha, wait=0.05)["task"]["task_id"] == "compile:mips"
+    # mips sweeps are claimed by alpha; the gsm sweep is unclaimed.  Cost
+    # order alone would hand beta the costlier mips sweep (4.0 x) first.
+    coordinator.submit(make_spec("sweep:latency:mips:8") | {"workload": "mips"})
+    coordinator.submit(make_spec("sweep:latency:gsm:8") | {"workload": "gsm"})
+    assert coordinator.lease(beta, wait=0.05)["task"]["task_id"] == "sweep:latency:gsm:8"
+    assert coordinator.lease(beta, wait=0.05)["task"]["task_id"] == "sweep:latency:mips:8"
+
+
+def test_compiles_still_outrank_affine_sweeps():
+    """Affinity must not invert the cost shaping: the long poles (compiles)
+    start before a worker drains its own cheap sweep backlog."""
+    coordinator = Coordinator(lease_timeout=5.0)
+    worker = coordinator.register()["worker_id"]
+    coordinator.submit(make_spec("compile:mips") | {"kind": "compile", "workload": "mips"})
+    assert coordinator.lease(worker, wait=0.05)["task"]["task_id"] == "compile:mips"
+    coordinator.submit(make_spec("sweep:latency:mips:8") | {"workload": "mips"})
+    coordinator.submit(make_spec("compile:blowfish") | {"kind": "compile", "workload": "blowfish"})
+    assert coordinator.lease(worker, wait=0.05)["task"]["task_id"] == "compile:blowfish"
+    assert coordinator.lease(worker, wait=0.05)["task"]["task_id"] == "sweep:latency:mips:8"
+
+
+# ---------------------------------------------------------------------------
 # wire protocol
 # ---------------------------------------------------------------------------
 
@@ -595,6 +661,93 @@ def test_scheduler_with_remote_executor_and_real_worker(tmp_path):
         assert spans["sweep:fake:21"]["tid"] != spans["agg"]["tid"]
         # After the run the worker is told to shut down and exits.
         worker.join(timeout=15)
+        assert not worker.is_alive()
+    finally:
+        executor.stop_server()
+
+
+def test_persistent_executor_survives_scheduler_runs_until_finalized(tmp_path):
+    """The multi-generation contract of ``repro explore --workers``: one
+    persistent RemoteExecutor (one coordinator, one worker registration)
+    serves several scheduler runs; only ``finalize`` ends the run for the
+    workers."""
+    cache = ArtifactCache(tmp_path / "cache")
+    executor = RemoteExecutor(port=0, lease_timeout=10.0, worker_timeout=60.0,
+                              persistent=True)
+    worker = threading.Thread(
+        target=run_worker,
+        kwargs=dict(
+            coordinator_url=executor.url,
+            cache_spec=str(tmp_path / "cache"),
+            poll_wait=0.2,
+            verbose=False,
+        ),
+        daemon=True,
+    )
+    worker.start()
+    try:
+        for generation, key_char in enumerate("ab"):
+            graph = TaskGraph()
+            graph.add(fake_task(task_id=f"sweep:fake:{generation}", key=key_char * 64))
+            results = TaskScheduler(graph, cache=cache, executor=executor).run()
+            assert results[f"sweep:fake:{generation}"] == {"value": 42}
+            # The scheduler close()d the executor after the run, but the
+            # persistent coordinator is still serving and the worker is
+            # still registered — no shutdown was broadcast.
+            assert executor.coordinator.status()["shutdown"] is False
+            assert worker.is_alive()
+        executor.finalize()
+        assert executor.coordinator.status()["shutdown"] is True
+        worker.join(timeout=15)
+        assert not worker.is_alive()  # finalize told the worker the run ended
+    finally:
+        executor.stop_server()
+
+
+def test_explore_candidates_execute_on_remote_workers(tmp_path):
+    """A full multi-generation exploration through a persistent executor and
+    a real worker must equal the serial search byte for byte (candidate
+    params/space dicts cross the wire via the plain-dict encoding)."""
+    import json as json_mod
+
+    from repro.eval.harness import EvaluationHarness
+    from repro.explore.driver import ExplorationDriver
+    from repro.explore.space import Dimension, SearchSpace
+
+    space = SearchSpace(
+        dimensions=(
+            Dimension("sw_fraction", "partition", "sw_fraction", (0.25, 0.5, 0.75)),
+            Dimension("queue_depth", "runtime", "queue_depth", (4, 8)),
+        )
+    )
+    cache_dir = str(tmp_path / "cache")
+    executor = RemoteExecutor(port=0, lease_timeout=30.0, worker_timeout=120.0,
+                              persistent=True)
+    worker = threading.Thread(
+        target=run_worker,
+        kwargs=dict(coordinator_url=executor.url, cache_spec=cache_dir, poll_wait=0.2,
+                    verbose=False),
+        daemon=True,
+    )
+    worker.start()
+    try:
+        harness = EvaluationHarness(benchmarks=["blowfish"], cache_dir=cache_dir)
+        remote = ExplorationDriver(
+            harness, "blowfish", strategy="annealing", budget=4, seed=5,
+            space=space, executor=executor,
+        ).run()
+        executor.finalize()
+        serial_harness = EvaluationHarness(
+            benchmarks=["blowfish"], cache_dir=str(tmp_path / "serial")
+        )
+        serial = ExplorationDriver(
+            serial_harness, "blowfish", strategy="annealing", budget=4, seed=5,
+            space=space,
+        ).run()
+        assert json_mod.dumps(remote.to_json_dict(), sort_keys=True) == json_mod.dumps(
+            serial.to_json_dict(), sort_keys=True
+        )
+        worker.join(timeout=30)
         assert not worker.is_alive()
     finally:
         executor.stop_server()

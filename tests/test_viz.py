@@ -271,7 +271,9 @@ def test_report_figures_serial_vs_parallel_byte_identical(tmp_path):
     assert serial.last_stats == parallel.last_stats  # scheduling-invariant
     # The mips split figure is excluded by the benchmark restriction.
     assert "6.3" not in figures_serial
-    assert set(figures_serial) == {"6.1", "6.2", "6.4", "6.5", "6.6", "area", "pareto"}
+    assert set(figures_serial) == {
+        "6.1", "6.2", "6.4", "6.5", "6.6", "area", "pareto", "explore", "explore-progress",
+    }
 
 
 def test_no_cache_runs_still_render(tmp_path):

@@ -3,8 +3,10 @@
 
 Asserts the produced ``report.html``
 
-* contains **all six thesis figures** (6.1-6.6) plus both tables as inline
-  sections (requires the full benchmark set, or at least blowfish+mips);
+* contains **all six thesis figures** (6.1-6.6), the exploration section
+  (frontier scatter + search-progress figures and the best-found table)
+  plus both tables as inline sections (requires the full benchmark set, or
+  at least blowfish+mips);
 * is **self-contained** — no ``<script>``, no ``<link>``, no ``src=``
   attributes, nothing to fetch;
 * carries the run-metadata card (configuration hash + cache-hit stats).
@@ -21,8 +23,8 @@ import argparse
 import sys
 from pathlib import Path
 
-REQUIRED_FIGURES = ("6.1", "6.2", "6.3", "6.4", "6.5", "6.6")
-REQUIRED_SECTIONS = ("table_6.1", "table_6.2", "metadata")
+REQUIRED_FIGURES = ("6.1", "6.2", "6.3", "6.4", "6.5", "6.6", "explore", "explore-progress")
+REQUIRED_SECTIONS = ("table_6.1", "table_6.2", "metadata", "exploration")
 FORBIDDEN_MARKUP = ("<script", "<link", "src=", "@import", "http-equiv")
 
 
