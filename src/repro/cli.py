@@ -26,6 +26,15 @@ suite use, so numbers never diverge between entry points:
   full design-space exploration engine: budgeted search (exhaustive,
   random, greedy, annealing) over split/pipeline/queue/HLS candidates with
   exact Pareto frontiers, journaled and resumable (docs/EXPLORATION.md);
+* ``repro ingest FILE.c [--run|--sweep|--explore]`` — register a raw C file
+  as a first-class workload: preprocess, parse with error recovery
+  (``file:line:col`` diagnostics), capture reference outputs, register —
+  then optionally compile/sweep/explore it like a builtin
+  (docs/INGESTION.md);
+* ``repro difftest <workload|all>`` — differential testing: the interpreter
+  and the timing simulator must agree on the program's output stream under
+  the software-only, hybrid and hardware-heavy configurations; ``all``
+  auto-ingests the ``tests/corpus/`` regression programs first;
 * ``repro graph`` — print that task graph (every compile, sweep-point and
   aggregate node with its dependencies) without executing it;
 * ``repro cache {stats,clear,prune}`` — inspect, empty, or LRU-bound the
@@ -532,6 +541,121 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """``repro ingest``: register a raw .c file as a first-class workload."""
+    from repro.ingest import default_workload_name, ingest_file
+
+    name = args.name or default_workload_name(args.file)
+    harness = _make_harness(args, benchmarks=[name])
+    report, _ = ingest_file(args.file, name=name, harness=harness)
+
+    if not report.ok:
+        if args.json:
+            # The bare report document: deterministic, byte-identical cold/warm.
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.format_text())
+        return 1
+
+    payload: Dict = {"report": report.to_dict()}
+    extra_text: List[str] = []
+
+    if args.run:
+        graph = TaskGraph()
+        task_id = harness.declare_compile(graph, name)
+        results = harness.execute(graph, parallel=args.parallel)
+        result = results[task_id]
+        run = harness._runs[name]
+        payload["run"] = {"outputs_match": run.functional_outputs_match(), **result.summary_dict()}
+        # Volatile by design (cold vs warm runs differ); only under --run.
+        payload["task_stats"] = harness.last_stats
+        extra_text.append(result.report())
+    elif args.sweep:
+        if args.sweep == "latency":
+            data = experiments.figure_6_5(harness, parallel=args.parallel)
+        elif args.sweep == "depth":
+            data = experiments.figure_6_6(harness, parallel=args.parallel)
+        else:
+            data = experiments.split_sweep(name, harness, parallel=args.parallel)
+        payload["sweep"] = {k: v for k, v in data.items() if k != "table"}
+        extra_text.append(data["table"])
+    elif args.explore:
+        from repro.explore.driver import ExplorationDriver as _Driver
+
+        driver = _Driver(
+            harness, name, strategy="random", budget=args.budget, seed=0, jobs=args.parallel
+        )
+        result = driver.run()
+        payload["explore"] = result.to_json_dict()
+        extra_text.append(_explore_text(result))
+
+    if args.json:
+        if len(payload) == 1:
+            # Plain ingest: the bare report document (CI diffs these bytes).
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.format_text())
+        for block in extra_text:
+            print()
+            print(block)
+    return 0
+
+
+def _cmd_difftest(args: argparse.Namespace) -> int:
+    """``repro difftest``: assert interp/sim output agreement per workload."""
+    import os
+
+    from repro.core.report import format_result_table
+    from repro.ingest import load_corpus
+    from repro.ingest.difftest import CONFIGS, difftest_workload
+
+    harness = _make_harness(args, benchmarks=[])
+    corpus_dir = args.corpus
+    if corpus_dir is None and os.path.isdir("tests/corpus"):
+        corpus_dir = "tests/corpus"
+    if corpus_dir and corpus_dir != "none" and os.path.isdir(corpus_dir):
+        reports = load_corpus(corpus_dir, harness=harness)
+        print(f"loaded {len(reports)} corpus workload(s) from {corpus_dir}", file=sys.stderr)
+
+    if args.target == "all":
+        names = [w.name for w in all_workloads()]
+    else:
+        get_workload(args.target)  # fail fast with the registry's error
+        names = [args.target]
+
+    outcomes = [difftest_workload(harness, name) for name in names]
+    ok = all(o.ok for o in outcomes)
+
+    if args.json:
+        print(
+            json.dumps(
+                {"ok": ok, "workloads": [o.to_dict() for o in outcomes]},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        labels = [label for label, _ in CONFIGS]
+        rows = [
+            [o.workload, o.origin, o.events, o.outputs]
+            + ["pass" if o.configs.get(label) else "FAIL" for label in labels]
+            for o in outcomes
+        ]
+        print(
+            format_result_table(
+                ["workload", "origin", "events", "outputs"] + labels,
+                rows,
+                title=f"differential test: interpreter vs timing replay ({len(outcomes)} workloads)",
+            )
+        )
+        for outcome in outcomes:
+            for failure in outcome.failures:
+                print(f"FAIL {outcome.workload}: {failure}")
+    return 0 if ok else 1
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     if args.action == "serve":
         from repro.eval.remote.cache_http import serve_cache
@@ -807,6 +931,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail if no worker registers within this long (default: 300)",
     )
     p_explore.set_defaults(func=_cmd_explore)
+
+    p_ingest = sub.add_parser(
+        "ingest",
+        parents=[common],
+        help="ingest a raw .c file as a first-class workload (docs/INGESTION.md)",
+    )
+    p_ingest.add_argument("file", metavar="FILE.c", help="C source file to ingest")
+    p_ingest.add_argument(
+        "--name",
+        help="workload name to register under (default: derived from the file name)",
+    )
+    ingest_action = p_ingest.add_mutually_exclusive_group()
+    ingest_action.add_argument(
+        "--run",
+        action="store_true",
+        help="also compile + simulate the ingested workload through the task graph",
+    )
+    ingest_action.add_argument(
+        "--sweep",
+        choices=["latency", "depth", "split"],
+        help="also run the named sensitivity sweep on the ingested workload",
+    )
+    ingest_action.add_argument(
+        "--explore",
+        action="store_true",
+        help="also run a small random design-space exploration on the ingested workload",
+    )
+    p_ingest.add_argument(
+        "--budget",
+        type=int,
+        default=8,
+        metavar="N",
+        help="exploration budget for --explore (default: 8)",
+    )
+    p_ingest.set_defaults(func=_cmd_ingest)
+
+    p_difftest = sub.add_parser(
+        "difftest",
+        parents=[common],
+        help="differential test: interpreter vs timing-simulator output agreement",
+    )
+    p_difftest.add_argument(
+        "target", help="workload name, or 'all' for every registered + corpus workload"
+    )
+    p_difftest.add_argument(
+        "--corpus",
+        metavar="DIR",
+        help="corpus directory to ingest first (default: tests/corpus if present; 'none' to skip)",
+    )
+    p_difftest.set_defaults(func=_cmd_difftest)
 
     p_graph = sub.add_parser(
         "graph", parents=[common], help="print the report task graph without executing it"

@@ -18,6 +18,9 @@ class FrontendError(ReproError):
     def __init__(self, message: str, line: int | None = None, col: int | None = None):
         self.line = line
         self.col = col
+        #: The position-free message, for callers (the ingest diagnostics
+        #: layer) that render their own ``file:line:col:`` prefix.
+        self.raw_message = message
         if line is not None:
             message = f"line {line}" + (f", col {col}" if col is not None else "") + f": {message}"
         super().__init__(message)
@@ -38,6 +41,17 @@ class SemanticError(FrontendError):
 class UnsupportedFeatureError(FrontendError):
     """Raised for C constructs outside the supported subset (e.g. recursion,
     function pointers, 64-bit values) — the same restrictions Twill documents."""
+
+
+class IngestError(ReproError):
+    """Raised when a raw ``.c`` file cannot be ingested as a workload — the
+    file is unreadable, preprocessing failed (missing include, include
+    cycle), or the frontend reported diagnostics.  Carries the structured
+    :class:`repro.frontend.diagnostics.Diagnostic` list when one exists."""
+
+    def __init__(self, message: str, diagnostics=None):
+        self.diagnostics = list(diagnostics or [])
+        super().__init__(message)
 
 
 class IRError(ReproError):

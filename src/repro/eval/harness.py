@@ -192,6 +192,28 @@ class EvaluationHarness:
             explore_task(name, self.config, self._cache_root, space, candidate)
         )
 
+    def declare_ingest(
+        self,
+        graph: TaskGraph,
+        name: str,
+        source: str,
+        filename: str,
+        includes: Sequence[str] = (),
+        skipped_includes: Sequence[str] = (),
+    ) -> str:
+        """Add one C-file ingest-report node (no dependencies).
+
+        *source* is the preprocessed text (it travels with the task), so the
+        node is self-contained and content-addressed by source + config +
+        code digest.  Imported lazily like :meth:`declare_explore_point` to
+        keep the module dependency graph acyclic.
+        """
+        from repro.ingest.evaluate import ingest_task
+
+        return graph.add(
+            ingest_task(name, source, filename, self.config, tuple(includes), tuple(skipped_includes))
+        )
+
     # -- graph execution ---------------------------------------------------------------
 
     def execute(

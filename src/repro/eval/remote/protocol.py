@@ -39,6 +39,7 @@ from repro.config import CompilerConfig, RuntimeConfig
 from repro.errors import RemoteError, RemoteProtocolError
 from repro.eval import experiments, taskgraph
 from repro.explore import evaluate as explore_evaluate
+from repro.ingest import evaluate as ingest_evaluate
 
 #: The closed set of payload functions a worker will execute, by wire name.
 #: :func:`register_payload_function` may extend it (tests, future sweeps).
@@ -47,6 +48,7 @@ PAYLOAD_FUNCTIONS: Dict[str, Callable[..., Any]] = {
     "compute_runtime_point": taskgraph.compute_runtime_point,
     "compute_split_point": taskgraph.compute_split_point,
     "compute_explore_point": explore_evaluate.compute_explore_point,
+    "compute_ingest_report": ingest_evaluate.compute_ingest_report,
     "compute_figure_render": experiments.compute_figure_render,
 }
 

@@ -64,15 +64,16 @@ KIND_COMPILE = "compile"
 KIND_RUNTIME = "runtime"
 KIND_SPLIT = "split"
 KIND_EXPLORE = "explore"
+KIND_INGEST = "ingest"
 KIND_RENDER = "render"
 KIND_AGGREGATE = "aggregate"
 
 #: Kinds whose payload is picklable and may run in a worker process.
-WORKER_KINDS = (KIND_COMPILE, KIND_RUNTIME, KIND_SPLIT, KIND_EXPLORE, KIND_RENDER)
+WORKER_KINDS = (KIND_COMPILE, KIND_RUNTIME, KIND_SPLIT, KIND_EXPLORE, KIND_INGEST, KIND_RENDER)
 
 #: Kinds whose value is a derived (JSON) artifact of a compile node — the
 #: harness memoises them in its in-memory derived layer after a run.
-DERIVED_KINDS = (KIND_RUNTIME, KIND_SPLIT, KIND_EXPLORE, KIND_RENDER)
+DERIVED_KINDS = (KIND_RUNTIME, KIND_SPLIT, KIND_EXPLORE, KIND_INGEST, KIND_RENDER)
 
 
 @dataclass(frozen=True)

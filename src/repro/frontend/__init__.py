@@ -8,6 +8,7 @@ statements.
 """
 
 from repro.frontend.lexer import Lexer, Token, TokenKind, tokenize
+from repro.frontend.diagnostics import Diagnostic, parse_with_diagnostics
 from repro.frontend.parser import Parser, parse
 from repro.frontend.lowering import lower_to_ir, compile_c
 
@@ -16,6 +17,8 @@ __all__ = [
     "Token",
     "TokenKind",
     "tokenize",
+    "Diagnostic",
+    "parse_with_diagnostics",
     "Parser",
     "parse",
     "lower_to_ir",

@@ -13,13 +13,21 @@ Grammar highlights (everything the CHStone-style kernels need):
 Deliberately unsupported (raises :class:`UnsupportedFeatureError`, mirroring
 the restrictions Twill documents): structs/unions/typedefs, floating point,
 function pointers, variadic functions, ``goto``.
+
+Two error modes: the default raises on the first problem (what the compile
+pipeline wants — a bad workload must not half-compile), while
+``Parser(tokens, recover=True)`` collects every error as a
+:class:`~repro.frontend.diagnostics.Diagnostic` and re-synchronises on
+``;``/``}`` (panic mode), which is what ``repro ingest`` uses to report all
+of a file's problems in one pass.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Tuple, Union
 
-from repro.errors import ParseError, UnsupportedFeatureError
+from repro.errors import FrontendError, ParseError, UnsupportedFeatureError
+from repro.frontend.diagnostics import MAX_DIAGNOSTICS, Diagnostic
 from repro.frontend.ast_nodes import (
     Assignment,
     BinaryExpr,
@@ -75,9 +83,13 @@ _TYPE_KEYWORDS = {"void", "char", "short", "int", "long", "unsigned", "signed", 
 class Parser:
     """Parses a token stream into a :class:`TranslationUnit`."""
 
-    def __init__(self, tokens: List[Token]):
+    def __init__(self, tokens: List[Token], recover: bool = False, filename: str = "<string>"):
         self.tokens = tokens
         self.pos = 0
+        self.recover = recover
+        self.filename = filename
+        #: Collected :class:`Diagnostic` records (recover mode only).
+        self.diagnostics: List[Diagnostic] = []
 
     # -- token helpers -----------------------------------------------------------
 
@@ -115,6 +127,56 @@ class Parser:
         tok = self._peek()
         return ParseError(message, line=tok.line, col=tok.col)
 
+    # -- panic-mode recovery ------------------------------------------------------
+
+    def _record_error(self, exc: FrontendError) -> None:
+        if len(self.diagnostics) < MAX_DIAGNOSTICS:
+            self.diagnostics.append(Diagnostic.from_error(exc, self.filename))
+
+    def _too_many_errors(self) -> bool:
+        return len(self.diagnostics) >= MAX_DIAGNOSTICS
+
+    def _sync_statement(self) -> None:
+        """Skip to just past the next ``;`` at the current nesting level, or
+        stop before the enclosing ``}`` (so the compound can close normally).
+        Nested braces are skipped whole."""
+        depth = 0
+        while True:
+            tok = self._peek()
+            if tok.kind is TokenKind.EOF:
+                return
+            if tok.is_punct("{"):
+                depth += 1
+            elif tok.is_punct("}"):
+                if depth == 0:
+                    return
+                depth -= 1
+            elif tok.is_punct(";") and depth == 0:
+                self._advance()
+                return
+            self._advance()
+
+    def _sync_top_level(self) -> None:
+        """Skip to a plausible start of the next external declaration: past a
+        top-level ``;`` or past the ``}`` that closes the broken definition."""
+        depth = 0
+        while True:
+            tok = self._peek()
+            if tok.kind is TokenKind.EOF:
+                return
+            if tok.is_punct("{"):
+                depth += 1
+            elif tok.is_punct("}"):
+                self._advance()
+                if depth <= 1:
+                    return
+                depth -= 1
+                continue
+            elif tok.is_punct(";") and depth == 0:
+                self._advance()
+                return
+            self._advance()
+
     # -- type parsing --------------------------------------------------------------
 
     def _at_type(self) -> bool:
@@ -146,7 +208,7 @@ class Parser:
             elif tok.is_keyword("void", "char", "short", "int", "long"):
                 if tok.text == "long" and base == "long":
                     raise UnsupportedFeatureError(
-                        "64-bit integers (long long) are not supported, matching Twill", line=tok.line
+                        "64-bit integers (long long) are not supported, matching Twill", line=tok.line, col=tok.col
                     )
                 if base in (None, "long") or (base == "short" and tok.text == "int") or (
                     base == "int" and tok.text == "int"
@@ -154,9 +216,9 @@ class Parser:
                     base = tok.text if base is None or base == "int" else base
                 self._advance()
             elif tok.is_keyword("float", "double"):
-                raise UnsupportedFeatureError("floating point is not supported", line=tok.line)
+                raise UnsupportedFeatureError("floating point is not supported", line=tok.line, col=tok.col)
             elif tok.is_keyword("struct", "typedef"):
-                raise UnsupportedFeatureError(f"'{tok.text}' is not supported", line=tok.line)
+                raise UnsupportedFeatureError(f"'{tok.text}' is not supported", line=tok.line, col=tok.col)
             else:
                 break
             saw_any = True
@@ -197,15 +259,27 @@ class Parser:
     def parse_translation_unit(self) -> TranslationUnit:
         unit = TranslationUnit()
         while self._peek().kind is not TokenKind.EOF:
-            self._parse_external_declaration(unit)
+            if not self.recover:
+                self._parse_external_declaration(unit)
+                continue
+            if self._too_many_errors():
+                break
+            before = self.pos
+            try:
+                self._parse_external_declaration(unit)
+            except FrontendError as exc:
+                self._record_error(exc)
+                self._sync_top_level()
+                if self.pos == before:
+                    self._advance()
         return unit
 
     def _parse_external_declaration(self, unit: TranslationUnit) -> None:
         tok = self._peek()
         if tok.is_keyword("struct", "typedef"):
-            raise UnsupportedFeatureError(f"'{tok.text}' is not supported", line=tok.line)
+            raise UnsupportedFeatureError(f"'{tok.text}' is not supported", line=tok.line, col=tok.col)
         if tok.is_keyword("float", "double"):
-            raise UnsupportedFeatureError("floating point is not supported", line=tok.line)
+            raise UnsupportedFeatureError("floating point is not supported", line=tok.line, col=tok.col)
         if not self._at_type():
             raise self._error(f"expected a declaration, found {self._peek().text!r}")
         base_type = self._parse_type_specifier()
@@ -279,8 +353,22 @@ class Parser:
         body: List[Stmt] = []
         while not self._check_punct("}"):
             if self._peek().kind is TokenKind.EOF:
-                raise ParseError("unterminated compound statement", line=open_tok.line)
-            body.append(self._parse_statement())
+                raise ParseError(
+                    "unterminated compound statement", line=open_tok.line, col=open_tok.col
+                )
+            if not self.recover:
+                body.append(self._parse_statement())
+                continue
+            if self._too_many_errors():
+                break
+            before = self.pos
+            try:
+                body.append(self._parse_statement())
+            except FrontendError as exc:
+                self._record_error(exc)
+                self._sync_statement()
+                if self.pos == before:
+                    self._advance()
         self._expect_punct("}")
         return CompoundStmt(body=body, line=open_tok.line)
 
@@ -484,7 +572,7 @@ class Parser:
             operand = self._parse_unary()
             return CastExpr(target_type=ty, operand=operand, line=tok.line)
         if tok.is_keyword("sizeof"):
-            raise UnsupportedFeatureError("sizeof is not supported", line=tok.line)
+            raise UnsupportedFeatureError("sizeof is not supported", line=tok.line, col=tok.col)
         return self._parse_postfix()
 
     def _parse_postfix(self) -> Expr:
@@ -510,7 +598,7 @@ class Parser:
                 self._advance()
                 expr = PostfixOp(op=tok.text, operand=expr, line=tok.line)
             elif tok.is_punct(".", "->"):
-                raise UnsupportedFeatureError("struct member access is not supported", line=tok.line)
+                raise UnsupportedFeatureError("struct member access is not supported", line=tok.line, col=tok.col)
             else:
                 break
         return expr
@@ -529,7 +617,7 @@ class Parser:
             self._expect_punct(")")
             return expr
         if tok.kind is TokenKind.STRING_LITERAL:
-            raise UnsupportedFeatureError("string literals are not supported", line=tok.line)
+            raise UnsupportedFeatureError("string literals are not supported", line=tok.line, col=tok.col)
         raise self._error(f"unexpected token {tok.text!r} in expression")
 
 

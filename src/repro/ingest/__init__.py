@@ -1,0 +1,48 @@
+"""Ingestion of raw ``.c`` files as first-class workloads.
+
+``repro ingest FILE.c`` turns an arbitrary C file into a registered
+:class:`~repro.workloads.base.Workload` — cacheable, sweepable and
+explorable exactly like the eight builtin kernels:
+
+1. :mod:`repro.ingest.preprocess` splices quoted ``#include`` files (with
+   cycle detection) and drops system headers; ``#define`` object macros are
+   handled by the existing lexer;
+2. the error-recovering frontend (:func:`repro.frontend.parse_with_diagnostics`)
+   collects every problem as a ``file:line:col`` diagnostic instead of
+   stopping at the first;
+3. the unoptimised lowered module is interpreted once to capture the
+   program's reference outputs — all of which lands in a structured
+   :class:`~repro.ingest.report.IngestReport`, computed through an ``ingest``
+   task-graph node so reports are content-addressed and cached;
+4. clean programs register in the :class:`~repro.workloads.base.WorkloadRegistry`
+   with the reference outputs from step 3, making the subsequent full compile
+   (optimisation passes, DSWP, HLS, timing replays) a genuine differential
+   check against the unoptimised interpretation.
+
+:mod:`repro.ingest.difftest` is the correctness layer on top: for any
+workload it asserts the interpreter and the timing simulator agree on the
+observable output stream under the software-only, hybrid and hardware-heavy
+configurations.
+"""
+
+from repro.ingest.preprocess import PreprocessResult, preprocess_file, preprocess_source
+from repro.ingest.report import IngestReport
+from repro.ingest.evaluate import compute_ingest_report, ingest_task
+from repro.ingest.registry import default_workload_name, ingest_file, ingest_source, load_corpus
+from repro.ingest.difftest import DiffTestOutcome, difftest_all, difftest_workload
+
+__all__ = [
+    "PreprocessResult",
+    "preprocess_file",
+    "preprocess_source",
+    "IngestReport",
+    "compute_ingest_report",
+    "ingest_task",
+    "default_workload_name",
+    "ingest_file",
+    "ingest_source",
+    "load_corpus",
+    "DiffTestOutcome",
+    "difftest_all",
+    "difftest_workload",
+]

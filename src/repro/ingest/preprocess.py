@@ -1,0 +1,103 @@
+"""Minimal ``#include`` preprocessing for ingested C files.
+
+Deliberately small, matching the self-contained-translation-unit model the
+rest of the pipeline assumes:
+
+* ``#include "file.h"`` — spliced in place, resolved relative to the
+  including file, with cycle detection; each splice is recorded so the
+  :class:`~repro.ingest.report.IngestReport` can list it;
+* ``#include <header.h>`` — dropped (system headers are not modelled);
+  the line is replaced by a comment so later line numbers shift as little
+  as possible, and the header name is recorded as skipped;
+* ``#define NAME value`` — left in the text; the lexer expands integer
+  object macros itself (see :mod:`repro.frontend.lexer`).
+
+Diagnostics produced downstream refer to positions in the *preprocessed*
+source, which equals the original file line-for-line unless quoted includes
+were spliced.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import IngestError
+
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(<[^>\n]+>|"[^"\n]+")\s*$')
+
+
+@dataclass(frozen=True)
+class PreprocessResult:
+    """Preprocessed source plus what the preprocessor did to produce it."""
+
+    source: str
+    #: Quoted includes spliced into the output, in splice order.
+    includes: Tuple[str, ...]
+    #: System headers dropped (the ``<...>`` names, without brackets).
+    skipped_includes: Tuple[str, ...]
+
+
+def preprocess_source(
+    text: str, base_dir: str = ".", filename: str = "<string>"
+) -> PreprocessResult:
+    """Expand quoted includes in *text*; see the module docstring for scope."""
+    out: List[str] = []
+    includes: List[str] = []
+    skipped: List[str] = []
+    _expand(text, base_dir, filename, [], out, includes, skipped)
+    return PreprocessResult(
+        source="\n".join(out) + "\n",
+        includes=tuple(includes),
+        skipped_includes=tuple(skipped),
+    )
+
+
+def preprocess_file(path: str) -> PreprocessResult:
+    """Read *path* and preprocess it (includes resolve relative to it)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise IngestError(f"cannot read '{path}': {exc.strerror or exc}") from exc
+    return preprocess_source(text, base_dir=os.path.dirname(path) or ".", filename=path)
+
+
+def _expand(
+    text: str,
+    directory: str,
+    display: str,
+    stack: List[str],
+    out: List[str],
+    includes: List[str],
+    skipped: List[str],
+) -> None:
+    for line in text.splitlines():
+        match = _INCLUDE_RE.match(line)
+        if match is None:
+            out.append(line)
+            continue
+        target = match.group(1)
+        if target.startswith("<"):
+            name = target[1:-1]
+            skipped.append(name)
+            out.append(f"/* #include <{name}> skipped: system headers are not modelled */")
+            continue
+        rel = target[1:-1]
+        path = os.path.normpath(os.path.join(directory, rel))
+        if path in stack:
+            cycle = " -> ".join(stack + [path])
+            raise IngestError(f"{display}: include cycle: {cycle}")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                included = handle.read()
+        except OSError as exc:
+            raise IngestError(
+                f"{display}: cannot open include \"{rel}\": {exc.strerror or exc}"
+            ) from exc
+        includes.append(rel)
+        stack.append(path)
+        _expand(included, os.path.dirname(path) or ".", rel, stack, out, includes, skipped)
+        stack.pop()

@@ -1,0 +1,154 @@
+"""From an :class:`~repro.ingest.report.IngestReport` to a registered workload.
+
+Clean reports become :class:`~repro.workloads.base.Workload` instances whose
+``reference`` replays the outputs captured from the unoptimised-module
+interpretation, registered under
+:meth:`~repro.workloads.base.WorkloadRegistry.register_ingested` (idempotent
+for identical source, a hard error for a name collision with different
+source).  :func:`load_corpus` applies the same path to every ``.c`` file of
+a directory — how the fuzzer-survivor corpus under ``tests/corpus/`` becomes
+regression workloads for ``repro difftest all``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import List, Optional, Tuple
+
+from repro.config import CompilerConfig
+from repro.errors import IngestError
+from repro.eval.taskgraph import TaskGraph
+from repro.ingest.evaluate import compute_ingest_report
+from repro.ingest.preprocess import PreprocessResult, preprocess_file, preprocess_source
+from repro.ingest.report import IngestReport
+from repro.workloads.base import Workload, WorkloadRegistry
+
+
+def default_workload_name(path: str) -> str:
+    """Derive a registry-safe workload name from a file path's stem."""
+    stem = os.path.splitext(os.path.basename(path))[0]
+    name = re.sub(r"[^A-Za-z0-9_]", "_", stem) or "ingested"
+    if name[0].isdigit():
+        name = "c_" + name
+    return name
+
+
+def workload_from_report(source: str, report: IngestReport, path: str = "") -> Workload:
+    """Build the Workload an ok report describes (reference = captured outputs)."""
+    outputs = [int(v) for v in report.outputs]
+    return Workload(
+        name=report.name,
+        description=f"ingested from {path or report.filename}",
+        source=source,
+        reference=lambda: list(outputs),
+        origin="ingested",
+    )
+
+
+def _report_via_harness(
+    harness, name: str, pre: PreprocessResult, filename: str
+) -> IngestReport:
+    """Compute (or cache-hit) the report through the ordinary task graph."""
+    graph = TaskGraph()
+    task_id = harness.declare_ingest(
+        graph, name, pre.source, filename, pre.includes, pre.skipped_includes
+    )
+    results = harness.execute(graph)
+    return IngestReport.from_dict(results[task_id])
+
+
+def ingest_source(
+    source: str,
+    name: str,
+    filename: str = "<string>",
+    base_dir: str = ".",
+    harness=None,
+    config: Optional[CompilerConfig] = None,
+    register: bool = True,
+) -> Tuple[IngestReport, Optional[Workload]]:
+    """Ingest C source text; returns ``(report, workload-or-None)``.
+
+    With a *harness* the report is computed through an ``ingest`` task node
+    (content-addressed and cached); without one it is computed directly.
+    Clean programs are registered unless ``register=False``.
+    """
+    pre = preprocess_source(source, base_dir=base_dir, filename=filename)
+    if harness is not None:
+        report = _report_via_harness(harness, name, pre, filename)
+    else:
+        report = IngestReport.from_dict(
+            compute_ingest_report(
+                name,
+                pre.source,
+                filename,
+                config or CompilerConfig(),
+                pre.includes,
+                pre.skipped_includes,
+            )
+        )
+    workload: Optional[Workload] = None
+    if report.ok and register:
+        workload = WorkloadRegistry.register_ingested(
+            workload_from_report(pre.source, report, filename)
+        )
+    return report, workload
+
+
+def ingest_file(
+    path: str,
+    name: Optional[str] = None,
+    harness=None,
+    config: Optional[CompilerConfig] = None,
+    register: bool = True,
+) -> Tuple[IngestReport, Optional[Workload]]:
+    """Ingest one ``.c`` file; returns ``(report, workload-or-None)``."""
+    pre = preprocess_file(path)
+    workload_name = name or default_workload_name(path)
+    if harness is not None:
+        report = _report_via_harness(harness, workload_name, pre, path)
+    else:
+        report = IngestReport.from_dict(
+            compute_ingest_report(
+                workload_name,
+                pre.source,
+                path,
+                config or CompilerConfig(),
+                pre.includes,
+                pre.skipped_includes,
+            )
+        )
+    workload: Optional[Workload] = None
+    if report.ok and register:
+        workload = WorkloadRegistry.register_ingested(
+            workload_from_report(pre.source, report, path)
+        )
+    return report, workload
+
+
+def load_corpus(
+    directory: str,
+    harness=None,
+    config: Optional[CompilerConfig] = None,
+) -> List[IngestReport]:
+    """Ingest and register every ``*.c`` file of *directory* (sorted order).
+
+    A malformed corpus file is a broken regression asset, so it raises
+    :class:`~repro.errors.IngestError` (carrying the diagnostics) instead of
+    being skipped silently.
+    """
+    if not os.path.isdir(directory):
+        raise IngestError(f"corpus directory '{directory}' does not exist")
+    reports: List[IngestReport] = []
+    for entry in sorted(os.listdir(directory)):
+        if not entry.endswith(".c"):
+            continue
+        path = os.path.join(directory, entry)
+        report, _ = ingest_file(path, harness=harness, config=config)
+        if not report.ok:
+            raise IngestError(
+                f"corpus file '{path}' failed to ingest",
+                diagnostics=list(report.diagnostics),
+            )
+        reports.append(report)
+    return reports

@@ -1,0 +1,93 @@
+"""The structured result of ingesting one C file.
+
+An :class:`IngestReport` is the JSON-serialisable value of an ``ingest``
+task-graph node: everything the frontend and the reference interpretation
+learned about a file — its content digest (the workload cache identity),
+every ``file:line:col`` diagnostic when the file is malformed, and the
+reference output stream when it is clean.  The dict form is fully
+deterministic (no timestamps, no volatile statistics), which is what lets
+CI diff a cold and a warm ``repro ingest --json`` byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.frontend.diagnostics import Diagnostic
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """Everything ingestion determined about one preprocessed C file."""
+
+    name: str
+    filename: str
+    #: SHA-256 of the preprocessed source — equals the registered
+    #: workload's :meth:`~repro.workloads.base.Workload.source_digest`.
+    digest: str
+    ok: bool
+    diagnostics: Tuple[Diagnostic, ...] = ()
+    includes: Tuple[str, ...] = ()
+    skipped_includes: Tuple[str, ...] = ()
+    functions: int = 0
+    globals: int = 0
+    tokens: int = 0
+    #: Reference outputs from interpreting the unoptimised lowered module.
+    outputs: Tuple[int, ...] = ()
+    steps: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "filename": self.filename,
+            "digest": self.digest,
+            "ok": self.ok,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "includes": list(self.includes),
+            "skipped_includes": list(self.skipped_includes),
+            "functions": self.functions,
+            "globals": self.globals,
+            "tokens": self.tokens,
+            "outputs": list(self.outputs),
+            "steps": self.steps,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "IngestReport":
+        return cls(
+            name=data["name"],
+            filename=data["filename"],
+            digest=data["digest"],
+            ok=data["ok"],
+            diagnostics=tuple(Diagnostic.from_dict(d) for d in data["diagnostics"]),
+            includes=tuple(data["includes"]),
+            skipped_includes=tuple(data["skipped_includes"]),
+            functions=data["functions"],
+            globals=data["globals"],
+            tokens=data["tokens"],
+            outputs=tuple(data["outputs"]),
+            steps=data["steps"],
+        )
+
+    def format_text(self) -> str:
+        """Human-readable rendering for the plain ``repro ingest`` output."""
+        lines: List[str] = [
+            f"ingest {self.filename}",
+            f"  workload : {self.name}",
+            f"  digest   : {self.digest[:16]}…",
+            f"  status   : {'ok' if self.ok else 'failed'}",
+        ]
+        if self.includes:
+            lines.append("  includes : " + ", ".join(self.includes))
+        if self.skipped_includes:
+            lines.append("  skipped  : " + ", ".join(f"<{h}>" for h in self.skipped_includes))
+        if self.ok:
+            lines.append(
+                f"  program  : {self.functions} function(s), {self.globals} global(s), "
+                f"{self.tokens} tokens"
+            )
+            lines.append(f"  outputs  : {len(self.outputs)} value(s) in {self.steps} steps")
+        for diag in self.diagnostics:
+            lines.append("  " + diag.format())
+        return "\n".join(lines)

@@ -358,7 +358,15 @@ class Interpreter:
         if isinstance(inst, Call):
             arg_values = [self._operand_value(frame, a) for a in inst.args]
             arg_events = [self._operand_event(frame, a) for a in inst.args]
-            seq = self._record(inst, name, self._deps(frame, inst.operands))
+            # print_int is the program's observable output channel; recording
+            # the printed value on the Call event lets trace replays (the
+            # timing simulator) reproduce the output stream.
+            printed = (
+                int(arg_values[0])
+                if inst.callee.is_declaration() and inst.callee.name == "print_int" and arg_values
+                else None
+            )
+            seq = self._record(inst, name, self._deps(frame, inst.operands), value=printed)
             result, result_event = self._call(inst.callee, arg_values, arg_events)
             # The call's consumers depend directly on the producer of the
             # returned value (precise cross-function dataflow); fall back to

@@ -71,6 +71,10 @@ class TimingResult:
     bus_transfers: int
     forced_events: int
     events: int
+    # Values the replayed program printed, ordered by the cycle the print
+    # event completed — the observable output stream the differential tests
+    # compare against the interpreter's.
+    replay_outputs: Tuple[int, ...] = ()
 
     @property
     def hardware_busy_cycles(self) -> float:
@@ -211,6 +215,19 @@ class TimingSimulator:
                 forced_events += 1
 
         total = max((t.finish_time for t in timelines.values()), default=0.0)
+        # The observable output stream commits in program (trace) order: the
+        # runtime serialises side effects, so a hybrid partition whose stages
+        # *finish* print calls out of order must not reorder what the program
+        # prints.  Finish times stay timing metadata only.
+        prints = [
+            (events[i].seq, events[i].value)
+            for i in range(n)
+            if events[i].opcode is Opcode.CALL
+            and events[i].value is not None
+            and getattr(events[i].inst, "callee", None) is not None
+            and events[i].inst.callee.name == "print_int"
+        ]
+        prints.sort(key=lambda p: p[0])
         return TimingResult(
             total_cycles=total,
             threads=timelines,
@@ -221,6 +238,7 @@ class TimingSimulator:
             bus_transfers=module_bus.stats.transfers,
             forced_events=forced_events,
             events=n,
+            replay_outputs=tuple(p[1] for p in prints),
         )
 
     # -- one event --------------------------------------------------------------------------

@@ -6,7 +6,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from repro.errors import UnknownWorkloadError
+from repro.errors import ReproError, UnknownWorkloadError
 
 
 def wrap32(value: int) -> int:
@@ -29,6 +29,9 @@ class Workload:
     paper_queues: Optional[int] = None
     paper_semaphores: Optional[int] = None
     paper_hw_threads: Optional[int] = None
+    # "builtin" for the hand-ported kernels, "ingested" for workloads
+    # registered from raw .c files by repro.ingest.
+    origin: str = "builtin"
 
     def expected_outputs(self) -> List[int]:
         return [wrap32(v) for v in self.reference()]
@@ -51,6 +54,31 @@ class WorkloadRegistry:
     def register(cls, workload: Workload) -> Workload:
         cls._registry[workload.name] = workload
         return workload
+
+    @classmethod
+    def register_ingested(cls, workload: Workload) -> Workload:
+        """Register a workload produced by ``repro.ingest``.
+
+        Re-registering the same name is allowed only when the source digest is
+        unchanged (the ingest round trip is idempotent); a different digest
+        under an existing name is a real conflict the caller must resolve
+        (``repro ingest --name`` picks a fresh one)."""
+        existing = cls._registry.get(workload.name)
+        if existing is not None:
+            if existing.source_digest() == workload.source_digest():
+                return existing
+            kind = "builtin workload" if existing.origin == "builtin" else "ingested workload"
+            raise ReproError(
+                f"workload name '{workload.name}' already names a {kind} with "
+                f"different source; pass --name to register under another name"
+            )
+        workload.origin = "ingested"
+        return cls.register(workload)
+
+    @classmethod
+    def unregister(cls, name: str) -> None:
+        """Remove a workload (tests and ingest error paths only)."""
+        cls._registry.pop(name, None)
 
     @classmethod
     def get(cls, name: str) -> Workload:

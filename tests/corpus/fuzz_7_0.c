@@ -1,0 +1,29 @@
+/* fuzz survivor: base seed 7, index 0 */
+int helper0(int p0) {
+}
+int helper1(int p0) {
+}
+int main(void) {
+  int v0 = 54;
+  int v1 = 25;
+  int v2 = 51;
+  int i1_999;
+  switch ((((~(v0) + ((~(v0) + (v0)))) / ((((helper0(v0) % ((((~(738) + (v1))) & 255) | 1))) & 255) | 1))) & 3) {
+  default:
+    if ((~(((helper1(v1) != 0) ? ((v0 != 0) ? v0 : v0) : v2)) + (((v1 % (((173) & 255) | 1)) | (v0 >> ((v1) & 15))))) > 59) {
+    }
+  }
+  for (i1_999 = 0; i1_999 < 4; i1_999++) {
+  }
+  switch (((~(((~(753) + (v0)) - 443)) + ((~((~(v1) + (163))) + (774))))) & 3) {
+  case 0:
+    switch ((749) & 3) {
+    }
+    if (561 > 38) {
+    }
+  }
+  print_int(v0);
+  print_int(v1);
+  print_int(v2);
+  print_int(v0 ^ v1 ^ v2);
+}

@@ -1,0 +1,20 @@
+/* fuzz survivor: base seed 7, index 1 */
+int helper0(int p0) {
+}
+int helper1(int p0) {
+}
+int main(void) {
+  int v0 = 71;
+  int v1 = 79;
+  int v2 = 67;
+  int v3 = 92;
+  int i1_875;
+  for (i1_875 = 0; i1_875 < 7; i1_875++) {
+    switch (((((i1_875 % (((v3) & 255) | 1)) << (((v0 << ((v2) & 15))) & 15)) / (((((~(v0) + (450)) + (~(v3) + (954)))) & 255) | 1))) & 3) {
+    }
+  }
+  print_int(v1);
+  print_int(v2);
+  print_int(v3);
+  print_int(v0 ^ v1 ^ v2 ^ v3);
+}

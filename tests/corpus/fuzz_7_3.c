@@ -1,0 +1,10 @@
+/* fuzz survivor: base seed 7, index 3 */
+int main(void) {
+  int v0 = 63;
+  int v1 = 19;
+  int v2 = 65;
+  print_int(v0);
+  print_int(v1);
+  print_int(v2);
+  print_int(v0 ^ v1 ^ v2);
+}

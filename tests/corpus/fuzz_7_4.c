@@ -1,0 +1,20 @@
+/* fuzz survivor: base seed 7, index 4 */
+int tab0[16] = {109, 95, 84, 218, 10, 195, 213, 102, 89, 217, 185, 217, 144, 23, 21, 17};
+int helper0(int p0, int p1, int p2) {
+}
+int helper1(int p0, int p1, int p2) {
+}
+int main(void) {
+  int v0 = 84;
+  int v1 = 71;
+  int v2 = 16;
+  switch (((tab0[((tab0[((v2) & 15)]) & 15)] != helper0((v2 << ((v2) & 15)), v2, (v2 << ((154) & 15))))) & 3) {
+  case 1:
+    if ((~(helper0(((306 != 0) ? v1 : v0), v0, (v0 % (((v2) & 255) | 1)))) + (((658 % (((v0) & 255) | 1)) << ((v0) & 15)))) > 77) {
+    }
+  }
+  print_int(v0);
+  print_int(v1);
+  print_int(v2);
+  print_int(v0 ^ v1 ^ v2);
+}

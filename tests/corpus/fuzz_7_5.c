@@ -1,0 +1,13 @@
+/* fuzz survivor: base seed 7, index 5 */
+int helper0(int p0, int p1, int p2) {
+}
+int main(void) {
+  int v0 = 94;
+  int v1 = 90;
+  int v2 = 14;
+  int v3 = 5;
+  print_int(v1);
+  print_int(v2);
+  print_int(v3);
+  print_int(v0 ^ v1 ^ v2 ^ v3);
+}

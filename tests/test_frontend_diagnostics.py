@@ -1,0 +1,131 @@
+"""Golden tests of panic-mode error recovery and ``file:line:col`` diagnostics.
+
+Each malformed program pins the exact rendered diagnostic strings so a
+regression in positions, messages, or recovery sync points shows up as a
+readable diff.  Also checks that recovery keeps parsing (multiple errors per
+file, valid functions retained in the partial AST) and that the default
+non-recovering mode still raises exactly as before.
+"""
+
+import pytest
+
+from repro.errors import FrontendError, ParseError
+from repro.frontend import Diagnostic, parse_with_diagnostics
+from repro.frontend.diagnostics import MAX_DIAGNOSTICS
+from repro.frontend.lexer import tokenize
+from repro.frontend.parser import Parser
+
+
+def diags(source):
+    unit, diagnostics = parse_with_diagnostics(source, "bad.c")
+    return unit, [d.format() for d in diagnostics]
+
+
+# ---------------------------------------------------------------------------
+# golden messages
+# ---------------------------------------------------------------------------
+
+
+def test_missing_semicolon():
+    unit, messages = diags(
+        "int main(void) {\n"
+        "  int x = 1\n"
+        "  int y = 2;\n"
+        "  print_int(x + y);\n"
+        "  return 0;\n"
+        "}\n"
+    )
+    assert messages == ["bad.c:3:3: error: expected ';', found 'int'"]
+    assert len(unit.functions) == 1
+
+
+def test_empty_initializer_expression():
+    unit, messages = diags("int main(void) {\n  int x = ;\n  return 0;\n}\n")
+    assert messages == ["bad.c:2:11: error: unexpected token ';' in expression"]
+    assert unit is not None
+
+
+def test_unterminated_compound():
+    _, messages = diags("int main(void) {\n  int x = 1;\n")
+    assert messages == ["bad.c:1:16: error: unterminated compound statement"]
+
+
+def test_unclosed_call_parenthesis():
+    _, messages = diags("int main(void) {\n  print_int((1 + 2);\n  return 0;\n}\n")
+    assert messages == ["bad.c:2:20: error: expected ')', found ';'"]
+
+
+def test_unsupported_float_global():
+    unit, messages = diags("int main(void) { return 0; }\nfloat q;\nint g;\n")
+    assert messages == ["bad.c:2:1: error: floating point is not supported"]
+    # Recovery resumes at top level: main survives and so does the later global.
+    assert [f.name for f in unit.functions] == ["main"]
+    assert any(g.name == "g" for g in unit.globals)
+
+
+def test_multi_error_recovery():
+    unit, messages = diags(
+        "int main(void) {\n"
+        "  int x = ;\n"
+        "  int y = 2;\n"
+        "  y = y +;\n"
+        "  print_int(y)\n"
+        "  return 0;\n"
+        "}\n"
+    )
+    assert messages == [
+        "bad.c:2:11: error: unexpected token ';' in expression",
+        "bad.c:4:10: error: unexpected token ';' in expression",
+        "bad.c:6:3: error: expected ';', found 'return'",
+    ]
+    assert len(unit.functions) == 1
+
+
+def test_error_inside_one_function_keeps_the_next():
+    unit, messages = diags(
+        "int f(void) {\n  return 1 +;\n}\nint g(void) {\n  return 2;\n}\n"
+    )
+    assert messages == ["bad.c:2:13: error: unexpected token ';' in expression"]
+    assert [f.name for f in unit.functions] == ["f", "g"]
+
+
+def test_lexer_failure_becomes_a_diagnostic():
+    unit, diagnostics = parse_with_diagnostics("int main(void) { return 0 @ 1; }\n", "bad.c")
+    assert unit is None
+    assert len(diagnostics) == 1
+    assert diagnostics[0].file == "bad.c"
+    assert "error" in diagnostics[0].format()
+
+
+# ---------------------------------------------------------------------------
+# recovery mechanics
+# ---------------------------------------------------------------------------
+
+
+def test_diagnostic_count_is_capped():
+    body = "".join("  int x%d = ;\n" % i for i in range(MAX_DIAGNOSTICS + 10))
+    _, diagnostics = parse_with_diagnostics("int main(void) {\n%s}\n" % body, "bad.c")
+    assert len(diagnostics) == MAX_DIAGNOSTICS
+
+
+def test_diagnostic_roundtrip_and_ordering():
+    _, diagnostics = parse_with_diagnostics("int main(void) {\n  int x = ;\n}\n", "bad.c")
+    d = diagnostics[0]
+    assert Diagnostic.from_dict(d.to_dict()) == d
+    assert (d.file, d.line, d.col, d.severity) == ("bad.c", 2, 11, "error")
+
+
+def test_clean_program_has_no_diagnostics():
+    unit, diagnostics = parse_with_diagnostics(
+        "int main(void) {\n  print_int(7);\n  return 0;\n}\n"
+    )
+    assert diagnostics == []
+    assert len(unit.functions) == 1
+
+
+def test_non_recover_mode_still_raises():
+    tokens = tokenize("int main(void) {\n  int x = ;\n  return 0;\n}\n")
+    with pytest.raises(ParseError) as excinfo:
+        Parser(tokens).parse_translation_unit()
+    assert excinfo.value.line == 2
+    assert isinstance(excinfo.value, FrontendError)

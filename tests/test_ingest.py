@@ -1,0 +1,230 @@
+"""Tests of the :mod:`repro.ingest` pipeline.
+
+Covers preprocessing (quoted-include splicing, cycle/missing-include
+errors, system-header skipping), ingestion determinism (same file twice →
+same content digest, warm re-ingest executes zero tasks), workload
+registration collisions, the corpus loader, and both CLI commands'
+exit codes and byte-deterministic ``--json`` output.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import IngestError, ReproError
+from repro.eval import EvaluationHarness
+from repro.ingest import (
+    default_workload_name,
+    ingest_file,
+    ingest_source,
+    load_corpus,
+    preprocess_source,
+)
+from repro.workloads.base import WorkloadRegistry
+
+CLEAN = """\
+#define ROUNDS 4
+int main(void) {
+  int i;
+  int acc = 7;
+  for (i = 0; i < ROUNDS; i++) { acc = (acc * 3 + i) & 255; print_int(acc); }
+  return acc;
+}
+"""
+
+BROKEN = """\
+int main(void) {
+  int x = ;
+  return 0;
+}
+"""
+
+
+@pytest.fixture
+def scratch_registry():
+    """Unregister every workload a test ingests, restoring the builtin set."""
+    before = set(WorkloadRegistry.names())
+    yield
+    for name in set(WorkloadRegistry.names()) - before:
+        WorkloadRegistry.unregister(name)
+
+
+def run_cli(argv, tmp_path, capsys):
+    code = main(list(argv) + ["--cache-dir", str(tmp_path / "cache")])
+    out, err = capsys.readouterr()
+    return code, out, err
+
+
+# ---------------------------------------------------------------------------
+# preprocessing
+# ---------------------------------------------------------------------------
+
+
+def test_quoted_include_is_spliced(tmp_path):
+    (tmp_path / "consts.h").write_text("#define LIMIT 3\n")
+    (tmp_path / "prog.c").write_text(
+        '#include "consts.h"\nint main(void) { print_int(LIMIT); return 0; }\n'
+    )
+    pre = preprocess_source(
+        (tmp_path / "prog.c").read_text(), base_dir=str(tmp_path), filename="prog.c"
+    )
+    assert "#define LIMIT 3" in pre.source
+    assert any(inc.endswith("consts.h") for inc in pre.includes)
+
+
+def test_system_include_is_skipped_with_a_marker(tmp_path):
+    pre = preprocess_source(
+        "#include <stdio.h>\nint main(void) { return 0; }\n", base_dir=str(tmp_path)
+    )
+    assert pre.skipped_includes == ("stdio.h",)
+    # The directive is replaced by a comment marker, not left for the lexer.
+    marker = [line for line in pre.source.splitlines() if "stdio.h" in line]
+    assert marker and marker[0].startswith("/*") and "skipped" in marker[0]
+
+
+def test_include_cycle_is_reported(tmp_path):
+    (tmp_path / "a.h").write_text('#include "b.h"\n')
+    (tmp_path / "b.h").write_text('#include "a.h"\n')
+    with pytest.raises(IngestError, match="cycle"):
+        preprocess_source('#include "a.h"\n', base_dir=str(tmp_path))
+
+
+def test_missing_include_is_reported(tmp_path):
+    with pytest.raises(IngestError, match="nope.h"):
+        preprocess_source('#include "nope.h"\nint main(void) { return 0; }\n',
+                          base_dir=str(tmp_path))
+
+
+def test_default_workload_name_sanitises():
+    assert default_workload_name("/tmp/My Prog-1.c") == "My_Prog_1"
+    assert default_workload_name("3fish.c") == "c_3fish"
+
+
+# ---------------------------------------------------------------------------
+# ingestion + registration
+# ---------------------------------------------------------------------------
+
+
+def test_ingest_round_trip_is_deterministic(tmp_path, scratch_registry):
+    path = tmp_path / "clean.c"
+    path.write_text(CLEAN)
+    report1, workload = ingest_file(str(path), name="rt_demo")
+    WorkloadRegistry.unregister("rt_demo")
+    report2, _ = ingest_file(str(path), name="rt_demo")
+    assert report1.ok and report2.ok
+    assert report1.digest == report2.digest
+    assert report1.to_dict() == report2.to_dict()
+    assert workload.source_digest() == report1.digest
+    assert workload.origin == "ingested"
+    assert workload.expected_outputs() == list(report1.outputs)
+
+
+def test_warm_reingest_executes_zero_tasks(tmp_path, scratch_registry):
+    path = tmp_path / "clean.c"
+    path.write_text(CLEAN)
+    harness = EvaluationHarness(benchmarks=[], cache_dir=str(tmp_path / "cache"))
+    report1, _ = ingest_file(str(path), name="warm_demo", harness=harness)
+    assert harness.last_stats["executed"] == {"ingest": 1}
+    WorkloadRegistry.unregister("warm_demo")
+    report2, _ = ingest_file(str(path), name="warm_demo", harness=harness)
+    assert harness.last_stats["executed"] == {}
+    assert report1.to_dict() == report2.to_dict()
+
+
+def test_malformed_ingest_reports_diagnostics(tmp_path, scratch_registry):
+    path = tmp_path / "broken.c"
+    path.write_text(BROKEN)
+    report, workload = ingest_file(str(path))
+    assert not report.ok
+    assert workload is None
+    assert "broken" not in WorkloadRegistry.names()
+    rendered = [d.format() for d in report.diagnostics]
+    assert any("unexpected token ';'" in line for line in rendered)
+
+
+def test_same_name_different_source_collides(scratch_registry):
+    _, first = ingest_source(CLEAN, name="collide")
+    assert first is not None
+    other = CLEAN.replace("acc = 7", "acc = 8")
+    with pytest.raises(ReproError, match="--name"):
+        ingest_source(other, name="collide")
+    # Re-ingesting the identical source is idempotent, not an error.
+    _, again = ingest_source(CLEAN, name="collide")
+    assert again is first
+
+
+def test_load_corpus_registers_everything(scratch_registry):
+    reports = load_corpus("tests/corpus")
+    assert len(reports) >= 4
+    for report in reports:
+        assert report.ok
+        workload = WorkloadRegistry.get(report.name)
+        assert workload.origin == "ingested"
+        assert len(workload.expected_outputs()) >= 1
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def test_cli_ingest_json_is_byte_identical_cold_and_warm(tmp_path, capsys, scratch_registry):
+    path = tmp_path / "clean.c"
+    path.write_text(CLEAN)
+    code1, out1, _ = run_cli(["ingest", str(path), "--name", "cli_demo", "--json"],
+                             tmp_path, capsys)
+    WorkloadRegistry.unregister("cli_demo")
+    code2, out2, _ = run_cli(["ingest", str(path), "--name", "cli_demo", "--json"],
+                             tmp_path, capsys)
+    assert code1 == code2 == 0
+    assert out1 == out2
+    payload = json.loads(out1)
+    assert payload["ok"] is True
+    assert payload["name"] == "cli_demo"
+
+
+def test_cli_ingest_run_hits_cache_second_time(tmp_path, capsys, scratch_registry):
+    path = tmp_path / "clean.c"
+    path.write_text(CLEAN)
+    code1, out1, _ = run_cli(["ingest", str(path), "--name", "run_demo", "--run", "--json"],
+                             tmp_path, capsys)
+    assert code1 == 0
+    cold = json.loads(out1)
+    assert cold["run"]["outputs_match"] is True
+    assert cold["task_stats"]["executed"].get("compile") == 1
+    WorkloadRegistry.unregister("run_demo")
+    code2, out2, _ = run_cli(["ingest", str(path), "--name", "run_demo", "--run", "--json"],
+                             tmp_path, capsys)
+    assert code2 == 0
+    warm = json.loads(out2)
+    assert warm["task_stats"]["executed"] == {}
+    assert warm["report"] == cold["report"]
+    assert warm["run"] == cold["run"]
+
+
+def test_cli_ingest_malformed_exits_one(tmp_path, capsys, scratch_registry):
+    path = tmp_path / "broken.c"
+    path.write_text(BROKEN)
+    code, out, _ = run_cli(["ingest", str(path)], tmp_path, capsys)
+    assert code == 1
+    assert "error:" in out
+
+
+def test_cli_ingest_missing_file_exits_two(tmp_path, capsys):
+    code, _, err = run_cli(["ingest", str(tmp_path / "absent.c")], tmp_path, capsys)
+    assert code == 2
+    assert "error" in err.lower()
+
+
+def test_cli_difftest_single_builtin(tmp_path, capsys):
+    code, out, _ = run_cli(["difftest", "blowfish", "--corpus", "none"], tmp_path, capsys)
+    assert code == 0
+    assert "blowfish" in out
+    assert "FAIL" not in out
+
+
+def test_cli_difftest_unknown_workload_exits_two(tmp_path, capsys):
+    code, _, err = run_cli(["difftest", "nosuchthing", "--corpus", "none"], tmp_path, capsys)
+    assert code == 2
+    assert "unknown workload" in err
