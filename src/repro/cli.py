@@ -69,6 +69,7 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import perf
 from repro.config import CompilerConfig
 from repro.errors import ReproError
 from repro.eval import experiments
@@ -254,6 +255,33 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Compile one workload end to end and print per-stage wall-clock times.
+
+    Always runs the full pipeline fresh (no artifact cache): the point is to
+    time the stages, and a cache hit times nothing.
+    """
+    from repro.core.compiler import TwillCompiler
+
+    workload = get_workload(args.workload)
+    compiler = TwillCompiler(CompilerConfig())
+    with perf.collect() as timings:
+        result = compiler.compile_and_simulate(workload.source, name=workload.name)
+    if args.json:
+        payload = {
+            "workload": workload.name,
+            "total_seconds": round(timings.total(), 6),
+            "stages": timings.as_dict(),
+            "twill_cycles": result.system.twill.cycles,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"workload : {workload.name}")
+        print(f"cycles   : {result.system.twill.cycles:,.0f}")
+        print(timings.table())
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     get_workload(args.workload)  # fail fast before building a harness
     harness = _make_harness(args, benchmarks=[args.workload])
@@ -313,7 +341,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
-def _write_report_html(args: argparse.Namespace, harness, artefacts, figures, trace) -> int:
+def _write_report_html(
+    args: argparse.Namespace, harness, artefacts, figures, trace, stage_timings=None
+) -> int:
     """Assemble and write the self-contained ``report.html``."""
     from repro.viz.charts import Span
     from repro.viz.report_html import build_report_html
@@ -324,6 +354,10 @@ def _write_report_html(args: argparse.Namespace, harness, artefacts, figures, tr
         "cache": harness.cache.spec if harness.cache is not None else "",
         "scheduler": harness.last_stats,
     }
+    if stage_timings is not None and stage_timings.seconds:
+        # Wall-clock per pipeline stage, as observed in this process (pool
+        # workers time their own stages; cache hits time nothing).
+        metadata["stage_timings"] = stage_timings.as_dict()
     spans = [Span(**span) for span in trace.spans] if trace is not None else None
     document = build_report_html(artefacts, figures, metadata, trace_spans=spans)
     out_dir = Path(args.html)
@@ -380,9 +414,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
     # job under --parallel/--jobs (or on the registered remote workers under
     # --workers).
     if args.html:
-        artefacts, figures = experiments.run_report_figures(
-            harness, parallel=args.parallel, executor=executor, trace=trace
-        )
+        with perf.collect() as stage_timings:
+            artefacts, figures = experiments.run_report_figures(
+                harness, parallel=args.parallel, executor=executor, trace=trace
+            )
     else:
         artefacts = experiments.run_report(
             harness, parallel=args.parallel, executor=executor, trace=trace
@@ -391,7 +426,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         trace.write(args.trace)
         print(f"wrote task trace to {args.trace} (open in chrome://tracing)", file=sys.stderr)
     if args.html:
-        return _write_report_html(args, harness, artefacts, figures, trace)
+        return _write_report_html(args, harness, artefacts, figures, trace, stage_timings)
 
     if baseline is not None:
         current = {
@@ -814,6 +849,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-partition with this targeted software share instead of the default report",
     )
     p_run.set_defaults(func=_cmd_run)
+
+    p_profile = sub.add_parser(
+        "profile",
+        parents=[common],
+        help="compile + simulate one workload and print per-stage wall-clock times",
+    )
+    p_profile.add_argument("workload", help="workload name (see 'repro list')")
+    p_profile.set_defaults(func=_cmd_profile)
 
     p_sweep = sub.add_parser("sweep", parents=[common], help="queue latency/depth and split-point sweeps")
     p_sweep.add_argument("kind", choices=["latency", "depth", "split"])

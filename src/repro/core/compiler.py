@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro import perf
 from repro.analysis.callgraph import CallGraph
 from repro.config import CompilerConfig, RuntimeConfig
 from repro.dswp.pipeline import DSWPResult, run_dswp
@@ -119,24 +120,26 @@ class TwillCompiler:
     def compile_module(self, source: str, name: str = "program") -> Module:
         """Parse, lower and optimise C source into a DSWP-ready IR module."""
         module = compile_c(source, module_name=name)
-        CallGraph(module).check_no_recursion()
-        pipeline = default_pipeline(
-            inline_threshold=self.config.inline_threshold,
-            verify_each=self.config.verify_passes,
-        )
-        pipeline.run(module)
-        if self.config.globals_to_arguments:
-            GlobalsToArguments().run(module)
-        verify_module(module)
+        with perf.stage("ssa"):
+            CallGraph(module).check_no_recursion()
+            pipeline = default_pipeline(
+                inline_threshold=self.config.inline_threshold,
+                verify_each=self.config.verify_passes,
+            )
+            pipeline.run(module)
+            if self.config.globals_to_arguments:
+                GlobalsToArguments().run(module)
+            verify_module(module)
         return module
 
     # -- stage 4: functional execution --------------------------------------------------------
 
     def execute(self, module: Module, args: Sequence[int] = ()) -> ExecutionResult:
-        interpreter = Interpreter(
-            module, record_trace=True, max_steps=self.config.max_interpreter_steps
-        )
-        return interpreter.run("main", args)
+        with perf.stage("interp"):
+            interpreter = Interpreter(
+                module, record_trace=True, max_steps=self.config.max_interpreter_steps
+            )
+            return interpreter.run("main", args)
 
     # -- stage 5-7: partition, schedule, simulate ----------------------------------------------
 
@@ -156,15 +159,18 @@ class TwillCompiler:
             if self.config.partition.use_profile_weights
             else Profile.static_estimate(module)
         )
-        dswp = run_dswp(
-            module,
-            profile=profile,
-            config=self.config.partition,
-            extract_threads=self.config.extract_threads,
-            sw_fraction=sw_fraction,
-        )
-        legup = LegUpFlow(self.config.hls).run(module)
-        system = HybridSystem(self.config).evaluate(name, module, execution.trace, dswp, legup)
+        with perf.stage("dswp"):
+            dswp = run_dswp(
+                module,
+                profile=profile,
+                config=self.config.partition,
+                extract_threads=self.config.extract_threads,
+                sw_fraction=sw_fraction,
+            )
+        with perf.stage("hls"):
+            legup = LegUpFlow(self.config.hls).run(module)
+        with perf.stage("replay"):
+            system = HybridSystem(self.config).evaluate(name, module, execution.trace, dswp, legup)
         return CompilationResult(
             name=name,
             module=module,

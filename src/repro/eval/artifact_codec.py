@@ -1,0 +1,907 @@
+"""Structured (non-pickle) serialisation of compile artifacts.
+
+A cached :class:`repro.core.compiler.CompilationResult` is the single
+largest artifact the evaluation harness stores, and with pickle it has two
+costs: loading executes ``__reduce__``/``__setstate__`` code (which is why
+shared caches need the HMAC envelope), and the byte format is opaque — you
+cannot inspect a cached compile with anything but the exact Python objects
+that wrote it.
+
+This module replaces pickle for compile artifacts with an explicit codec:
+
+* the payload is one line of magic (``repro-artifact-v1``) followed by a
+  single canonical JSON document, so ``python -m json.tool`` (skip the
+  first line) inspects any cached compile;
+* decoding **executes no stored code** — it walks the JSON and rebuilds the
+  object graph through a fixed table of IR classes, so an artifact cache
+  does not have to be a trusted directory (no HMAC envelope needed);
+* the format only depends on the documented IR/result classes, not on
+  pickle's memo/opcode machinery, so entries survive Python version bumps.
+
+The encoding strategy mirrors how the IR itself names things:
+
+* every instruction of every defined function gets a **global index**
+  (module function order → block order → instruction order); operands,
+  trace events, profile counts, partitions, queues and HLS schedules all
+  refer to instructions by that index, which replaces pickle's object
+  identity;
+* ``id()``-keyed maps (``FunctionPartitioning.assignment``,
+  ``Trace.instruction_counts``, ``BlockSchedule.start_cycle``,
+  ``Profile._counts``) are never stored keyed — they are re-derived or
+  re-keyed against the decoded instructions, exactly like the classes'
+  own ``__setstate__`` hooks do for pickle;
+* purely derived analysis state (the PDG, its SCC condensation and the
+  weight-model cache inside :class:`DSWPResult`) is **recomputed** on
+  decode: it is a deterministic function of the decoded module and
+  profile, and recomputing is cheaper than encoding a graph with
+  instruction-identity edges.
+
+Reconstruction of instructions is two-pass because phi operands may
+reference instructions that appear later in the block order: pass one
+creates operand-less shells (via ``cls.__new__`` plus explicit field
+initialisation), pass two appends operands through the normal
+``append_operand`` path so def-use lists stay consistent.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    CmpPredicate,
+    CondBranch,
+    Consume,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Opcode,
+    Phi,
+    Produce,
+    Return,
+    Select,
+    Store,
+    Switch,
+)
+from repro.ir.module import Module
+from repro.ir.types import (
+    ArrayType,
+    FunctionType,
+    IntType,
+    PointerType,
+    Type,
+    VoidType,
+    VOID,
+)
+from repro.ir.values import Argument, Constant, GlobalVariable, UndefValue, Value
+
+ARTIFACT_MAGIC = b"repro-artifact-v1\n"
+
+
+class ArtifactCodecError(ReproError):
+    """A compile artifact could not be encoded or decoded."""
+
+
+# ---------------------------------------------------------------------------
+# types
+# ---------------------------------------------------------------------------
+
+
+def _enc_type(ty: Type) -> Any:
+    if isinstance(ty, VoidType):
+        return "void"
+    if isinstance(ty, IntType):
+        return ["i", ty.bits, ty.signed]
+    if isinstance(ty, PointerType):
+        return ["p", _enc_type(ty.pointee)]
+    if isinstance(ty, ArrayType):
+        return ["a", _enc_type(ty.element), ty.count]
+    if isinstance(ty, FunctionType):
+        return ["f", _enc_type(ty.return_type), [_enc_type(p) for p in ty.param_types]]
+    raise ArtifactCodecError(f"cannot encode type {ty!r}")
+
+
+def _dec_type(data: Any) -> Type:
+    if data == "void":
+        return VOID
+    tag = data[0]
+    if tag == "i":
+        return IntType(data[1], data[2])
+    if tag == "p":
+        return PointerType(_dec_type(data[1]))
+    if tag == "a":
+        return ArrayType(_dec_type(data[1]), data[2])
+    if tag == "f":
+        return FunctionType(_dec_type(data[1]), tuple(_dec_type(p) for p in data[2]))
+    raise ArtifactCodecError(f"unknown type tag {tag!r}")
+
+
+# ---------------------------------------------------------------------------
+# the module codec
+# ---------------------------------------------------------------------------
+
+
+def _instruction_index(module: Module) -> Dict[int, int]:
+    """id(inst) -> global index, in module/block/instruction order."""
+    index: Dict[int, int] = {}
+    for fn in module.functions.values():
+        for block in fn.blocks:
+            for inst in block.instructions:
+                index[id(inst)] = len(index)
+    return index
+
+
+def _instruction_list(module: Module) -> List[Instruction]:
+    """Global index -> instruction, the inverse of :func:`_instruction_index`."""
+    out: List[Instruction] = []
+    for fn in module.functions.values():
+        for block in fn.blocks:
+            out.extend(block.instructions)
+    return out
+
+
+class _ValueCodec:
+    """Encodes/decodes operand references against one module's index."""
+
+    def __init__(self, module: Module, index: Dict[int, int]):
+        self.module = module
+        self.index = index
+
+    def encode(self, value: Value) -> Any:
+        if isinstance(value, Instruction):
+            return ["i", self.index[id(value)]]
+        if isinstance(value, Constant):
+            return ["c", _enc_type(value.type), value.value]
+        if isinstance(value, Argument):
+            if value.parent is None:
+                raise ArtifactCodecError(f"argument {value.name} has no parent function")
+            return ["a", value.parent.name, value.index]
+        if isinstance(value, GlobalVariable):
+            return ["g", value.name]
+        if isinstance(value, Function):
+            return ["f", value.name]
+        if isinstance(value, UndefValue):
+            return ["u", _enc_type(value.type), value.name]
+        raise ArtifactCodecError(f"cannot encode operand {value!r}")
+
+    def decode(self, data: Any, instructions: List[Instruction]) -> Value:
+        tag = data[0]
+        if tag == "i":
+            return instructions[data[1]]
+        if tag == "c":
+            return Constant(_dec_type(data[1]), data[2])
+        if tag == "a":
+            return self.module.get_function(data[1]).args[data[2]]
+        if tag == "g":
+            return self.module.get_global(data[1])
+        if tag == "f":
+            return self.module.get_function(data[1])
+        if tag == "u":
+            return UndefValue(_dec_type(data[1]), name=data[2])
+        raise ArtifactCodecError(f"unknown operand tag {tag!r}")
+
+
+def _enc_instruction(inst: Instruction, codec: _ValueCodec, block_index: Dict[int, int]) -> Dict:
+    record: Dict[str, Any] = {
+        "op": inst.opcode.value,
+        "n": inst.name,
+        "t": _enc_type(inst.type),
+        "x": [codec.encode(op) for op in inst._operands],
+    }
+    if isinstance(inst, ICmp):
+        record["pred"] = inst.predicate.value
+    elif isinstance(inst, Branch):
+        record["tgt"] = block_index[id(inst.target)]
+    elif isinstance(inst, CondBranch):
+        record["tt"] = block_index[id(inst.true_target)]
+        record["ft"] = block_index[id(inst.false_target)]
+    elif isinstance(inst, Switch):
+        record["dflt"] = block_index[id(inst.default)]
+        record["cases"] = [[c, block_index[id(b)]] for c, b in inst.cases]
+    elif isinstance(inst, Phi):
+        record["inb"] = [block_index[id(b)] for b in inst.incoming_blocks]
+    elif isinstance(inst, Call):
+        record["callee"] = inst.callee.name
+    elif isinstance(inst, (Produce, Consume)):
+        record["q"] = inst.queue_id
+    return record
+
+
+_CLASS_BY_OPCODE: Dict[Opcode, type] = {
+    Opcode.ICMP: ICmp,
+    Opcode.SELECT: Select,
+    Opcode.ALLOCA: Alloca,
+    Opcode.LOAD: Load,
+    Opcode.STORE: Store,
+    Opcode.GEP: GetElementPtr,
+    Opcode.BR: Branch,
+    Opcode.CONDBR: CondBranch,
+    Opcode.SWITCH: Switch,
+    Opcode.RET: Return,
+    Opcode.PHI: Phi,
+    Opcode.CALL: Call,
+    Opcode.PRODUCE: Produce,
+    Opcode.CONSUME: Consume,
+}
+
+
+def _inst_class(opcode: Opcode) -> type:
+    cls = _CLASS_BY_OPCODE.get(opcode)
+    if cls is not None:
+        return cls
+    from repro.ir.instructions import BINARY_OPCODES, CAST_OPCODES
+
+    if opcode in BINARY_OPCODES:
+        return BinaryOp
+    if opcode in CAST_OPCODES:
+        return Cast
+    raise ArtifactCodecError(f"no instruction class for opcode {opcode!r}")
+
+
+def _dec_instruction_shell(record: Dict, module: Module, blocks: List[BasicBlock]) -> Instruction:
+    """Pass one: an operand-less instruction with every non-operand field set.
+
+    Bypasses ``__init__`` (operands are not available yet — phis reference
+    later instructions) and initialises the ``Value``/``Instruction`` fields
+    by hand, exactly the set the constructors would have produced.
+    """
+    opcode = Opcode(record["op"])
+    cls = _inst_class(opcode)
+    inst = cls.__new__(cls)
+    inst.type = _dec_type(record["t"])
+    inst.name = record["n"]
+    inst._uses = []
+    inst.opcode = opcode
+    inst.parent = None
+    inst._operands = []
+    if cls is ICmp:
+        inst.predicate = CmpPredicate(record["pred"])
+    elif cls is Alloca:
+        inst.allocated_type = inst.type.pointee
+    elif cls is Branch:
+        inst.target = blocks[record["tgt"]]
+    elif cls is CondBranch:
+        inst.true_target = blocks[record["tt"]]
+        inst.false_target = blocks[record["ft"]]
+    elif cls is Switch:
+        inst.default = blocks[record["dflt"]]
+        inst.cases = [(c, blocks[b]) for c, b in record["cases"]]
+    elif cls is Phi:
+        inst.incoming_blocks = [blocks[b] for b in record["inb"]]
+    elif cls is Call:
+        inst.callee = module.get_function(record["callee"])
+    elif cls in (Produce, Consume):
+        inst.queue_id = record["q"]
+    return inst
+
+
+def encode_module(module: Module) -> Dict:
+    index = _instruction_index(module)
+    codec = _ValueCodec(module, index)
+    globals_out = []
+    for g in module.globals.values():
+        globals_out.append(
+            {
+                "name": g.name,
+                "type": _enc_type(g.value_type),
+                "init": _enc_initializer(g.initializer),
+                "const": g.is_const,
+            }
+        )
+    functions_out = []
+    for fn in module.functions.values():
+        block_index = {id(b): i for i, b in enumerate(fn.blocks)}
+        functions_out.append(
+            {
+                "name": fn.name,
+                "type": _enc_type(fn.function_type),
+                "params": [a.name for a in fn.args],
+                "name_counter": fn._name_counter,
+                "block_counter": fn._block_counter,
+                "blocks": [
+                    {
+                        "name": block.name,
+                        "insts": [_enc_instruction(i, codec, block_index) for i in block.instructions],
+                    }
+                    for block in fn.blocks
+                ],
+            }
+        )
+    return {"name": module.name, "globals": globals_out, "functions": functions_out}
+
+
+def _enc_initializer(init: Any) -> Any:
+    if init is None or isinstance(init, int):
+        return init
+    if isinstance(init, (list, tuple)):
+        return [_enc_initializer(x) for x in init]
+    raise ArtifactCodecError(f"cannot encode global initializer {init!r}")
+
+
+def decode_module(data: Dict) -> Tuple[Module, List[Instruction]]:
+    """Rebuild the module; also returns the global-index -> instruction list."""
+    module = Module(data["name"])
+    for g in data["globals"]:
+        module.create_global(g["name"], _dec_type(g["type"]), g["init"], g["const"])
+    # Functions first (operand-less), so calls and function-ref operands
+    # resolve regardless of definition order.
+    for f in data["functions"]:
+        ftype = _dec_type(f["type"])
+        if not isinstance(ftype, FunctionType):
+            raise ArtifactCodecError(f"function {f['name']} has non-function type")
+        module.create_function(f["name"], ftype, list(f["params"]))
+    codec = _ValueCodec(module, {})
+    instructions: List[Instruction] = []
+    shells: List[Tuple[Instruction, Dict]] = []
+    for f in data["functions"]:
+        fn = module.get_function(f["name"])
+        fn._name_counter = f["name_counter"]
+        fn._block_counter = f["block_counter"]
+        blocks = [fn.append_block(BasicBlock(b["name"])) for b in f["blocks"]]
+        for block, b in zip(blocks, f["blocks"]):
+            for record in b["insts"]:
+                inst = _dec_instruction_shell(record, module, blocks)
+                block.append(inst)
+                instructions.append(inst)
+                shells.append((inst, record))
+    # Pass two: operands, now that every instruction exists.
+    for inst, record in shells:
+        for ref in record["x"]:
+            inst.append_operand(codec.decode(ref, instructions))
+    return module, instructions
+
+
+# ---------------------------------------------------------------------------
+# execution (outputs + memory + trace)
+# ---------------------------------------------------------------------------
+
+
+def _enc_memory(memory) -> Dict:
+    addrs = sorted(memory._bytes)
+    return {
+        "addrs": addrs,
+        "bytes": [memory._bytes[a] for a in addrs],
+        "global_addresses": memory.global_addresses,
+        "global_sizes": memory.global_sizes,
+        "global_top": memory._global_top,
+        "stack_top": memory._stack_top,
+        "loads": memory.load_count,
+        "stores": memory.store_count,
+    }
+
+
+def _dec_memory(data: Dict):
+    from repro.interp.memory import SimulatedMemory
+
+    memory = SimulatedMemory()
+    memory._bytes = dict(zip(data["addrs"], data["bytes"]))
+    memory.global_addresses = dict(data["global_addresses"])
+    memory.global_sizes = dict(data["global_sizes"])
+    memory._global_top = data["global_top"]
+    memory._stack_top = data["stack_top"]
+    memory.load_count = data["loads"]
+    memory.store_count = data["stores"]
+    return memory
+
+
+def _enc_trace(trace, index: Dict[int, int]) -> Dict:
+    """Columnar trace encoding: one list per event field.
+
+    Events are stored without their ``seq`` when sequence numbers are the
+    plain 0..n-1 enumeration (they always are for interpreter-produced
+    traces); a non-contiguous trace stores them explicitly.
+    """
+    functions: List[str] = []
+    fn_ids: Dict[str, int] = {}
+    inst: List[int] = []
+    fn_col: List[int] = []
+    deps: List[List[int]] = []
+    mem_dep: List[Optional[int]] = []
+    address: List[Optional[int]] = []
+    value: List[Optional[int]] = []
+    seqs: List[int] = []
+    contiguous = True
+    for i, event in enumerate(trace.events):
+        if event.seq != i:
+            contiguous = False
+        seqs.append(event.seq)
+        inst.append(index[id(event.inst)])
+        fid = fn_ids.get(event.function)
+        if fid is None:
+            fid = fn_ids[event.function] = len(functions)
+            functions.append(event.function)
+        fn_col.append(fid)
+        deps.append(list(event.deps))
+        mem_dep.append(event.mem_dep)
+        address.append(event.address)
+        value.append(event.value)
+    return {
+        "functions": functions,
+        "inst": inst,
+        "fn": fn_col,
+        "deps": deps,
+        "mem_dep": mem_dep,
+        "address": address,
+        "value": value,
+        "seq": None if contiguous else seqs,
+        "block_counts": [[f, b, c] for (f, b), c in trace.block_counts.items()],
+        "truncated": trace.truncated,
+    }
+
+
+def _dec_trace(data: Dict, instructions: List[Instruction]):
+    from repro.interp.trace import Trace, TraceEvent
+
+    trace = Trace()
+    functions = data["functions"]
+    seqs = data["seq"]
+    for i in range(len(data["inst"])):
+        trace.append(
+            TraceEvent(
+                seq=i if seqs is None else seqs[i],
+                inst=instructions[data["inst"][i]],
+                function=functions[data["fn"][i]],
+                deps=tuple(data["deps"][i]),
+                mem_dep=data["mem_dep"][i],
+                address=data["address"][i],
+                value=data["value"][i],
+            )
+        )
+    trace.block_counts = {(f, b): c for f, b, c in data["block_counts"]}
+    trace.truncated = data["truncated"]
+    return trace
+
+
+def _enc_execution(execution, index: Dict[int, int]) -> Dict:
+    return {
+        "return_value": execution.return_value,
+        "outputs": list(execution.outputs),
+        "steps": execution.steps,
+        "trace": None if execution.trace is None else _enc_trace(execution.trace, index),
+        "memory": _enc_memory(execution.memory),
+    }
+
+
+def _dec_execution(data: Dict, instructions: List[Instruction]):
+    from repro.interp.interpreter import ExecutionResult
+
+    return ExecutionResult(
+        return_value=data["return_value"],
+        outputs=list(data["outputs"]),
+        steps=data["steps"],
+        trace=None if data["trace"] is None else _dec_trace(data["trace"], instructions),
+        memory=_dec_memory(data["memory"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# profile
+# ---------------------------------------------------------------------------
+
+
+def _enc_profile(profile, index: Dict[int, int], instructions: List[Instruction]) -> Dict:
+    counts = []
+    for inst in instructions:
+        c = profile._counts.get(id(inst))
+        if c is not None:
+            counts.append([index[id(inst)], c])
+    return {"counts": counts}
+
+
+def _dec_profile(data: Dict, module: Module, instructions: List[Instruction]):
+    from repro.interp.profile import Profile
+
+    profile = Profile(module)
+    profile._counts = {id(instructions[i]): c for i, c in data["counts"]}
+    return profile
+
+
+# ---------------------------------------------------------------------------
+# DSWP
+# ---------------------------------------------------------------------------
+
+
+def _enc_dswp(dswp, index: Dict[int, int]) -> Dict:
+    import dataclasses
+
+    partitioning = dswp.partitioning
+    if partitioning.extractions:
+        raise ArtifactCodecError(
+            "cannot encode a DSWP result with materialised thread extractions; "
+            "cache such artifacts with the pickle serializer"
+        )
+    functions = {}
+    for fn_name, fp in partitioning.functions.items():
+        functions[fn_name] = {
+            "sw_fraction": fp.sw_fraction,
+            "partitions": [
+                {
+                    "index": p.index,
+                    "kind": p.kind.value,
+                    "sccs": list(p.scc_indices),
+                    "insts": [index[id(i)] for i in p.instructions],
+                    "sw_weight": p.sw_weight,
+                    "hw_weight": p.hw_weight,
+                    "target_weight": p.target_weight,
+                    "is_master": p.is_master,
+                }
+                for p in fp.partitions
+            ],
+        }
+    queues = {}
+    for fn_name, allocation in partitioning.queues.items():
+        deps = [
+            {
+                "value": index[id(d.value)],
+                "consumer": index[id(d.consumer)],
+                "pp": d.producer_partition,
+                "cp": d.consumer_partition,
+                "kind": d.kind.value,
+                "loop_case": d.loop_case.value,
+            }
+            for d in allocation.deps
+        ]
+        dep_pos = {id(d): i for i, d in enumerate(allocation.deps)}
+        queues[fn_name] = {
+            "deps": deps,
+            "semaphore_count": allocation.semaphore_count,
+            "queues": [
+                {
+                    "queue_id": q.queue_id,
+                    "value": index[id(q.value)],
+                    "pp": q.producer_partition,
+                    "cp": q.consumer_partition,
+                    "width_bits": q.width_bits,
+                    "depth": q.depth,
+                    "deps": [dep_pos[id(d)] for d in q.deps],
+                }
+                for q in allocation.queues
+            ],
+        }
+    return {
+        "config": dataclasses.asdict(dswp.config),
+        "functions": functions,
+        "queues": queues,
+        "semaphores": dict(partitioning.semaphores),
+    }
+
+
+def _dec_dswp(data: Dict, module: Module, instructions: List[Instruction], profile):
+    from repro.config import PartitionConfig
+    from repro.dswp.loop_matching import LoopMatchCase
+    from repro.dswp.partitioner import FunctionPartitioning, Partition, PartitionKind
+    from repro.dswp.pipeline import DSWPResult, ModulePartitioning
+    from repro.dswp.queues import CrossPartitionDep, QueueAllocation, QueueSpec
+    from repro.interp.profile import Profile
+    from repro.pdg.builder import build_pdg
+    from repro.pdg.graph import DependenceKind
+    from repro.pdg.scc import condense
+    from repro.pdg.weights import WeightModel
+
+    config = PartitionConfig.from_dict(data["config"])
+    # Mirror run_dswp's weight source: the dynamic profile when configured,
+    # the static estimate otherwise.  Both are deterministic for the module.
+    if config.use_profile_weights and profile is not None:
+        weight_model = WeightModel(profile)
+    else:
+        weight_model = WeightModel(Profile.static_estimate(module))
+
+    partitioning = ModulePartitioning(module=module)
+    for fn_name, f in data["functions"].items():
+        fn = module.get_function(fn_name)
+        # The PDG and its SCC condensation are derived state: rebuild them
+        # from the decoded function (deterministic), then re-annotate the
+        # SCC weights the way the partitioner did.
+        pdg = build_pdg(fn)
+        components = condense(pdg)
+        weight_model.annotate_sccs(components)
+        partitions = [
+            Partition(
+                index=p["index"],
+                kind=PartitionKind(p["kind"]),
+                scc_indices=list(p["sccs"]),
+                instructions=[instructions[i] for i in p["insts"]],
+                sw_weight=p["sw_weight"],
+                hw_weight=p["hw_weight"],
+                target_weight=p["target_weight"],
+                is_master=p["is_master"],
+            )
+            for p in f["partitions"]
+        ]
+        assignment = {
+            id(inst): partition.index for partition in partitions for inst in partition.instructions
+        }
+        partitioning.functions[fn_name] = FunctionPartitioning(
+            function=fn,
+            partitions=partitions,
+            assignment=assignment,
+            components=components,
+            pdg=pdg,
+            sw_fraction=f["sw_fraction"],
+        )
+    for fn_name, q in data["queues"].items():
+        deps = [
+            CrossPartitionDep(
+                value=instructions[d["value"]],
+                consumer=instructions[d["consumer"]],
+                producer_partition=d["pp"],
+                consumer_partition=d["cp"],
+                kind=DependenceKind(d["kind"]),
+                loop_case=LoopMatchCase(d["loop_case"]),
+            )
+            for d in q["deps"]
+        ]
+        allocation = QueueAllocation(
+            function=fn_name, deps=deps, semaphore_count=q["semaphore_count"]
+        )
+        for spec in q["queues"]:
+            allocation.queues.append(
+                QueueSpec(
+                    queue_id=spec["queue_id"],
+                    function=fn_name,
+                    value=instructions[spec["value"]],
+                    producer_partition=spec["pp"],
+                    consumer_partition=spec["cp"],
+                    width_bits=spec["width_bits"],
+                    depth=spec["depth"],
+                    deps=[deps[i] for i in spec["deps"]],
+                )
+            )
+        partitioning.queues[fn_name] = allocation
+    partitioning.semaphores = dict(data["semaphores"])
+    return DSWPResult(partitioning=partitioning, weight_model=weight_model, config=config)
+
+
+# ---------------------------------------------------------------------------
+# HLS (LegUp baseline)
+# ---------------------------------------------------------------------------
+
+
+def _enc_area(area) -> Dict:
+    return {"luts": area.luts, "dsps": area.dsps, "brams": area.brams, "detail": dict(area.detail)}
+
+
+def _dec_area(data: Dict):
+    from repro.hls.area import AreaEstimate
+
+    return AreaEstimate(
+        luts=data["luts"], dsps=data["dsps"], brams=data["brams"], detail=dict(data["detail"])
+    )
+
+
+def _enc_legup(legup, index: Dict[int, int]) -> Dict:
+    schedules = {}
+    for fn_name, schedule in legup.schedules.items():
+        blocks = {}
+        for block_name, bs in schedule.blocks.items():
+            blocks[block_name] = {
+                "states": [[index[id(i)] for i in state.operations] for state in bs.states],
+                "state_indices": [state.index for state in bs.states],
+                "start": [
+                    [index[id(inst)], bs.start_cycle[id(inst)]]
+                    for inst in bs.block.instructions
+                    if id(inst) in bs.start_cycle
+                ],
+                "latency": bs.latency,
+            }
+        schedules[fn_name] = blocks
+    bindings = {
+        fn_name: {
+            "units": [[op.value, n] for op, n in binding.units.items()],
+            "total": [[op.value, n] for op, n in binding.total_operations.items()],
+            "mux_luts": binding.mux_luts,
+        }
+        for fn_name, binding in legup.bindings.items()
+    }
+    return {
+        "schedules": schedules,
+        "bindings": bindings,
+        "function_areas": {n: _enc_area(a) for n, a in legup.function_areas.items()},
+        "memory_area": _enc_area(legup.memory_area),
+    }
+
+
+def _dec_legup(data: Dict, module: Module, instructions: List[Instruction]):
+    from repro.hls.binding import BindingResult
+    from repro.hls.legup import LegUpResult
+    from repro.hls.scheduling import BlockSchedule, FSMSchedule, ScheduledState
+
+    legup = LegUpResult()
+    for fn_name, blocks in data["schedules"].items():
+        fn = module.get_function(fn_name)
+        schedule = FSMSchedule(function=fn)
+        for block_name, b in blocks.items():
+            bs = BlockSchedule(
+                block=fn.get_block(block_name),
+                states=[
+                    ScheduledState(index=idx, operations=[instructions[i] for i in ops])
+                    for idx, ops in zip(b["state_indices"], b["states"])
+                ],
+                start_cycle={id(instructions[i]): c for i, c in b["start"]},
+                latency=b["latency"],
+            )
+            schedule.blocks[block_name] = bs
+        legup.schedules[fn_name] = schedule
+    for fn_name, b in data["bindings"].items():
+        legup.bindings[fn_name] = BindingResult(
+            units={Opcode(op): n for op, n in b["units"]},
+            total_operations={Opcode(op): n for op, n in b["total"]},
+            mux_luts=b["mux_luts"],
+        )
+    legup.function_areas = {n: _dec_area(a) for n, a in data["function_areas"].items()}
+    legup.memory_area = _dec_area(data["memory_area"])
+    return legup
+
+
+# ---------------------------------------------------------------------------
+# system (timing + area + power)
+# ---------------------------------------------------------------------------
+
+
+def _enc_timing(timing) -> Dict:
+    return {
+        "total_cycles": timing.total_cycles,
+        "threads": [
+            [
+                tid,
+                {
+                    "spec": [t.spec.thread_id, t.spec.domain.value, t.spec.label],
+                    "next_free": t.next_free,
+                    "busy_cycles": t.busy_cycles,
+                    "events_executed": t.events_executed,
+                    "finish_time": t.finish_time,
+                    "current_block": t.current_block,
+                    "block_max_done": t.block_max_done,
+                },
+            ]
+            for tid, t in timing.threads.items()
+        ],
+        "queue_count": timing.queue_count,
+        "queue_transfers": timing.queue_transfers,
+        "producer_stall_cycles": timing.producer_stall_cycles,
+        "consumer_stall_cycles": timing.consumer_stall_cycles,
+        "bus_transfers": timing.bus_transfers,
+        "forced_events": timing.forced_events,
+        "events": timing.events,
+        "replay_outputs": list(timing.replay_outputs),
+    }
+
+
+def _dec_timing(data: Dict):
+    from repro.sim.assignment import ExecutionDomain, ThreadSpec
+    from repro.sim.timing import ThreadTimeline, TimingResult
+
+    threads = {}
+    for tid, t in data["threads"]:
+        spec = ThreadSpec(t["spec"][0], ExecutionDomain(t["spec"][1]), t["spec"][2])
+        threads[tid] = ThreadTimeline(
+            spec=spec,
+            next_free=t["next_free"],
+            busy_cycles=t["busy_cycles"],
+            events_executed=t["events_executed"],
+            finish_time=t["finish_time"],
+            current_block=t["current_block"],
+            block_max_done=t["block_max_done"],
+        )
+    return TimingResult(
+        total_cycles=data["total_cycles"],
+        threads=threads,
+        queue_count=data["queue_count"],
+        queue_transfers=data["queue_transfers"],
+        producer_stall_cycles=data["producer_stall_cycles"],
+        consumer_stall_cycles=data["consumer_stall_cycles"],
+        bus_transfers=data["bus_transfers"],
+        forced_events=data["forced_events"],
+        events=data["events"],
+        replay_outputs=tuple(data["replay_outputs"]),
+    )
+
+
+def _enc_power(power) -> Dict:
+    return {
+        "microblaze_mw": power.microblaze_mw,
+        "fabric_static_mw": power.fabric_static_mw,
+        "fabric_dynamic_mw": power.fabric_dynamic_mw,
+    }
+
+
+def _dec_power(data: Dict):
+    from repro.sim.power import PowerEstimate
+
+    return PowerEstimate(**data)
+
+
+def _enc_configuration(conf) -> Dict:
+    return {
+        "name": conf.name,
+        "timing": _enc_timing(conf.timing),
+        "area": _enc_area(conf.area),
+        "power": _enc_power(conf.power),
+    }
+
+
+def _dec_configuration(data: Dict):
+    from repro.sim.system import ConfigurationResult
+
+    return ConfigurationResult(
+        name=data["name"],
+        timing=_dec_timing(data["timing"]),
+        area=_dec_area(data["area"]),
+        power=_dec_power(data["power"]),
+    )
+
+
+def _enc_system(system) -> Dict:
+    return {
+        "benchmark": system.benchmark,
+        "pure_software": _enc_configuration(system.pure_software),
+        "pure_hardware": _enc_configuration(system.pure_hardware),
+        "twill": _enc_configuration(system.twill),
+        "hw_thread_area": _enc_area(system.hw_thread_area),
+        "runtime_area": _enc_area(system.runtime_area),
+    }
+
+
+def _dec_system(data: Dict):
+    from repro.sim.system import SystemResult
+
+    return SystemResult(
+        benchmark=data["benchmark"],
+        pure_software=_dec_configuration(data["pure_software"]),
+        pure_hardware=_dec_configuration(data["pure_hardware"]),
+        twill=_dec_configuration(data["twill"]),
+        hw_thread_area=_dec_area(data["hw_thread_area"]),
+        runtime_area=_dec_area(data["runtime_area"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# public entry points
+# ---------------------------------------------------------------------------
+
+
+def encode_compilation_result(result) -> bytes:
+    """Encode a :class:`CompilationResult` into the magic + JSON payload."""
+    index = _instruction_index(result.module)
+    instructions = _instruction_list(result.module)
+    document = {
+        "name": result.name,
+        "module": encode_module(result.module),
+        "execution": _enc_execution(result.execution, index),
+        "profile": _enc_profile(result.profile, index, instructions),
+        "dswp": _enc_dswp(result.dswp, index),
+        "legup": _enc_legup(result.legup, index),
+        "system": _enc_system(result.system),
+    }
+    payload = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return ARTIFACT_MAGIC + payload.encode("utf-8")
+
+
+def decode_compilation_result(data: bytes):
+    """Decode the payload back into a fully linked :class:`CompilationResult`."""
+    from repro.core.compiler import CompilationResult
+
+    if not data.startswith(ARTIFACT_MAGIC):
+        raise ArtifactCodecError("not a repro artifact (bad magic)")
+    document = json.loads(data[len(ARTIFACT_MAGIC):].decode("utf-8"))
+    module, instructions = decode_module(document["module"])
+    execution = _dec_execution(document["execution"], instructions)
+    profile = _dec_profile(document["profile"], module, instructions)
+    return CompilationResult(
+        name=document["name"],
+        module=module,
+        execution=execution,
+        profile=profile,
+        dswp=_dec_dswp(document["dswp"], module, instructions, profile),
+        legup=_dec_legup(document["legup"], module, instructions),
+        system=_dec_system(document["system"]),
+    )

@@ -6,9 +6,12 @@ the full dynamic trace dozens of times on top of that.  This module caches
 both kinds of artifact so any table or figure can be regenerated
 near-instantly once its inputs have been computed once:
 
-* **compile artifacts** — pickled :class:`repro.core.compiler.CompilationResult`
-  objects, keyed by the SHA-256 of the workload's C source plus the full
-  :class:`repro.config.CompilerConfig` contents;
+* **compile artifacts** — :class:`repro.core.compiler.CompilationResult`
+  objects stored through the structured codec in
+  :mod:`repro.eval.artifact_codec` (magic line + one canonical JSON
+  document: inspectable, stable across Python versions, and loadable
+  without executing stored code), keyed by the SHA-256 of the workload's C
+  source plus the full :class:`repro.config.CompilerConfig` contents;
 * **derived artifacts** — small structured-JSON documents produced by
   re-simulating an existing compile artifact under different parameters
   (queue latency, queue depth, partition split), keyed by the parent compile
@@ -80,9 +83,12 @@ CACHE_HMAC_ENV = "REPRO_CACHE_HMAC_KEY"
 #: Default cache directory (relative to the current working directory).
 DEFAULT_CACHE_DIR = ".repro_cache"
 
-#: Storage formats an entry can use: ``pickle`` for arbitrary Python objects
-#: (compile artifacts), ``json`` for structured derived artifacts.
-SERIALIZERS = ("pickle", "json")
+#: Storage formats an entry can use: ``artifact`` for compile artifacts
+#: (the structured non-pickle codec in :mod:`repro.eval.artifact_codec`),
+#: ``json`` for structured derived artifacts, ``pickle`` for arbitrary
+#: Python objects (DSWP stage artifacts, and compile artifacts whose
+#: configuration the structured codec cannot express).
+SERIALIZERS = ("pickle", "json", "artifact")
 
 #: Orphaned ``*.tmp`` files older than this are swept by prune(); younger
 #: ones may be a concurrent writer's in-flight put and are left alone.
@@ -93,7 +99,7 @@ ORPHAN_TMP_MAX_AGE_SECONDS = 3600.0
 #: unsigned caches.
 HMAC_ENVELOPE_MAGIC = b"repro-hmac-v1\n"
 
-_EXTENSIONS = {"pickle": ".pkl", "json": ".json"}
+_EXTENSIONS = {"pickle": ".pkl", "json": ".json", "artifact": ".art"}
 
 
 def default_cache_dir() -> Path:
@@ -286,13 +292,13 @@ class LocalFSBackend(CacheBackend):
         if not self.objects_dir.is_dir():
             return []
         return sorted(
-            p for p in self.objects_dir.rglob("*") if p.suffix in (".pkl", ".json")
+            p for p in self.objects_dir.rglob("*") if p.suffix in (".pkl", ".json", ".art")
         )
 
     # -- blobs -----------------------------------------------------------------
 
     def get_blob(self, key: str) -> Optional[Tuple[str, bytes]]:
-        for serializer in ("json", "pickle"):
+        for serializer in ("artifact", "json", "pickle"):
             path = self._path(key, serializer)
             try:
                 data = path.read_bytes()
@@ -581,6 +587,13 @@ class ArtifactCache:
     def _encode(self, value: Any, serializer: str) -> bytes:
         if serializer == "json":
             return json.dumps(value, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        if serializer == "artifact":
+            # Structured compile-artifact codec: inspectable, cross-version
+            # stable, and — like JSON — executes no code on load, so it needs
+            # no HMAC envelope even on an untrusted/shared store.
+            from repro.eval.artifact_codec import encode_compilation_result
+
+            return encode_compilation_result(value)
         data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         if self.hmac_key:
             data = sign_envelope(data, self.hmac_key)
@@ -589,6 +602,10 @@ class ArtifactCache:
     def _decode(self, data: bytes, serializer: str) -> Any:
         if serializer == "json":
             return json.loads(data.decode("utf-8"))
+        if serializer == "artifact":
+            from repro.eval.artifact_codec import decode_compilation_result
+
+            return decode_compilation_result(data)
         if self.hmac_key:
             # With a key configured, *only* validly signed entries are ever
             # unpickled; anything else (unsigned legacy entry, tampered or

@@ -251,7 +251,7 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
             self.end_headers()
             return
         blob_serializer = None
-        for serializer in ("json", "pickle"):
+        for serializer in ("artifact", "json", "pickle"):
             if self.server.backend._path(key, serializer).is_file():
                 blob_serializer = serializer
                 break

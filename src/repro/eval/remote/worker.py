@@ -80,7 +80,7 @@ def _execute_spec(spec: Dict[str, Any], cache: ArtifactCache) -> Dict[str, Any]:
     try:
         task_id, fn, args, key, serializer = protocol.decode_task(spec, cache.spec)
         value = cache.get_or_compute(key, lambda: fn(*args), serializer=serializer)
-        if serializer == "pickle":
+        if serializer in ("pickle", "artifact"):
             # The artifact is in the shared cache; don't ship it again.
             return {"ok": True, "in_cache": True, "value": None, "start": start, "end": time.time()}
         return {"ok": True, "in_cache": False, "value": value, "start": start, "end": time.time()}

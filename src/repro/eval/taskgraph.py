@@ -196,6 +196,13 @@ class TaskGraph:
 # ---------------------------------------------------------------------------
 
 
+def _compile_serializer(config: CompilerConfig) -> str:
+    """Storage format for compile artifacts: the structured non-pickle codec,
+    except for configurations whose results it cannot express (materialised
+    thread extractions hold extracted sub-functions outside the module)."""
+    return "pickle" if config.extract_threads else "artifact"
+
+
 def compute_compile(name: str, config: CompilerConfig) -> CompilationResult:
     """Pure compile payload: run the whole pipeline for one workload."""
     workload = get_workload(name)
@@ -234,7 +241,7 @@ def _sweep_input(name: str, config: CompilerConfig, cache_root: Optional[str]) -
         return hit
     if cache_root is not None:
         result = ArtifactCache.from_spec(cache_root).get_or_compute(
-            key, lambda: compute_compile(name, config), serializer="pickle"
+            key, lambda: compute_compile(name, config), serializer=_compile_serializer(config)
         )
     else:
         result = compute_compile(name, config)
@@ -300,7 +307,7 @@ def _execute_in_worker(
     if key is not None and cache_spec is not None:
         cache = ArtifactCache.from_spec(cache_spec)
         value = cache.get_or_compute(key, lambda: fn(*args), serializer=serializer)
-        if serializer == "pickle":
+        if serializer in ("pickle", "artifact"):
             value, in_cache = None, True
     else:
         value = fn(*args)
@@ -326,7 +333,7 @@ def compile_task(name: str, config: CompilerConfig) -> Task:
         fn=compute_compile,
         args=(name, config),
         key=compile_key(get_workload(name).source, config),
-        serializer="pickle",
+        serializer=_compile_serializer(config),
         workload=name,
     )
 

@@ -1,0 +1,395 @@
+"""LL(1) grammar machinery for the table-driven C-subset parser.
+
+This module declares the C-subset grammar as data (productions over terminal
+categories), computes FIRST and FOLLOW sets with the standard fixpoint
+algorithms, and builds the LL(1) predict table **once at import time**.  The
+:class:`~repro.frontend.tableparser.TableParser` dispatches on the predict
+table's rows instead of cascaded ``if tok.is_keyword(...)`` chains, and the
+binary-operator ladder productions are generated from the same precedence
+table the parser folds with, so grammar and parser cannot drift apart.
+
+Terminals are spelled three ways:
+
+* punctuation by its literal text (``";"``, ``"++"``, ...);
+* keywords as ``"kw:<word>"`` (``"kw:if"``);
+* token classes in caps: ``IDENT``, ``INT``, ``CHAR``, ``STRING``, ``EOF``,
+  plus two *cover* classes — ``TYPE`` (any declaration-specifier keyword,
+  consumed as a unit by the parser's type-specifier scanner) and
+  ``ASSIGN_OP`` (the eleven assignment operators).
+
+:func:`terminal_keys` maps a token to its candidate terminal names, most
+specific first, so a row lookup tries ``kw:void`` before falling back to
+``TYPE``.
+
+The grammar is LL(1) except for one classic C ambiguity: at ``(`` a unary
+expression may open either a cast or a parenthesised expression.  That cell
+is registered in :data:`RESOLVED_CONFLICTS` and stored as a tuple of both
+productions; the parser disambiguates with one token of lookahead (a type
+keyword after ``(`` means cast).  Any *other* conflict is a programming
+error and raises :class:`GrammarError` at import.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.frontend.lexer import Token, TokenKind
+
+# Binary operator precedence (C precedence, higher binds tighter).  Shared
+# with both parsers; the ladder nonterminals below are generated from it.
+_BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "<<=", ">>=", "&=", "|=", "^="}
+
+_TYPE_KEYWORDS = {"void", "char", "short", "int", "long", "unsigned", "signed", "const", "static", "volatile"}
+
+
+class GrammarError(Exception):
+    """Raised at import when the declared grammar is not LL(1)."""
+
+
+# A production is (name, [symbols]); an empty symbol list is epsilon.
+Production = Tuple[str, List[str]]
+Grammar = Dict[str, List[Production]]
+
+START_SYMBOL = "translation_unit"
+
+#: (nonterminal, terminal) cells where two productions legitimately collide.
+#: ("unary", "(") is cast-vs-parenthesised-expression, resolved with one
+#: extra token of lookahead; ("else_tail", "kw:else") is the dangling else,
+#: resolved by always shifting (an else binds to the nearest if).
+RESOLVED_CONFLICTS: FrozenSet[Tuple[str, str]] = frozenset(
+    {("unary", "("), ("else_tail", "kw:else")}
+)
+
+
+def _build_grammar() -> Grammar:
+    """The C-subset grammar mirrored from the recursive-descent parser."""
+    prefix_ops = ["-", "+", "!", "~", "&", "*", "++", "--"]
+    grammar: Grammar = {
+        "translation_unit": [
+            ("tu_decl", ["external_declaration", "translation_unit"]),
+            ("tu_end", []),
+        ],
+        "external_declaration": [
+            ("ext_struct", ["kw:struct"]),
+            ("ext_typedef", ["kw:typedef"]),
+            ("ext_float", ["kw:float"]),
+            ("ext_double", ["kw:double"]),
+            ("ext_decl", ["TYPE", "IDENT", "ext_tail"]),
+        ],
+        "ext_tail": [
+            ("ext_function", ["(", "param_list", ")", "func_body"]),
+            ("ext_globals", ["global_declarator", "global_more", ";"]),
+        ],
+        "func_body": [
+            ("func_proto", [";"]),
+            ("func_definition", ["compound"]),
+        ],
+        "param_list": [
+            ("params_some", ["param", "param_more"]),
+            ("params_empty", []),
+        ],
+        "param_more": [
+            ("param_more_comma", [",", "param", "param_more"]),
+            ("param_more_end", []),
+        ],
+        "param": [("param_decl", ["TYPE", "IDENT", "array_suffix"])],
+        "global_declarator": [("global_one", ["array_suffix", "init_opt"])],
+        "global_more": [
+            ("global_more_comma", [",", "IDENT", "global_declarator", "global_more"]),
+            ("global_more_end", []),
+        ],
+        "init_opt": [
+            ("init_eq", ["=", "initializer"]),
+            ("init_none", []),
+        ],
+        "initializer": [
+            ("init_list", ["{", "init_items", "}"]),
+            ("init_expr", ["assignment"]),
+        ],
+        "init_items": [
+            ("init_items_some", ["initializer", "init_items_more"]),
+            ("init_items_empty", []),
+        ],
+        "init_items_more": [
+            ("init_more_comma", [",", "init_item_after_comma"]),
+            ("init_more_end", []),
+        ],
+        "init_item_after_comma": [
+            ("init_after_comma_item", ["initializer", "init_items_more"]),
+            ("init_after_comma_end", []),
+        ],
+        "array_suffix": [
+            ("array_dim", ["[", "array_dim_rest"]),
+            ("array_end", []),
+        ],
+        "array_dim_rest": [
+            ("array_unsized", ["]", "array_suffix"]),
+            ("array_sized", ["const_expr", "]", "array_suffix"]),
+        ],
+        "const_expr": [("const_cond", ["conditional"])],
+        "compound": [("compound_block", ["{", "stmt_list", "}"])],
+        "stmt_list": [
+            ("stmt_list_more", ["statement", "stmt_list"]),
+            ("stmt_list_end", []),
+        ],
+        "statement": [
+            ("stmt_compound", ["compound"]),
+            ("stmt_if", ["kw:if", "(", "expression", ")", "statement", "else_tail"]),
+            ("stmt_while", ["kw:while", "(", "expression", ")", "statement"]),
+            ("stmt_do", ["kw:do", "statement", "kw:while", "(", "expression", ")", ";"]),
+            ("stmt_for", ["kw:for", "(", "for_init", "for_cond", ";", "for_step", ")", "statement"]),
+            ("stmt_switch", ["kw:switch", "(", "expression", ")", "{", "switch_body", "}"]),
+            ("stmt_return", ["kw:return", "return_value", ";"]),
+            ("stmt_break", ["kw:break", ";"]),
+            ("stmt_continue", ["kw:continue", ";"]),
+            ("stmt_decl", ["TYPE", "declarator_list", ";"]),
+            ("stmt_empty", [";"]),
+            ("stmt_expr", ["expression", ";"]),
+        ],
+        "else_tail": [
+            ("else_some", ["kw:else", "statement"]),
+            ("else_end", []),
+        ],
+        "for_init": [
+            ("for_init_decl", ["TYPE", "declarator_list", ";"]),
+            ("for_init_empty", [";"]),
+            ("for_init_expr", ["expression", ";"]),
+        ],
+        "for_cond": [
+            ("for_cond_some", ["expression"]),
+            ("for_cond_empty", []),
+        ],
+        "for_step": [
+            ("for_step_some", ["expression"]),
+            ("for_step_empty", []),
+        ],
+        "return_value": [
+            ("return_some", ["expression"]),
+            ("return_none", []),
+        ],
+        "switch_body": [
+            ("switch_case", ["kw:case", "const_expr", ":", "switch_body"]),
+            ("switch_default", ["kw:default", ":", "switch_body"]),
+            ("switch_stmt", ["statement", "switch_body"]),
+            ("switch_end", []),
+        ],
+        "declarator_list": [
+            ("declarator_first", ["IDENT", "array_suffix", "init_opt", "declarator_more"]),
+        ],
+        "declarator_more": [
+            ("declarator_comma", [",", "IDENT", "array_suffix", "init_opt", "declarator_more"]),
+            ("declarator_end", []),
+        ],
+        "expression": [("expr_full", ["assignment", "expr_tail"])],
+        "expr_tail": [
+            ("expr_comma", [",", "assignment", "expr_tail"]),
+            ("expr_end", []),
+        ],
+        "assignment": [("assign_full", ["conditional", "assign_tail"])],
+        "assign_tail": [
+            ("assign_op", ["ASSIGN_OP", "assignment"]),
+            ("assign_end", []),
+        ],
+        "conditional": [("cond_full", ["binary_1", "cond_tail"])],
+        "cond_tail": [
+            ("cond_ternary", ["?", "assignment", ":", "conditional"]),
+            ("cond_end", []),
+        ],
+        "unary": [
+            ("unary_prefix", ["prefix_op", "unary"]),
+            ("unary_cast", ["(", "TYPE", ")", "unary"]),
+            ("unary_sizeof", ["kw:sizeof"]),
+            ("unary_postfix", ["postfix"]),
+        ],
+        "prefix_op": [(f"pre_{op}", [op]) for op in prefix_ops],
+        "postfix": [("postfix_primary", ["primary", "postfix_tail"])],
+        "postfix_tail": [
+            ("post_index", ["[", "expression", "]", "postfix_tail"]),
+            ("post_call", ["(", "arg_list", ")", "postfix_tail"]),
+            ("post_incr", ["++", "postfix_tail"]),
+            ("post_decr", ["--", "postfix_tail"]),
+            ("post_member", ["."]),
+            ("post_arrow", ["->"]),
+            ("post_end", []),
+        ],
+        "arg_list": [
+            ("args_some", ["assignment", "arg_more"]),
+            ("args_empty", []),
+        ],
+        "arg_more": [
+            ("arg_more_comma", [",", "assignment", "arg_more"]),
+            ("arg_more_end", []),
+        ],
+        "primary": [
+            ("prim_int", ["INT"]),
+            ("prim_char", ["CHAR"]),
+            ("prim_ident", ["IDENT"]),
+            ("prim_paren", ["(", "expression", ")"]),
+            ("prim_string", ["STRING"]),
+        ],
+    }
+    # Generate the binary-operator ladder from the precedence table:
+    #   binary_p      -> binary_{p+1} binary_p_tail
+    #   binary_p_tail -> <op at p> binary_{p+1} binary_p_tail | epsilon
+    levels: Dict[int, List[str]] = {}
+    for op, prec in _BINARY_PRECEDENCE.items():
+        levels.setdefault(prec, []).append(op)
+    top = max(levels)
+    for prec in sorted(levels):
+        ops = sorted(levels[prec])
+        operand = f"binary_{prec + 1}" if prec < top else "unary"
+        grammar[f"binary_{prec}"] = [
+            (f"bin{prec}", [operand, f"binary_{prec}_tail"]),
+        ]
+        grammar[f"binary_{prec}_tail"] = [
+            (f"bin{prec}_{op}", [op, operand, f"binary_{prec}_tail"]) for op in ops
+        ] + [(f"bin{prec}_end", [])]
+    return grammar
+
+
+# ---------------------------------------------------------------------------
+# FIRST / FOLLOW / predict-table construction (standard fixpoint algorithms)
+# ---------------------------------------------------------------------------
+
+#: Epsilon marker inside FIRST sets.
+EPSILON = None
+
+
+def first_sets(grammar: Grammar) -> Dict[str, Set[Optional[str]]]:
+    """FIRST for every nonterminal; ``None`` in a set marks nullability."""
+    first: Dict[str, Set[Optional[str]]] = {nt: set() for nt in grammar}
+    changed = True
+    while changed:
+        changed = False
+        for nt, prods in grammar.items():
+            for _name, rhs in prods:
+                before = len(first[nt])
+                first[nt] |= sequence_first(rhs, grammar, first)
+                if len(first[nt]) != before:
+                    changed = True
+    return first
+
+
+def sequence_first(
+    rhs: Sequence[str], grammar: Grammar, first: Dict[str, Set[Optional[str]]]
+) -> Set[Optional[str]]:
+    """FIRST of a symbol sequence (used for both productions and suffixes)."""
+    out: Set[Optional[str]] = set()
+    for sym in rhs:
+        if sym in grammar:
+            out |= first[sym] - {EPSILON}
+            if EPSILON not in first[sym]:
+                return out
+        else:
+            out.add(sym)
+            return out
+    out.add(EPSILON)
+    return out
+
+
+def follow_sets(
+    grammar: Grammar, first: Dict[str, Set[Optional[str]]], start: str
+) -> Dict[str, Set[str]]:
+    """FOLLOW for every nonterminal; the start symbol is followed by EOF."""
+    follow: Dict[str, Set[str]] = {nt: set() for nt in grammar}
+    follow[start].add("EOF")
+    changed = True
+    while changed:
+        changed = False
+        for nt, prods in grammar.items():
+            for _name, rhs in prods:
+                for i, sym in enumerate(rhs):
+                    if sym not in grammar:
+                        continue
+                    tail = rhs[i + 1 :]
+                    tail_first = sequence_first(tail, grammar, first)
+                    before = len(follow[sym])
+                    follow[sym] |= tail_first - {EPSILON}
+                    if EPSILON in tail_first:
+                        follow[sym] |= follow[nt]
+                    if len(follow[sym]) != before:
+                        changed = True
+    return follow
+
+
+#: A predict-table cell: one production name, or a tuple of candidates for a
+#: cell listed in RESOLVED_CONFLICTS (the parser disambiguates by lookahead).
+Cell = Union[str, Tuple[str, ...]]
+
+
+def predict_table(
+    grammar: Grammar,
+    first: Dict[str, Set[Optional[str]]],
+    follow: Dict[str, Set[str]],
+    resolved: FrozenSet[Tuple[str, str]] = RESOLVED_CONFLICTS,
+) -> Dict[str, Dict[str, Cell]]:
+    """The LL(1) predict table; unresolved conflicts raise GrammarError."""
+    table: Dict[str, Dict[str, Cell]] = {nt: {} for nt in grammar}
+    for nt, prods in grammar.items():
+        for name, rhs in prods:
+            keys = sequence_first(rhs, grammar, first)
+            if EPSILON in keys:
+                keys = (keys - {EPSILON}) | follow[nt]
+            for term in keys:
+                row = table[nt]
+                existing = row.get(term)
+                if existing is None:
+                    row[term] = name
+                elif existing != name:
+                    if (nt, term) not in resolved:
+                        raise GrammarError(
+                            f"LL(1) conflict at ({nt!r}, {term!r}): {existing!r} vs {name!r}"
+                        )
+                    merged = existing if isinstance(existing, tuple) else (existing,)
+                    row[term] = tuple(sorted(set(merged) | {name}))
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Token -> terminal-key mapping
+# ---------------------------------------------------------------------------
+
+_KIND_CLASS = {
+    TokenKind.IDENT: "IDENT",
+    TokenKind.INT_LITERAL: "INT",
+    TokenKind.CHAR_LITERAL: "CHAR",
+    TokenKind.STRING_LITERAL: "STRING",
+    TokenKind.EOF: "EOF",
+}
+
+
+def terminal_keys(tok: Token) -> Tuple[str, ...]:
+    """Candidate terminal names for a token, most specific first."""
+    kind = tok.kind
+    if kind is TokenKind.PUNCT:
+        text = tok.text
+        if text in _ASSIGN_OPS:
+            return (text, "ASSIGN_OP")
+        return (text,)
+    if kind is TokenKind.KEYWORD:
+        text = tok.text
+        if text in _TYPE_KEYWORDS:
+            return ("kw:" + text, "TYPE")
+        return ("kw:" + text,)
+    return (_KIND_CLASS[kind],)
+
+
+# Built once at import; importing this module therefore *proves* the grammar
+# is LL(1) modulo the registered cast/paren cell.
+GRAMMAR: Grammar = _build_grammar()
+FIRST: Dict[str, Set[Optional[str]]] = first_sets(GRAMMAR)
+FOLLOW: Dict[str, Set[str]] = follow_sets(GRAMMAR, FIRST, START_SYMBOL)
+PREDICT: Dict[str, Dict[str, Cell]] = predict_table(GRAMMAR, FIRST, FOLLOW)

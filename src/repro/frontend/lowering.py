@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro import perf
 from repro.errors import SemanticError, UnsupportedFeatureError
 from repro.frontend.ast_nodes import (
     Assignment,
@@ -716,4 +717,6 @@ def lower_to_ir(unit: TranslationUnit, module_name: str = "module") -> Module:
 
 def compile_c(source: str, module_name: str = "module") -> Module:
     """Parse and lower a C source string to a verified IR module."""
-    return lower_to_ir(parse(source), module_name)
+    unit = parse(source)
+    with perf.stage("lower"):
+        return lower_to_ir(unit, module_name)

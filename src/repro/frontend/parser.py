@@ -1,4 +1,4 @@
-"""Recursive-descent parser for the supported C subset.
+"""Parsers for the supported C subset.
 
 Grammar highlights (everything the CHStone-style kernels need):
 
@@ -14,6 +14,18 @@ Deliberately unsupported (raises :class:`UnsupportedFeatureError`, mirroring
 the restrictions Twill documents): structs/unions/typedefs, floating point,
 function pointers, variadic functions, ``goto``.
 
+Two implementations produce identical ASTs and identical diagnostics:
+
+* :class:`~repro.frontend.tableparser.TableParser` (the default) dispatches
+  on the LL(1) predict table built at import by :mod:`repro.frontend.ll1`
+  and folds binary operators iteratively with an explicit operator stack;
+* :class:`RecursiveDescentParser` (this module) is the original
+  recursive-descent implementation, kept as the differential-testing
+  reference and selectable with ``REPRO_PARSER=rd``.
+
+:func:`Parser` is a factory that picks the implementation per call, so all
+existing ``Parser(tokens, ...)`` call sites keep working unchanged.
+
 Two error modes: the default raises on the first problem (what the compile
 pipeline wants — a bad workload must not half-compile), while
 ``Parser(tokens, recover=True)`` collects every error as a
@@ -24,8 +36,10 @@ of a file's problems in one pass.
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional, Tuple, Union
 
+from repro import perf
 from repro.errors import FrontendError, ParseError, UnsupportedFeatureError
 from repro.frontend.diagnostics import MAX_DIAGNOSTICS, Diagnostic
 from repro.frontend.ast_nodes import (
@@ -60,28 +74,16 @@ from repro.frontend.ast_nodes import (
     WhileStmt,
 )
 from repro.frontend.lexer import Token, TokenKind, tokenize
+from repro.frontend.ll1 import _ASSIGN_OPS, _BINARY_PRECEDENCE, _TYPE_KEYWORDS
 
-# Binary operator precedence (C precedence, higher binds tighter).
-_BINARY_PRECEDENCE = {
-    "||": 1,
-    "&&": 2,
-    "|": 3,
-    "^": 4,
-    "&": 5,
-    "==": 6, "!=": 6,
-    "<": 7, ">": 7, "<=": 7, ">=": 7,
-    "<<": 8, ">>": 8,
-    "+": 9, "-": 9,
-    "*": 10, "/": 10, "%": 10,
-}
-
-_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "<<=", ">>=", "&=", "|=", "^="}
-
-_TYPE_KEYWORDS = {"void", "char", "short", "int", "long", "unsigned", "signed", "const", "static", "volatile"}
+#: Environment variable selecting the parser implementation ("rd" = legacy
+#: recursive descent; anything else = the table-driven default).
+PARSER_ENV = "REPRO_PARSER"
 
 
-class Parser:
-    """Parses a token stream into a :class:`TranslationUnit`."""
+class _ParserBase:
+    """Token stream, panic-mode recovery and type-specifier scanning shared
+    by both parser implementations."""
 
     def __init__(self, tokens: List[Token], recover: bool = False, filename: str = "<string>"):
         self.tokens = tokens
@@ -253,6 +255,13 @@ class Parser:
         if value is None:
             raise self._error("expected a constant expression")
         return value
+
+    def _parse_conditional(self) -> Expr:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class RecursiveDescentParser(_ParserBase):
+    """The original recursive-descent implementation (``REPRO_PARSER=rd``)."""
 
     # -- top level -------------------------------------------------------------------
 
@@ -621,6 +630,21 @@ class Parser:
         raise self._error(f"unexpected token {tok.text!r} in expression")
 
 
+def active_parser_class() -> type:
+    """The parser implementation selected by ``REPRO_PARSER`` (read per call
+    so tests can flip implementations without re-importing)."""
+    if os.environ.get(PARSER_ENV, "").strip().lower() in ("rd", "recursive", "legacy"):
+        return RecursiveDescentParser
+    from repro.frontend.tableparser import TableParser
+
+    return TableParser
+
+
+def Parser(tokens: List[Token], recover: bool = False, filename: str = "<string>"):
+    """Factory: build the active parser implementation over ``tokens``."""
+    return active_parser_class()(tokens, recover=recover, filename=filename)
+
+
 def evaluate_constant_expr(expr: Expr) -> Optional[int]:
     """Fold a constant expression at parse time; returns None if not constant."""
     if isinstance(expr, IntLiteral):
@@ -658,4 +682,7 @@ def evaluate_constant_expr(expr: Expr) -> Optional[int]:
 
 def parse(source: str) -> TranslationUnit:
     """Tokenize and parse a C source string into a TranslationUnit."""
-    return Parser(tokenize(source)).parse_translation_unit()
+    with perf.stage("lex"):
+        tokens = tokenize(source)
+    with perf.stage("parse"):
+        return Parser(tokens).parse_translation_unit()

@@ -1,0 +1,574 @@
+"""Table-driven LL(1) parser for the supported C subset (the default).
+
+Where :class:`~repro.frontend.parser.RecursiveDescentParser` decides what to
+parse next with cascaded ``if tok.is_keyword(...)`` chains, this parser looks
+the decision up in the LL(1) predict table that :mod:`repro.frontend.ll1`
+builds from FIRST/FOLLOW sets at import time: each dispatch-heavy nonterminal
+(statement, external declaration, unary, postfix tail, primary) becomes one
+dict lookup from the current token's terminal key to a bound handler.  The
+binary-operator ladder is folded iteratively with an explicit operator stack
+driven by the same precedence table the grammar's ladder productions are
+generated from, replacing ten levels of recursion per operand.
+
+The two registered non-LL(1) cells are resolved exactly like the reference
+parser: at ``(`` in unary position one token of lookahead picks cast vs
+parenthesised expression, and a dangling ``else`` always binds to the
+nearest ``if``.
+
+Byte-for-byte compatibility with the recursive-descent reference — identical
+ASTs, identical diagnostics (messages, ``line:col`` positions, panic-mode
+recovery points, MAX_DIAGNOSTICS cap) — is enforced by the differential
+suite in ``tests/test_parser_differential.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.errors import FrontendError, ParseError, UnsupportedFeatureError
+from repro.frontend import ll1
+from repro.frontend.ast_nodes import (
+    Assignment,
+    BinaryExpr,
+    BreakStmt,
+    CallExpr,
+    CastExpr,
+    CompoundStmt,
+    Conditional,
+    ContinueStmt,
+    CType,
+    DeclStmt,
+    DoWhileStmt,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    FunctionDef,
+    GlobalDecl,
+    Identifier,
+    IfStmt,
+    IndexExpr,
+    IntLiteral,
+    Param,
+    PostfixOp,
+    ReturnStmt,
+    Stmt,
+    SwitchCase,
+    SwitchStmt,
+    TranslationUnit,
+    UnaryOp,
+    WhileStmt,
+)
+from repro.frontend.lexer import Token, TokenKind
+from repro.frontend.ll1 import _ASSIGN_OPS, _BINARY_PRECEDENCE, _TYPE_KEYWORDS, terminal_keys
+from repro.frontend.parser import _ParserBase
+
+
+def _lookup(row: Dict[str, Callable], tok: Token) -> Optional[Callable]:
+    """Predict-table row lookup: try the token's terminal keys in order."""
+    for key in terminal_keys(tok):
+        handler = row.get(key)
+        if handler is not None:
+            return handler
+    return None
+
+
+class TableParser(_ParserBase):
+    """LL(1) predict-table parser producing the reference parser's exact AST."""
+
+    # Dispatch rows (terminal key -> unbound method), derived from
+    # ll1.PREDICT after the class body below.
+    _STMT: Dict[str, Callable] = {}
+    _EXT: Dict[str, Callable] = {}
+    _UNARY: Dict[str, Callable] = {}
+    _POSTFIX: Dict[str, Callable] = {}
+    _PRIMARY: Dict[str, Callable] = {}
+
+    # -- top level -------------------------------------------------------------------
+
+    def parse_translation_unit(self) -> TranslationUnit:
+        unit = TranslationUnit()
+        while self._peek().kind is not TokenKind.EOF:
+            if not self.recover:
+                self._parse_external_declaration(unit)
+                continue
+            if self._too_many_errors():
+                break
+            before = self.pos
+            try:
+                self._parse_external_declaration(unit)
+            except FrontendError as exc:
+                self._record_error(exc)
+                self._sync_top_level()
+                if self.pos == before:
+                    self._advance()
+        return unit
+
+    def _parse_external_declaration(self, unit: TranslationUnit) -> None:
+        tok = self._peek()
+        handler = _lookup(self._EXT, tok)
+        if handler is None:
+            raise self._error(f"expected a declaration, found {tok.text!r}")
+        handler(self, unit, tok)
+
+    def _ext_unsupported_kind(self, unit: TranslationUnit, tok: Token) -> None:
+        raise UnsupportedFeatureError(f"'{tok.text}' is not supported", line=tok.line, col=tok.col)
+
+    def _ext_float(self, unit: TranslationUnit, tok: Token) -> None:
+        raise UnsupportedFeatureError("floating point is not supported", line=tok.line, col=tok.col)
+
+    def _ext_decl(self, unit: TranslationUnit, tok: Token) -> None:
+        base_type = self._parse_type_specifier()
+        # `void foo(void);` etc.
+        name_tok = self._expect_ident()
+        if self._check_punct("("):
+            unit.functions.append(self._parse_function(base_type, name_tok))
+            return
+        # global variable declarator list
+        while True:
+            ty = CType(base_type.base, base_type.signed, base_type.is_const, base_type.pointer, [])
+            ty = self._parse_array_suffix(ty)
+            init: Optional[Union[Expr, list]] = None
+            if self._accept_punct("="):
+                init = self._parse_initializer()
+            unit.globals.append(
+                GlobalDecl(name=name_tok.text, type=ty, init=init, line=name_tok.line)
+            )
+            if self._accept_punct(","):
+                name_tok = self._expect_ident()
+                continue
+            self._expect_punct(";")
+            break
+
+    def _parse_function(self, return_type: CType, name_tok: Token) -> FunctionDef:
+        self._expect_punct("(")
+        params: List[Param] = []
+        if not self._check_punct(")"):
+            if self._peek().is_keyword("void") and self._peek(1).is_punct(")"):
+                self._advance()
+            else:
+                while True:
+                    ptype = self._parse_type_specifier()
+                    pname = self._expect_ident()
+                    ptype = self._parse_array_suffix(ptype)
+                    if ptype.array_dims:
+                        # array parameters decay to pointers (drop first dim)
+                        ptype.pointer += 1
+                        ptype.array_dims = ptype.array_dims[1:]
+                    params.append(Param(name=pname.text, type=ptype, line=pname.line))
+                    if not self._accept_punct(","):
+                        break
+        self._expect_punct(")")
+        if self._accept_punct(";"):
+            return FunctionDef(name=name_tok.text, return_type=return_type, params=params, body=None, line=name_tok.line)
+        body = self._parse_compound()
+        return FunctionDef(
+            name=name_tok.text, return_type=return_type, params=params, body=body, line=name_tok.line
+        )
+
+    # -- initializers ------------------------------------------------------------------
+
+    def _parse_initializer(self) -> Union[Expr, list]:
+        if self._accept_punct("{"):
+            items: List[Union[Expr, list]] = []
+            if not self._check_punct("}"):
+                while True:
+                    items.append(self._parse_initializer())
+                    if not self._accept_punct(","):
+                        break
+                    if self._check_punct("}"):
+                        break  # trailing comma
+            self._expect_punct("}")
+            return items
+        return self._parse_assignment_expr()
+
+    # -- statements -----------------------------------------------------------------------
+
+    def _parse_compound(self) -> CompoundStmt:
+        open_tok = self._expect_punct("{")
+        body: List[Stmt] = []
+        while not self._check_punct("}"):
+            if self._peek().kind is TokenKind.EOF:
+                raise ParseError(
+                    "unterminated compound statement", line=open_tok.line, col=open_tok.col
+                )
+            if not self.recover:
+                body.append(self._parse_statement())
+                continue
+            if self._too_many_errors():
+                break
+            before = self.pos
+            try:
+                body.append(self._parse_statement())
+            except FrontendError as exc:
+                self._record_error(exc)
+                self._sync_statement()
+                if self.pos == before:
+                    self._advance()
+        self._expect_punct("}")
+        return CompoundStmt(body=body, line=open_tok.line)
+
+    def _parse_statement(self) -> Stmt:
+        tok = self._peek()
+        handler = _lookup(self._STMT, tok) or TableParser._stmt_expr
+        return handler(self, tok)
+
+    def _stmt_compound(self, tok: Token) -> Stmt:
+        return self._parse_compound()
+
+    def _stmt_if(self, tok: Token) -> Stmt:
+        self._advance()
+        self._expect_punct("(")
+        cond = self._parse_expression()
+        self._expect_punct(")")
+        then = self._parse_statement()
+        otherwise: Optional[Stmt] = None
+        # Dangling else: the resolved (else_tail, kw:else) cell always shifts.
+        if self._peek().is_keyword("else"):
+            self._advance()
+            otherwise = self._parse_statement()
+        return IfStmt(cond=cond, then=then, otherwise=otherwise, line=tok.line)
+
+    def _stmt_while(self, tok: Token) -> Stmt:
+        self._advance()
+        self._expect_punct("(")
+        cond = self._parse_expression()
+        self._expect_punct(")")
+        body = self._parse_statement()
+        return WhileStmt(cond=cond, body=body, line=tok.line)
+
+    def _stmt_do(self, tok: Token) -> Stmt:
+        self._advance()
+        body = self._parse_statement()
+        if not self._peek().is_keyword("while"):
+            raise self._error("expected 'while' after do-body")
+        self._advance()
+        self._expect_punct("(")
+        cond = self._parse_expression()
+        self._expect_punct(")")
+        self._expect_punct(";")
+        return DoWhileStmt(cond=cond, body=body, line=tok.line)
+
+    def _stmt_for(self, tok: Token) -> Stmt:
+        self._advance()
+        self._expect_punct("(")
+        init: Optional[Stmt] = None
+        if not self._check_punct(";"):
+            if self._at_type():
+                init = self._parse_declaration_statement()
+            else:
+                expr = self._parse_expression()
+                self._expect_punct(";")
+                init = ExprStmt(expr=expr, line=tok.line)
+        else:
+            self._expect_punct(";")
+        cond: Optional[Expr] = None
+        if not self._check_punct(";"):
+            cond = self._parse_expression()
+        self._expect_punct(";")
+        step: Optional[Expr] = None
+        if not self._check_punct(")"):
+            step = self._parse_expression()
+        self._expect_punct(")")
+        body = self._parse_statement()
+        return ForStmt(init=init, cond=cond, step=step, body=body, line=tok.line)
+
+    def _stmt_switch(self, tok: Token) -> Stmt:
+        self._advance()
+        self._expect_punct("(")
+        cond = self._parse_expression()
+        self._expect_punct(")")
+        self._expect_punct("{")
+        cases: List[SwitchCase] = []
+        current: Optional[SwitchCase] = None
+        while not self._check_punct("}"):
+            t = self._peek()
+            if t.is_keyword("case"):
+                self._advance()
+                value = self._parse_constant_expression()
+                self._expect_punct(":")
+                current = SwitchCase(value=value, body=[], line=t.line)
+                cases.append(current)
+            elif t.is_keyword("default"):
+                self._advance()
+                self._expect_punct(":")
+                current = SwitchCase(value=None, body=[], line=t.line)
+                cases.append(current)
+            else:
+                if current is None:
+                    raise self._error("statement before first case label in switch")
+                current.body.append(self._parse_statement())
+        self._expect_punct("}")
+        return SwitchStmt(cond=cond, cases=cases, line=tok.line)
+
+    def _stmt_return(self, tok: Token) -> Stmt:
+        self._advance()
+        value = None if self._check_punct(";") else self._parse_expression()
+        self._expect_punct(";")
+        return ReturnStmt(value=value, line=tok.line)
+
+    def _stmt_break(self, tok: Token) -> Stmt:
+        self._advance()
+        self._expect_punct(";")
+        return BreakStmt(line=tok.line)
+
+    def _stmt_continue(self, tok: Token) -> Stmt:
+        self._advance()
+        self._expect_punct(";")
+        return ContinueStmt(line=tok.line)
+
+    def _stmt_decl(self, tok: Token) -> Stmt:
+        return self._parse_declaration_statement()
+
+    def _stmt_empty(self, tok: Token) -> Stmt:
+        self._advance()
+        return ExprStmt(expr=None, line=tok.line)
+
+    def _stmt_expr(self, tok: Token) -> Stmt:
+        expr = self._parse_expression()
+        self._expect_punct(";")
+        return ExprStmt(expr=expr, line=tok.line)
+
+    def _parse_declaration_statement(self) -> Stmt:
+        """Parse a local declaration; multiple declarators become a compound."""
+        base_type = self._parse_type_specifier()
+        decls: List[Stmt] = []
+        while True:
+            name_tok = self._expect_ident()
+            ty = CType(base_type.base, base_type.signed, base_type.is_const, base_type.pointer, [])
+            ty = self._parse_array_suffix(ty)
+            init: Optional[Union[Expr, list]] = None
+            if self._accept_punct("="):
+                init = self._parse_initializer()
+            decls.append(DeclStmt(name=name_tok.text, type=ty, init=init, line=name_tok.line))
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(";")
+        if len(decls) == 1:
+            return decls[0]
+        return CompoundStmt(body=decls, line=decls[0].line)
+
+    # -- expressions ------------------------------------------------------------------------
+
+    def _parse_expression(self) -> Expr:
+        """Full expression including the comma operator (evaluates left to right)."""
+        expr = self._parse_assignment_expr()
+        while self._check_punct(","):
+            self._advance()
+            rhs = self._parse_assignment_expr()
+            expr = BinaryExpr(op=",", lhs=expr, rhs=rhs, line=expr.line)
+        return expr
+
+    def _parse_assignment_expr(self) -> Expr:
+        lhs = self._parse_conditional()
+        tok = self._peek()
+        if tok.kind is TokenKind.PUNCT and tok.text in _ASSIGN_OPS:
+            self._advance()
+            value = self._parse_assignment_expr()
+            return Assignment(op=tok.text, target=lhs, value=value, line=tok.line)
+        return lhs
+
+    def _parse_conditional(self) -> Expr:
+        cond = self._parse_binary()
+        if self._accept_punct("?"):
+            then = self._parse_assignment_expr()
+            self._expect_punct(":")
+            otherwise = self._parse_conditional()
+            return Conditional(cond=cond, then=then, otherwise=otherwise, line=cond.line)
+        return cond
+
+    def _parse_binary(self) -> Expr:
+        """Iterative precedence folding with an explicit operator stack.
+
+        Produces exactly the recursive ladder's left-associative tree: an
+        operator of precedence p reduces every stacked operator with
+        precedence >= p before being pushed."""
+        parse_unary = self._parse_unary
+        punct = TokenKind.PUNCT
+        prec_of = _BINARY_PRECEDENCE
+        lhs = parse_unary()
+        stack: List = []
+        push = stack.append
+        pop = stack.pop
+        while True:
+            tok = self._peek()
+            if tok.kind is not punct:
+                break
+            prec = prec_of.get(tok.text)
+            if prec is None:
+                break
+            while stack and stack[-1][0] >= prec:
+                _p, op_tok, left = pop()
+                lhs = BinaryExpr(op=op_tok.text, lhs=left, rhs=lhs, line=op_tok.line)
+            push((prec, tok, lhs))
+            self._advance()
+            lhs = parse_unary()
+        while stack:
+            _p, op_tok, left = pop()
+            lhs = BinaryExpr(op=op_tok.text, lhs=left, rhs=lhs, line=op_tok.line)
+        return lhs
+
+    def _parse_unary(self) -> Expr:
+        tok = self._peek()
+        handler = _lookup(self._UNARY, tok)
+        if handler is None:
+            return self._parse_postfix()
+        return handler(self, tok)
+
+    def _unary_prefix(self, tok: Token) -> Expr:
+        self._advance()
+        operand = self._parse_unary()
+        return UnaryOp(op=tok.text, operand=operand, line=tok.line)
+
+    def _unary_paren(self, tok: Token) -> Expr:
+        # The registered (unary, "(") conflict cell: one token of lookahead
+        # separates a cast from a parenthesised expression.
+        nxt = self._peek(1)
+        if nxt.kind is TokenKind.KEYWORD and nxt.text in _TYPE_KEYWORDS:
+            self._advance()
+            ty = self._parse_type_specifier()
+            self._expect_punct(")")
+            operand = self._parse_unary()
+            return CastExpr(target_type=ty, operand=operand, line=tok.line)
+        return self._parse_postfix()
+
+    def _unary_sizeof(self, tok: Token) -> Expr:
+        raise UnsupportedFeatureError("sizeof is not supported", line=tok.line, col=tok.col)
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        row = self._POSTFIX
+        while True:
+            tok = self._peek()
+            if tok.kind is not TokenKind.PUNCT:
+                break
+            handler = row.get(tok.text)
+            if handler is None:
+                break
+            result = handler(self, expr, tok)
+            if result is None:
+                break
+            expr = result
+        return expr
+
+    def _post_index(self, expr: Expr, tok: Token) -> Expr:
+        self._advance()
+        index = self._parse_expression()
+        self._expect_punct("]")
+        return IndexExpr(base=expr, index=index, line=tok.line)
+
+    def _post_call(self, expr: Expr, tok: Token) -> Optional[Expr]:
+        # Only a bare identifier is callable (no function pointers); for any
+        # other base the '(' is not part of this postfix expression.
+        if not isinstance(expr, Identifier):
+            return None
+        self._advance()
+        args: List[Expr] = []
+        if not self._check_punct(")"):
+            while True:
+                args.append(self._parse_assignment_expr())
+                if not self._accept_punct(","):
+                    break
+        self._expect_punct(")")
+        return CallExpr(name=expr.name, args=args, line=tok.line)
+
+    def _post_incdec(self, expr: Expr, tok: Token) -> Expr:
+        self._advance()
+        return PostfixOp(op=tok.text, operand=expr, line=tok.line)
+
+    def _post_member(self, expr: Expr, tok: Token) -> Expr:
+        raise UnsupportedFeatureError("struct member access is not supported", line=tok.line, col=tok.col)
+
+    def _parse_primary(self) -> Expr:
+        tok = self._peek()
+        handler = _lookup(self._PRIMARY, tok)
+        if handler is None:
+            raise self._error(f"unexpected token {tok.text!r} in expression")
+        return handler(self, tok)
+
+    def _prim_literal(self, tok: Token) -> Expr:
+        self._advance()
+        return IntLiteral(value=tok.value or 0, line=tok.line)
+
+    def _prim_ident(self, tok: Token) -> Expr:
+        self._advance()
+        return Identifier(name=tok.text, line=tok.line)
+
+    def _prim_paren(self, tok: Token) -> Expr:
+        self._advance()
+        expr = self._parse_expression()
+        self._expect_punct(")")
+        return expr
+
+    def _prim_string(self, tok: Token) -> Expr:
+        raise UnsupportedFeatureError("string literals are not supported", line=tok.line, col=tok.col)
+
+
+def _bind_dispatch_rows() -> None:
+    """Materialise predict-table rows as (terminal key -> method) dicts."""
+    stmt_methods = {
+        "stmt_compound": TableParser._stmt_compound,
+        "stmt_if": TableParser._stmt_if,
+        "stmt_while": TableParser._stmt_while,
+        "stmt_do": TableParser._stmt_do,
+        "stmt_for": TableParser._stmt_for,
+        "stmt_switch": TableParser._stmt_switch,
+        "stmt_return": TableParser._stmt_return,
+        "stmt_break": TableParser._stmt_break,
+        "stmt_continue": TableParser._stmt_continue,
+        "stmt_decl": TableParser._stmt_decl,
+        "stmt_empty": TableParser._stmt_empty,
+        "stmt_expr": TableParser._stmt_expr,
+    }
+    TableParser._STMT = {
+        key: stmt_methods[cell] for key, cell in ll1.PREDICT["statement"].items()
+    }
+
+    ext_methods = {
+        "ext_struct": TableParser._ext_unsupported_kind,
+        "ext_typedef": TableParser._ext_unsupported_kind,
+        "ext_float": TableParser._ext_float,
+        "ext_double": TableParser._ext_float,
+        "ext_decl": TableParser._ext_decl,
+    }
+    TableParser._EXT = {
+        key: ext_methods[cell] for key, cell in ll1.PREDICT["external_declaration"].items()
+    }
+
+    unary_row: Dict[str, Callable] = {}
+    for key, cell in ll1.PREDICT["unary"].items():
+        if isinstance(cell, tuple):  # the resolved cast/paren cell
+            unary_row[key] = TableParser._unary_paren
+        elif cell == "unary_prefix":
+            unary_row[key] = TableParser._unary_prefix
+        elif cell == "unary_sizeof":
+            unary_row[key] = TableParser._unary_sizeof
+        # unary_postfix cells fall through to _parse_postfix via the miss path
+    TableParser._UNARY = unary_row
+
+    postfix_methods = {
+        "post_index": TableParser._post_index,
+        "post_call": TableParser._post_call,
+        "post_incr": TableParser._post_incdec,
+        "post_decr": TableParser._post_incdec,
+        "post_member": TableParser._post_member,
+        "post_arrow": TableParser._post_member,
+    }
+    TableParser._POSTFIX = {
+        key: postfix_methods[cell]
+        for key, cell in ll1.PREDICT["postfix_tail"].items()
+        if cell != "post_end"
+    }
+
+    primary_methods = {
+        "prim_int": TableParser._prim_literal,
+        "prim_char": TableParser._prim_literal,
+        "prim_ident": TableParser._prim_ident,
+        "prim_paren": TableParser._prim_paren,
+        "prim_string": TableParser._prim_string,
+    }
+    TableParser._PRIMARY = {
+        key: primary_methods[cell] for key, cell in ll1.PREDICT["primary"].items()
+    }
+
+
+_bind_dispatch_rows()

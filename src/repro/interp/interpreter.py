@@ -223,35 +223,38 @@ class Interpreter:
                         raise InterpreterError(f"step limit exceeded ({self.max_steps})")
 
             next_block: Optional[BasicBlock] = None
+            dispatch = self._DISPATCH
+            name = fn.name
             for inst in block.instructions:
-                if isinstance(inst, Phi):
-                    continue
-                self.steps += 1
-                if self.steps > self.max_steps:
-                    raise InterpreterError(f"step limit exceeded ({self.max_steps})")
-
-                if isinstance(inst, Return):
-                    value = (
-                        self._operand_value(frame, inst.value) if inst.value is not None else None
-                    )
-                    event = (
-                        self._operand_event(frame, inst.value) if inst.value is not None else None
-                    )
-                    self._record(inst, fn.name, self._deps(frame, inst.operands), value=value)
-                    return value, event
-
-                if isinstance(inst, Branch):
-                    self._record(inst, fn.name, ())
-                    next_block = inst.target
-                    break
-                if isinstance(inst, CondBranch):
-                    cond = self._operand_value(frame, inst.condition)
-                    self._record(inst, fn.name, self._deps(frame, [inst.condition]), value=cond)
-                    next_block = inst.true_target if cond != 0 else inst.false_target
-                    break
-                if isinstance(inst, Switch):
+                cls = inst.__class__
+                tag = _CONTROL_TAGS.get(cls)
+                if tag is not None:
+                    if tag == _TAG_PHI:
+                        continue
+                    self.steps += 1
+                    if self.steps > self.max_steps:
+                        raise InterpreterError(f"step limit exceeded ({self.max_steps})")
+                    if tag == _TAG_RETURN:
+                        value = (
+                            self._operand_value(frame, inst.value) if inst.value is not None else None
+                        )
+                        event = (
+                            self._operand_event(frame, inst.value) if inst.value is not None else None
+                        )
+                        self._record(inst, name, self._deps(frame, inst.operands), value=value)
+                        return value, event
+                    if tag == _TAG_BRANCH:
+                        self._record(inst, name, ())
+                        next_block = inst.target
+                        break
+                    if tag == _TAG_CONDBR:
+                        cond = self._operand_value(frame, inst.condition)
+                        self._record(inst, name, self._deps(frame, [inst.condition]), value=cond)
+                        next_block = inst.true_target if cond != 0 else inst.false_target
+                        break
+                    # _TAG_SWITCH
                     value = self._operand_value(frame, inst.value)
-                    self._record(inst, fn.name, self._deps(frame, [inst.value]), value=value)
+                    self._record(inst, name, self._deps(frame, [inst.value]), value=value)
                     next_block = inst.default
                     for case_value, target in inst.cases:
                         if case_value == value:
@@ -259,7 +262,13 @@ class Interpreter:
                             break
                     break
 
-                value, event = self._execute_instruction(frame, fn, inst)
+                self.steps += 1
+                if self.steps > self.max_steps:
+                    raise InterpreterError(f"step limit exceeded ({self.max_steps})")
+                handler = dispatch.get(cls)
+                if handler is None:
+                    handler = self._resolve_handler(cls)
+                value, event = handler(self, frame, name, inst)
                 if not inst.type.is_void():
                     frame.values[id(inst)] = value if value is not None else 0
                 frame.events[id(inst)] = event
@@ -269,125 +278,143 @@ class Interpreter:
             prev_block, block = block, next_block
 
     # -- per-instruction semantics -------------------------------------------------------
+    #
+    # One handler per concrete instruction class, bound through a precomputed
+    # dispatch table (class -> unbound handler) instead of a long isinstance
+    # chain: the interpreter's inner loop does a single dict lookup per
+    # executed instruction.  Subclasses of the known instruction classes are
+    # resolved once via _resolve_handler and memoised into the table.
+
+    def _exec_binary(self, frame: _Frame, name: str, inst: BinaryOp):
+        lhs = self._operand_value(frame, inst.lhs)
+        rhs = self._operand_value(frame, inst.rhs)
+        assert isinstance(inst.type, IntType)
+        try:
+            value = evaluate_binary(inst.opcode, inst.type, lhs, rhs)
+        except ZeroDivisionError as exc:
+            raise InterpreterTrap(f"division by zero in {name}") from exc
+        seq = self._record(inst, name, self._deps(frame, inst.operands), value=value)
+        return value, seq
+
+    def _exec_icmp(self, frame: _Frame, name: str, inst: ICmp):
+        lhs = self._operand_value(frame, inst.lhs)
+        rhs = self._operand_value(frame, inst.rhs)
+        ty = inst.lhs.type if isinstance(inst.lhs.type, IntType) else IntType(32, True)
+        value = evaluate_icmp(inst.predicate, ty, lhs, rhs)
+        seq = self._record(inst, name, self._deps(frame, inst.operands), value=value)
+        return value, seq
+
+    def _exec_select(self, frame: _Frame, name: str, inst: Select):
+        cond = self._operand_value(frame, inst.condition)
+        value = self._operand_value(frame, inst.true_value if cond else inst.false_value)
+        seq = self._record(inst, name, self._deps(frame, inst.operands), value=value)
+        return value, seq
+
+    def _exec_alloca(self, frame: _Frame, name: str, inst: Alloca):
+        address = self.memory.allocate_stack(inst.allocated_type)
+        seq = self._record(inst, name, (), address=address)
+        return address, seq
+
+    def _exec_load(self, frame: _Frame, name: str, inst: Load):
+        address = self._operand_value(frame, inst.pointer)
+        value = self.memory.load_typed(address, inst.type)
+        mem_dep = self._last_store_event.get(address)
+        seq = self._record(
+            inst, name, self._deps(frame, inst.operands), mem_dep=mem_dep, address=address, value=value
+        )
+        return value, seq
+
+    def _exec_store(self, frame: _Frame, name: str, inst: Store):
+        address = self._operand_value(frame, inst.pointer)
+        value = self._operand_value(frame, inst.value)
+        self.memory.store_typed(address, value, inst.value.type)
+        seq = self._record(
+            inst, name, self._deps(frame, inst.operands), address=address, value=value
+        )
+        if seq is not None:
+            self._last_store_event[address] = seq
+        return None, seq
+
+    def _exec_gep(self, frame: _Frame, name: str, inst: GetElementPtr):
+        address = self._operand_value(frame, inst.base)
+        base_type = inst.base.type
+        assert isinstance(base_type, PointerType)
+        current = base_type.pointee
+        for index_value in inst.indices:
+            idx = self._operand_value(frame, index_value)
+            if isinstance(current, ArrayType):
+                current = current.element
+            address += idx * current.size_bytes()
+        seq = self._record(inst, name, self._deps(frame, inst.operands), address=address, value=address)
+        return address, seq
+
+    def _exec_cast(self, frame: _Frame, name: str, inst: Cast):
+        value = self._operand_value(frame, inst.value)
+        src_type = inst.value.type
+        dst_type = inst.type
+        assert isinstance(dst_type, (IntType, PointerType))
+        if isinstance(dst_type, PointerType):
+            result = value
+        else:
+            if inst.opcode is Opcode.ZEXT and isinstance(src_type, IntType):
+                raw = value & ((1 << src_type.bits) - 1)
+                result = dst_type.wrap(raw)
+            elif inst.opcode is Opcode.SEXT and isinstance(src_type, IntType):
+                result = dst_type.wrap(src_type.wrap(value))
+            else:  # trunc / bitcast
+                result = dst_type.wrap(value)
+        seq = self._record(inst, name, self._deps(frame, inst.operands), value=result)
+        return result, seq
+
+    def _exec_call(self, frame: _Frame, name: str, inst: Call):
+        arg_values = [self._operand_value(frame, a) for a in inst.args]
+        arg_events = [self._operand_event(frame, a) for a in inst.args]
+        # print_int is the program's observable output channel; recording
+        # the printed value on the Call event lets trace replays (the
+        # timing simulator) reproduce the output stream.
+        printed = (
+            int(arg_values[0])
+            if inst.callee.is_declaration() and inst.callee.name == "print_int" and arg_values
+            else None
+        )
+        seq = self._record(inst, name, self._deps(frame, inst.operands), value=printed)
+        result, result_event = self._call(inst.callee, arg_values, arg_events)
+        # The call's consumers depend directly on the producer of the
+        # returned value (precise cross-function dataflow); fall back to
+        # the call event itself for declarations.
+        return result, result_event if result_event is not None else seq
+
+    def _exec_produce(self, frame: _Frame, name: str, inst: Produce):
+        value = self._operand_value(frame, inst.value)
+        self.queues.setdefault(inst.queue_id, []).append(value)
+        seq = self._record(inst, name, self._deps(frame, inst.operands), value=value)
+        return None, seq
+
+    def _exec_consume(self, frame: _Frame, name: str, inst: Consume):
+        queue = self.queues.setdefault(inst.queue_id, [])
+        if not queue:
+            raise InterpreterTrap(f"consume from empty queue {inst.queue_id} in {name}")
+        value = queue.pop(0)
+        seq = self._record(inst, name, (), value=value)
+        return value, seq
+
+    @classmethod
+    def _resolve_handler(cls, inst_cls: type):
+        """Resolve (and memoise) the handler for a subclass of a known class."""
+        for known, handler in cls._DISPATCH_BASES:
+            if issubclass(inst_cls, known):
+                cls._DISPATCH[inst_cls] = handler
+                return handler
+        raise InterpreterError(f"cannot interpret instruction class {inst_cls.__name__}")
 
     def _execute_instruction(
         self, frame: _Frame, fn: Function, inst: Instruction
     ) -> Tuple[Optional[int], Optional[int]]:
-        name = fn.name
-        if isinstance(inst, BinaryOp):
-            lhs = self._operand_value(frame, inst.lhs)
-            rhs = self._operand_value(frame, inst.rhs)
-            assert isinstance(inst.type, IntType)
-            try:
-                value = evaluate_binary(inst.opcode, inst.type, lhs, rhs)
-            except ZeroDivisionError as exc:
-                raise InterpreterTrap(f"division by zero in {name}") from exc
-            seq = self._record(inst, name, self._deps(frame, inst.operands), value=value)
-            return value, seq
-
-        if isinstance(inst, ICmp):
-            lhs = self._operand_value(frame, inst.lhs)
-            rhs = self._operand_value(frame, inst.rhs)
-            ty = inst.lhs.type if isinstance(inst.lhs.type, IntType) else IntType(32, True)
-            value = evaluate_icmp(inst.predicate, ty, lhs, rhs)
-            seq = self._record(inst, name, self._deps(frame, inst.operands), value=value)
-            return value, seq
-
-        if isinstance(inst, Select):
-            cond = self._operand_value(frame, inst.condition)
-            value = self._operand_value(frame, inst.true_value if cond else inst.false_value)
-            seq = self._record(inst, name, self._deps(frame, inst.operands), value=value)
-            return value, seq
-
-        if isinstance(inst, Alloca):
-            address = self.memory.allocate_stack(inst.allocated_type)
-            seq = self._record(inst, name, (), address=address)
-            return address, seq
-
-        if isinstance(inst, Load):
-            address = self._operand_value(frame, inst.pointer)
-            value = self.memory.load_typed(address, inst.type)
-            mem_dep = self._last_store_event.get(address)
-            seq = self._record(
-                inst, name, self._deps(frame, inst.operands), mem_dep=mem_dep, address=address, value=value
-            )
-            return value, seq
-
-        if isinstance(inst, Store):
-            address = self._operand_value(frame, inst.pointer)
-            value = self._operand_value(frame, inst.value)
-            self.memory.store_typed(address, value, inst.value.type)
-            seq = self._record(
-                inst, name, self._deps(frame, inst.operands), address=address, value=value
-            )
-            if seq is not None:
-                self._last_store_event[address] = seq
-            return None, seq
-
-        if isinstance(inst, GetElementPtr):
-            address = self._operand_value(frame, inst.base)
-            base_type = inst.base.type
-            assert isinstance(base_type, PointerType)
-            current = base_type.pointee
-            for index_value in inst.indices:
-                idx = self._operand_value(frame, index_value)
-                if isinstance(current, ArrayType):
-                    current = current.element
-                address += idx * current.size_bytes()
-            seq = self._record(inst, name, self._deps(frame, inst.operands), address=address, value=address)
-            return address, seq
-
-        if isinstance(inst, Cast):
-            value = self._operand_value(frame, inst.value)
-            src_type = inst.value.type
-            dst_type = inst.type
-            assert isinstance(dst_type, (IntType, PointerType))
-            if isinstance(dst_type, PointerType):
-                result = value
-            else:
-                if inst.opcode is Opcode.ZEXT and isinstance(src_type, IntType):
-                    raw = value & ((1 << src_type.bits) - 1)
-                    result = dst_type.wrap(raw)
-                elif inst.opcode is Opcode.SEXT and isinstance(src_type, IntType):
-                    result = dst_type.wrap(src_type.wrap(value))
-                else:  # trunc / bitcast
-                    result = dst_type.wrap(value)
-            seq = self._record(inst, name, self._deps(frame, inst.operands), value=result)
-            return result, seq
-
-        if isinstance(inst, Call):
-            arg_values = [self._operand_value(frame, a) for a in inst.args]
-            arg_events = [self._operand_event(frame, a) for a in inst.args]
-            # print_int is the program's observable output channel; recording
-            # the printed value on the Call event lets trace replays (the
-            # timing simulator) reproduce the output stream.
-            printed = (
-                int(arg_values[0])
-                if inst.callee.is_declaration() and inst.callee.name == "print_int" and arg_values
-                else None
-            )
-            seq = self._record(inst, name, self._deps(frame, inst.operands), value=printed)
-            result, result_event = self._call(inst.callee, arg_values, arg_events)
-            # The call's consumers depend directly on the producer of the
-            # returned value (precise cross-function dataflow); fall back to
-            # the call event itself for declarations.
-            return result, result_event if result_event is not None else seq
-
-        if isinstance(inst, Produce):
-            value = self._operand_value(frame, inst.value)
-            self.queues.setdefault(inst.queue_id, []).append(value)
-            seq = self._record(inst, name, self._deps(frame, inst.operands), value=value)
-            return None, seq
-
-        if isinstance(inst, Consume):
-            queue = self.queues.setdefault(inst.queue_id, [])
-            if not queue:
-                raise InterpreterTrap(f"consume from empty queue {inst.queue_id} in {name}")
-            value = queue.pop(0)
-            seq = self._record(inst, name, (), value=value)
-            return value, seq
-
-        raise InterpreterError(f"cannot interpret instruction {inst.opcode.value}")  # pragma: no cover
+        """Single-instruction entry point (kept for tests and tooling)."""
+        handler = self._DISPATCH.get(inst.__class__)
+        if handler is None:
+            handler = self._resolve_handler(inst.__class__)
+        return handler(self, frame, fn.name, inst)
 
     # -- intrinsics ---------------------------------------------------------------------------
 
@@ -403,6 +430,39 @@ class Interpreter:
         if fn.name == "twill_checksum":
             return (int(arg_values[0]) if arg_values else 0), (arg_events[0] if arg_events else None)
         raise InterpreterError(f"call to undefined function '{fn.name}'")
+
+
+# Control-flow tags: instruction classes the block loop must handle inline
+# (they terminate the block or were already evaluated in the phi stage).
+_TAG_RETURN = 0
+_TAG_BRANCH = 1
+_TAG_CONDBR = 2
+_TAG_SWITCH = 3
+_TAG_PHI = 4
+_CONTROL_TAGS: Dict[type, int] = {
+    Return: _TAG_RETURN,
+    Branch: _TAG_BRANCH,
+    CondBranch: _TAG_CONDBR,
+    Switch: _TAG_SWITCH,
+    Phi: _TAG_PHI,
+}
+
+# Precomputed dispatch table: concrete instruction class -> unbound handler.
+Interpreter._DISPATCH = {
+    BinaryOp: Interpreter._exec_binary,
+    ICmp: Interpreter._exec_icmp,
+    Select: Interpreter._exec_select,
+    Alloca: Interpreter._exec_alloca,
+    Load: Interpreter._exec_load,
+    Store: Interpreter._exec_store,
+    GetElementPtr: Interpreter._exec_gep,
+    Cast: Interpreter._exec_cast,
+    Call: Interpreter._exec_call,
+    Produce: Interpreter._exec_produce,
+    Consume: Interpreter._exec_consume,
+}
+# isinstance-ordered fallback pairs for subclasses of the known classes.
+Interpreter._DISPATCH_BASES = tuple(Interpreter._DISPATCH.items())
 
 
 def run_module(

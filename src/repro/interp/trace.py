@@ -76,6 +76,9 @@ class Trace:
     def __getstate__(self) -> Dict:
         state = self.__dict__.copy()
         state["instruction_counts"] = None
+        # Process-local replay precomputation (see repro.sim.timing); rebuilt
+        # lazily on first replay after unpickling.
+        state.pop("_replay_index", None)
         return state
 
     def __setstate__(self, state: Dict) -> None:

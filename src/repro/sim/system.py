@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro import perf
 from repro.config import CompilerConfig, HLSConfig, RuntimeConfig
 from repro.dswp.pipeline import DSWPResult, run_dswp
 from repro.hls.area import AreaEstimate, AreaModel
@@ -81,6 +82,48 @@ class SystemResult:
         }
 
 
+def repartition(
+    module: Module,
+    profile,
+    config: CompilerConfig,
+    sw_fraction: float,
+) -> DSWPResult:
+    """Pure re-partition step: re-run DSWP for one (partition config, split).
+
+    The result depends only on the module, the profile, ``config.partition``
+    and ``sw_fraction`` — no timing or area state — so it is a cacheable
+    *derived* artifact of a compile: the explore engine content-addresses it
+    under the partition parameters and shares one :class:`DSWPResult` across
+    every candidate that varies only runtime/queue/HLS dimensions.
+    """
+    with perf.stage("dswp"):
+        return run_dswp(
+            module,
+            profile=profile,
+            config=config.partition,
+            extract_threads=False,
+            sw_fraction=sw_fraction,
+        )
+
+
+def evaluate_with_partition(
+    benchmark: str,
+    module: Module,
+    trace: Trace,
+    dswp: DSWPResult,
+    legup: LegUpResult,
+    config: CompilerConfig,
+) -> SystemResult:
+    """Evaluate the three standard configurations under an existing partition.
+
+    Read-only with respect to *dswp*: the thread assignment is rebuilt
+    fresh from ``dswp.partitioning`` on every call, which is what lets the
+    explore engine hand one memoized partition to many candidates.
+    """
+    with perf.stage("replay"):
+        return HybridSystem(config).evaluate(benchmark, module, trace, dswp, legup)
+
+
 def resimulate_with_split(
     benchmark: str,
     module: Module,
@@ -95,16 +138,12 @@ def resimulate_with_split(
     Module-level and picklable so taskgraph workers can run one Figure
     6.3/6.4 sweep point per process-pool task from the pieces of a compile
     artifact; :meth:`repro.core.compiler.TwillCompiler.resimulate_with_split`
-    delegates here so the two entry points can never diverge.
+    delegates here so the two entry points can never diverge.  Composes the
+    :func:`repartition` and :func:`evaluate_with_partition` stages that the
+    explore engine caches independently.
     """
-    dswp = run_dswp(
-        module,
-        profile=profile,
-        config=config.partition,
-        extract_threads=False,
-        sw_fraction=sw_fraction,
-    )
-    system = HybridSystem(config).evaluate(benchmark, module, trace, dswp, legup)
+    dswp = repartition(module, profile, config, sw_fraction)
+    system = evaluate_with_partition(benchmark, module, trace, dswp, legup, config)
     return dswp, system
 
 

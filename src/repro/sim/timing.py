@@ -18,19 +18,36 @@ Per-domain execution:
   full latency; loads/stores pay the memory-bus cost plus a coherency delay
   when the producing store happened in the other domain (§4.1/§4.5).
 
-Engine: a cooperative round-robin over threads.  A thread blocks when an
-operand's producing event has not been timed yet, or when a queue it must
-enqueue into is full (back-pressure).  Cross-partition dependences form a
-DAG (guaranteed by the partitioner), so the replay makes progress; a
-defensive fallback force-processes the oldest blocked event should a cyclic
-wait appear, and counts how often it fired so tests can assert it did not.
+Engines
+-------
+
+``ready`` (default) — a readiness-driven scheduler.  Threads are visited
+through a time-ordered heap keyed by (pass, thread position): a thread that
+blocks (an operand's producing event not yet timed, or a full queue it must
+enqueue into) parks itself on a wake list for exactly that event or queue,
+and re-enters the heap the moment the dependency resolves.  Idle threads are
+never re-polled.  Replays whose events all land on a single thread (the
+pure-software and pure-hardware baselines — two of the three replays every
+evaluation runs) take straight-line fast paths with no queue/bus machinery
+at all.  The visit order is provably identical to the legacy poll loop's
+(failed executability probes are side-effect-free), so the resulting
+:class:`TimingResult` is byte-identical.
+
+``poll`` (``REPRO_REPLAY=poll``) — the original cooperative round-robin
+that rescans every thread each pass.  Kept as the differential-testing
+reference; a defensive fallback force-processes the oldest blocked event
+should a cyclic wait appear, and counts how often it fired so tests can
+assert it did not (both engines share that fallback).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import perf
 from repro.config import HLSConfig, RuntimeConfig
 from repro.costmodel.hardware import HardwareCostModel
 from repro.costmodel.software import SoftwareCostModel
@@ -39,6 +56,115 @@ from repro.ir.instructions import Opcode
 from repro.runtime.bus import MessageBus
 from repro.runtime.queue import TimedQueue
 from repro.sim.assignment import ExecutionDomain, ThreadAssignment, ThreadSpec
+
+# Environment switch for the replay engine: "ready" (default) or "poll"
+# (the legacy reference implementation, kept for differential testing).
+REPLAY_ENGINE_ENV = "REPRO_REPLAY"
+
+# Thread visit states for the readiness scheduler.
+_QUEUED = 0      # in the heap, will be visited
+_BLOCKED = 1     # parked on a wake list (dep finish or queue dequeue)
+_DONE = 2        # all events executed
+
+
+class _TraceIndex:
+    """Replay precomputation that depends on the *trace* alone.
+
+    A report replays the same trace many times — three baseline assignments,
+    every split-sweep fraction, every explore candidate — and each replay
+    used to re-derive the same per-event tables with multiple O(events)
+    passes.  Everything here is a pure function of the event list (never of
+    the assignment or the runtime/HLS configuration), so it is computed once
+    and cached on the :class:`~repro.interp.trace.Trace` object itself
+    (``Trace.__getstate__`` drops the cache, keeping pickles clean).
+
+    ``cost_arrays`` memoises per-event cost vectors keyed by the *content*
+    of the opcode-cost table (domain + each opcode's resolved cost), so
+    sweeps that vary queue geometry — which never changes execution costs —
+    reuse one vector, while a sweep that does change a cost (say memory
+    read cycles) gets its own.
+    """
+
+    __slots__ = (
+        "inst_ids",
+        "opcodes",
+        "reg_deps",
+        "deps_seq",
+        "mem_tail",
+        "block_occurrence",
+        "rep_events",
+        "opcode_counts",
+        "prints",
+        "cost_arrays",
+    )
+
+    def __init__(self, events: List[TraceEvent]):
+        n = len(events)
+        self.inst_ids: List[int] = [0] * n
+        self.opcodes: List[Opcode] = [Opcode.ADD] * n
+        self.reg_deps: List[Tuple[int, ...]] = [()] * n
+        self.deps_seq: List[Tuple[int, ...]] = [()] * n
+        self.mem_tail: List[bool] = [False] * n
+        self.block_occurrence: List[int] = [0] * n
+        self.rep_events: Dict[Opcode, TraceEvent] = {}
+        self.opcode_counts: Dict[Opcode, int] = {}
+        self.cost_arrays: Dict[Tuple, List[float]] = {}
+
+        counts = self.opcode_counts
+        rep = self.rep_events
+        occurrence = 0
+        prev_block_key: Optional[Tuple[str, int]] = None
+        prev_was_terminator = False
+        prints: List[Tuple[int, int]] = []
+        for i, event in enumerate(events):
+            inst = event.inst
+            opcode = inst.opcode
+            self.inst_ids[i] = id(inst)
+            self.opcodes[i] = opcode
+            counts[opcode] = counts.get(opcode, 0) + 1
+            if opcode not in rep:
+                rep[opcode] = event
+            deps = event.deps
+            self.reg_deps[i] = deps
+            mem_dep = event.mem_dep
+            if mem_dep is None:
+                self.deps_seq[i] = deps
+            else:
+                # Legacy order exactly: register deps first, mem_dep last; the
+                # tail flag marks a memory dep taking the coherency path (one
+                # that is not also a register dep).
+                self.deps_seq[i] = deps + (mem_dep,)
+                self.mem_tail[i] = mem_dep not in deps
+            # Dynamic basic-block occurrence ids: every block occurrence —
+            # including re-entry of the same block on the next loop iteration —
+            # is a serialisation point for a hardware FSM.
+            block_key = (event.function, id(inst.parent))
+            if prev_block_key is None or block_key != prev_block_key or prev_was_terminator:
+                occurrence += 1
+            self.block_occurrence[i] = occurrence
+            prev_block_key = block_key
+            prev_was_terminator = inst.is_terminator()
+            if (
+                opcode is Opcode.CALL
+                and event.value is not None
+                and getattr(inst, "callee", None) is not None
+                and inst.callee.name == "print_int"
+            ):
+                prints.append((event.seq, event.value))
+        # The observable output stream commits in program (trace) order: the
+        # runtime serialises side effects, so finish times stay timing
+        # metadata only and never reorder what the program prints.
+        prints.sort(key=lambda p: p[0])
+        self.prints: Tuple[int, ...] = tuple(p[1] for p in prints)
+
+
+def _trace_index(trace: Trace) -> _TraceIndex:
+    """The trace's cached :class:`_TraceIndex`, built on first replay."""
+    index = getattr(trace, "_replay_index", None)
+    if index is None:
+        index = _TraceIndex(trace.events)
+        trace._replay_index = index
+    return index
 
 
 @dataclass
@@ -109,28 +235,62 @@ class TimingSimulator:
 
     # -- public API ------------------------------------------------------------------
 
-    def simulate(self, trace: Trace, assignment: ThreadAssignment) -> TimingResult:
+    def simulate(
+        self,
+        trace: Trace,
+        assignment: ThreadAssignment,
+        engine: Optional[str] = None,
+    ) -> TimingResult:
         events = trace.events
         if not events:
             return TimingResult(0.0, {}, 0, 0, 0.0, 0.0, 0, 0, 0)
+        if engine is None:
+            engine = os.environ.get(REPLAY_ENGINE_ENV, "ready")
+        if engine not in ("ready", "poll"):
+            raise ValueError(f"unknown replay engine {engine!r} (expected 'ready' or 'poll')")
 
+        index = _trace_index(trace)
         timelines: Dict[int, ThreadTimeline] = {
             t.thread_id: ThreadTimeline(spec=t) for t in assignment.threads
         }
         n = len(events)
+
+        if engine != "poll" and len(timelines) == 1:
+            # Single-thread assignment (the pure-SW / pure-HW baselines):
+            # every event lands on the one thread, so skip the per-event
+            # assignment/consumer setup entirely — no queues, no bus.
+            timeline = next(iter(timelines.values()))
+            if timeline.spec.domain is ExecutionDomain.SOFTWARE:
+                self._replay_single_software(index, timeline)
+            else:
+                self._replay_single_hardware(index, timeline)
+            return TimingResult(
+                total_cycles=timeline.finish_time,
+                threads=timelines,
+                queue_count=0,
+                queue_transfers=0,
+                producer_stall_cycles=0.0,
+                consumer_stall_cycles=0.0,
+                bus_transfers=0,
+                forced_events=0,
+                events=n,
+                replay_outputs=index.prints,
+            )
         thread_of: List[int] = [0] * n
         per_thread: Dict[int, List[int]] = {t.thread_id: [] for t in assignment.threads}
-        for i, event in enumerate(events):
-            spec = assignment.thread_of_event(event)
-            thread_of[i] = spec.thread_id
-            per_thread[spec.thread_id].append(i)
+        amap_get = assignment._map.get
+        default_thread = assignment.default_thread
+        for i, iid in enumerate(index.inst_ids):
+            tid = amap_get(iid, default_thread)
+            thread_of[i] = tid
+            per_thread[tid].append(i)
 
         # Which threads consume each dynamic event's value across threads?
         dyn_consumers: List[Tuple[int, ...]] = [()] * n
         consumer_sets: List[Optional[Set[int]]] = [None] * n
-        for i, event in enumerate(events):
+        for i, deps in enumerate(index.reg_deps):
             my_thread = thread_of[i]
-            for dep in event.deps:
+            for dep in deps:
                 if thread_of[dep] != my_thread:
                     s = consumer_sets[dep]
                     if s is None:
@@ -141,21 +301,7 @@ class TimingSimulator:
             if s:
                 dyn_consumers[i] = tuple(sorted(s))
 
-        # Dynamic basic-block occurrence ids: a hardware FSM finishes all the
-        # states of the current block (iteration) before starting the next
-        # one, so every block *occurrence* — including re-entry of the same
-        # block on the next loop iteration — is a serialisation point.
-        block_occurrence: List[int] = [0] * n
-        occurrence = 0
-        prev_block_key: Optional[Tuple[str, int]] = None
-        prev_was_terminator = False
-        for i, event in enumerate(events):
-            block_key = (event.function, id(event.inst.parent))
-            if prev_block_key is None or block_key != prev_block_key or prev_was_terminator:
-                occurrence += 1
-            block_occurrence[i] = occurrence
-            prev_block_key = block_key
-            prev_was_terminator = event.inst.is_terminator()
+        block_occurrence = index.block_occurrence
 
         finish: List[Optional[float]] = [None] * n
         store_domain: Dict[int, ExecutionDomain] = {}
@@ -164,7 +310,9 @@ class TimingSimulator:
 
         queues: Dict[Tuple[int, int], TimedQueue] = {}
         module_bus = MessageBus("module-bus", latency=self.runtime.bus_latency)
-        forced_events = 0
+
+        queue_depth = self.runtime.queue_depth
+        queue_latency = self.runtime.queue_latency
 
         def queue_for(producer_event: TraceEvent, consumer_thread: int) -> TimedQueue:
             key = (id(producer_event.inst), consumer_thread)
@@ -172,14 +320,12 @@ class TimingSimulator:
             if q is None:
                 q = TimedQueue(
                     queue_id=len(queues),
-                    depth=self.runtime.queue_depth,
-                    latency=self.runtime.queue_latency,
+                    depth=queue_depth,
+                    latency=queue_latency,
                 )
                 queues[key] = q
             return q
 
-        pointer: Dict[int, int] = {t: 0 for t in per_thread}
-        remaining = n
         context = _ReplayContext(
             events=events,
             thread_of=thread_of,
@@ -191,13 +337,398 @@ class TimingSimulator:
             received=received,
             dyn_consumers=dyn_consumers,
             block_occurrence=block_occurrence,
+            queues=queues,
         )
 
+        populated = [tid for tid, indices in per_thread.items() if indices]
+        if engine == "poll":
+            forced_events = self._replay_poll(context, per_thread)
+        elif len(populated) == 1:
+            forced_events = 0
+            tid = populated[0]
+            timeline = timelines[tid]
+            if timeline.spec.domain is ExecutionDomain.SOFTWARE:
+                self._replay_single_software(index, timeline)
+            else:
+                self._replay_single_hardware(index, timeline)
+        else:
+            forced_events = self._replay_ready(context, per_thread, index)
+
+        total = max((t.finish_time for t in timelines.values()), default=0.0)
+        return TimingResult(
+            total_cycles=total,
+            threads=timelines,
+            queue_count=len(queues),
+            queue_transfers=sum(q.total_transfers() for q in queues.values()),
+            producer_stall_cycles=sum(q.stats.producer_stall_cycles for q in queues.values()),
+            consumer_stall_cycles=sum(q.stats.consumer_stall_cycles for q in queues.values()),
+            bus_transfers=module_bus.stats.transfers,
+            forced_events=forced_events,
+            events=n,
+            replay_outputs=index.prints,
+        )
+
+    # -- shared per-event precomputation ----------------------------------------------
+
+    def _cost_table(self, index: _TraceIndex, domain: ExecutionDomain) -> Dict[Opcode, float]:
+        """Opcode → cost for the trace's opcodes (one representative each)."""
+        return {
+            opcode: self._execution_cost(event, domain)
+            for opcode, event in index.rep_events.items()
+        }
+
+    def _cost_array(
+        self, index: _TraceIndex, domain: ExecutionDomain, table: Dict[Opcode, float]
+    ) -> List[float]:
+        """Per-event cost vector, memoized on the trace by table *content*."""
+        key = (domain, tuple(sorted((op.value, cost) for op, cost in table.items())))
+        array = index.cost_arrays.get(key)
+        if array is None:
+            array = [table[op] for op in index.opcodes]
+            index.cost_arrays[key] = array
+        return array
+
+    # -- single-thread fast paths ------------------------------------------------------
+
+    def _replay_single_software(self, index: _TraceIndex, timeline: ThreadTimeline) -> None:
+        """Pure-software replay: strict in-order issue on one thread.
+
+        With every event on one software thread, each operand's producing
+        event finished at or before the thread's current ``next_free`` (the
+        timeline is monotone), so ``issue == next_free`` always and the whole
+        replay degenerates to one float accumulation.  Costs are integral
+        cycle counts, so that accumulation stays exact at every step and the
+        order-free counted sum below is bit-identical to it; should a custom
+        cost model introduce fractional costs, the sequential loop preserves
+        the reference engine's exact ordering.
+        """
+        table = self._cost_table(index, ExecutionDomain.SOFTWARE)
+        if all(cost.is_integer() for cost in table.values()):
+            total = float(
+                sum(int(table[op]) * count for op, count in index.opcode_counts.items())
+            )
+        else:
+            total = 0.0
+            for opcode in index.opcodes:
+                total += table[opcode]
+        timeline.next_free = total
+        timeline.busy_cycles = total
+        timeline.events_executed = len(index.opcodes)
+        timeline.finish_time = total
+
+    def _replay_single_hardware(self, index: _TraceIndex, timeline: ThreadTimeline) -> None:
+        """Pure-hardware replay: one FSM thread, no queues, no bus."""
+        n = len(index.opcodes)
+        deps_seq = index.deps_seq
+        block_occurrence = index.block_occurrence
+        cost_arr = self._cost_array(
+            index, ExecutionDomain.HARDWARE, self._cost_table(index, ExecutionDomain.HARDWARE)
+        )
+        loop_pipe = self.hls.loop_pipelining
+        slot = 1.0 / max(1, self.hls.issue_width)
+        finish = [0.0] * n
+        next_free = 0.0
+        busy = 0.0
+        finish_time = 0.0
+        cur_block = timeline.current_block
+        block_max = timeline.block_max_done
+        for i in range(n):
+            ready = 0.0
+            for dep in deps_seq[i]:
+                f = finish[dep]
+                if f > ready:
+                    ready = f
+            if not loop_pipe:
+                occ = block_occurrence[i]
+                if occ != cur_block:
+                    if block_max > next_free:
+                        next_free = block_max
+                    cur_block = occ
+                    block_max = 0.0
+            # Ties must keep max()'s first argument so int/float types (and
+            # hence serialised bytes) match the reference engine exactly.
+            issue = ready if ready >= next_free else next_free
+            cost = cost_arr[i]
+            done = issue + cost
+            if cost > 1.0:
+                next_free = done
+                busy += cost
+            else:
+                next_free = issue + slot
+                busy += slot
+            if not loop_pipe and done > block_max:
+                block_max = done
+            finish[i] = done
+            if next_free > finish_time:
+                finish_time = next_free
+            if done > finish_time:
+                finish_time = done
+        timeline.next_free = next_free
+        timeline.busy_cycles = busy
+        timeline.events_executed = n
+        timeline.finish_time = finish_time
+        timeline.current_block = cur_block
+        timeline.block_max_done = block_max
+
+    # -- readiness-driven engine -------------------------------------------------------
+
+    def _replay_ready(
+        self, ctx: "_ReplayContext", per_thread: Dict[int, List[int]], index: _TraceIndex
+    ) -> int:
+        """Wake-driven replay with the legacy poll loop's exact visit order.
+
+        A thread sits in a heap keyed by ``(pass, position)`` — the cyclic
+        round-robin coordinates of the legacy engine.  When its head event
+        blocks it registers on a wake list (the first unfinished dependency,
+        or the first full queue it must feed) and leaves the heap; resolving
+        that dependency re-queues it at the coordinate the poll loop would
+        next have retried it.  Since failed executability probes never
+        mutate simulation state, skipping them preserves byte-identical
+        results while eliminating the per-pass rescans.
+        """
+        thread_of = ctx.thread_of
+        finish = ctx.finish
+        timelines = ctx.timelines
+        received = ctx.received
+        dyn_consumers = ctx.dyn_consumers
+        block_occurrence = ctx.block_occurrence
+        queues = ctx.queues
+        queues_get = queues.get
+        bus_request = ctx.module_bus.request
+
+        runtime = self.runtime
+        coherency_delay = runtime.coherency_delay
+        memory_read_cycles = runtime.memory_read_cycles
+        processor_op_cycles = runtime.processor_op_cycles
+        bus_latency = runtime.bus_latency
+        queue_depth = runtime.queue_depth
+        queue_latency = runtime.queue_latency
+        loop_pipe = self.hls.loop_pipelining
+        slot = 1.0 / max(1, self.hls.issue_width)
+
+        inst_ids = index.inst_ids
+        deps_seq = index.deps_seq
+        mem_tail = index.mem_tail
+        cost_arrays = {
+            domain: self._cost_array(index, domain, self._cost_table(index, domain))
+            for domain in (ExecutionDomain.SOFTWARE, ExecutionDomain.HARDWARE)
+        }
+        thread_domain = {tid: t.spec.domain for tid, t in timelines.items()}
+
+        order = [tid for tid, indices in per_thread.items() if indices]
+        pos_of = {tid: k for k, tid in enumerate(order)}
+        pointer: Dict[int, int] = {tid: 0 for tid in order}
+        state: Dict[int, int] = {tid: _QUEUED for tid in order}
+        heap: List[Tuple[int, int, int]] = [(0, k, tid) for k, tid in enumerate(order)]
+        # Already heap-ordered (ascending position, one pass), no heapify needed.
+        dep_waiters: Dict[int, List[int]] = {}
+        queue_waiters: Dict[Tuple[int, int], List[int]] = {}
+
+        remaining = len(inst_ids)
+        forced_events = 0
+
+        def wake(waiters: List[int], cur_pass: int, cur_pos: int) -> None:
+            for w in waiters:
+                if state.get(w) == _BLOCKED:
+                    wpos = pos_of[w]
+                    if wpos > cur_pos:
+                        heappush(heap, (cur_pass, wpos, w))
+                    else:
+                        heappush(heap, (cur_pass + 1, wpos, w))
+                    state[w] = _QUEUED
+
+        last_pass = 0
+        while remaining > 0:
+            if not heap:
+                # Cyclic wait: force the oldest blocked event, exactly like
+                # the poll loop's no-progress fallback, then give every
+                # still-blocked thread a fresh pass (stale wake registrations
+                # are harmless — a spurious visit is side-effect-free).
+                candidates = [
+                    indices[pointer[t]]
+                    for t, indices in per_thread.items()
+                    if t in pointer and pointer[t] < len(indices)
+                ]
+                event_index = min(candidates)
+                self._try_execute(ctx, event_index, force=True)
+                forced_tid = thread_of[event_index]
+                pointer[forced_tid] += 1
+                remaining -= 1
+                forced_events += 1
+                waiters = dep_waiters.pop(event_index, None)
+                resume = [
+                    tid for tid in order
+                    if pointer[tid] < len(per_thread[tid]) and state[tid] != _QUEUED
+                ]
+                for tid in resume:
+                    state[tid] = _BLOCKED
+                wake(resume, last_pass, len(order))
+                continue
+
+            cur_pass, cur_pos, tid = heappop(heap)
+            last_pass = cur_pass
+            indices = per_thread[tid]
+            ptr = pointer[tid]
+            n_thread = len(indices)
+            timeline = timelines[tid]
+            domain = timeline.spec.domain
+            is_sw = domain is ExecutionDomain.SOFTWARE
+            cost_arr = cost_arrays[domain]
+            # Timeline fields live in locals for the visit; all mutations in
+            # a visit touch only this thread's timeline.
+            next_free = timeline.next_free
+            busy = timeline.busy_cycles
+            finish_time = timeline.finish_time
+            executed = timeline.events_executed
+            cur_block = timeline.current_block
+            block_max = timeline.block_max_done
+            blocked = False
+
+            while ptr < n_thread:
+                i = indices[ptr]
+                dseq = deps_seq[i]
+                # 1. Operand readiness (register dataflow + memory dataflow).
+                waiting_on = -1
+                for dep in dseq:
+                    if finish[dep] is None:
+                        waiting_on = dep
+                        break
+                if waiting_on >= 0:
+                    dep_waiters.setdefault(waiting_on, []).append(tid)
+                    blocked = True
+                    break
+                # 2. Back-pressure: every queue this event feeds needs a slot.
+                consumer_threads = dyn_consumers[i]
+                if consumer_threads:
+                    iid = inst_ids[i]
+                    full_key = None
+                    for consumer_thread in consumer_threads:
+                        qkey = (iid, consumer_thread)
+                        q = queues_get(qkey)
+                        if q is None:
+                            q = TimedQueue(
+                                queue_id=len(queues), depth=queue_depth, latency=queue_latency
+                            )
+                            queues[qkey] = q
+                        if not q.can_enqueue():
+                            full_key = qkey
+                            break
+                    if full_key is not None:
+                        queue_waiters.setdefault(full_key, []).append(tid)
+                        blocked = True
+                        break
+                # 3. Issue and execute (arithmetic mirrors _try_execute).
+                ready = 0.0
+                if dseq:
+                    tail = len(dseq) - 1 if mem_tail[i] else -1
+                    for k, dep in enumerate(dseq):
+                        dep_finish = finish[dep]
+                        dep_thread = thread_of[dep]
+                        if dep_thread == tid:
+                            if dep_finish > ready:
+                                ready = dep_finish
+                            continue
+                        if k == tail:
+                            # Cross-thread memory flow: shared memory + coherency.
+                            delay = coherency_delay
+                            if thread_domain[dep_thread] != domain:
+                                delay += memory_read_cycles
+                            arrival = dep_finish + delay
+                            if arrival > ready:
+                                ready = arrival
+                            continue
+                        # Cross-thread register flow through a DSWP queue.
+                        key = (dep, tid)
+                        got = received.get(key)
+                        if got is None:
+                            qkey = (inst_ids[dep], tid)
+                            q = queues_get(qkey)
+                            if q is None:
+                                q = TimedQueue(
+                                    queue_id=len(queues),
+                                    depth=queue_depth,
+                                    latency=queue_latency,
+                                )
+                                queues[qkey] = q
+                            q.dequeue_cost = processor_op_cycles if is_sw else 2
+                            got = q.dequeue(next_free if next_free > 0.0 else 0.0)
+                            received[key] = got
+                            busy += q.dequeue_cost
+                            if got > next_free:
+                                next_free = got
+                            waiters = queue_waiters.pop(qkey, None)
+                            if waiters:
+                                wake(waiters, cur_pass, cur_pos)
+                        if got > ready:
+                            ready = got
+                if not is_sw and not loop_pipe:
+                    occ = block_occurrence[i]
+                    if occ != cur_block:
+                        if block_max > next_free:
+                            next_free = block_max
+                        cur_block = occ
+                        block_max = 0.0
+                issue = ready if ready >= next_free else next_free
+                cost = cost_arr[i]
+                done = issue + cost
+                if is_sw:
+                    next_free = done
+                    busy += cost
+                elif cost > 1.0:
+                    next_free = done
+                    busy += cost
+                else:
+                    next_free = issue + slot
+                    busy += slot
+                # 4. Produce: enqueue the value for every consuming thread.
+                if consumer_threads:
+                    iid = inst_ids[i]
+                    for consumer_thread in consumer_threads:
+                        q = queues[(iid, consumer_thread)]
+                        q.enqueue_cost = processor_op_cycles if is_sw else 2
+                        bus_ready = bus_request(done, processor=is_sw)
+                        floor = bus_ready - bus_latency
+                        enqueue_done = q.enqueue(done if done >= floor else floor)
+                        busy += q.enqueue_cost
+                        if enqueue_done > next_free:
+                            next_free = enqueue_done
+                if not is_sw and not loop_pipe and done > block_max:
+                    block_max = done
+                finish[i] = done
+                executed += 1
+                if next_free > finish_time:
+                    finish_time = next_free
+                if done > finish_time:
+                    finish_time = done
+                waiters = dep_waiters.pop(i, None)
+                if waiters:
+                    wake(waiters, cur_pass, cur_pos)
+                ptr += 1
+                remaining -= 1
+
+            pointer[tid] = ptr
+            timeline.next_free = next_free
+            timeline.busy_cycles = busy
+            timeline.finish_time = finish_time
+            timeline.events_executed = executed
+            timeline.current_block = cur_block
+            timeline.block_max_done = block_max
+            state[tid] = _BLOCKED if blocked else _DONE
+        return forced_events
+
+    # -- legacy poll engine ------------------------------------------------------------
+
+    def _replay_poll(self, ctx: "_ReplayContext", per_thread: Dict[int, List[int]]) -> int:
+        """Original round-robin poll loop (differential-testing reference)."""
+        pointer: Dict[int, int] = {t: 0 for t in per_thread}
+        remaining = len(ctx.events)
+        forced_events = 0
+        thread_of = ctx.thread_of
         while remaining > 0:
             progress = False
             for thread_id, indices in per_thread.items():
                 while pointer[thread_id] < len(indices):
-                    if not self._try_execute(context, indices[pointer[thread_id]], force=False):
+                    if not self._try_execute(ctx, indices[pointer[thread_id]], force=False):
                         break
                     pointer[thread_id] += 1
                     remaining -= 1
@@ -209,37 +740,11 @@ class TimingSimulator:
                     if pointer[t] < len(indices)
                 ]
                 event_index = min(candidates)
-                self._try_execute(context, event_index, force=True)
+                self._try_execute(ctx, event_index, force=True)
                 pointer[thread_of[event_index]] += 1
                 remaining -= 1
                 forced_events += 1
-
-        total = max((t.finish_time for t in timelines.values()), default=0.0)
-        # The observable output stream commits in program (trace) order: the
-        # runtime serialises side effects, so a hybrid partition whose stages
-        # *finish* print calls out of order must not reorder what the program
-        # prints.  Finish times stay timing metadata only.
-        prints = [
-            (events[i].seq, events[i].value)
-            for i in range(n)
-            if events[i].opcode is Opcode.CALL
-            and events[i].value is not None
-            and getattr(events[i].inst, "callee", None) is not None
-            and events[i].inst.callee.name == "print_int"
-        ]
-        prints.sort(key=lambda p: p[0])
-        return TimingResult(
-            total_cycles=total,
-            threads=timelines,
-            queue_count=len(queues),
-            queue_transfers=sum(q.total_transfers() for q in queues.values()),
-            producer_stall_cycles=sum(q.stats.producer_stall_cycles for q in queues.values()),
-            consumer_stall_cycles=sum(q.stats.consumer_stall_cycles for q in queues.values()),
-            bus_transfers=module_bus.stats.transfers,
-            forced_events=forced_events,
-            events=n,
-            replay_outputs=tuple(p[1] for p in prints),
-        )
+        return forced_events
 
     # -- one event --------------------------------------------------------------------------
 
@@ -376,6 +881,9 @@ class _ReplayContext:
     received: Dict[Tuple[int, int], float]
     dyn_consumers: List[Tuple[int, ...]]
     block_occurrence: List[int] = field(default_factory=list)
+    # The shared (producer instruction id, consumer thread) → TimedQueue map
+    # behind ``queue_for``; the ready engine indexes it directly.
+    queues: Dict[Tuple[int, int], TimedQueue] = field(default_factory=dict)
 
 
 def simulate_partitioned(
@@ -392,5 +900,6 @@ def simulate_partitioned(
     can pickle it and re-run just the timing tail of the pipeline for one
     (workload, sweep-point) task — the Figure 6.5/6.6 queue sweeps.
     """
-    assignment = ThreadAssignment.from_partitioning(module, partitioning)
-    return TimingSimulator(runtime, hls).simulate(trace, assignment)
+    with perf.stage("replay"):
+        assignment = ThreadAssignment.from_partitioning(module, partitioning)
+        return TimingSimulator(runtime, hls).simulate(trace, assignment)

@@ -155,6 +155,13 @@ def _metadata_rows(metadata: Dict[str, Any]) -> List[str]:
         renders = executed.get("render", 0)
         hits = stats.get("cache_hit_kinds", {}).get("render", 0)
         row("figure renders", _esc(f"{renders} rendered, {hits} from cache"))
+    timings = metadata.get("stage_timings") or {}
+    if timings:
+        parts = [
+            f"{name} {entry['seconds']:.3f}s/{entry['calls']}"
+            for name, entry in timings.items()
+        ]
+        row("stage timings (s/calls)", _esc(", ".join(parts)))
     return out
 
 

@@ -312,3 +312,133 @@ def test_report_exploration_artefact_serial_vs_parallel(tmp_path):
     curve = exploration["progress"]["blowfish"]
     assert curve[0] == 1.0
     assert all(b <= a + 1e-12 for a, b in zip(curve, curve[1:]))
+
+
+# ---------------------------------------------------------------------------
+# incremental evaluation: the shared re-partition stage
+# ---------------------------------------------------------------------------
+
+
+def test_repartition_runs_once_per_distinct_partition(tmp_path, monkeypatch):
+    """Candidates differing only in runtime dimensions share one DSWP run.
+
+    SMALL_SPACE is 3 split targets x 2 queue depths = 6 candidates; the
+    re-partition stage is keyed by partition parameters alone, so a cold
+    sweep must invoke DSWP exactly 3 times — the memo and the on-disk stage
+    cache absorb the other 3 — and a second sweep in the same process must
+    invoke it 0 times.
+    """
+    from repro.config import CompilerConfig
+    from repro.explore import evaluate
+
+    evaluate._DSWP_MEMO.clear()
+    calls = []
+    real_repartition = evaluate.repartition
+
+    def counting(*args, **kwargs):
+        calls.append(1)
+        return real_repartition(*args, **kwargs)
+
+    monkeypatch.setattr(evaluate, "repartition", counting)
+    config = CompilerConfig()
+    cache_root = str(tmp_path / "cache")
+
+    def sweep():
+        return [
+            evaluate.compute_explore_point(
+                "blowfish", config, cache_root, c.params(), SMALL_SPACE.to_dict()
+            )
+            for c in SMALL_SPACE.candidates()
+        ]
+
+    cold = sweep()
+    assert len(cold) == 6
+    assert len(calls) == 3  # one per distinct sw_fraction
+
+    warm = sweep()
+    assert len(calls) == 3  # memo hits: no further DSWP runs
+    assert json.dumps(warm, sort_keys=True) == json.dumps(cold, sort_keys=True)
+
+
+def test_memoized_points_byte_identical_to_fresh(tmp_path):
+    """Memo/stage-cache reuse must not perturb a single objective byte.
+
+    The same candidate list is evaluated three ways: cold (fresh process
+    state, populating the caches), memo-warm (same process), and
+    stage-cache-warm (memo cleared, points served from disk).  All three
+    must serialise identically.
+    """
+    from repro.config import CompilerConfig
+    from repro.explore import evaluate
+
+    config = CompilerConfig()
+    cache_root = str(tmp_path / "cache")
+
+    def sweep():
+        return json.dumps(
+            [
+                evaluate.compute_explore_point(
+                    "blowfish", config, cache_root, c.params(), SMALL_SPACE.to_dict()
+                )
+                for c in SMALL_SPACE.candidates()
+            ],
+            sort_keys=True,
+        )
+
+    evaluate._DSWP_MEMO.clear()
+    cold = sweep()
+    memo_warm = sweep()
+    evaluate._DSWP_MEMO.clear()
+    disk_warm = sweep()
+    assert memo_warm == cold
+    assert disk_warm == cold
+
+
+def test_rebind_partitioning_across_pickle_roundtrip():
+    """A DSWPResult unpickled from the stage cache references its own copy
+    of the module; ``_rebind_partitioning`` must re-anchor it onto the live
+    module's instruction objects, and the rebound partitioning must replay
+    byte-identically to the original."""
+    import dataclasses
+    import pickle
+
+    from repro.dswp import run_dswp
+    from repro.explore.evaluate import _rebind_partitioning
+    from repro.frontend import compile_c
+    from repro.interp import Profile, run_module
+    from repro.sim import ThreadAssignment, TimingSimulator
+    from repro.transforms import GlobalsToArguments, default_pipeline
+    from repro.workloads import get_workload
+
+    module = compile_c(get_workload("blowfish").source, "blowfish")
+    default_pipeline().run(module)
+    GlobalsToArguments().run(module)
+    execution = run_module(module, record_trace=True)
+    profile = Profile.from_trace(module, execution.trace)
+    dswp = run_dswp(module, profile=profile)
+
+    # The pickle round-trip detaches the partitioning onto a private module copy.
+    detached = pickle.loads(pickle.dumps(dswp))
+    fp = next(iter(detached.partitioning.functions.values()))
+    live = {id(inst) for fn in module.functions.values() for inst in fn.instructions()}
+    assert all(id(inst) not in live for p in fp.partitions for inst in p.instructions)
+
+    rebound = _rebind_partitioning(detached, module)
+    for fn_name, rebound_fp in rebound.partitioning.functions.items():
+        assert rebound_fp.function is module.get_function(fn_name)
+        for partition in rebound_fp.partitions:
+            for inst in partition.instructions:
+                assert id(inst) in live
+                assert rebound_fp.assignment[id(inst)] == partition.index
+
+    sim = TimingSimulator()
+    original = sim.simulate(
+        execution.trace, ThreadAssignment.from_partitioning(module, dswp.partitioning)
+    )
+    replayed = sim.simulate(
+        execution.trace, ThreadAssignment.from_partitioning(module, rebound.partitioning)
+    )
+    assert dataclasses.asdict(replayed) == dataclasses.asdict(original)
+
+    # Rebinding an already-bound result is a no-op (the memo-hit path).
+    assert _rebind_partitioning(rebound, module) is rebound

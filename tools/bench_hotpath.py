@@ -1,0 +1,244 @@
+#!/usr/bin/env python
+"""Before/after micro-benchmark of the three hot-path overhauls.
+
+Each leg times the new implementation against its still-selectable legacy
+fallback **in the same process, on the same inputs**, and verifies the two
+produce identical output before reporting a single number:
+
+* **frontend** — batched-regex lexer + table-driven LL(1) parser
+  (``REPRO_PARSER`` default) vs the recursive-descent reference
+  (``REPRO_PARSER=rd``), parsing every builtin workload source; per-stage
+  lex/parse seconds come from the :mod:`repro.perf` collectors.
+* **replay** — readiness-driven heap scheduler (``engine="ready"``,
+  ``REPRO_REPLAY`` default) vs the cooperative poll engine
+  (``engine="poll"``), replaying each workload's trace under its pure-SW,
+  pure-HW and DSWP-partitioned assignments.
+* **explore** — incremental candidate evaluation (memoized shared
+  re-partition stage) vs re-running DSWP for every candidate, over the
+  report's 3x3 split-target x queue-depth space.
+
+Results land in ``BENCH_hotpath.json`` (override with ``--out``).  Exits
+non-zero if any leg's outputs diverge or any leg's new implementation is
+slower than its legacy fallback beyond ``--tolerance``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro import perf  # noqa: E402
+from repro.frontend.lexer import tokenize  # noqa: E402
+from repro.frontend.parser import RecursiveDescentParser  # noqa: E402
+from repro.frontend.tableparser import TableParser  # noqa: E402
+from repro.workloads import all_workloads  # noqa: E402
+
+#: Workloads whose traces the replay leg simulates (kept small: replay cost
+#: scales with dynamic instruction count, and two shapes suffice).
+REPLAY_WORKLOADS = ("blowfish", "mips")
+
+
+def _timed(fn):
+    """Run *fn*, returning (seconds, result)."""
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def bench_frontend(repeats: int) -> dict:
+    """Leg (a): lex+parse every builtin workload with both parsers."""
+    sources = [w.source for w in all_workloads()]
+
+    def run(parser_cls):
+        with perf.collect() as timings:
+            units = []
+            for _ in range(repeats):
+                for source in sources:
+                    with perf.stage("lex"):
+                        tokens = tokenize(source)
+                    with perf.stage("parse"):
+                        units.append(parser_cls(tokens).parse_translation_unit())
+            return units, timings
+
+    table_seconds, (table_units, table_timings) = _timed(lambda: run(TableParser))
+    rd_seconds, (rd_units, _) = _timed(lambda: run(RecursiveDescentParser))
+    return {
+        "after_seconds": round(table_seconds, 4),
+        "before_seconds": round(rd_seconds, 4),
+        "speedup": round(rd_seconds / max(table_seconds, 1e-9), 3),
+        "stages": table_timings.as_dict(),
+        "identical": table_units == rd_units,
+        "sources": len(sources),
+        "repeats": repeats,
+    }
+
+
+def bench_replay(repeats: int) -> dict:
+    """Leg (b): replay each workload trace with both timing engines."""
+    import dataclasses
+
+    from repro.core.compiler import TwillCompiler
+    from repro.dswp import run_dswp
+    from repro.interp import Profile, run_module
+    from repro.sim import ThreadAssignment, TimingSimulator
+    from repro.workloads import get_workload
+
+    jobs = []
+    for name in REPLAY_WORKLOADS:
+        compiler = TwillCompiler()
+        module = compiler.compile_module(get_workload(name).source, name)
+        execution = run_module(module, record_trace=True)
+        profile = Profile.from_trace(module, execution.trace)
+        dswp = run_dswp(module, profile=profile)
+        for assignment in (
+            ThreadAssignment.pure_software(module),
+            ThreadAssignment.pure_hardware(module),
+            ThreadAssignment.from_partitioning(module, dswp.partitioning),
+        ):
+            jobs.append((execution.trace, assignment))
+
+    sim = TimingSimulator()
+
+    def run(engine):
+        results = []
+        for _ in range(repeats):
+            for trace, assignment in jobs:
+                results.append(sim.simulate(trace, assignment, engine=engine))
+        return results
+
+    ready_seconds, ready = _timed(lambda: run("ready"))
+    poll_seconds, poll = _timed(lambda: run("poll"))
+    identical = all(
+        dataclasses.asdict(a) == dataclasses.asdict(b) for a, b in zip(ready, poll)
+    )
+    return {
+        "after_seconds": round(ready_seconds, 4),
+        "before_seconds": round(poll_seconds, 4),
+        "speedup": round(poll_seconds / max(ready_seconds, 1e-9), 3),
+        "identical": identical,
+        "traces": len(jobs),
+        "repeats": repeats,
+    }
+
+
+def bench_explore() -> dict:
+    """Leg (c): evaluate the report's 9-candidate space both ways.
+
+    The "before" path re-runs DSWP per candidate (memo cleared around every
+    point, no stage cache) — exactly what evaluation did before the
+    re-partition stage became content-addressed and shared.
+    """
+    from repro.config import CompilerConfig
+    from repro.explore import evaluate
+    from repro.explore.space import report_space
+
+    space = report_space()
+    config = CompilerConfig()
+    candidates = list(space.candidates())
+    dswp_runs = []
+    real_repartition = evaluate.repartition
+
+    def counting(*args, **kwargs):
+        dswp_runs.append(1)
+        return real_repartition(*args, **kwargs)
+
+    evaluate.repartition = counting
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-hotpath-") as workdir:
+            cache_root = os.path.join(workdir, "cache")
+
+            def point(candidate, incremental):
+                if not incremental:
+                    evaluate._DSWP_MEMO.clear()
+                return evaluate.compute_explore_point(
+                    "blowfish",
+                    config,
+                    cache_root if incremental else None,
+                    candidate.params(),
+                    space.to_dict(),
+                )
+
+            # Warm the compile artifact first so neither variant pays for it.
+            point(candidates[0], True)
+            evaluate._DSWP_MEMO.clear()
+            dswp_runs.clear()
+
+            after_seconds, after = _timed(
+                lambda: [point(c, True) for c in candidates]
+            )
+            after_runs = len(dswp_runs)
+            dswp_runs.clear()
+            before_seconds, before = _timed(
+                lambda: [point(c, False) for c in candidates]
+            )
+            before_runs = len(dswp_runs)
+    finally:
+        evaluate.repartition = real_repartition
+        evaluate._DSWP_MEMO.clear()
+
+    return {
+        "after_seconds": round(after_seconds, 4),
+        "before_seconds": round(before_seconds, 4),
+        "speedup": round(before_seconds / max(after_seconds, 1e-9), 3),
+        "identical": json.dumps(after, sort_keys=True) == json.dumps(before, sort_keys=True),
+        "candidates": len(candidates),
+        "dswp_runs_after": after_runs,
+        "dswp_runs_before": before_runs,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_hotpath.json", help="timing output file")
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="frontend/replay timing repetitions (default: 3)"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("BENCH_HOTPATH_TOLERANCE", "0.9")),
+        help="fail a leg if its speedup falls below this (default: 0.9, i.e. "
+        "the new path may not be >10%% slower than the legacy one)",
+    )
+    args = parser.parse_args(argv)
+
+    record = {
+        "frontend": bench_frontend(args.repeats),
+        "replay": bench_replay(args.repeats),
+        "explore": bench_explore(),
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(record, indent=2, sort_keys=True))
+
+    failures = []
+    for leg in ("frontend", "replay", "explore"):
+        if not record[leg]["identical"]:
+            failures.append(f"{leg}: new and legacy implementations diverge")
+        if record[leg]["speedup"] < args.tolerance:
+            failures.append(
+                f"{leg}: speedup {record[leg]['speedup']}x below tolerance {args.tolerance}x"
+            )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        "ok: "
+        + ", ".join(f"{leg} {record[leg]['speedup']}x" for leg in ("frontend", "replay", "explore"))
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

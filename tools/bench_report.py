@@ -11,6 +11,17 @@ Runs the full report three times against a fresh cache directory:
 3. **warm, serial** — must also be byte-identical, which is the regression
    gate for serial/parallel determinism.
 
+The cold run is also gated against the checked-in ``BENCH_report.json``
+baseline: if it takes more than ``--max-cold-ratio`` (default 1.25) times
+the baseline's cold wall time, the run fails.  That is the CI guard that
+keeps hot-path regressions from landing silently.
+
+Worker count defaults to *auto*: 2 processes when the machine has at least
+2 CPUs, otherwise serial — on a single core two workers only timeshare it
+and the process-pool overhead makes the "parallel" run strictly slower
+than serial, which would poison the perf record.  Pass ``--parallel N``
+explicitly to override (``--parallel 0`` forces serial).
+
 Timings land in a JSON file (``BENCH_report.json`` by default) so successive
 CI runs leave a comparable perf record.  Exits non-zero on any violated
 invariant.
@@ -48,7 +59,13 @@ def run_report(cache_dir: str, parallel: int | None, benchmarks: str | None) -> 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--parallel", type=int, default=2, help="worker processes (default: 2)")
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        help="worker processes; 0 forces serial (default: auto — 2 if the "
+        "machine has >= 2 CPUs, else serial)",
+    )
     parser.add_argument("--benchmarks", help="comma-separated workload subset (default: all)")
     parser.add_argument("--out", default="BENCH_report.json", help="timing output file")
     parser.add_argument(
@@ -57,12 +74,41 @@ def main(argv: list[str] | None = None) -> int:
         default=float(os.environ.get("BENCH_MAX_WARM_FRACTION", "0.25")),
         help="fail if warm wall time exceeds this fraction of cold (default: 0.25)",
     )
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(REPO_ROOT, "BENCH_report.json"),
+        help="checked-in record to gate the cold run against (default: the "
+        "repo's BENCH_report.json; missing file disables the gate)",
+    )
+    parser.add_argument(
+        "--max-cold-ratio",
+        type=float,
+        default=float(os.environ.get("BENCH_MAX_COLD_RATIO", "1.25")),
+        help="fail if cold wall time exceeds this multiple of the baseline's "
+        "cold time (default: 1.25; <= 0 disables)",
+    )
     args = parser.parse_args(argv)
+
+    if args.parallel is None:
+        parallel = 2 if (os.cpu_count() or 1) >= 2 else 0
+    else:
+        parallel = max(args.parallel, 0)
+    workers = parallel if parallel > 0 else None
+
+    # Read the baseline *before* the out file (often the same path) is
+    # overwritten with this run's record.
+    baseline_cold = None
+    if args.max_cold_ratio > 0 and os.path.exists(args.baseline):
+        try:
+            with open(args.baseline, encoding="utf-8") as fh:
+                baseline_cold = json.load(fh).get("cold_parallel_seconds")
+        except (OSError, ValueError):
+            baseline_cold = None
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as workdir:
         cache_dir = os.path.join(workdir, "cache")
-        cold_seconds, cold_out = run_report(cache_dir, args.parallel, args.benchmarks)
-        warm_seconds, warm_out = run_report(cache_dir, args.parallel, args.benchmarks)
+        cold_seconds, cold_out = run_report(cache_dir, workers, args.benchmarks)
+        warm_seconds, warm_out = run_report(cache_dir, workers, args.benchmarks)
         serial_seconds, serial_out = run_report(cache_dir, None, args.benchmarks)
 
     failures = []
@@ -76,10 +122,21 @@ def main(argv: list[str] | None = None) -> int:
             f"warm run took {warm_fraction:.1%} of cold ({warm_seconds:.2f}s / "
             f"{cold_seconds:.2f}s), budget is {args.max_warm_fraction:.0%}"
         )
+    cold_ratio = None
+    if baseline_cold:
+        cold_ratio = cold_seconds / baseline_cold
+        if cold_ratio > args.max_cold_ratio:
+            failures.append(
+                f"cold run took {cold_ratio:.2f}x the baseline "
+                f"({cold_seconds:.2f}s vs {baseline_cold:.2f}s), "
+                f"budget is {args.max_cold_ratio:.2f}x"
+            )
 
     record = {
         "benchmarks": args.benchmarks or "all",
-        "parallel": args.parallel,
+        "parallel": parallel,
+        "baseline_cold_seconds": baseline_cold,
+        "cold_ratio_to_baseline": round(cold_ratio, 4) if cold_ratio is not None else None,
         "cold_parallel_seconds": round(cold_seconds, 3),
         "warm_parallel_seconds": round(warm_seconds, 3),
         "warm_serial_seconds": round(serial_seconds, 3),
@@ -97,8 +154,11 @@ def main(argv: list[str] | None = None) -> int:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
+    baseline_note = (
+        f", {cold_ratio:.2f}x baseline" if cold_ratio is not None else ""
+    )
     print(
-        f"ok: cold {cold_seconds:.2f}s, warm {warm_seconds:.2f}s "
+        f"ok: cold {cold_seconds:.2f}s{baseline_note}, warm {warm_seconds:.2f}s "
         f"({warm_fraction:.1%} of cold), outputs byte-identical"
     )
     return 0
