@@ -43,7 +43,15 @@ suite use, so numbers never diverge between entry points:
   other hosts publish through it;
 * ``repro worker serve`` — a worker daemon: long-polls a coordinator for
   ready tasks and executes them; ``--pool N`` drives N executor processes
-  from one daemon (see ``docs/DISTRIBUTED.md``).
+  from one daemon (see ``docs/DISTRIBUTED.md``);
+* ``repro trace TRACE.jsonl`` — render the structured span trace captured
+  by running any command with ``REPRO_TRACE=TRACE.jsonl`` set: a
+  parent/child span tree per trace id, or ``--gantt`` for a per-worker
+  timeline (see ``docs/OBSERVABILITY.md``);
+* ``repro cluster status --coordinator URL [--cache URL]`` — one live
+  summary of a distributed run (workers, heartbeat ages, queue depth,
+  throughput, cache hit rate), scraped from the services' ``/metrics``
+  endpoints.
 
 The cache and coordinator services optionally require a shared secret on
 every request: set ``REPRO_SERVICE_TOKEN`` (or
@@ -81,6 +89,7 @@ from repro.eval.taskgraph import TaskGraph
 from repro.eval.trace import TraceRecorder
 from repro.explore.driver import ExplorationDriver
 from repro.explore.strategies import STRATEGIES
+from repro.obs import tracing as obs_tracing
 from repro.workloads import all_workloads, get_workload
 
 #: Experiment generators by artefact id, in thesis order.
@@ -359,7 +368,24 @@ def _write_report_html(
         # workers time their own stages; cache hits time nothing).
         metadata["stage_timings"] = stage_timings.as_dict()
     spans = [Span(**span) for span in trace.spans] if trace is not None else None
-    document = build_report_html(artefacts, figures, metadata, trace_spans=spans)
+    obs_spans = None
+    if obs_tracing.enabled():
+        # Observe-only: the telemetry section appears only when $REPRO_TRACE
+        # was set, so an untraced report document stays byte-identical.
+        obs_spans = [
+            Span(
+                name=record["name"],
+                kind=record["kind"],
+                worker=record.get("worker") or record.get("service") or "main",
+                start=record["start"],
+                end=record["end"],
+            )
+            for record in obs_tracing.tracer().spans()
+            if record["end"] > record["start"]
+        ] or None
+    document = build_report_html(
+        artefacts, figures, metadata, trace_spans=spans, obs_spans=obs_spans
+    )
     out_dir = Path(args.html)
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / "report.html"
@@ -801,6 +827,40 @@ def _cmd_graph(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: render a JSONL span file as a tree or Gantt view."""
+    from repro.obs import render as obs_render
+
+    try:
+        spans = obs_render.load_spans(args.file)
+    except OSError as exc:
+        raise ReproError(f"cannot read trace file '{args.file}': {exc}") from exc
+    if not spans:
+        raise ReproError(
+            f"'{args.file}' contains no spans — capture one with "
+            "REPRO_TRACE=trace.jsonl repro report ..."
+        )
+    if args.gantt:
+        print(obs_render.render_gantt(spans, trace_id=args.trace_id))
+    else:
+        print(obs_render.render_tree(spans, trace_id=args.trace_id))
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """``repro cluster status``: one live summary of the running services."""
+    from repro.obs import cluster as obs_cluster
+
+    summary = obs_cluster.collect_status(
+        args.coordinator, cache_url=args.cache, timeout=args.timeout
+    )
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(obs_cluster.render_status(summary))
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # argument parsing
 # ---------------------------------------------------------------------------
@@ -1093,6 +1153,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_worker.add_argument("--quiet", action="store_true", help="suppress per-task log lines")
     p_worker.set_defaults(func=_cmd_worker)
+
+    p_trace = sub.add_parser(
+        "trace",
+        parents=[common],
+        help="render a JSONL span trace captured via $REPRO_TRACE",
+    )
+    p_trace.add_argument(
+        "file", metavar="TRACE.jsonl", help="span file written by a traced run"
+    )
+    p_trace.add_argument(
+        "--gantt",
+        action="store_true",
+        help="per-worker Gantt view instead of the default span tree",
+    )
+    p_trace.add_argument(
+        "--trace-id", metavar="ID", help="show only the trace with this id"
+    )
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        parents=[common],
+        help="observe running distributed services (coordinator + cache)",
+    )
+    p_cluster.add_argument("action", choices=["status"])
+    p_cluster.add_argument(
+        "--coordinator",
+        required=True,
+        metavar="URL",
+        help="coordinator URL printed by 'repro report --workers'",
+    )
+    p_cluster.add_argument(
+        "--cache", metavar="URL", help="also summarise this cache service"
+    )
+    p_cluster.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="per-request timeout (default: 5)",
+    )
+    p_cluster.set_defaults(func=_cmd_cluster)
 
     return parser
 

@@ -68,6 +68,21 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 
 from repro.config import CompilerConfig
 from repro.errors import CacheIntegrityError, ReproError
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
+
+#: Client-side store telemetry (every process embedding an ArtifactCache).
+#: The cache *service* keeps its own server-side hit/miss counters in
+#: repro.eval.remote.cache_http; these observe local lookups.
+_LOOKUPS = obs_metrics.counter(
+    "repro_cache_client_lookups_total", "ArtifactCache lookups in this process, by outcome."
+)
+_PUTS = obs_metrics.counter(
+    "repro_cache_client_puts_total", "ArtifactCache stores performed by this process."
+)
+_EVICTIONS = obs_metrics.counter(
+    "repro_cache_evictions_total", "Entries evicted by LRU pruning in this process."
+)
 
 # Bump whenever the stored artifact layout changes incompatibly (e.g. a field
 # is added to CompilationResult): old entries then miss instead of loading
@@ -451,6 +466,7 @@ class LocalFSBackend(CacheBackend):
             total -= size
             freed += size
             removed += 1
+            _EVICTIONS.inc()
             # Sweep the evicted key's lock file too, or a long-lived LRU-bounded
             # cache would still grow one permanent empty file per key ever seen.
             self.discard_lock_file(path.stem)
@@ -635,15 +651,20 @@ class ArtifactCache:
         """
         blob = self.backend.get_blob(key)
         if blob is None:
+            _LOOKUPS.inc(outcome="miss")
             return None
         serializer, data = blob
         try:
-            return self._decode(data, serializer)
+            value = self._decode(data, serializer)
         except CacheIntegrityError:
+            _LOOKUPS.inc(outcome="integrity_miss")
             return None
         except Exception:
             self.backend.delete(key)
+            _LOOKUPS.inc(outcome="corrupt_miss")
             return None
+        _LOOKUPS.inc(outcome="hit")
+        return value
 
     def put(self, key: str, value: Any, serializer: str = "pickle") -> Optional[Path]:
         """Atomically store *value* under *key*; returns its path when local."""
@@ -653,6 +674,7 @@ class ArtifactCache:
             # None is get()'s miss signal; storing it would make the entry
             # look permanently missing and silently recompute on every read.
             raise ValueError("refusing to cache None (indistinguishable from a miss)")
+        _PUTS.inc()
         return self.backend.put_blob(key, serializer, self._encode(value, serializer))
 
     # -- single-flight -------------------------------------------------------------
@@ -676,16 +698,20 @@ class ArtifactCache:
         re-checks, and reuses the freshly stored entry instead of recomputing
         it.
         """
-        hit = self.get(key)
-        if hit is not None:
-            return hit
-        with self.lock(key):
-            hit = self.get(key)  # someone else may have computed it meanwhile
+        with obs_tracing.span("cache.get_or_compute", kind="cache", key=key[:16]) as span:
+            hit = self.get(key)
             if hit is not None:
+                span.set("cache_hit", True)
                 return hit
-            value = compute()
-            self.put(key, value, serializer=serializer)
-            return value
+            with self.lock(key):
+                hit = self.get(key)  # someone else may have computed it meanwhile
+                if hit is not None:
+                    span.set("cache_hit", True)
+                    return hit
+                span.set("cache_hit", False)
+                value = compute()
+                self.put(key, value, serializer=serializer)
+                return value
 
     # -- maintenance ---------------------------------------------------------------
 

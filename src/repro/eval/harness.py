@@ -34,6 +34,7 @@ from repro.eval import taskgraph
 from repro.eval.cache import ArtifactCache, compile_key, derived_key
 from repro.eval.taskgraph import TaskExecutor, TaskGraph, TaskScheduler
 from repro.eval.trace import TraceRecorder
+from repro.obs import tracing as obs_tracing
 from repro.workloads import all_workloads, get_workload
 from repro.workloads.base import Workload
 
@@ -244,7 +245,14 @@ class EvaluationHarness:
         scheduler = TaskScheduler(
             graph, cache=self.cache, jobs=parallel, seeds=seeds, executor=executor, trace=trace
         )
-        results = scheduler.run()
+        with obs_tracing.span(
+            "harness.execute",
+            kind="harness",
+            tasks=len(graph),
+            parallel=parallel or 1,
+            remote=executor is not None,
+        ):
+            results = scheduler.run()
         self.last_stats = scheduler.stats
         for task in graph:
             if task.kind == taskgraph.KIND_COMPILE:

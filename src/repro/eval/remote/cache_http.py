@@ -18,7 +18,8 @@ Endpoints (keys are validated as 64 hex chars, so no path escapes):
 | ``POST /locks/<key>/acquire`` | single-flight lock; long-polls until granted or ``wait`` expires |
 | ``POST /locks/<key>/release`` | release by token                               |
 | ``GET /stats``                | the underlying store's ``cache stats`` dict    |
-| ``GET /healthz``              | liveness probe for scripts and CI (never auth'd) |
+| ``GET /healthz``              | liveness probe: role/version/uptime (never auth'd) |
+| ``GET /metrics``              | Prometheus text exposition (never auth'd; docs/OBSERVABILITY.md) |
 
 With a service token configured (``REPRO_SERVICE_TOKEN`` /
 ``RuntimeConfig.service_token``) every endpoint except the liveness probe
@@ -38,7 +39,6 @@ from __future__ import annotations
 
 import contextlib
 import re
-import sys
 import threading
 import time
 import urllib.error
@@ -54,8 +54,12 @@ try:  # POSIX-only; without it the server's lease table alone serialises clients
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
+from repro import __version__
 from repro.errors import RemoteError
 from repro.eval.cache import SERIALIZERS, LocalFSBackend
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
+from repro.obs.logs import get_logger
 from repro.eval.remote.protocol import (
     TRANSPORT_ERRORS,
     auth_headers,
@@ -80,6 +84,30 @@ DEFAULT_LOCK_LEASE_SECONDS = 300.0
 DEFAULT_LOCK_WAIT_SECONDS = 60.0
 
 _KEY_RE = re.compile(r"^[0-9a-f]{64}$")
+
+# -- telemetry (process-local; exposed on GET /metrics) ---------------------------
+
+_HITS = obs_metrics.counter(
+    "repro_cache_hits_total", "Object GETs served from the store (200)."
+)
+_MISSES = obs_metrics.counter(
+    "repro_cache_misses_total", "Object GETs that missed the store (404)."
+)
+_SERVER_PUTS = obs_metrics.counter(
+    "repro_cache_puts_total", "Objects stored via PUT."
+)
+_LOCK_ACQUIRES = obs_metrics.counter(
+    "repro_cache_lock_acquires_total", "Single-flight lock leases granted."
+)
+_LOCK_TIMEOUTS = obs_metrics.counter(
+    "repro_cache_lock_timeouts_total", "Lock acquires that timed out (client computes unlocked)."
+)
+_ENTRIES = obs_metrics.gauge(
+    "repro_cache_entries", "Entries in the served store (refreshed at scrape)."
+)
+_BYTES = obs_metrics.gauge(
+    "repro_cache_bytes", "Total bytes in the served store (refreshed at scrape)."
+)
 
 
 @dataclass
@@ -106,6 +134,9 @@ class CacheHTTPServer(ThreadingHTTPServer):
         self.backend = backend
         self.lock_lease_seconds = lock_lease_seconds
         self.verbose = verbose
+        self.start_time = time.time()
+        self.logger = get_logger("cache", verbose=verbose)
+        obs_metrics.install_stage_observer()
         # Shared service secret (docs/DISTRIBUTED.md "Trust model"): when
         # set, every request except GET /healthz must present it.
         self.token = token if token is not None else service_token()
@@ -193,8 +224,9 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
     # -- plumbing ---------------------------------------------------------------
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        if self.server.verbose:
-            sys.stderr.write("cache-serve: %s\n" % (format % args))
+        # Per-request chatter logs at DEBUG: visible with --verbose (which
+        # forces the logger to DEBUG) or REPRO_LOG_LEVEL=DEBUG.
+        self.server.logger.debug(format % args)
 
     def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
         send_json(self, status, payload)
@@ -214,24 +246,54 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
         if self.path == "/healthz":  # liveness probe: exempt from auth
-            self._send_json(200, {"ok": True, "root": str(self.server.backend.root)})
+            self._send_json(
+                200,
+                {
+                    "ok": True,
+                    "root": str(self.server.backend.root),
+                    "role": "cache",
+                    "version": __version__,
+                    "uptime_seconds": round(time.time() - self.server.start_time, 3),
+                },
+            )
+            return
+        if self.path == "/metrics":  # scrape endpoint: exempt like /healthz
+            try:
+                stats = self.server.backend.stats()
+                _ENTRIES.set(float(stats.get("entries", 0)))
+                _BYTES.set(float(stats.get("total_bytes", 0)))
+            except OSError:
+                pass
+            body = obs_metrics.REGISTRY.render().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
             return
         if not check_auth(self, self.server.token):
             return
         key = self._object_key()
         if key is not None:
-            blob = self.server.backend.get_blob(key)
-            if blob is None:
-                self._send_json(404, {"error": "miss"})
+            with obs_tracing.server_span(
+                "cache.get", self.headers, kind="cache", key=key[:16]
+            ) as span:
+                blob = self.server.backend.get_blob(key)
+                if blob is None:
+                    _MISSES.inc()
+                    span.set("cache_hit", False)
+                    self._send_json(404, {"error": "miss"})
+                    return
+                _HITS.inc()
+                span.set("cache_hit", True)
+                serializer, data = blob
+                self.send_response(200)
+                self.send_header("Content-Type", "application/octet-stream")
+                self.send_header(SERIALIZER_HEADER, serializer)
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
                 return
-            serializer, data = blob
-            self.send_response(200)
-            self.send_header("Content-Type", "application/octet-stream")
-            self.send_header(SERIALIZER_HEADER, serializer)
-            self.send_header("Content-Length", str(len(data)))
-            self.end_headers()
-            self.wfile.write(data)
-            return
         if self.path == "/stats":
             self._send_json(200, self.server.backend.stats())
             return
@@ -280,7 +342,9 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
         if not data:
             self._send_json(400, {"error": "empty body"})
             return
-        self.server.backend.put_blob(key, serializer, data)
+        with obs_tracing.server_span("cache.put", self.headers, kind="cache", key=key[:16]):
+            self.server.backend.put_blob(key, serializer, data)
+        _SERVER_PUTS.inc()
         self._send_json(200, {"stored": True})
 
     # -- locks ----------------------------------------------------------------------
@@ -296,9 +360,11 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
             while True:
                 token = self.server.try_acquire(key)
                 if token is not None:
+                    _LOCK_ACQUIRES.inc()
                     self._send_json(200, {"token": token})
                     return
                 if time.time() >= deadline:
+                    _LOCK_TIMEOUTS.inc()
                     self._send_json(408, {"error": "lock wait timed out"})
                     return
                 time.sleep(0.05)
@@ -333,9 +399,10 @@ def serve_cache(
     token: Optional[str] = None,
 ) -> int:
     """``repro cache serve``: serve *root* until interrupted (blocking)."""
+    obs_tracing.set_service("cache")
     server = make_cache_server(root, host, port, lock_lease_seconds, verbose, token=token)
     auth = "shared-secret auth on" if server.token else "no auth (trusted network)"
-    print(f"serving artifact cache {root} at {server.url} ({auth})", file=sys.stderr)
+    server.logger.info(f"serving artifact cache {root} at {server.url} ({auth})")
     try:
         server.serve_forever(poll_interval=0.2)
     finally:
@@ -373,7 +440,9 @@ class HTTPCacheBackend:
         return f"{self.base_url}/objects/{key}"
 
     def get_blob(self, key: str) -> Optional[Tuple[str, bytes]]:
-        request = urllib.request.Request(self._object_url(key), headers=auth_headers())
+        request = urllib.request.Request(
+            self._object_url(key), headers={**auth_headers(), **obs_tracing.trace_headers()}
+        )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 serializer = response.headers.get(SERIALIZER_HEADER, "pickle")
@@ -395,6 +464,7 @@ class HTTPCacheBackend:
                 "Content-Type": "application/octet-stream",
                 SERIALIZER_HEADER: serializer,
                 **auth_headers(),
+                **obs_tracing.trace_headers(),
             },
         )
         try:
@@ -408,7 +478,9 @@ class HTTPCacheBackend:
 
     def contains(self, key: str) -> bool:
         request = urllib.request.Request(
-            self._object_url(key), method="HEAD", headers=auth_headers()
+            self._object_url(key),
+            method="HEAD",
+            headers={**auth_headers(), **obs_tracing.trace_headers()},
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout):

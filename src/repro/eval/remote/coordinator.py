@@ -32,15 +32,16 @@ HTTP endpoints (JSON bodies both ways): ``POST /workers/register``,
 ``POST /workers/heartbeat``, ``POST /tasks/lease`` (long-poll, honouring a
 client ``wait``), ``POST /tasks/complete``, and ``GET /status`` for
 debugging/monitoring.  With a service token configured every endpoint
-except ``GET /healthz`` requires the shared secret (docs/DISTRIBUTED.md
-"Trust model").
+except ``GET /healthz`` (liveness: role/version/uptime) and ``GET
+/metrics`` (Prometheus text exposition of the queue/lease/worker counters
+and gauges — docs/OBSERVABILITY.md) requires the shared secret
+(docs/DISTRIBUTED.md "Trust model").
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-import sys
 import threading
 import time
 from collections import deque
@@ -48,7 +49,10 @@ from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import __version__
 from repro.eval.remote.protocol import check_auth, read_json, send_json, service_token
+from repro.obs import metrics as obs_metrics
+from repro.obs.logs import get_logger
 
 #: Default seconds a leased task may go without a heartbeat before it is
 #: presumed lost and requeued.
@@ -56,6 +60,40 @@ DEFAULT_LEASE_TIMEOUT = 60.0
 
 #: Default number of lease attempts before a task is declared failed.
 DEFAULT_MAX_ATTEMPTS = 3
+
+
+# -- telemetry (process-local; exposed on GET /metrics) ---------------------------
+
+_TASKS_SUBMITTED = obs_metrics.counter(
+    "repro_tasks_submitted_total", "Task specs submitted to the coordinator queue."
+)
+_TASKS_LEASED = obs_metrics.counter(
+    "repro_tasks_leased_total", "Leases handed to workers (requeues lease again)."
+)
+_TASKS_COMPLETED = obs_metrics.counter(
+    "repro_tasks_completed_total", "Accepted task completions, by outcome (ok/error)."
+)
+_TASKS_REQUEUED = obs_metrics.counter(
+    "repro_tasks_requeued_total", "Expired leases requeued for another worker."
+)
+_TASKS_FAILED = obs_metrics.counter(
+    "repro_tasks_failed_total", "Tasks abandoned after exhausting their lease attempts."
+)
+_LEASE_LATENCY = obs_metrics.histogram(
+    "repro_lease_latency_seconds", "Seconds a task spent queued before a worker leased it."
+)
+_QUEUE_DEPTH = obs_metrics.gauge(
+    "repro_queue_depth", "Task specs currently queued, awaiting a lease."
+)
+_TASKS_INFLIGHT = obs_metrics.gauge(
+    "repro_tasks_inflight", "Task specs currently leased to workers."
+)
+_WORKERS_LIVE = obs_metrics.gauge(
+    "repro_workers_live", "Workers heard from within the last lease timeout."
+)
+_HEARTBEAT_AGE = obs_metrics.gauge(
+    "repro_worker_heartbeat_age_seconds", "Seconds since each live worker was last heard."
+)
 
 
 # -- work shaping ----------------------------------------------------------------
@@ -136,6 +174,11 @@ class Coordinator:
         self._workers: Dict[str, float] = {}
         self._worker_counter = 0
         self._shutdown = False
+        # Telemetry bookkeeping: when each queued spec became leasable
+        # (lease-latency histogram) and the trace id each worker last
+        # reported with its heartbeat (stuck-task attribution).
+        self._enqueued_at: Dict[str, float] = {}
+        self._worker_traces: Dict[str, Optional[str]] = {}
         # Affinity sharding: workloads each worker has compiled.  A worker
         # whose memo already holds a workload's compile artifact executes
         # that workload's sweep/explore points without re-reading (or
@@ -149,6 +192,8 @@ class Coordinator:
         with self._cond:
             spec.setdefault("attempt", 1)
             heapq.heappush(self._queue, (-task_cost(spec), next(self._seq), spec))
+            _TASKS_SUBMITTED.inc()
+            self._enqueued_at[str(spec.get("task_id", ""))] = time.time()
             self._cond.notify_all()
 
     def wait_completions(self, timeout: Optional[float] = None) -> List[Dict[str, Any]]:
@@ -197,7 +242,12 @@ class Coordinator:
                 "shutdown": self._shutdown,
             }
 
-    def heartbeat(self, worker_id: str, tasks: Optional[List[str]] = None) -> Dict[str, Any]:
+    def heartbeat(
+        self,
+        worker_id: str,
+        tasks: Optional[List[str]] = None,
+        trace_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
         """Mark *worker_id* alive and renew the leases it is working on.
 
         *tasks* is the list of task ids the worker is currently executing;
@@ -206,10 +256,15 @@ class Coordinator:
         renewed, expires, and gets reassigned — the replacement worker then
         hits the cache entry the first one already wrote.  ``None`` (an
         older/simpler client) renews everything the worker holds.
+
+        *trace_id* is the trace the worker's current task belongs to (when
+        the run is traced); ``/status`` surfaces it per worker so a stuck
+        task can be looked up in the trace by id.
         """
         with self._cond:
             now = time.time()
             self._workers[worker_id] = now
+            self._worker_traces[worker_id] = trace_id or None
             for task_id, lease in self._leases.items():
                 if lease.worker_id == worker_id and (tasks is None or task_id in tasks):
                     lease.deadline = now + self.lease_timeout
@@ -274,6 +329,10 @@ class Coordinator:
                     self._leases[spec["task_id"]] = _Lease(
                         worker_id=worker_id, deadline=now + self.lease_timeout, spec=spec
                     )
+                    _TASKS_LEASED.inc()
+                    enqueued = self._enqueued_at.pop(str(spec.get("task_id", "")), None)
+                    if enqueued is not None:
+                        _LEASE_LATENCY.observe(max(0.0, now - enqueued))
                     self._cond.notify_all()
                     return {"task": spec, "shutdown": False}
                 if now >= deadline:
@@ -299,6 +358,7 @@ class Coordinator:
                 # result is already in the cache, so dropping this is safe.
                 return {"accepted": False}
             del self._leases[task_id]
+            _TASKS_COMPLETED.inc(outcome="ok" if ok else "error")
             self._completions.append(
                 {
                     "task_id": task_id,
@@ -327,13 +387,17 @@ class Coordinator:
         now = time.time()
         for worker_id in [w for w, seen in self._workers.items() if now - seen > self.lease_timeout]:
             del self._workers[worker_id]
+            self._worker_traces.pop(worker_id, None)
         for task_id in [t for t, lease in self._leases.items() if lease.deadline <= now]:
             lease = self._leases.pop(task_id)
             spec = dict(lease.spec)
             spec["attempt"] = spec.get("attempt", 1) + 1
             if spec["attempt"] <= self.max_attempts:
                 heapq.heappush(self._queue, (-task_cost(spec), next(self._seq), spec))
+                _TASKS_REQUEUED.inc()
+                self._enqueued_at[str(task_id)] = now
             else:
+                _TASKS_FAILED.inc()
                 self._completions.append(
                     {
                         "task_id": task_id,
@@ -354,13 +418,33 @@ class Coordinator:
 
     def status(self) -> Dict[str, Any]:
         with self._cond:
+            now = time.time()
             return {
                 "queued": len(self._queue),
                 "leased": len(self._leases),
                 "completions_pending": len(self._completions),
                 "workers": sorted(self._workers),
+                "worker_detail": {
+                    worker: {
+                        "heartbeat_age_seconds": round(now - seen, 3),
+                        "trace_id": self._worker_traces.get(worker),
+                    }
+                    for worker, seen in sorted(self._workers.items())
+                },
                 "shutdown": self._shutdown,
             }
+
+    def update_metrics_gauges(self) -> None:
+        """Refresh the point-in-time gauges (called just before a scrape)."""
+        with self._cond:
+            self._reap_locked()
+            now = time.time()
+            _QUEUE_DEPTH.set(len(self._queue))
+            _TASKS_INFLIGHT.set(len(self._leases))
+            _WORKERS_LIVE.set(len(self._workers))
+            _HEARTBEAT_AGE.clear()
+            for worker, seen in self._workers.items():
+                _HEARTBEAT_AGE.set(max(0.0, now - seen), worker=worker)
 
     @property
     def worker_count(self) -> int:
@@ -399,6 +483,9 @@ class CoordinatorHTTPServer(ThreadingHTTPServer):
         self.coordinator = coordinator
         self.verbose = verbose
         self.token = token if token is not None else service_token()
+        self.start_time = time.time()
+        self.logger = get_logger("coordinator", verbose=verbose)
+        obs_metrics.install_stage_observer()
 
     @property
     def url(self) -> str:
@@ -413,8 +500,9 @@ class _CoordinatorRequestHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        if self.server.verbose:
-            sys.stderr.write("coordinator: %s\n" % (format % args))
+        # Per-request chatter logs at DEBUG: visible with --verbose (which
+        # forces the logger to DEBUG) or REPRO_LOG_LEVEL=DEBUG.
+        self.server.logger.debug(format % args)
 
     def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
         send_json(self, status, payload)
@@ -424,7 +512,24 @@ class _CoordinatorRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802
         if self.path == "/healthz":  # liveness probe: exempt from auth
-            self._send_json(200, {"ok": True})
+            self._send_json(
+                200,
+                {
+                    "ok": True,
+                    "role": "coordinator",
+                    "version": __version__,
+                    "uptime_seconds": round(time.time() - self.server.start_time, 3),
+                },
+            )
+            return
+        if self.path == "/metrics":  # scrape endpoint: exempt like /healthz
+            self.server.coordinator.update_metrics_gauges()
+            body = obs_metrics.REGISTRY.render().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
             return
         if not check_auth(self, self.server.token):
             return
@@ -443,11 +548,13 @@ class _CoordinatorRequestHandler(BaseHTTPRequestHandler):
             return
         if self.path == "/workers/heartbeat":
             tasks = body.get("tasks")
+            trace_id = body.get("trace_id")
             self._send_json(
                 200,
                 coordinator.heartbeat(
                     str(body.get("worker_id", "")),
                     tasks if isinstance(tasks, list) else None,
+                    trace_id=str(trace_id) if trace_id else None,
                 ),
             )
             return

@@ -40,6 +40,7 @@ from repro.errors import RemoteError, RemoteProtocolError
 from repro.eval import experiments, taskgraph
 from repro.explore import evaluate as explore_evaluate
 from repro.ingest import evaluate as ingest_evaluate
+from repro.obs import tracing as obs_tracing
 
 #: The closed set of payload functions a worker will execute, by wire name.
 #: :func:`register_payload_function` may extend it (tests, future sweeps).
@@ -157,6 +158,12 @@ def encode_task(task: "taskgraph.Task", cache_spec: Optional[str]) -> Dict[str, 
         # Advisory only: the coordinator's cost-ordered lease queue weighs
         # specs by (kind, workload); execution never depends on it.
         spec["workload"] = task.workload
+    trace_context = obs_tracing.wire_context()
+    if trace_context is not None:
+        # Workers long-poll, so trace context cannot ride request headers on
+        # the coordinator→worker hop; it rides the spec instead and the
+        # worker re-parents its task span under the submitting scheduler.
+        spec["trace"] = trace_context
     return spec
 
 
@@ -292,7 +299,11 @@ def http_post_json(url: str, payload: Dict[str, Any], timeout: float = 30.0) -> 
         url,
         data=body,
         method="POST",
-        headers={"Content-Type": "application/json", **auth_headers()},
+        headers={
+            "Content-Type": "application/json",
+            **auth_headers(),
+            **obs_tracing.trace_headers(),
+        },
     )
     try:
         with urllib.request.urlopen(request, timeout=timeout) as response:
@@ -306,7 +317,9 @@ def http_post_json(url: str, payload: Dict[str, Any], timeout: float = 30.0) -> 
 def http_get_json(url: str, timeout: float = 30.0) -> Dict[str, Any]:
     """GET *url* (with the auth header when a token is set) and return the
     decoded JSON response body; a 401 raises :class:`RemoteError`."""
-    request = urllib.request.Request(url, headers=auth_headers())
+    request = urllib.request.Request(
+        url, headers={**auth_headers(), **obs_tracing.trace_headers()}
+    )
     try:
         with urllib.request.urlopen(request, timeout=timeout) as response:
             data = response.read()

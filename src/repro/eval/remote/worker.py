@@ -37,6 +37,9 @@ from typing import Any, Dict, List, Optional
 from repro.errors import RemoteError
 from repro.eval.cache import ArtifactCache, set_process_hmac_key
 from repro.eval.remote import protocol
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
+from repro.obs.logs import get_logger
 
 #: Test hook: crash (os._exit) on leasing a task whose id contains this value.
 SELF_DESTRUCT_ENV = "REPRO_WORKER_SELF_DESTRUCT"
@@ -45,10 +48,16 @@ SELF_DESTRUCT_ENV = "REPRO_WORKER_SELF_DESTRUCT"
 #: before the worker concludes the run is over and exits cleanly.
 MAX_CONSECUTIVE_FAILURES = 5
 
+_TASKS_EXECUTED = obs_metrics.counter(
+    "repro_worker_tasks_executed_total", "Task specs this worker process executed, by outcome."
+)
+
 
 def _log(message: str, verbose: bool) -> None:
-    if verbose:
-        print(f"worker: {message}", file=sys.stderr)
+    # Per-task chatter logs at DEBUG; the logger is forced to DEBUG when the
+    # worker runs with verbose=True, preserving the historical --verbose
+    # behaviour while $REPRO_LOG_LEVEL filters everything else.
+    get_logger("worker", verbose=verbose).debug(message)
 
 
 def _register(
@@ -74,17 +83,34 @@ def _register(
             time.sleep(0.5)
 
 
-def _execute_spec(spec: Dict[str, Any], cache: ArtifactCache) -> Dict[str, Any]:
-    """Run one decoded task spec; returns the completion payload fields."""
+def _execute_spec(
+    spec: Dict[str, Any], cache: ArtifactCache, worker_id: Optional[str] = None
+) -> Dict[str, Any]:
+    """Run one decoded task spec; returns the completion payload fields.
+
+    When the spec carries trace context (the submitting scheduler was
+    traced), the task span recorded here re-parents under that scheduler's
+    span, so a distributed run still yields one coherent trace.
+    """
     start = time.time()
+    trace_ctx = spec.get("trace") or {}
     try:
-        task_id, fn, args, key, serializer = protocol.decode_task(spec, cache.spec)
-        value = cache.get_or_compute(key, lambda: fn(*args), serializer=serializer)
+        with obs_tracing.activate(trace_ctx.get("trace_id"), trace_ctx.get("parent_id")):
+            with obs_tracing.span(
+                f"task:{spec.get('task_id', '?')}",
+                kind=str(spec.get("kind", "task")),
+                worker=worker_id or f"pid:{os.getpid()}",
+                attempt=spec.get("attempt", 1),
+            ):
+                task_id, fn, args, key, serializer = protocol.decode_task(spec, cache.spec)
+                value = cache.get_or_compute(key, lambda: fn(*args), serializer=serializer)
+        _TASKS_EXECUTED.inc(outcome="ok")
         if serializer in ("pickle", "artifact"):
             # The artifact is in the shared cache; don't ship it again.
             return {"ok": True, "in_cache": True, "value": None, "start": start, "end": time.time()}
         return {"ok": True, "in_cache": False, "value": value, "start": start, "end": time.time()}
     except Exception as exc:  # deterministic failures go back to the parent
+        _TASKS_EXECUTED.inc(outcome="error")
         return {
             "ok": False,
             "in_cache": False,
@@ -118,6 +144,8 @@ def run_worker(
         coordinator_url = f"http://{coordinator_url}"
     if hmac_key:
         set_process_hmac_key(hmac_key)
+    obs_tracing.set_service("worker")
+    obs_metrics.install_stage_observer()
     cache = ArtifactCache.from_spec(cache_spec)
     registration = _register(coordinator_url, name, startup_timeout, verbose)
     worker_id = registration["worker_id"]
@@ -128,8 +156,9 @@ def run_worker(
     # The task currently being executed, as seen by the heartbeat thread.
     # Heartbeats renew only this lease: a finished task whose completion
     # notice was lost must be allowed to expire and be reassigned, or the
-    # run would wait on it forever.
-    active: Dict[str, Optional[str]] = {"task": None}
+    # run would wait on it forever.  "trace" carries the current task's
+    # trace id so the coordinator can attribute a stuck worker to a trace.
+    active: Dict[str, Optional[str]] = {"task": None, "trace": None}
 
     def heartbeat_loop() -> None:
         interval = max(0.5, lease_timeout / 3.0)
@@ -138,7 +167,11 @@ def run_worker(
             try:
                 response = protocol.http_post_json(
                     f"{coordinator_url}/workers/heartbeat",
-                    {"worker_id": worker_id, "tasks": [current] if current else []},
+                    {
+                        "worker_id": worker_id,
+                        "tasks": [current] if current else [],
+                        "trace_id": active["trace"],
+                    },
                     timeout=10.0,
                 )
                 if response.get("shutdown"):
@@ -180,10 +213,12 @@ def run_worker(
                 os._exit(17)
             _log(f"executing {task_id} (attempt {spec.get('attempt', 1)})", verbose)
             active["task"] = task_id
+            active["trace"] = (spec.get("trace") or {}).get("trace_id")
             try:
-                outcome = _execute_spec(spec, cache)
+                outcome = _execute_spec(spec, cache, worker_id=worker_id)
             finally:
                 active["task"] = None
+                active["trace"] = None
             for attempt in range(3):
                 try:
                     protocol.http_post_json(

@@ -54,6 +54,7 @@ from repro.eval.cache import (
     set_process_hmac_key,
 )
 from repro.eval.trace import TraceRecorder
+from repro.obs import tracing as obs_tracing
 from repro.sim.system import resimulate_with_split
 from repro.sim.timing import simulate_partitioned
 from repro.workloads import get_workload
@@ -288,6 +289,7 @@ def _execute_in_worker(
     cache_spec: Optional[str],
     serializer: str,
     hmac_key: Optional[str] = None,
+    trace_ctx: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Pool-worker entry: run one task payload through the shared cache.
 
@@ -299,18 +301,30 @@ def _execute_in_worker(
     multi-megabyte pipe serialisation) while small JSON values ride in
     ``value`` directly; ``pid``/``start``/``end`` feed the ``--trace``
     timeline.
+
+    *trace_ctx* carries the parent's span context (plus task id/kind) across
+    the process boundary: thread-local trace state does not survive a fork,
+    so when ``$REPRO_TRACE`` is active in this child the task span recorded
+    here is re-parented under the scheduler's span explicitly.
     """
     start = time.time()
     if hmac_key is not None:
         set_process_hmac_key(hmac_key)
-    in_cache = False
-    if key is not None and cache_spec is not None:
-        cache = ArtifactCache.from_spec(cache_spec)
-        value = cache.get_or_compute(key, lambda: fn(*args), serializer=serializer)
-        if serializer in ("pickle", "artifact"):
-            value, in_cache = None, True
-    else:
-        value = fn(*args)
+    ctx = trace_ctx or {}
+    with obs_tracing.activate(ctx.get("trace_id"), ctx.get("parent_id")):
+        with obs_tracing.span(
+            f"task:{ctx.get('task_id', getattr(fn, '__name__', 'task'))}",
+            kind=str(ctx.get("kind", "task")),
+            worker=f"pid:{os.getpid()}",
+        ):
+            in_cache = False
+            if key is not None and cache_spec is not None:
+                cache = ArtifactCache.from_spec(cache_spec)
+                value = cache.get_or_compute(key, lambda: fn(*args), serializer=serializer)
+                if serializer in ("pickle", "artifact"):
+                    value, in_cache = None, True
+            else:
+                value = fn(*args)
     return {
         "value": value,
         "in_cache": in_cache,
@@ -500,6 +514,9 @@ class LocalProcessExecutor(TaskExecutor):
     def submit(self, task: Task, cache: Optional[ArtifactCache]) -> None:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        trace_ctx = obs_tracing.wire_context()
+        if trace_ctx is not None:
+            trace_ctx = {**trace_ctx, "task_id": task.task_id, "kind": task.kind}
         future = self._pool.submit(
             _execute_in_worker,
             task.fn,
@@ -508,6 +525,7 @@ class LocalProcessExecutor(TaskExecutor):
             cache.spec if cache is not None else None,
             task.serializer,
             cache.hmac_key if cache is not None else None,
+            trace_ctx,
         )
         self._futures[future] = task
 
@@ -624,6 +642,10 @@ class TaskScheduler:
 
     def run(self) -> Dict[str, Any]:
         """Execute every task; returns ``{task_id: value}`` for the whole graph."""
+        with obs_tracing.span("scheduler.run", kind="scheduler", tasks=len(self.graph)):
+            return self._run()
+
+    def _run(self) -> Dict[str, Any]:
         order = self.graph.topological_order()
         keyed = self.cache is not None and bool(self.cache.hmac_key)
         if keyed:
@@ -678,6 +700,13 @@ class TaskScheduler:
         if self.trace is not None:
             self.trace.record(task.task_id, task.kind, worker, start, end)
 
+    def _obs_mark(self, task: Task, **attrs: Any) -> None:
+        """Record a zero-duration span for a node satisfied without running
+        (seed / parent-side cache hit / parked twin), so a trace covers every
+        scheduled node, not just the executed ones."""
+        with obs_tracing.span(f"task:{task.task_id}", kind=task.kind, worker="parent", **attrs):
+            pass
+
     def _sweep_locks(self, tasks: Sequence[Task]) -> None:
         """Interrupt cleanup: drop the per-key lock files of abandoned tasks."""
         if self.cache is None:
@@ -691,16 +720,21 @@ class TaskScheduler:
         for task in order:
             if task.task_id in self.seeds:
                 self._count_seeded(task)
+                self._obs_mark(task, seeded=True)
                 self._record(task, self.seeds[task.task_id], results)
                 continue
             hit = self._cached_or_none(task)
             if hit is not None:
                 self._count_hit(task)
+                self._obs_mark(task, cache_hit=True)
                 self._record(task, hit, results)
                 continue
             start = time.time()
             try:
-                value = self._run_task_inline(task, results)
+                with obs_tracing.span(
+                    f"task:{task.task_id}", kind=task.kind, worker="parent", cache_hit=False
+                ):
+                    value = self._run_task_inline(task, results)
             except KeyboardInterrupt:
                 self._sweep_locks([task])
                 raise
@@ -739,11 +773,15 @@ class TaskScheduler:
                 in_flight_keys.pop(task.key, None)
                 for twin in parked.pop(task.key, ()):  # noqa: B905 - list default
                     self._count_hit(twin)
+                    self._obs_mark(twin, cache_hit=True)
                     complete(twin, value)
 
         def run_inline(task: Task) -> None:
             start = time.time()
-            value = self._run_task_inline(task, results)
+            with obs_tracing.span(
+                f"task:{task.task_id}", kind=task.kind, worker="parent", cache_hit=False
+            ):
+                value = self._run_task_inline(task, results)
             self._count_executed(task)
             self._trace_span(task, "parent", start, time.time())
             complete(task, value)
@@ -757,11 +795,15 @@ class TaskScheduler:
                         current = task
                         if task.task_id in self.seeds:
                             self._count_seeded(task)
+                            self._obs_mark(task, seeded=True)
                             complete(task, self.seeds[task.task_id])
                             continue
                         if not task.runs_in_worker():
                             start = time.time()
-                            value = task.fn(results, *task.args)
+                            with obs_tracing.span(
+                                f"task:{task.task_id}", kind=task.kind, worker="parent"
+                            ):
+                                value = task.fn(results, *task.args)
                             self._count_executed(task)
                             self._trace_span(task, "parent", start, time.time())
                             complete(task, value)
@@ -769,6 +811,7 @@ class TaskScheduler:
                         hit = self._cached_or_none(task)
                         if hit is not None:
                             self._count_hit(task)
+                            self._obs_mark(task, cache_hit=True)
                             complete(task, hit)
                             continue
                         if (self.cache is None and task.deps) or not executor.can_execute(task):

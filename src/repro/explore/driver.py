@@ -35,6 +35,7 @@ from repro.explore.evaluate import explore_task, explore_task_id
 from repro.explore.frontier import OBJECTIVES, Frontier, scalar_cost
 from repro.explore.space import Candidate, SearchSpace, default_space
 from repro.explore.strategies import make_strategy
+from repro.obs import tracing as obs_tracing
 
 #: Journal document schema version (bump on incompatible layout changes;
 #: old journals are then discarded and the search replays from the cache).
@@ -237,6 +238,16 @@ class ExplorationDriver:
 
     def run(self) -> ExplorationResult:
         """Execute the search; returns the deterministic exploration result."""
+        with obs_tracing.span(
+            "explore.run",
+            kind="explore",
+            workload=self.workload,
+            strategy=self.strategy_name,
+            budget=self.budget,
+        ):
+            return self._run()
+
+    def _run(self) -> ExplorationResult:
         strategy = make_strategy(
             self.strategy_name, self.space, self.budget, self.seed,
             config=self.harness.config,
@@ -268,7 +279,16 @@ class ExplorationDriver:
                     # discard the stale suffix rather than replaying it.
                     journal = journal[:generation]
                 fresh = [c for c in batch if c not in known]
-                computed = self._evaluate(fresh) if fresh else {}
+                if fresh:
+                    with obs_tracing.span(
+                        f"explore.generation:{generation}",
+                        kind="explore",
+                        generation=generation,
+                        candidates=len(fresh),
+                    ):
+                        computed = self._evaluate(fresh)
+                else:
+                    computed = {}
                 batch_results = {c: known.get(c, computed.get(c)) for c in batch}
                 journal = journal[:generation] + [
                     [

@@ -25,6 +25,7 @@ import dataclasses
 from collections import OrderedDict
 from typing import Any, Dict, Optional
 
+from repro import perf
 from repro.config import CompilerConfig
 from repro.eval import taskgraph
 from repro.eval.cache import ArtifactCache, compile_key, derived_key
@@ -158,27 +159,28 @@ def compute_explore_point(
     match, so a search that varies only runtime/queue/HLS dimensions pays
     for DSWP once per distinct partition, not once per candidate.
     """
-    result = taskgraph._sweep_input(name, config, cache_root)
-    candidate_config = apply_params(space_from_dict(space_dict), config, params)
-    parent = compile_key(get_workload(name).source, config)
-    dswp = _candidate_dswp(parent, result, candidate_config, cache_root)
-    system = evaluate_with_partition(
-        result.name,
-        result.module,
-        result.execution.trace,
-        dswp,
-        result.legup,
-        candidate_config,
-    )
-    return {
-        "workload": name,
-        "params": dict(sorted(params.items())),
-        "cycles": system.twill.cycles,
-        "area_luts": system.twill.area.luts,
-        "power_mw": system.twill.power.total_mw,
-        "speedup_vs_sw": system.speedup_vs_software,
-        "queues": float(dswp.partitioning.total_queues),
-    }
+    with perf.stage("explore"):
+        result = taskgraph._sweep_input(name, config, cache_root)
+        candidate_config = apply_params(space_from_dict(space_dict), config, params)
+        parent = compile_key(get_workload(name).source, config)
+        dswp = _candidate_dswp(parent, result, candidate_config, cache_root)
+        system = evaluate_with_partition(
+            result.name,
+            result.module,
+            result.execution.trace,
+            dswp,
+            result.legup,
+            candidate_config,
+        )
+        return {
+            "workload": name,
+            "params": dict(sorted(params.items())),
+            "cycles": system.twill.cycles,
+            "area_luts": system.twill.area.luts,
+            "power_mw": system.twill.power.total_mw,
+            "speedup_vs_sw": system.speedup_vs_software,
+            "queues": float(dswp.partitioning.total_queues),
+        }
 
 
 def explore_task_id(name: str, candidate: Candidate) -> str:

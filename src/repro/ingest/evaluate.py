@@ -24,6 +24,7 @@ from __future__ import annotations
 import hashlib
 from typing import Any, Dict
 
+from repro import perf
 from repro.config import CompilerConfig
 from repro.errors import FrontendError, InterpreterError, IRError
 from repro.eval import taskgraph
@@ -49,6 +50,20 @@ def compute_ingest_report(
     parser, lowering, and execution failures all land in ``diagnostics``
     with ``ok=False``.
     """
+    with perf.stage("ingest"):
+        return _compute_ingest_report(
+            name, source, filename, config, includes, skipped_includes
+        )
+
+
+def _compute_ingest_report(
+    name: str,
+    source: str,
+    filename: str,
+    config: CompilerConfig,
+    includes: tuple,
+    skipped_includes: tuple,
+) -> Dict[str, Any]:
     digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
     report: Dict[str, Any] = {
         "name": name,

@@ -1,0 +1,200 @@
+"""``repro cluster status``: one live summary from the services' endpoints.
+
+Scrapes a coordinator (``/healthz``, ``/status``, ``/metrics``) and
+optionally a cache service (``/healthz``, ``/metrics``) and folds the
+results into one structure / one human-readable block: worker liveness and
+heartbeat ages (with the trace id each worker last reported, so a stuck
+task is attributable), queue depth, lease and completion counters,
+observed task throughput (completions over service uptime), and the cache
+store's hit/miss/size picture.
+
+``/metrics`` is Prometheus text, so this module carries
+:func:`parse_prometheus` — a small parser for the exposition format
+producing ``{name: [(labels, value), ...]}``.  ``/healthz`` and
+``/metrics`` are auth-exempt; ``/status`` presents the shared service
+token via the normal protocol helpers when one is configured.
+"""
+
+from __future__ import annotations
+
+import re
+import urllib.request
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import RemoteError
+from repro.eval.remote.protocol import TRANSPORT_ERRORS, auth_headers, http_get_json
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus(text: str) -> Dict[str, List[Tuple[Dict[str, str], float]]]:
+    """Parse Prometheus text exposition into ``{name: [(labels, value)]}``."""
+    samples: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            continue
+        labels: Dict[str, str] = {}
+        if match.group("labels"):
+            for label_match in _LABEL_RE.finditer(match.group("labels")):
+                value = label_match.group(2)
+                value = value.replace('\\"', '"').replace("\\n", "\n").replace("\\\\", "\\")
+                labels[label_match.group(1)] = value
+        raw = match.group("value")
+        try:
+            value = float("inf") if raw == "+Inf" else float(raw)
+        except ValueError:
+            continue
+        samples.setdefault(match.group("name"), []).append((labels, value))
+    return samples
+
+
+def metric_value(
+    samples: Dict[str, List[Tuple[Dict[str, str], float]]],
+    name: str,
+    **labels: str,
+) -> Optional[float]:
+    """Sum of *name* samples whose labels include *labels* (``None`` = absent)."""
+    rows = samples.get(name)
+    if rows is None:
+        return None
+    matched = [
+        value
+        for sample_labels, value in rows
+        if all(sample_labels.get(k) == v for k, v in labels.items())
+    ]
+    if not matched:
+        return None
+    return sum(matched)
+
+
+def _normalise_url(url: str) -> str:
+    url = url.strip().rstrip("/")
+    if not url.startswith(("http://", "https://")):
+        url = f"http://{url}"
+    return url
+
+
+def fetch_metrics_text(base_url: str, timeout: float = 10.0) -> str:
+    """GET ``/metrics`` (plain text; auth-exempt like ``/healthz``)."""
+    request = urllib.request.Request(f"{base_url}/metrics", headers=auth_headers())
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.read().decode("utf-8")
+
+
+def collect_status(
+    coordinator_url: str,
+    cache_url: Optional[str] = None,
+    timeout: float = 10.0,
+) -> Dict[str, Any]:
+    """Scrape the services and fold everything into one JSON-able summary."""
+    coordinator_url = _normalise_url(coordinator_url)
+    summary: Dict[str, Any] = {"coordinator": {"url": coordinator_url}}
+    try:
+        health = http_get_json(f"{coordinator_url}/healthz", timeout=timeout)
+        status = http_get_json(f"{coordinator_url}/status", timeout=timeout)
+        samples = parse_prometheus(fetch_metrics_text(coordinator_url, timeout=timeout))
+    except (*TRANSPORT_ERRORS, ValueError) as exc:
+        raise RemoteError(f"coordinator at {coordinator_url} unreachable: {exc}") from exc
+    uptime = float(health.get("uptime_seconds") or 0.0)
+    completed = metric_value(samples, "repro_tasks_completed_total") or 0.0
+    summary["coordinator"].update(
+        {
+            "ok": bool(health.get("ok")),
+            "version": health.get("version"),
+            "uptime_seconds": round(uptime, 1),
+            "workers": status.get("workers", []),
+            "worker_detail": status.get("worker_detail", {}),
+            "queued": status.get("queued", 0),
+            "leased": status.get("leased", 0),
+            "shutdown": bool(status.get("shutdown")),
+            "tasks_submitted": metric_value(samples, "repro_tasks_submitted_total") or 0.0,
+            "tasks_completed": completed,
+            "tasks_requeued": metric_value(samples, "repro_tasks_requeued_total") or 0.0,
+            "throughput_per_s": round(completed / uptime, 3) if uptime > 0 else 0.0,
+        }
+    )
+    if cache_url:
+        cache_url = _normalise_url(cache_url)
+        summary["cache"] = {"url": cache_url}
+        try:
+            health = http_get_json(f"{cache_url}/healthz", timeout=timeout)
+            samples = parse_prometheus(fetch_metrics_text(cache_url, timeout=timeout))
+        except (*TRANSPORT_ERRORS, ValueError) as exc:
+            raise RemoteError(f"cache service at {cache_url} unreachable: {exc}") from exc
+        hits = metric_value(samples, "repro_cache_hits_total") or 0.0
+        misses = metric_value(samples, "repro_cache_misses_total") or 0.0
+        lookups = hits + misses
+        summary["cache"].update(
+            {
+                "ok": bool(health.get("ok")),
+                "version": health.get("version"),
+                "uptime_seconds": round(float(health.get("uptime_seconds") or 0.0), 1),
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": round(hits / lookups, 3) if lookups else None,
+                "puts": metric_value(samples, "repro_cache_puts_total") or 0.0,
+                "entries": metric_value(samples, "repro_cache_entries"),
+                "bytes": metric_value(samples, "repro_cache_bytes"),
+            }
+        )
+    return summary
+
+
+def render_status(summary: Dict[str, Any]) -> str:
+    """The human-readable block ``repro cluster status`` prints."""
+    coordinator = summary["coordinator"]
+    lines = [
+        f"coordinator {coordinator['url']} "
+        f"({'up' if coordinator.get('ok') else 'DOWN'}, "
+        f"version {coordinator.get('version') or '?'}, "
+        f"uptime {coordinator.get('uptime_seconds', 0.0):.0f}s"
+        f"{', shutting down' if coordinator.get('shutdown') else ''})",
+        f"  queue depth {coordinator.get('queued', 0)}, leased {coordinator.get('leased', 0)}, "
+        f"submitted {coordinator.get('tasks_submitted', 0):.0f}, "
+        f"completed {coordinator.get('tasks_completed', 0):.0f} "
+        f"({coordinator.get('throughput_per_s', 0.0):.2f}/s), "
+        f"requeued {coordinator.get('tasks_requeued', 0):.0f}",
+    ]
+    workers = coordinator.get("workers", [])
+    detail = coordinator.get("worker_detail", {})
+    lines.append(f"  workers live: {len(workers)}")
+    for worker in workers:
+        info = detail.get(worker, {})
+        age = info.get("heartbeat_age_seconds")
+        trace = info.get("trace_id")
+        lines.append(
+            f"    {worker}: heartbeat {age:.1f}s ago"
+            f"{f', tracing {trace}' if trace else ''}"
+            if age is not None
+            else f"    {worker}"
+        )
+    cache = summary.get("cache")
+    if cache:
+        lines.append(
+            f"cache {cache['url']} "
+            f"({'up' if cache.get('ok') else 'DOWN'}, "
+            f"version {cache.get('version') or '?'}, "
+            f"uptime {cache.get('uptime_seconds', 0.0):.0f}s)"
+        )
+        rate = cache.get("hit_rate")
+        lines.append(
+            f"  hits {cache.get('hits', 0):.0f}, misses {cache.get('misses', 0):.0f}"
+            f"{f' (hit rate {rate:.1%})' if rate is not None else ''}, "
+            f"puts {cache.get('puts', 0):.0f}"
+        )
+        entries, size = cache.get("entries"), cache.get("bytes")
+        if entries is not None or size is not None:
+            lines.append(
+                f"  store: {entries if entries is not None else '?'} entries, "
+                f"{f'{size / 1e6:.1f} MB' if size is not None else '? bytes'}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""``logging``-based structured loggers for the remote services.
+
+Replaces the ad-hoc ``print(..., file=sys.stderr)`` / ``sys.stderr.write``
+calls that coordinator, worker and cache-service code grew organically.
+Each service gets a named logger (``repro.worker``, ``repro.coordinator``,
+``repro.cache``) writing single-line records to stderr in the same
+``<service>: <message>`` shape the prints used — prefixed with a timestamp
+and level — so log-scraping expectations and the smoke tests keep working
+while levels become filterable.
+
+The effective level comes from ``$REPRO_LOG_LEVEL`` (``DEBUG`` … ``ERROR``,
+default ``INFO``).  The services' ``--verbose``/``verbose=`` flags map onto
+this: verbose mode forces ``DEBUG`` for that service's logger (per-request
+and per-task chatter logs at ``DEBUG``), while lifecycle messages log at
+``INFO`` and degradations at ``WARNING`` so they surface by default.
+Handlers attach once per logger; repeated :func:`get_logger` calls are
+cheap and idempotent.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional
+
+#: Environment variable selecting the default level (name or number).
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+_FORMAT = "%(asctime)s %(levelname).1s %(service)s: %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+
+class _ServiceFormatter(logging.Formatter):
+    """Renders ``repro.<service>`` logger names as the bare service name."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        record.service = record.name.rpartition(".")[2]
+        return super().format(record)
+
+
+def env_level(default: int = logging.INFO) -> int:
+    """The level ``$REPRO_LOG_LEVEL`` selects (*default* when unset/bogus)."""
+    raw = (os.environ.get(LOG_LEVEL_ENV) or "").strip()
+    if not raw:
+        return default
+    if raw.isdigit():
+        return int(raw)
+    level = logging.getLevelName(raw.upper())
+    return level if isinstance(level, int) else default
+
+
+def get_logger(service: str, verbose: Optional[bool] = None) -> logging.Logger:
+    """The stderr logger for *service* (``worker``, ``coordinator``, ``cache``).
+
+    *verbose* True forces ``DEBUG`` regardless of the environment; False or
+    ``None`` defers to ``$REPRO_LOG_LEVEL`` (default ``INFO``).
+    """
+    logger = logging.getLogger(f"repro.{service}")
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(_ServiceFormatter(_FORMAT, _DATE_FORMAT))
+        logger.addHandler(handler)
+        logger.propagate = False
+    logger.setLevel(logging.DEBUG if verbose else env_level())
+    return logger

@@ -1,0 +1,306 @@
+"""Span-based structured tracing with cross-process / cross-host propagation.
+
+A *span* is one timed unit of work: a task-graph node execution, a cache
+lookup, a harness run, an explore generation, or one HTTP request handled
+by a remote service.  Spans carry a ``trace_id`` shared by everything in
+one logical run, their own ``span_id``, and the ``parent_id`` of the
+enclosing span, so a renderer can reassemble the tree of a distributed run
+from whatever order the records landed in.
+
+Tracing is **off by default** and strictly observational: enabling it must
+never change any computed output (the byte-identity tests pin this).  The
+switch is the ``$REPRO_TRACE`` environment variable naming a JSONL sink
+file; every process that inherits it — the CLI, pool children, worker
+daemons, the cache service — appends one JSON object per finished span
+(single ``O_APPEND`` writes, safe across processes).  Timestamps pair a
+wall-clock ``start`` (``time.time``, comparable across hosts) with a
+duration measured on the monotonic clock, so ``end - start`` is immune to
+clock steps.
+
+Context lives in a per-thread stack: :func:`span` opens a child of the
+innermost active span (or starts a new trace), and :func:`activate` adopts
+a ``(trace_id, parent_id)`` pair that arrived from another process — via
+the ``trace`` field of a task spec (coordinator → worker and local pool
+hops) or via the ``X-Repro-Trace-Id`` / ``X-Repro-Parent-Span`` HTTP
+headers (client → cache service hops, injected by the protocol helpers).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+#: Environment variable naming the JSONL sink; set = tracing on.
+TRACE_ENV = "REPRO_TRACE"
+
+#: HTTP headers carrying trace context across service hops.
+TRACE_ID_HEADER = "X-Repro-Trace-Id"
+PARENT_SPAN_HEADER = "X-Repro-Parent-Span"
+
+#: In-memory span buffer cap per process (the JSONL sink is unbounded).
+_BUFFER_LIMIT = 100_000
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id (hex)."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id (hex)."""
+    return os.urandom(8).hex()
+
+
+class _LiveSpan:
+    """The object a ``with span(...)`` block receives: ids + attr setter."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "kind", "worker", "attrs")
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        name: str,
+        kind: str,
+        worker: Optional[str],
+        attrs: Dict[str, Any],
+    ):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.kind = kind
+        self.worker = worker
+        self.attrs = attrs
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach one attribute (JSON-serialisable) to the span."""
+        self.attrs[key] = value
+
+
+class _NullSpan:
+    """Stand-in yielded when tracing is off; absorbs attribute writes."""
+
+    __slots__ = ()
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    parent_id: Optional[str] = None
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Records finished spans to an in-memory buffer and a JSONL sink."""
+
+    def __init__(self, sink: Optional[Path] = None, service: str = "cli"):
+        self.sink = Path(sink) if sink else None
+        self.service = service
+        self._lock = threading.Lock()
+        self._spans: List[Dict[str, Any]] = []
+
+    def record(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if len(self._spans) < _BUFFER_LIMIT:
+                self._spans.append(record)
+            if self.sink is not None:
+                try:
+                    with open(self.sink, "a", encoding="utf-8") as handle:
+                        handle.write(line + "\n")
+                except OSError:
+                    pass  # observe-only: a broken sink must never fail work
+
+    def spans(self) -> List[Dict[str, Any]]:
+        """This process's finished spans (the report's timeline source)."""
+        with self._lock:
+            return list(self._spans)
+
+
+# The process tracer: _UNSET until first use, then a Tracer or None.
+_UNSET = object()
+_tracer: Any = _UNSET
+_service_name = "cli"
+
+
+class _Context(threading.local):
+    def __init__(self) -> None:
+        self.stack: List[Tuple[str, Optional[str]]] = []
+
+
+_context = _Context()
+
+
+def tracer() -> Optional[Tracer]:
+    """The process tracer, lazily built from ``$REPRO_TRACE`` (``None`` = off)."""
+    global _tracer
+    if _tracer is _UNSET:
+        path = (os.environ.get(TRACE_ENV) or "").strip()
+        _tracer = Tracer(Path(path), service=_service_name) if path else None
+    return _tracer
+
+
+def enabled() -> bool:
+    """Whether tracing is active in this process."""
+    return tracer() is not None
+
+
+def enable(sink: Optional[Path] = None, service: Optional[str] = None) -> Tracer:
+    """Programmatically switch tracing on (tests; env-free embedding)."""
+    global _tracer
+    _tracer = Tracer(sink, service=service or _service_name)
+    return _tracer
+
+
+def reset() -> None:
+    """Forget the process tracer so the next use re-reads ``$REPRO_TRACE``."""
+    global _tracer
+    _tracer = _UNSET
+    _context.stack = []
+
+
+def set_service(name: str) -> None:
+    """Name this process's role (``cli``, ``worker``, ``cache``, ``pool``)."""
+    global _service_name
+    _service_name = name
+    active = tracer()
+    if active is not None:
+        active.service = name
+
+
+def current() -> Optional[Tuple[str, Optional[str]]]:
+    """The innermost ``(trace_id, span_id)`` on this thread, if any."""
+    stack = _context.stack
+    return stack[-1] if stack else None
+
+
+def wire_context() -> Optional[Dict[str, Optional[str]]]:
+    """The active context as a JSON-able dict for task specs (or ``None``)."""
+    if tracer() is None:
+        return None
+    active = current()
+    if active is None:
+        return None
+    return {"trace_id": active[0], "parent_id": active[1]}
+
+
+def trace_headers() -> Dict[str, str]:
+    """HTTP headers carrying the active context (empty when off or idle)."""
+    context = wire_context()
+    if context is None or not context.get("trace_id"):
+        return {}
+    headers = {TRACE_ID_HEADER: str(context["trace_id"])}
+    if context.get("parent_id"):
+        headers[PARENT_SPAN_HEADER] = str(context["parent_id"])
+    return headers
+
+
+def context_from_headers(headers: Mapping[str, str]) -> Optional[Tuple[str, Optional[str]]]:
+    """Extract ``(trace_id, parent_id)`` from request *headers*, if present."""
+    trace_id = headers.get(TRACE_ID_HEADER)
+    if not trace_id:
+        return None
+    return str(trace_id), headers.get(PARENT_SPAN_HEADER) or None
+
+
+@contextmanager
+def activate(trace_id: Optional[str], parent_id: Optional[str] = None) -> Iterator[None]:
+    """Adopt a propagated context for the block: spans opened inside become
+    children of *parent_id* within *trace_id*.  No-op when *trace_id* is
+    falsy, so callers can pass whatever the wire carried."""
+    if not trace_id:
+        yield
+        return
+    stack = _context.stack
+    stack.append((str(trace_id), parent_id))
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+@contextmanager
+def span(
+    name: str,
+    kind: str = "span",
+    worker: Optional[str] = None,
+    **attrs: Any,
+) -> Iterator[Any]:
+    """Open one span for the block; free (one ``None`` check) when off.
+
+    The yielded object exposes ``trace_id`` / ``span_id`` and ``set(key,
+    value)`` for late attributes (e.g. ``cache_hit`` once known).  The span
+    is recorded when the block exits, with an ``error`` attribute when it
+    exits by exception (which still propagates)."""
+    active = tracer()
+    if active is None:
+        yield NULL_SPAN
+        return
+    parent = current()
+    trace_id = parent[0] if parent else new_trace_id()
+    parent_id = parent[1] if parent else None
+    live = _LiveSpan(trace_id, new_span_id(), parent_id, name, kind, worker, dict(attrs))
+    stack = _context.stack
+    stack.append((trace_id, live.span_id))
+    start_wall = time.time()
+    start_mono = time.perf_counter()
+    try:
+        yield live
+    except BaseException as exc:
+        live.attrs["error"] = f"{type(exc).__name__}: {exc}"
+        raise
+    finally:
+        stack.pop()
+        duration = time.perf_counter() - start_mono
+        active.record(
+            {
+                "trace_id": live.trace_id,
+                "span_id": live.span_id,
+                "parent_id": live.parent_id,
+                "name": live.name,
+                "kind": live.kind,
+                "service": active.service,
+                "worker": live.worker,
+                "start": start_wall,
+                "end": start_wall + duration,
+                "attrs": live.attrs,
+            }
+        )
+
+
+@contextmanager
+def server_span(
+    name: str,
+    headers: Mapping[str, str],
+    kind: str = "http",
+    **attrs: Any,
+) -> Iterator[Any]:
+    """A service-side span for one handled request, parented to the client's
+    span via the trace headers.  Records nothing for untraced requests
+    (no headers) or when tracing is off in the server process, so health
+    probes and unrelated traffic never produce orphan spans."""
+    if tracer() is None:
+        yield NULL_SPAN
+        return
+    context = context_from_headers(headers)
+    if context is None:
+        yield NULL_SPAN
+        return
+    with activate(context[0], context[1]):
+        with span(name, kind=kind, **attrs) as live:
+            yield live
+
+
+def current_trace_id() -> Optional[str]:
+    """The active trace id on this thread (heartbeat attribution), if any."""
+    active = current()
+    return active[0] if active else None

@@ -18,10 +18,12 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, Optional
+from typing import Callable, Dict, Iterator, Optional
 
 #: Canonical stage names, in pipeline order (used for stable table output).
-STAGES = ("lex", "parse", "lower", "ssa", "interp", "dswp", "hls", "replay")
+#: ``ingest`` covers raw-C workload ingestion (repro.ingest.evaluate) and
+#: ``explore`` one candidate evaluation (repro.explore.evaluate).
+STAGES = ("lex", "parse", "lower", "ssa", "interp", "dswp", "hls", "replay", "ingest", "explore")
 
 
 class StageTimings:
@@ -61,6 +63,20 @@ class StageTimings:
 
 _active: Optional[StageTimings] = None
 
+#: Optional ``(stage_name, elapsed_seconds)`` callback fed on every timed
+#: stage regardless of any :func:`collect` block.  The metrics bridge
+#: (:func:`repro.obs.metrics.install_stage_observer`) is the one consumer.
+_observer: Optional[Callable[[str, float], None]] = None
+
+
+def set_stage_observer(observer: Optional[Callable[[str, float], None]]) -> Optional[Callable[[str, float], None]]:
+    """Install (or clear, with ``None``) the stage observer; returns the
+    previous one so scoped callers can restore it."""
+    global _observer
+    previous = _observer
+    _observer = observer
+    return previous
+
 
 @contextmanager
 def collect() -> Iterator[StageTimings]:
@@ -83,11 +99,16 @@ def collect() -> Iterator[StageTimings]:
 def stage(name: str) -> Iterator[None]:
     """Time one stage execution; free (one ``None`` check) when not collecting."""
     recorder = _active
-    if recorder is None:
+    observer = _observer
+    if recorder is None and observer is None:
         yield
         return
     start = time.perf_counter()
     try:
         yield
     finally:
-        recorder.add(name, time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        if recorder is not None:
+            recorder.add(name, elapsed)
+        if observer is not None:
+            observer(name, elapsed)

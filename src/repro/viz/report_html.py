@@ -186,6 +186,7 @@ def build_report_html(
     figures: Dict[str, str],
     metadata: Dict[str, Any],
     trace_spans: Optional[Sequence[Span]] = None,
+    obs_spans: Optional[Sequence[Span]] = None,
 ) -> str:
     """Assemble the complete, self-contained report document."""
     parts: List[str] = [
@@ -272,6 +273,17 @@ def build_report_html(
             "<code>--trace</code>; gaps are genuine idle time.</p>"
         )
         parts.append(timeline_chart(list(trace_spans)).rstrip("\n"))
+        parts.append("</section>")
+
+    if obs_spans:
+        parts.append('<section class="card" id="obs-timeline">')
+        parts.append("<h2>Telemetry span timeline</h2>")
+        parts.append(
+            '<p class="caption">Structured spans recorded by '
+            "<code>$REPRO_TRACE</code> (see docs/OBSERVABILITY.md); one lane "
+            "per worker or service, scheduler and harness spans included.</p>"
+        )
+        parts.append(timeline_chart(list(obs_spans)).rstrip("\n"))
         parts.append("</section>")
 
     parts.append("<footer>Generated by <code>repro report --html</code>. "

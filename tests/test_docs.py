@@ -108,3 +108,31 @@ def test_reporting_doc_covers_the_viz_surface():
 
     for figure_id in RENDER_FIGURE_IDS:
         assert f"`{figure_id}`" in doc, f"REPORTING.md does not document figure {figure_id}"
+
+
+def test_observability_doc_covers_the_surface():
+    doc = _read("docs", "OBSERVABILITY.md")
+    from repro.obs.tracing import PARENT_SPAN_HEADER, TRACE_ENV, TRACE_ID_HEADER
+    from repro.obs.logs import LOG_LEVEL_ENV
+
+    for needle in (
+        TRACE_ENV,
+        TRACE_ID_HEADER,
+        PARENT_SPAN_HEADER,
+        LOG_LEVEL_ENV,
+        "repro trace",
+        "--gantt",
+        "repro cluster status",
+        "GET /metrics",
+        "/healthz",
+        "byte-identical",
+        "repro_tasks_submitted_total",
+        "repro_lease_latency_seconds",
+        "repro_cache_hits_total",
+        "repro_workers_live",
+        "repro_stage_seconds_total",
+    ):
+        assert needle in doc, f"OBSERVABILITY.md does not mention {needle!r}"
+    # The cross-reference web: each sibling doc points at the telemetry doc.
+    for sibling in ("ARCHITECTURE.md", "DISTRIBUTED.md"):
+        assert "OBSERVABILITY.md" in _read("docs", sibling), f"{sibling} does not link OBSERVABILITY.md"

@@ -1,0 +1,303 @@
+#!/usr/bin/env python3
+"""Observability smoke: /metrics scrape + cluster status + traced report.
+
+The end-to-end acceptance check of the telemetry subsystem (see
+docs/OBSERVABILITY.md), in three acts:
+
+1. **Services.** Starts one cache service and one coordinator on
+   127.0.0.1, drives a little real traffic through both (register a
+   worker, lease and complete a task, heartbeat, cache miss + put + hit),
+   then scrapes ``GET /metrics`` from each and validates the Prometheus
+   text exposition: parseable format, correct content type, and the
+   minimum metric set a dashboard needs (task throughput, queue depth,
+   worker liveness, lease latency, cache hits/misses/puts).
+2. **Cluster status.** Runs ``repro cluster status`` against the live
+   services and checks the summary reflects the traffic just driven.
+3. **Tracing.** Runs one ``repro report`` with ``$REPRO_TRACE`` set and
+   one without, asserts the two stdout payloads are byte-identical
+   (telemetry must be observe-only), asserts the captured JSONL trace
+   covers >= 95% of the executed task-graph nodes with valid parent
+   links, and renders it through ``repro trace`` (tree and Gantt views).
+
+Used by the ``obs-smoke`` CI job; handy manually:
+
+    python tools/obs_smoke.py --benchmarks blowfish
+
+Exits 0 on success, 1 with a diagnostic on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.eval.remote import protocol  # noqa: E402
+from repro.eval.remote.cache_http import HTTPCacheBackend, make_cache_server  # noqa: E402
+from repro.eval.remote.coordinator import Coordinator, start_coordinator_server  # noqa: E402
+from repro.obs.cluster import metric_value, parse_prometheus  # noqa: E402
+
+#: Every name a dashboard needs; the scrape must expose all of them.
+REQUIRED_COORDINATOR_METRICS = (
+    "repro_tasks_submitted_total",
+    "repro_tasks_leased_total",
+    "repro_tasks_completed_total",
+    "repro_tasks_requeued_total",
+    "repro_lease_latency_seconds_bucket",
+    "repro_lease_latency_seconds_count",
+    "repro_queue_depth",
+    "repro_tasks_inflight",
+    "repro_workers_live",
+)
+REQUIRED_CACHE_METRICS = (
+    "repro_cache_hits_total",
+    "repro_cache_misses_total",
+    "repro_cache_puts_total",
+    "repro_cache_entries",
+    "repro_cache_bytes",
+)
+
+
+def fail(message: str) -> int:
+    print(f"obs-smoke: FAIL — {message}", file=sys.stderr)
+    return 1
+
+
+def repro_env(**extra: str) -> Dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_TRACE", None)  # each act opts in explicitly
+    env.update(extra)
+    return env
+
+
+def repro_cmd(*args: str) -> List[str]:
+    return [sys.executable, "-m", "repro.cli", *args]
+
+
+def scrape(url: str) -> str:
+    """GET *url* and validate the exposition headers + line format."""
+    with urllib.request.urlopen(url, timeout=10.0) as response:
+        content_type = response.headers.get("Content-Type", "")
+        body = response.read().decode("utf-8")
+    if not content_type.startswith("text/plain"):
+        raise AssertionError(f"{url}: content type {content_type!r} is not text/plain")
+    seen_help: set = set()
+    for line in body.splitlines():
+        if not line or line.startswith("# HELP "):
+            if line.startswith("# HELP "):
+                seen_help.add(line.split()[2])
+            continue
+        if line.startswith("# TYPE "):
+            name = line.split()[2]
+            if name not in seen_help:
+                raise AssertionError(f"{url}: TYPE for {name} before its HELP line")
+            continue
+        name = line.split("{")[0].split()[0]
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if base.endswith(suffix):
+                base = base[: -len(suffix)]
+        if base not in seen_help:
+            raise AssertionError(f"{url}: sample {name} has no preceding HELP/TYPE")
+        value = line.rsplit(None, 1)[-1]
+        if value != "+Inf":
+            float(value)  # every sample value must be a number
+    return body
+
+
+def drive_traffic(coordinator: Coordinator, coordinator_url: str, cache_url: str) -> None:
+    """Exercise each instrumented path once so every counter has moved."""
+    registration = protocol.http_post_json(
+        f"{coordinator_url}/workers/register", {"name": "obs-smoke"}, timeout=10.0
+    )
+    worker_id = registration["worker_id"]
+    coordinator.submit({"task_id": "obs:demo", "kind": "runtime", "workload": "blowfish"})
+    lease = protocol.http_post_json(
+        f"{coordinator_url}/tasks/lease", {"worker_id": worker_id, "wait": 5.0}, timeout=20.0
+    )
+    task = lease.get("task") or {}
+    if task.get("task_id") != "obs:demo":
+        raise AssertionError(f"lease returned {task!r}, expected obs:demo")
+    protocol.http_post_json(
+        f"{coordinator_url}/workers/heartbeat",
+        {"worker_id": worker_id, "tasks": ["obs:demo"], "trace_id": "f" * 32},
+        timeout=10.0,
+    )
+    protocol.http_post_json(
+        f"{coordinator_url}/tasks/complete",
+        {
+            "worker_id": worker_id, "task_id": "obs:demo", "ok": True,
+            "value": 1, "in_cache": False, "start": time.time(), "end": time.time(),
+        },
+        timeout=10.0,
+    )
+    backend = HTTPCacheBackend(cache_url)
+    key = "ab" * 32  # keys are 64 hex chars
+    if backend.get_blob(key) is not None:
+        raise AssertionError("fresh cache served a blob for an unknown key")
+    backend.put_blob(key, "json", b'"payload"')
+    stored = backend.get_blob(key)
+    if stored is None or stored[1] != b'"payload"':
+        raise AssertionError("cache round trip lost the payload")
+
+
+def check_metrics(coordinator_url: str, cache_url: str) -> None:
+    coordinator_text = scrape(f"{coordinator_url}/metrics")
+    samples = parse_prometheus(coordinator_text)
+    for name in REQUIRED_COORDINATOR_METRICS:
+        if name not in samples:
+            raise AssertionError(f"coordinator /metrics lacks {name}")
+    if metric_value(samples, "repro_tasks_submitted_total") < 1:
+        raise AssertionError("repro_tasks_submitted_total did not count the demo task")
+    if metric_value(samples, "repro_tasks_completed_total", outcome="ok") < 1:
+        raise AssertionError("repro_tasks_completed_total{outcome=ok} did not move")
+    if metric_value(samples, "repro_workers_live") < 1:
+        raise AssertionError("repro_workers_live does not reflect the registered worker")
+    if metric_value(samples, "repro_lease_latency_seconds_count") < 1:
+        raise AssertionError("lease latency histogram observed nothing")
+
+    cache_text = scrape(f"{cache_url}/metrics")
+    samples = parse_prometheus(cache_text)
+    for name in REQUIRED_CACHE_METRICS:
+        if name not in samples:
+            raise AssertionError(f"cache /metrics lacks {name}")
+    if metric_value(samples, "repro_cache_misses_total") < 1:
+        raise AssertionError("repro_cache_misses_total did not count the probe miss")
+    if metric_value(samples, "repro_cache_hits_total") < 1:
+        raise AssertionError("repro_cache_hits_total did not count the round-trip hit")
+    if metric_value(samples, "repro_cache_entries") < 1:
+        raise AssertionError("repro_cache_entries gauge ignores the stored blob")
+    print("obs-smoke: /metrics OK on both services", flush=True)
+
+
+def check_cluster_status(coordinator_url: str, cache_url: str) -> None:
+    result = subprocess.run(
+        repro_cmd(
+            "cluster", "status",
+            "--coordinator", coordinator_url, "--cache", cache_url, "--json",
+        ),
+        env=repro_env(), capture_output=True, text=True, timeout=60.0,
+    )
+    if result.returncode != 0:
+        raise AssertionError(f"repro cluster status exited {result.returncode}: {result.stderr}")
+    summary = json.loads(result.stdout)
+    if not summary.get("coordinator", {}).get("ok"):
+        raise AssertionError(f"cluster status reports coordinator unhealthy: {summary}")
+    if len(summary["coordinator"].get("workers") or []) < 1:
+        raise AssertionError(f"cluster status lost the registered worker: {summary}")
+    if not summary.get("cache", {}).get("ok"):
+        raise AssertionError(f"cluster status reports cache unhealthy: {summary}")
+    print("obs-smoke: repro cluster status OK", flush=True)
+
+
+def check_traced_report(benchmarks: str, timeout: float) -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-obs-smoke-") as tmp:
+        trace_file = Path(tmp) / "trace.jsonl"
+        traced = subprocess.run(
+            repro_cmd("report", "--json", "--benchmarks", benchmarks, "-j", "2",
+                      "--cache-dir", str(Path(tmp) / "cache-a")),
+            env=repro_env(REPRO_TRACE=str(trace_file)),
+            capture_output=True, text=True, timeout=timeout,
+        )
+        if traced.returncode != 0:
+            raise AssertionError(f"traced report exited {traced.returncode}: {traced.stderr}")
+        plain = subprocess.run(
+            repro_cmd("report", "--json", "--benchmarks", benchmarks, "-j", "2",
+                      "--cache-dir", str(Path(tmp) / "cache-b")),
+            env=repro_env(), capture_output=True, text=True, timeout=timeout,
+        )
+        if plain.returncode != 0:
+            raise AssertionError(f"untraced report exited {plain.returncode}: {plain.stderr}")
+        if traced.stdout != plain.stdout:
+            raise AssertionError("traced report output differs from untraced output")
+        print("obs-smoke: traced report byte-identical to untraced", flush=True)
+
+        spans = [
+            json.loads(line)
+            for line in trace_file.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+        if not spans:
+            raise AssertionError("traced report wrote no spans")
+        by_id = {span["span_id"]: span for span in spans}
+        for span in spans:
+            parent = span.get("parent_id")
+            if parent is not None and parent not in by_id:
+                raise AssertionError(f"span {span['name']} has dangling parent {parent}")
+        graph = subprocess.run(
+            repro_cmd("graph", "--json", "--benchmarks", benchmarks),
+            env=repro_env(), capture_output=True, text=True, timeout=120.0,
+        )
+        node_ids = {task["id"] for task in json.loads(graph.stdout)["tasks"]}
+        covered = {
+            span["name"][len("task:"):]
+            for span in spans
+            if span["name"].startswith("task:")
+        }
+        coverage = len(node_ids & covered) / max(1, len(node_ids))
+        if coverage < 0.95:
+            missing = sorted(node_ids - covered)[:10]
+            raise AssertionError(
+                f"trace covers {coverage:.0%} of task-graph nodes (< 95%); missing {missing}"
+            )
+        print(f"obs-smoke: trace covers {coverage:.0%} of {len(node_ids)} nodes", flush=True)
+
+        for view in ([], ["--gantt"]):
+            render = subprocess.run(
+                repro_cmd("trace", str(trace_file), *view),
+                env=repro_env(), capture_output=True, text=True, timeout=60.0,
+            )
+            if render.returncode != 0 or "trace " not in render.stdout:
+                raise AssertionError(
+                    f"repro trace {' '.join(view)} failed: {render.stderr or render.stdout}"
+                )
+        print("obs-smoke: repro trace renders (tree + gantt)", flush=True)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--benchmarks", default="blowfish")
+    parser.add_argument("--timeout", type=float, default=600.0, help="per-report budget (seconds)")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="repro-obs-services-") as tmp:
+        cache_server = make_cache_server(Path(tmp) / "store", port=0)
+        threading.Thread(target=cache_server.serve_forever, daemon=True).start()
+        coordinator = Coordinator(lease_timeout=30.0)
+        coordinator_server = start_coordinator_server(coordinator, port=0)
+        cache_url = cache_server.url
+        coordinator_url = coordinator_server.url
+        print(f"obs-smoke: services up (cache {cache_url}, coordinator {coordinator_url})",
+              flush=True)
+        try:
+            drive_traffic(coordinator, coordinator_url, cache_url)
+            check_metrics(coordinator_url, cache_url)
+            check_cluster_status(coordinator_url, cache_url)
+        except AssertionError as exc:
+            return fail(str(exc))
+        finally:
+            coordinator_server.shutdown()
+            cache_server.shutdown()
+
+    try:
+        check_traced_report(args.benchmarks, args.timeout)
+    except AssertionError as exc:
+        return fail(str(exc))
+    print("obs-smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
