@@ -46,8 +46,21 @@ suite use, so numbers never diverge between entry points:
   from one daemon (see ``docs/DISTRIBUTED.md``);
 * ``repro trace TRACE.jsonl`` — render the structured span trace captured
   by running any command with ``REPRO_TRACE=TRACE.jsonl`` set: a
-  parent/child span tree per trace id, or ``--gantt`` for a per-worker
-  timeline (see ``docs/OBSERVABILITY.md``);
+  parent/child span tree per trace id, ``--gantt`` for a per-worker
+  timeline, ``--summary`` for per-kind statistics with scheduler-overhead
+  accounting, or ``--critical-path`` for the longest dependency chain
+  (see ``docs/OBSERVABILITY.md``);
+* ``repro profile <workload>`` — per-stage wall-clock times; with
+  ``--flame FILE.svg`` / ``--collapsed FILE.txt`` also attaches a sampling
+  profiler and renders the call stacks; ``repro profile --from
+  PROFILE.jsonl`` analyses profiles captured from any command via
+  ``REPRO_PROFILE=PROFILE.jsonl`` (pool and remote workers write one
+  record per process, merged on load);
+* ``repro history {show,trend,check}`` — the persistent run ledger
+  (``.repro_history/runs.jsonl``, appended by report/explore/bench runs):
+  recent records, per-metric trends (``--svg-dir`` renders line charts),
+  and rolling-median regression detection (``check`` exits non-zero when
+  the latest run is slower than ``--threshold`` times baseline);
 * ``repro cluster status --coordinator URL [--cache URL]`` — one live
   summary of a distributed run (workers, heartbeat ages, queue depth,
   throughput, cache hit rate), scraped from the services' ``/metrics``
@@ -74,8 +87,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import perf
 from repro.config import CompilerConfig
@@ -89,6 +103,8 @@ from repro.eval.taskgraph import TaskGraph
 from repro.eval.trace import TraceRecorder
 from repro.explore.driver import ExplorationDriver
 from repro.explore.strategies import STRATEGIES
+from repro.obs import history as obs_history
+from repro.obs import profile as obs_profile
 from repro.obs import tracing as obs_tracing
 from repro.workloads import all_workloads, get_workload
 
@@ -264,18 +280,88 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_profile(args: argparse.Namespace) -> int:
-    """Compile one workload end to end and print per-stage wall-clock times.
+def _profile_views(args: argparse.Namespace, stacks: Dict[str, int]) -> None:
+    """Write the ``--flame`` / ``--collapsed`` views of one stack set."""
+    if args.flame:
+        from repro.viz.flame import flamegraph
 
-    Always runs the full pipeline fresh (no artifact cache): the point is to
-    time the stages, and a cache hit times nothing.
+        markup = flamegraph(stacks)
+        if args.flame == "-":
+            print(markup, end="")
+        else:
+            path = Path(args.flame)
+            if path.parent != Path("."):
+                path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(markup, encoding="utf-8")
+            print(f"wrote {path}", file=sys.stderr)
+    if args.collapsed:
+        text = obs_profile.collapsed_lines(stacks)
+        if args.collapsed == "-":
+            print(text)
+        else:
+            Path(args.collapsed).write_text(text + "\n", encoding="utf-8")
+            print(f"wrote {args.collapsed}", file=sys.stderr)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """``repro profile``: per-stage timings, sampled flamegraphs, profile files.
+
+    Two modes.  With a workload, compile it end to end fresh (no artifact
+    cache: the point is to time the stages, and a cache hit times nothing)
+    and print the per-stage wall-clock table — adding ``--flame``/
+    ``--collapsed`` samples the compile while it runs.  With ``--from
+    PROFILE.jsonl``, skip compiling and render the records a
+    ``$REPRO_PROFILE`` run left behind, merged across its processes.
     """
+    if args.from_file:
+        try:
+            records = obs_profile.load_profiles(Path(args.from_file))
+        except OSError as exc:
+            raise ReproError(f"cannot read profile file '{args.from_file}': {exc}") from exc
+        if not records:
+            raise ReproError(
+                f"'{args.from_file}' contains no profile records — capture one with "
+                "REPRO_PROFILE=profile.jsonl repro report ..."
+            )
+        stacks = obs_profile.merge_stacks(records)
+        counters = obs_profile.merge_counters(records)
+        samples = sum(int(r.get("samples", 0)) for r in records)
+        if args.json:
+            payload = {
+                "source": str(args.from_file),
+                "processes": len(records),
+                "samples": samples,
+                "counters": counters,
+                "top": obs_profile.top_self(stacks),
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        elif not (args.flame or args.collapsed):
+            print(f"{len(records)} profile records, {samples} samples")
+            for entry in obs_profile.top_self(stacks):
+                print(f"{entry['fraction'] * 100.0:5.1f}%  {entry['samples']:6d}  {entry['frame']}")
+            if counters:
+                print("counters:")
+                for name, value in counters.items():
+                    print(f"  {name} = {value:g}")
+        _profile_views(args, stacks)
+        return 0
+
+    if not args.workload:
+        raise ReproError("profile needs a workload (see 'repro list') or --from PROFILE.jsonl")
     from repro.core.compiler import TwillCompiler
 
     workload = get_workload(args.workload)
     compiler = TwillCompiler(CompilerConfig())
+    sampler = None
+    if args.flame or args.collapsed:
+        sampler = obs_profile.SamplingProfiler(hz=args.hz, service="cli")
+        sampler.start()
     with perf.collect() as timings:
         result = compiler.compile_and_simulate(workload.source, name=workload.name)
+    record = None
+    if sampler is not None:
+        sampler.stop()
+        record = sampler.snapshot()
     if args.json:
         payload = {
             "workload": workload.name,
@@ -283,11 +369,16 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             "stages": timings.as_dict(),
             "twill_cycles": result.system.twill.cycles,
         }
+        if record is not None:
+            payload["samples"] = record["samples"]
+            payload["sample_hz"] = record["hz"]
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(f"workload : {workload.name}")
         print(f"cycles   : {result.system.twill.cycles:,.0f}")
         print(timings.table())
+    if record is not None:
+        _profile_views(args, record["stacks"])
     return 0
 
 
@@ -350,6 +441,45 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _record_run_history(
+    command: str,
+    args: argparse.Namespace,
+    harness,
+    wall_seconds: float,
+    stage_timings=None,
+    extra_metrics: Optional[Dict[str, float]] = None,
+    extra_attrs: Optional[Dict] = None,
+) -> None:
+    """Append one run record to the persistent history (observe-only).
+
+    Never prints and never raises — stdout byte-identity and run success
+    are pinned by the same tests that pin tracing.
+    """
+    metrics: Dict[str, float] = {"wall_seconds": round(wall_seconds, 6)}
+    stats = getattr(harness, "last_stats", None) or {}
+    if stats:
+        total = int(stats.get("total", 0))
+        hits = int(stats.get("cache_hits", 0))
+        executed = sum((stats.get("executed") or {}).values())
+        metrics["tasks_total"] = float(total)
+        metrics["tasks_executed"] = float(executed)
+        metrics["cache_hits"] = float(hits)
+        if total:
+            metrics["cache_hit_rate"] = round(hits / total, 4)
+    if stage_timings is not None:
+        for name, entry in stage_timings.as_dict().items():
+            metrics[f"stage_{name}_seconds"] = entry["seconds"]
+    if extra_metrics:
+        metrics.update(extra_metrics)
+    attrs = {
+        "benchmarks": ",".join(getattr(harness, "benchmark_names", []) or []),
+        "workers": args.parallel or 0,
+    }
+    if extra_attrs:
+        attrs.update(extra_attrs)
+    obs_history.record_run(command, metrics, attrs=attrs)
+
+
 def _write_report_html(
     args: argparse.Namespace, harness, artefacts, figures, trace, stage_timings=None
 ) -> int:
@@ -369,9 +499,11 @@ def _write_report_html(
         metadata["stage_timings"] = stage_timings.as_dict()
     spans = [Span(**span) for span in trace.spans] if trace is not None else None
     obs_spans = None
+    analytics = None
     if obs_tracing.enabled():
-        # Observe-only: the telemetry section appears only when $REPRO_TRACE
+        # Observe-only: the telemetry sections appear only when $REPRO_TRACE
         # was set, so an untraced report document stays byte-identical.
+        records = obs_tracing.tracer().spans()
         obs_spans = [
             Span(
                 name=record["name"],
@@ -380,11 +512,62 @@ def _write_report_html(
                 start=record["start"],
                 end=record["end"],
             )
-            for record in obs_tracing.tracer().spans()
+            for record in records
             if record["end"] > record["start"]
         ] or None
+        if records:
+            from repro.obs import analyze as obs_analyze
+
+            analytics = {
+                "summary": obs_analyze.summarize(records),
+                "critical_path": obs_analyze.critical_path(records),
+                "overhead": obs_analyze.scheduler_overhead(records),
+            }
+    profile_card = None
+    active_profiler = obs_profile.profiler()
+    if active_profiler is not None:
+        # Same opt-in logic: only a $REPRO_PROFILE run gets the card.
+        from repro.viz.flame import flamegraph
+
+        record = active_profiler.snapshot()
+        if record["stacks"]:
+            profile_card = {
+                "svg": flamegraph(record["stacks"]),
+                "samples": record["samples"],
+                "hz": record["hz"],
+                "top": obs_profile.top_self(record["stacks"], limit=10),
+            }
+    trends = None
+    history_file = obs_history.explicit_path()
+    if history_file is not None and history_file.exists():
+        # Trends render only with an explicit $REPRO_HISTORY: the default
+        # history grows a record per run, which would break the warm-run
+        # byte-identity guarantee the HTML report carries.
+        from repro.viz.trend import sparkline_svg, trend_chart
+
+        runs = obs_history.load_runs(history_file)
+        series = obs_history.metric_series(runs, command="report")
+        ordered = [m for m in ("wall_seconds", "cache_hit_rate") if m in series]
+        ordered += sorted(m for m in series if m.startswith("stage_") and m.endswith("_seconds"))
+        trend_rows = []
+        for metric in ordered[:6]:
+            values = series[metric]
+            svg = (
+                trend_chart(metric, values, command="report")
+                if len(values) >= 2
+                else sparkline_svg(values)
+            )
+            trend_rows.append({"metric": metric, "values": values, "svg": svg})
+        trends = trend_rows or None
     document = build_report_html(
-        artefacts, figures, metadata, trace_spans=spans, obs_spans=obs_spans
+        artefacts,
+        figures,
+        metadata,
+        trace_spans=spans,
+        obs_spans=obs_spans,
+        analytics=analytics,
+        profile=profile_card,
+        trends=trends,
     )
     out_dir = Path(args.html)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -439,15 +622,24 @@ def _cmd_report(args: argparse.Namespace) -> int:
     # node and (with --html) every figure render schedules as an independent
     # job under --parallel/--jobs (or on the registered remote workers under
     # --workers).
-    if args.html:
-        with perf.collect() as stage_timings:
+    run_started = time.perf_counter()
+    with perf.collect() as stage_timings:
+        if args.html:
             artefacts, figures = experiments.run_report_figures(
                 harness, parallel=args.parallel, executor=executor, trace=trace
             )
-    else:
-        artefacts = experiments.run_report(
-            harness, parallel=args.parallel, executor=executor, trace=trace
-        )
+        else:
+            artefacts = experiments.run_report(
+                harness, parallel=args.parallel, executor=executor, trace=trace
+            )
+    _record_run_history(
+        "report",
+        args,
+        harness,
+        time.perf_counter() - run_started,
+        stage_timings,
+        extra_attrs={"html": bool(args.html)},
+    )
     if trace is not None:
         trace.write(args.trace)
         print(f"wrote task trace to {args.trace} (open in chrome://tracing)", file=sys.stderr)
@@ -544,6 +736,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         # workload's search; finalized when the whole command is done.
         executor = _make_remote_executor(args, persistent=True)
     results = {}
+    totals = {"evaluated": 0, "executed": 0, "cache_hits": 0, "replayed": 0}
+    run_started = time.perf_counter()
     try:
         for name in names:
             driver = ExplorationDriver(
@@ -557,6 +751,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             )
             results[name] = driver.run()
             stats = driver.stats
+            for key in totals:
+                totals[key] += int(stats.get(key, 0))
             # Effort goes to stderr: stdout stays byte-identical cold vs warm.
             print(
                 f"explored {name}: {stats['evaluated']} candidates "
@@ -568,6 +764,18 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     finally:
         if executor is not None:
             executor.finalize()
+    _record_run_history(
+        "explore",
+        args,
+        harness,
+        time.perf_counter() - run_started,
+        extra_metrics={
+            "candidates_evaluated": float(totals["evaluated"]),
+            "candidates_executed": float(totals["executed"]),
+            "candidate_cache_hits": float(totals["cache_hits"]),
+        },
+        extra_attrs={"strategy": args.strategy, "budget": args.budget, "seed": args.seed},
+    )
     if args.json:
         if args.workload != "all":
             # Explicit single-workload request: the bare result document.
@@ -840,10 +1048,84 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             f"'{args.file}' contains no spans — capture one with "
             "REPRO_TRACE=trace.jsonl repro report ..."
         )
+    if args.summary or args.critical_path:
+        from repro.obs import analyze as obs_analyze
+
+        if args.json:
+            payload: Dict[str, Any] = {}
+            if args.summary:
+                payload["summary"] = obs_analyze.summarize(spans)
+                payload["scheduler_overhead"] = obs_analyze.scheduler_overhead(spans)
+            if args.critical_path:
+                payload["critical_path"] = obs_analyze.critical_path(
+                    spans, trace_id=args.trace_id
+                )
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        parts = []
+        if args.summary:
+            parts.append(obs_analyze.render_summary(spans))
+        if args.critical_path:
+            parts.append(obs_analyze.render_critical_path(spans, trace_id=args.trace_id))
+        print("\n\n".join(parts))
+        return 0
     if args.gantt:
         print(obs_render.render_gantt(spans, trace_id=args.trace_id))
     else:
         print(obs_render.render_tree(spans, trace_id=args.trace_id))
+    return 0
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    """``repro history``: inspect the persistent run ledger, flag regressions."""
+    path = obs_history.history_path(args.history)
+    if path is None:
+        raise ReproError("run history is disabled (REPRO_HISTORY=0)")
+    runs = obs_history.load_runs(path)
+    if args.action == "check":
+        regressions = obs_history.check_regressions(
+            runs,
+            window=args.window,
+            threshold=args.threshold,
+            command=args.command,
+        )
+        if args.json:
+            print(json.dumps({"regressions": regressions}, indent=2, sort_keys=True))
+        else:
+            print(obs_history.render_regressions(regressions))
+        return 1 if regressions else 0
+    if not runs:
+        raise ReproError(
+            f"no run history at {path} — run 'repro report' or pass --history DIR"
+        )
+    if args.action == "show":
+        if args.json:
+            shown = runs[-args.limit :] if args.limit else runs
+            print(json.dumps({"runs": shown}, indent=2, sort_keys=True))
+        else:
+            print(obs_history.render_show(runs, limit=args.limit))
+        return 0
+    # trend
+    if args.json:
+        series = obs_history.metric_series(runs, command=args.command)
+        print(json.dumps({"series": series}, indent=2, sort_keys=True))
+    else:
+        print(obs_history.render_trend(runs, command=args.command))
+    if args.svg_dir:
+        from repro.viz.trend import trend_chart
+
+        out_dir = Path(args.svg_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        series = obs_history.metric_series(runs, command=args.command)
+        written = 0
+        for metric, values in sorted(series.items()):
+            if len(values) < 2:
+                continue
+            svg = trend_chart(metric, values, command=args.command or "all")
+            name = f"{args.command or 'all'}_{metric}.svg"
+            (out_dir / name).write_text(svg)
+            written += 1
+        print(f"wrote {written} trend SVG(s) to {out_dir}", file=sys.stderr)
     return 0
 
 
@@ -915,7 +1197,35 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[common],
         help="compile + simulate one workload and print per-stage wall-clock times",
     )
-    p_profile.add_argument("workload", help="workload name (see 'repro list')")
+    p_profile.add_argument(
+        "workload", nargs="?", help="workload name (see 'repro list'); omit with --from"
+    )
+    p_profile.add_argument(
+        "--from",
+        dest="from_file",
+        metavar="PROFILE.jsonl",
+        help=(
+            "analyse an existing sampled-profile file (written by running any "
+            "command with REPRO_PROFILE=PROFILE.jsonl) instead of compiling"
+        ),
+    )
+    p_profile.add_argument(
+        "--flame",
+        metavar="FILE.svg",
+        help="render the sampled call stacks as a flamegraph SVG ('-' for stdout)",
+    )
+    p_profile.add_argument(
+        "--collapsed",
+        metavar="FILE.txt",
+        help="write collapsed-stack lines ('frame;frame count') for external tools",
+    )
+    p_profile.add_argument(
+        "--hz",
+        type=int,
+        default=obs_profile.DEFAULT_HZ,
+        metavar="N",
+        help=f"sampling frequency for --flame/--collapsed (default: {obs_profile.DEFAULT_HZ})",
+    )
     p_profile.set_defaults(func=_cmd_profile)
 
     p_sweep = sub.add_parser("sweep", parents=[common], help="queue latency/depth and split-point sweeps")
@@ -1170,7 +1480,67 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument(
         "--trace-id", metavar="ID", help="show only the trace with this id"
     )
+    p_trace.add_argument(
+        "--summary",
+        action="store_true",
+        help="per-kind span statistics (count, total, self time, p50/p95) + scheduler overhead",
+    )
+    p_trace.add_argument(
+        "--critical-path",
+        action="store_true",
+        help="longest dependency chain through the trace with per-hop attribution",
+    )
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_history = sub.add_parser(
+        "history",
+        parents=[common],
+        help="inspect the persistent run history and flag performance regressions",
+    )
+    p_history.add_argument("action", choices=["show", "trend", "check"])
+    p_history.add_argument(
+        "--history",
+        metavar="DIR",
+        help=f"history directory (default: $REPRO_HISTORY or ./{obs_history.HISTORY_DIR})",
+    )
+    p_history.add_argument(
+        "--command",
+        metavar="NAME",
+        help="restrict to records of one command (report, explore, bench_report, ...)",
+    )
+    p_history.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        metavar="N",
+        help="most-recent records to show (default: 20)",
+    )
+    p_history.add_argument(
+        "--svg-dir",
+        metavar="DIR",
+        help="with 'trend': also write one line-chart SVG per metric into DIR",
+    )
+    p_history.add_argument(
+        "--window",
+        type=int,
+        default=obs_history.DEFAULT_WINDOW,
+        metavar="N",
+        help=(
+            "with 'check': rolling-median baseline window "
+            f"(default: {obs_history.DEFAULT_WINDOW})"
+        ),
+    )
+    p_history.add_argument(
+        "--threshold",
+        type=float,
+        default=obs_history.DEFAULT_THRESHOLD,
+        metavar="X",
+        help=(
+            "with 'check': flag metrics slower than X times the baseline "
+            f"(default: {obs_history.DEFAULT_THRESHOLD})"
+        ),
+    )
+    p_history.set_defaults(func=_cmd_history)
 
     p_cluster = sub.add_parser(
         "cluster",
@@ -1203,6 +1573,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Console entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    obs_profile.maybe_start(service="cli")
     try:
         return args.func(args)
     except ReproError as exc:
@@ -1214,6 +1585,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except KeyboardInterrupt:
         # The scheduler has already torn down its executor (pool terminated /
         # leases revoked) and swept in-flight lock files; 130 = SIGINT.
+        # Flush open spans so an interrupted $REPRO_TRACE file stays parseable.
+        obs_tracing.shutdown()
         print("interrupted", file=sys.stderr)
         return 130
     except BrokenPipeError:

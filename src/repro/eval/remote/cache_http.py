@@ -108,6 +108,27 @@ _ENTRIES = obs_metrics.gauge(
 _BYTES = obs_metrics.gauge(
     "repro_cache_bytes", "Total bytes in the served store (refreshed at scrape)."
 )
+_REQUEST_SECONDS = obs_metrics.histogram(
+    "repro_cache_request_seconds",
+    "Wall-clock seconds spent handling one HTTP request, by method.",
+    buckets=obs_metrics.REQUEST_BUCKETS,
+)
+
+
+def _timed_handler(method: Any) -> Any:
+    """Wrap a ``do_VERB`` so every request lands in the duration histogram."""
+    verb = method.__name__[3:]
+
+    def wrapper(self: Any) -> None:
+        started = time.perf_counter()
+        try:
+            method(self)
+        finally:
+            _REQUEST_SECONDS.observe(time.perf_counter() - started, method=verb)
+
+    wrapper.__name__ = method.__name__
+    wrapper.__doc__ = method.__doc__
+    return wrapper
 
 
 @dataclass
@@ -137,6 +158,7 @@ class CacheHTTPServer(ThreadingHTTPServer):
         self.start_time = time.time()
         self.logger = get_logger("cache", verbose=verbose)
         obs_metrics.install_stage_observer()
+        obs_metrics.set_build_info()
         # Shared service secret (docs/DISTRIBUTED.md "Trust model"): when
         # set, every request except GET /healthz must present it.
         self.token = token if token is not None else service_token()
@@ -244,6 +266,7 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
 
     # -- objects ------------------------------------------------------------------
 
+    @_timed_handler
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
         if self.path == "/healthz":  # liveness probe: exempt from auth
             self._send_json(
@@ -299,6 +322,7 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
             return
         self._send_json(404, {"error": "unknown path"})
 
+    @_timed_handler
     def do_HEAD(self) -> None:  # noqa: N802
         if not token_matches(self, self.server.token):
             # A HEAD response must not carry a body; send a bare 401.
@@ -323,6 +347,7 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", "0")
         self.end_headers()
 
+    @_timed_handler
     def do_PUT(self) -> None:  # noqa: N802
         # Drain the body before any error response: on an HTTP/1.1
         # keep-alive connection, unread body bytes would be parsed as the
@@ -349,6 +374,7 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
 
     # -- locks ----------------------------------------------------------------------
 
+    @_timed_handler
     def do_POST(self) -> None:  # noqa: N802
         body = self._read_json()  # always drain the body (keep-alive safety)
         if not check_auth(self, self.server.token):

@@ -94,6 +94,27 @@ _WORKERS_LIVE = obs_metrics.gauge(
 _HEARTBEAT_AGE = obs_metrics.gauge(
     "repro_worker_heartbeat_age_seconds", "Seconds since each live worker was last heard."
 )
+_REQUEST_SECONDS = obs_metrics.histogram(
+    "repro_coordinator_request_seconds",
+    "Wall-clock seconds spent handling one HTTP request, by method.",
+    buckets=obs_metrics.REQUEST_BUCKETS,
+)
+
+
+def _timed_handler(method: Any) -> Any:
+    """Wrap a ``do_VERB`` so every request lands in the duration histogram."""
+    verb = method.__name__[3:]
+
+    def wrapper(self: Any) -> None:
+        started = time.perf_counter()
+        try:
+            method(self)
+        finally:
+            _REQUEST_SECONDS.observe(time.perf_counter() - started, method=verb)
+
+    wrapper.__name__ = method.__name__
+    wrapper.__doc__ = method.__doc__
+    return wrapper
 
 
 # -- work shaping ----------------------------------------------------------------
@@ -486,6 +507,7 @@ class CoordinatorHTTPServer(ThreadingHTTPServer):
         self.start_time = time.time()
         self.logger = get_logger("coordinator", verbose=verbose)
         obs_metrics.install_stage_observer()
+        obs_metrics.set_build_info()
 
     @property
     def url(self) -> str:
@@ -510,6 +532,7 @@ class _CoordinatorRequestHandler(BaseHTTPRequestHandler):
     def _read_json(self) -> Dict[str, Any]:
         return read_json(self)
 
+    @_timed_handler
     def do_GET(self) -> None:  # noqa: N802
         if self.path == "/healthz":  # liveness probe: exempt from auth
             self._send_json(
@@ -538,6 +561,7 @@ class _CoordinatorRequestHandler(BaseHTTPRequestHandler):
             return
         self._send_json(404, {"error": "unknown path"})
 
+    @_timed_handler
     def do_POST(self) -> None:  # noqa: N802
         coordinator = self.server.coordinator
         body = self._read_json()  # drain first (keep-alive safety), then auth

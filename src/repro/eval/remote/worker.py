@@ -38,6 +38,7 @@ from repro.errors import RemoteError
 from repro.eval.cache import ArtifactCache, set_process_hmac_key
 from repro.eval.remote import protocol
 from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
 from repro.obs import tracing as obs_tracing
 from repro.obs.logs import get_logger
 
@@ -94,6 +95,7 @@ def _execute_spec(
     """
     start = time.time()
     trace_ctx = spec.get("trace") or {}
+    obs_profile.count(f"task.{spec.get('kind', 'task')}")
     try:
         with obs_tracing.activate(trace_ctx.get("trace_id"), trace_ctx.get("parent_id")):
             with obs_tracing.span(
@@ -146,6 +148,7 @@ def run_worker(
         set_process_hmac_key(hmac_key)
     obs_tracing.set_service("worker")
     obs_metrics.install_stage_observer()
+    obs_profile.maybe_start(service="worker")
     cache = ArtifactCache.from_spec(cache_spec)
     registration = _register(coordinator_url, name, startup_timeout, verbose)
     worker_id = registration["worker_id"]

@@ -54,6 +54,7 @@ from repro.eval.cache import (
     set_process_hmac_key,
 )
 from repro.eval.trace import TraceRecorder
+from repro.obs import profile as obs_profile
 from repro.obs import tracing as obs_tracing
 from repro.sim.system import resimulate_with_split
 from repro.sim.timing import simulate_partitioned
@@ -310,7 +311,12 @@ def _execute_in_worker(
     start = time.time()
     if hmac_key is not None:
         set_process_hmac_key(hmac_key)
+    # Pool children inherit $REPRO_PROFILE: start this child's sampler on
+    # its first task (idempotent, one dict lookup afterwards) and count the
+    # execution exactly — the deterministic complement to the samples.
+    obs_profile.maybe_start(service="pool")
     ctx = trace_ctx or {}
+    obs_profile.count(f"task.{ctx.get('kind', 'task')}")
     with obs_tracing.activate(ctx.get("trace_id"), ctx.get("parent_id")):
         with obs_tracing.span(
             f"task:{ctx.get('task_id', getattr(fn, '__name__', 'task'))}",

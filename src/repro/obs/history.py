@@ -1,0 +1,302 @@
+"""Persistent run history: append-only JSONL records + regression checks.
+
+Every measured run — ``repro report``, ``repro explore``, both bench
+tools — appends one record to ``.repro_history/runs.jsonl`` in the
+working directory: the command, its numeric metrics (wall seconds,
+perf-stage timers, cache-hit rates, worker counts) and enough environment
+(git revision, python, cpu count) to explain an outlier later.  The file
+is the project's perf memory: CI appends to it on every job, ``repro
+history trend`` draws the trajectory, and ``repro history check`` gates
+merges by comparing the latest value of every ``*_seconds`` metric
+against a **rolling-median baseline** of the preceding runs — robust to
+the odd noisy record in a way a mean or a single previous run is not.
+
+Recording is observe-only and must never fail or slow the measured run:
+every write is one ``O_APPEND`` line, every error is swallowed, and
+nothing is printed (stdout byte-identity is pinned by the same tests that
+pin tracing).  ``$REPRO_HISTORY`` overrides the directory; ``0``/``off``
+disables recording entirely (tier-1 test processes that want a pristine
+working tree can opt out).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+#: Environment variable overriding the history directory (``0``/``off`` = disabled).
+HISTORY_ENV = "REPRO_HISTORY"
+
+#: Default history directory, relative to the working directory.
+HISTORY_DIR = ".repro_history"
+
+#: The append-only record file inside the history directory.
+HISTORY_FILE = "runs.jsonl"
+
+#: Record schema version, bumped on incompatible changes.
+SCHEMA = 1
+
+#: Regression-check defaults: baseline window and slowdown threshold.
+DEFAULT_WINDOW = 8
+DEFAULT_THRESHOLD = 1.5
+
+#: Runs needed before a metric is checked at all (too little history = noise).
+MIN_HISTORY = 3
+
+#: Absolute jitter floor: deltas under this many seconds never flag.
+JITTER_FLOOR_SECONDS = 0.05
+
+_git_rev_cache: Any = False  # False = not yet resolved (None is a valid result)
+
+
+def history_path(directory: Optional[os.PathLike] = None) -> Optional[Path]:
+    """The records file path, or ``None`` when recording is disabled.
+
+    *directory* (CLI ``--history``) wins over ``$REPRO_HISTORY``, which
+    wins over ``./.repro_history``.
+    """
+    if directory is not None:
+        return Path(directory) / HISTORY_FILE
+    env = (os.environ.get(HISTORY_ENV) or "").strip()
+    if env.lower() in ("0", "off", "none", "disabled"):
+        return None
+    base = Path(env) if env else Path(HISTORY_DIR)
+    return base / HISTORY_FILE
+
+
+def explicit_path() -> Optional[Path]:
+    """The records file only when ``$REPRO_HISTORY`` names a directory.
+
+    The HTML report's trends section keys off this: with the default
+    (implicit) location every warm re-render would see one more record
+    and break warm-run byte-identity, so trends render only on opt-in.
+    """
+    env = (os.environ.get(HISTORY_ENV) or "").strip()
+    if not env or env.lower() in ("0", "off", "none", "disabled"):
+        return None
+    return Path(env) / HISTORY_FILE
+
+
+def git_revision() -> Optional[str]:
+    """The working tree's short git revision, resolved once per process."""
+    global _git_rev_cache
+    if _git_rev_cache is False:
+        try:
+            proc = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=2.0,
+            )
+            _git_rev_cache = proc.stdout.strip() or None if proc.returncode == 0 else None
+        except (OSError, subprocess.SubprocessError):
+            _git_rev_cache = None
+    return _git_rev_cache
+
+
+def environment() -> Dict[str, Any]:
+    """The recorded per-run environment block."""
+    return {
+        "git_rev": git_revision(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "platform": platform.system().lower(),
+    }
+
+
+def record_run(
+    command: str,
+    metrics: Mapping[str, float],
+    attrs: Optional[Mapping[str, Any]] = None,
+    directory: Optional[os.PathLike] = None,
+) -> Optional[Dict[str, Any]]:
+    """Append one run record; returns it, or ``None`` when disabled.
+
+    Never raises and never writes to stdout — a broken history must not
+    fail or alter the measured run.
+    """
+    path = history_path(directory)
+    if path is None:
+        return None
+    record = {
+        "schema": SCHEMA,
+        "ts": round(time.time(), 3),
+        "command": command,
+        "metrics": {k: float(v) for k, v in sorted(metrics.items())},
+        "attrs": dict(attrs or {}),
+        "env": environment(),
+    }
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n")
+    except OSError:
+        return None
+    return record
+
+
+def load_runs(path: Path) -> List[Dict[str, Any]]:
+    """Parse one history file, skipping blank or malformed lines."""
+    runs: List[Dict[str, Any]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict) and isinstance(record.get("metrics"), dict):
+                    runs.append(record)
+    except OSError:
+        return []
+    return runs
+
+
+def metric_series(
+    runs: Iterable[Mapping[str, Any]], command: Optional[str] = None
+) -> Dict[str, List[float]]:
+    """``metric -> values`` in record order, optionally for one command."""
+    series: Dict[str, List[float]] = {}
+    for run in runs:
+        if command is not None and run.get("command") != command:
+            continue
+        for name, value in (run.get("metrics") or {}).items():
+            try:
+                series.setdefault(str(name), []).append(float(value))
+            except (TypeError, ValueError):
+                continue
+    return series
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def check_regressions(
+    runs: List[Dict[str, Any]],
+    window: int = DEFAULT_WINDOW,
+    threshold: float = DEFAULT_THRESHOLD,
+    command: Optional[str] = None,
+    min_history: int = MIN_HISTORY,
+) -> List[Dict[str, Any]]:
+    """Flag ``*_seconds`` metrics whose latest run regressed vs the baseline.
+
+    Per ``(command, metric)``: baseline = median of the up-to-*window*
+    values preceding the latest; flag when ``latest > threshold ×
+    baseline`` *and* the absolute delta clears :data:`JITTER_FLOOR_SECONDS`.
+    Needs at least *min_history* prior values — young histories pass.
+    """
+    by_command: Dict[str, List[Mapping[str, Any]]] = {}
+    for run in runs:
+        cmd = str(run.get("command", "?"))
+        if command is not None and cmd != command:
+            continue
+        by_command.setdefault(cmd, []).append(run)
+    regressions: List[Dict[str, Any]] = []
+    for cmd in sorted(by_command):
+        series = metric_series(by_command[cmd])
+        for metric in sorted(series):
+            if not metric.endswith("_seconds"):
+                continue
+            values = series[metric]
+            if len(values) < min_history + 1:
+                continue
+            latest = values[-1]
+            baseline = _median(values[-(window + 1) : -1])
+            if baseline <= 0:
+                continue
+            if latest > threshold * baseline and latest - baseline > JITTER_FLOOR_SECONDS:
+                regressions.append(
+                    {
+                        "command": cmd,
+                        "metric": metric,
+                        "latest": round(latest, 6),
+                        "baseline": round(baseline, 6),
+                        "ratio": round(latest / baseline, 3),
+                        "threshold": threshold,
+                        "window": min(window, len(values) - 1),
+                    }
+                )
+    return regressions
+
+
+# ---------------------------------------------------------------------------
+# text rendering (`repro history show/trend/check`)
+# ---------------------------------------------------------------------------
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: List[float]) -> str:
+    """A unicode block sparkline of *values* (empty string for no data)."""
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    if high <= low:
+        return _SPARK_BLOCKS[0] * len(values)
+    scale = (len(_SPARK_BLOCKS) - 1) / (high - low)
+    return "".join(_SPARK_BLOCKS[int((v - low) * scale)] for v in values)
+
+
+def render_show(runs: List[Dict[str, Any]], limit: int = 20) -> str:
+    """One line per run, newest last: timestamp, command, key metrics."""
+    if not runs:
+        return "no history"
+    lines = []
+    for run in runs[-limit:]:
+        ts = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(float(run.get("ts", 0.0))))
+        metrics = run.get("metrics") or {}
+        shown = [
+            f"{name}={metrics[name]:.3f}"
+            for name in sorted(metrics)
+            if name.endswith("_seconds") or name.endswith("_rate")
+        ][:4]
+        rev = (run.get("env") or {}).get("git_rev") or "-"
+        lines.append(f"{ts}  {run.get('command', '?'):<14} {rev:<9} " + "  ".join(shown))
+    return "\n".join(lines)
+
+
+def render_trend(runs: List[Dict[str, Any]], command: Optional[str] = None) -> str:
+    """Per-metric min/median/last plus a sparkline of the whole series."""
+    series = metric_series(runs, command=command)
+    rows = [
+        (metric, values)
+        for metric, values in sorted(series.items())
+        if metric.endswith("_seconds") or metric.endswith("_rate")
+    ]
+    if not rows:
+        return "no history"
+    width = max(len(metric) for metric, _ in rows)
+    lines = []
+    for metric, values in rows:
+        lines.append(
+            f"{metric:<{width}}  n={len(values):<3} min={min(values):.3f} "
+            f"med={_median(values):.3f} last={values[-1]:.3f}  {sparkline(values)}"
+        )
+    return "\n".join(lines)
+
+
+def render_regressions(regressions: List[Dict[str, Any]]) -> str:
+    """The ``check`` verdict, one flagged metric per line."""
+    if not regressions:
+        return "ok: no regressions"
+    lines = ["REGRESSIONS:"]
+    for entry in regressions:
+        lines.append(
+            f"  {entry['command']}/{entry['metric']}: {entry['latest']:.3f}s vs "
+            f"baseline {entry['baseline']:.3f}s ({entry['ratio']:.2f}x > "
+            f"{entry['threshold']:.2f}x over window {entry['window']})"
+        )
+    return "\n".join(lines)

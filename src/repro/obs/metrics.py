@@ -38,6 +38,13 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
 )
 
+#: Explicit buckets (seconds) for HTTP request-duration histograms: finer
+#: at the sub-10ms end where cache GET/HEAD traffic lives, topping out at
+#: the coordinator's long-poll lease wait.
+REQUEST_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
 
 def _label_key(labels: Dict[str, str]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
@@ -272,6 +279,24 @@ def gauge(name: str, help_text: str) -> Gauge:
 def histogram(name: str, help_text: str, buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
     """Declare (or fetch) a histogram on the process registry."""
     return REGISTRY.histogram(name, help_text, buckets=buckets)
+
+
+def set_build_info(registry: Optional[MetricsRegistry] = None) -> Gauge:
+    """Declare ``repro_build_info`` (value 1, version/python labels).
+
+    The standard build-info idiom: the gauge itself carries no quantity,
+    the labels identify what is running so dashboards can correlate a
+    regression with a deploy.  Called by both services at startup.
+    """
+    import platform
+
+    from repro import __version__
+
+    info = (registry or REGISTRY).gauge(
+        "repro_build_info", "Build information; value is always 1, labels identify the build."
+    )
+    info.set(1.0, version=__version__, python=platform.python_version())
+    return info
 
 
 # -- repro.perf bridge -----------------------------------------------------------

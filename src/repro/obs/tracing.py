@@ -27,6 +27,8 @@ headers (client → cache service hops, injected by the protocol helpers).
 
 from __future__ import annotations
 
+import atexit
+import itertools
 import json
 import os
 import threading
@@ -100,25 +102,50 @@ NULL_SPAN = _NullSpan()
 
 
 class Tracer:
-    """Records finished spans to an in-memory buffer and a JSONL sink."""
+    """Records finished spans to an in-memory buffer and a JSONL sink.
+
+    The sink handle is opened once in append mode and **flushed after
+    every record**, so a process killed mid-run (KeyboardInterrupt, OOM,
+    SIGTERM) leaves a valid JSONL prefix — every line that was written is
+    complete and parseable.  :func:`shutdown` (registered ``atexit``)
+    additionally records any still-open spans as ``interrupted`` and
+    closes the handle.
+    """
 
     def __init__(self, sink: Optional[Path] = None, service: str = "cli"):
         self.sink = Path(sink) if sink else None
         self.service = service
         self._lock = threading.Lock()
         self._spans: List[Dict[str, Any]] = []
+        self._handle: Any = None
+        self._sink_broken = False
 
     def record(self, record: Dict[str, Any]) -> None:
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
         with self._lock:
             if len(self._spans) < _BUFFER_LIMIT:
                 self._spans.append(record)
-            if self.sink is not None:
+            if self.sink is None or self._sink_broken:
+                return
+            try:
+                if self._handle is None:
+                    self._handle = open(self.sink, "a", encoding="utf-8")
+                # One write + flush per line keeps cross-process appends
+                # whole-line atomic, exactly like the old open/close cycle.
+                self._handle.write(line + "\n")
+                self._handle.flush()
+            except (OSError, ValueError):
+                self._sink_broken = True  # observe-only: never fail work
+
+    def close(self) -> None:
+        """Flush and close the sink handle (reopened on the next record)."""
+        with self._lock:
+            if self._handle is not None:
                 try:
-                    with open(self.sink, "a", encoding="utf-8") as handle:
-                        handle.write(line + "\n")
+                    self._handle.close()
                 except OSError:
-                    pass  # observe-only: a broken sink must never fail work
+                    pass
+                self._handle = None
 
     def spans(self) -> List[Dict[str, Any]]:
         """This process's finished spans (the report's timeline source)."""
@@ -130,6 +157,76 @@ class Tracer:
 _UNSET = object()
 _tracer: Any = _UNSET
 _service_name = "cli"
+_atexit_registered = False
+
+# Spans currently open anywhere in this process, so an interrupt can flush
+# them to the sink instead of silently dropping whatever was in flight.
+_live_lock = threading.Lock()
+_live_spans: Dict[int, Dict[str, Any]] = {}
+_live_tokens = itertools.count()
+
+
+def _register_live(live: "_LiveSpan", start_wall: float, start_mono: float) -> int:
+    token = next(_live_tokens)
+    with _live_lock:
+        _live_spans[token] = {
+            "live": live,
+            "start_wall": start_wall,
+            "start_mono": start_mono,
+        }
+    return token
+
+
+def _finish_live(token: int) -> Optional[Dict[str, Any]]:
+    """Claim a live span for recording; ``None`` if shutdown already did."""
+    with _live_lock:
+        return _live_spans.pop(token, None)
+
+
+def _ensure_atexit() -> None:
+    global _atexit_registered
+    if not _atexit_registered:
+        _atexit_registered = True
+        atexit.register(shutdown)
+
+
+def shutdown() -> None:
+    """Flush the tracer: record still-open spans, close the sink handle.
+
+    Registered ``atexit`` whenever a sink-backed tracer exists, and safe
+    to call eagerly (e.g. from the CLI's KeyboardInterrupt handler).
+    Spans that are still open — blocked worker threads, an interrupted
+    scheduler — are recorded with an ``interrupted`` attribute and the
+    current time as their end, so a partial trace still accounts for all
+    the wall time it observed.  Idempotent per span: whichever of this
+    function and the span's own ``finally`` runs first claims the record.
+    """
+    active = _tracer if isinstance(_tracer, Tracer) else None
+    with _live_lock:
+        pending = sorted(_live_spans.items())
+        _live_spans.clear()
+    if active is None:
+        return
+    for _, entry in pending:
+        live = entry["live"]
+        attrs = dict(live.attrs)
+        attrs["interrupted"] = True
+        duration = time.perf_counter() - entry["start_mono"]
+        active.record(
+            {
+                "trace_id": live.trace_id,
+                "span_id": live.span_id,
+                "parent_id": live.parent_id,
+                "name": live.name,
+                "kind": live.kind,
+                "service": active.service,
+                "worker": live.worker,
+                "start": entry["start_wall"],
+                "end": entry["start_wall"] + duration,
+                "attrs": attrs,
+            }
+        )
+    active.close()
 
 
 class _Context(threading.local):
@@ -146,6 +243,8 @@ def tracer() -> Optional[Tracer]:
     if _tracer is _UNSET:
         path = (os.environ.get(TRACE_ENV) or "").strip()
         _tracer = Tracer(Path(path), service=_service_name) if path else None
+        if _tracer is not None:
+            _ensure_atexit()
     return _tracer
 
 
@@ -157,15 +256,23 @@ def enabled() -> bool:
 def enable(sink: Optional[Path] = None, service: Optional[str] = None) -> Tracer:
     """Programmatically switch tracing on (tests; env-free embedding)."""
     global _tracer
+    if isinstance(_tracer, Tracer):
+        _tracer.close()
     _tracer = Tracer(sink, service=service or _service_name)
+    if _tracer.sink is not None:
+        _ensure_atexit()
     return _tracer
 
 
 def reset() -> None:
     """Forget the process tracer so the next use re-reads ``$REPRO_TRACE``."""
     global _tracer
+    if isinstance(_tracer, Tracer):
+        _tracer.close()
     _tracer = _UNSET
     _context.stack = []
+    with _live_lock:
+        _live_spans.clear()
 
 
 def set_service(name: str) -> None:
@@ -253,6 +360,7 @@ def span(
     stack.append((trace_id, live.span_id))
     start_wall = time.time()
     start_mono = time.perf_counter()
+    token = _register_live(live, start_wall, start_mono)
     try:
         yield live
     except BaseException as exc:
@@ -261,20 +369,21 @@ def span(
     finally:
         stack.pop()
         duration = time.perf_counter() - start_mono
-        active.record(
-            {
-                "trace_id": live.trace_id,
-                "span_id": live.span_id,
-                "parent_id": live.parent_id,
-                "name": live.name,
-                "kind": live.kind,
-                "service": active.service,
-                "worker": live.worker,
-                "start": start_wall,
-                "end": start_wall + duration,
-                "attrs": live.attrs,
-            }
-        )
+        if _finish_live(token) is not None:
+            active.record(
+                {
+                    "trace_id": live.trace_id,
+                    "span_id": live.span_id,
+                    "parent_id": live.parent_id,
+                    "name": live.name,
+                    "kind": live.kind,
+                    "service": active.service,
+                    "worker": live.worker,
+                    "start": start_wall,
+                    "end": start_wall + duration,
+                    "attrs": live.attrs,
+                }
+            )
 
 
 @contextmanager

@@ -14,11 +14,16 @@ the viewer's system stack.  The document carries:
 * run metadata — configuration hash, benchmark set, and the scheduler's
   cache-hit statistics (a warm run shows zero executed render tasks);
 * optionally, when a ``--trace`` was captured, the per-worker execution
-  timeline.
+  timeline;
+* optionally, when the run was observed (``$REPRO_TRACE`` /
+  ``$REPRO_PROFILE`` / ``$REPRO_HISTORY``), a trace-analytics card
+  (per-kind statistics + critical path + scheduler overhead), a sampled
+  CPU-profile flamegraph, and run-history trend charts.
 
-Everything except the (explicitly opt-in) timeline is a pure function of
-the artefact data: no clocks, no hostnames, no versions — so repeated warm
-runs, and serial vs parallel runs, produce byte-identical documents.
+Everything except the (explicitly opt-in) telemetry cards is a pure
+function of the artefact data: no clocks, no hostnames, no versions — so
+repeated warm runs, and serial vs parallel runs, produce byte-identical
+documents.
 """
 
 from __future__ import annotations
@@ -181,12 +186,108 @@ def _stat_tiles(summary: Dict[str, Any]) -> str:
     return "\n".join(tiles)
 
 
+def _analytics_section(analytics: Dict[str, Any]) -> List[str]:
+    """The trace-analytics card: per-kind summary, critical path, overhead."""
+    parts: List[str] = ['<section class="card" id="trace-analytics">']
+    parts.append("<h2>Trace analytics</h2>")
+    parts.append(
+        '<p class="caption">Computed from the <code>$REPRO_TRACE</code> spans '
+        "above: where the wall-clock time of this run went.</p>"
+    )
+    summary = analytics.get("summary") or []
+    if summary:
+        rows = [
+            {
+                "kind": row["kind"],
+                "count": row["count"],
+                "total (s)": round(row["total_seconds"], 3),
+                "self (s)": round(row["self_seconds"], 3),
+                "p50 (s)": round(row["p50_seconds"], 3),
+                "p95 (s)": round(row["p95_seconds"], 3),
+            }
+            for row in summary
+        ]
+        parts.append(html_table(rows))
+    path = analytics.get("critical_path") or {}
+    hops = path.get("hops") or []
+    if hops:
+        coverage = path.get("coverage", 0.0)
+        parts.append(
+            f"<h2>Critical path — {len(hops)} hops, "
+            f"{path.get('path_seconds', 0.0):.3f}s of "
+            f"{path.get('window_seconds', 0.0):.3f}s window "
+            f"({coverage * 100.0:.0f}% coverage)</h2>"
+        )
+        parts.append("<ol>")
+        for hop in hops:
+            parts.append(
+                f"<li><code>{_esc(hop['name'])}</code> "
+                f"[{_esc(hop['kind'])}] {hop['duration_seconds']:.3f}s "
+                f"(self {hop['self_seconds']:.3f}s, lane {_esc(hop['lane'])})</li>"
+            )
+        parts.append("</ol>")
+    overhead = analytics.get("overhead") or {}
+    if overhead.get("runs"):
+        parts.append(
+            '<p class="caption">Scheduler overhead: '
+            f"{overhead.get('overhead_seconds', 0.0):.3f}s of "
+            f"{overhead.get('total_seconds', 0.0):.3f}s scheduling "
+            f"({overhead.get('overhead_fraction', 0.0) * 100.0:.1f}% not covered "
+            "by task or stage spans).</p>"
+        )
+    parts.append("</section>")
+    return parts
+
+
+def _profile_section(profile: Dict[str, Any]) -> List[str]:
+    """The CPU-profile card: flamegraph plus the hottest leaf frames."""
+    parts: List[str] = ['<section class="card" id="profile">']
+    parts.append("<h2>CPU profile</h2>")
+    parts.append(
+        '<p class="caption">Sampled call stacks from this run '
+        f"(<code>$REPRO_PROFILE</code>, {profile.get('samples', 0)} samples at "
+        f"{profile.get('hz', 0)}&nbsp;Hz); widths are inclusive sample counts.</p>"
+    )
+    parts.append(str(profile.get("svg", "")).rstrip("\n"))
+    top = profile.get("top") or []
+    if top:
+        rows = [
+            {
+                "frame": entry["frame"],
+                "samples": entry["samples"],
+                "share": f"{entry['fraction'] * 100.0:.1f}%",
+            }
+            for entry in top
+        ]
+        parts.append(html_table(rows))
+    parts.append("</section>")
+    return parts
+
+
+def _trends_section(trends: Sequence[Dict[str, Any]]) -> List[str]:
+    """The run-history card: one trend chart (or sparkline) per metric."""
+    parts: List[str] = ['<section class="card" id="trends">']
+    parts.append("<h2>Run history trends</h2>")
+    parts.append(
+        '<p class="caption">Prior <code>repro report</code> runs from the '
+        "<code>$REPRO_HISTORY</code> ledger; see <code>repro history "
+        "{trend,check}</code> for the full series and regression gating.</p>"
+    )
+    for entry in trends:
+        parts.append(str(entry.get("svg", "")).rstrip("\n"))
+    parts.append("</section>")
+    return parts
+
+
 def build_report_html(
     artefacts: Dict[str, Dict],
     figures: Dict[str, str],
     metadata: Dict[str, Any],
     trace_spans: Optional[Sequence[Span]] = None,
     obs_spans: Optional[Sequence[Span]] = None,
+    analytics: Optional[Dict[str, Any]] = None,
+    profile: Optional[Dict[str, Any]] = None,
+    trends: Optional[Sequence[Dict[str, Any]]] = None,
 ) -> str:
     """Assemble the complete, self-contained report document."""
     parts: List[str] = [
@@ -285,6 +386,15 @@ def build_report_html(
         )
         parts.append(timeline_chart(list(obs_spans)).rstrip("\n"))
         parts.append("</section>")
+
+    if analytics and (analytics.get("summary") or analytics.get("critical_path")):
+        parts.extend(_analytics_section(analytics))
+
+    if profile and profile.get("svg"):
+        parts.extend(_profile_section(profile))
+
+    if trends:
+        parts.extend(_trends_section(trends))
 
     parts.append("<footer>Generated by <code>repro report --html</code>. "
                  "Self-contained: no external assets, no scripts.</footer>")

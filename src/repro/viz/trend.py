@@ -1,0 +1,64 @@
+"""Run-history trend renderers: per-metric line charts and sparklines.
+
+`repro history trend --svg DIR` and the HTML report's trends card both
+come through here: given the value series :func:`repro.obs.history.metric_series`
+extracts from ``runs.jsonl``, render either a full line chart (run index
+on the x axis, metric value on the y axis — reusing the same
+:func:`repro.viz.charts.line_chart` engine the thesis figures use, so
+theme/determinism guarantees carry over for free) or a compact inline
+sparkline SVG for dense dashboards.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.viz import theme
+from repro.viz.charts import Series, line_chart
+from repro.viz.svg import polyline_points, render, svg_root
+
+
+def trend_chart(metric: str, values: List[float], *, command: str = "") -> str:
+    """A line chart of one metric across runs (needs >= 2 values)."""
+    label = f"{command}: {metric}" if command else metric
+    x_labels = [str(index + 1) for index in range(len(values))]
+    return line_chart(
+        x_labels,
+        [Series(label=metric, values=tuple(values), slot=0)],
+        title=f"history · {label}",
+        y_label=metric,
+        x_axis_label="run",
+        value_format="{:.3f}",
+    )
+
+
+def sparkline_svg(values: List[float], *, width: int = 140, height: int = 28) -> str:
+    """A minimal inline sparkline: one polyline, last point marked."""
+    svg = svg_root(width, height, theme.stylesheet(), "history sparkline")
+    svg.elem("rect", {"class": "vz-surface", "x": 0, "y": 0, "width": width, "height": height})
+    if len(values) >= 2:
+        low, high = min(values), max(values)
+        span = (high - low) or 1.0
+        pad = 3.0
+        step = (width - 2 * pad) / (len(values) - 1)
+        points = [
+            (
+                round(pad + index * step, 2),
+                round(height - pad - (value - low) / span * (height - 2 * pad), 2),
+            )
+            for index, value in enumerate(values)
+        ]
+        svg.elem(
+            "polyline",
+            {"class": "vz-line vz-ln0", "points": polyline_points(points)},
+        )
+        svg.elem(
+            "circle",
+            {
+                "class": "vz-s0",
+                "cx": points[-1][0],
+                "cy": points[-1][1],
+                "r": 2.5,
+            },
+        )
+    return render(svg)

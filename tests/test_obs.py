@@ -18,7 +18,10 @@ Four layers, cheapest first:
 """
 
 import json
+import os
 import threading
+import time
+from pathlib import Path
 
 import pytest
 
@@ -382,6 +385,44 @@ def test_services_expose_enriched_healthz_and_metrics(tmp_path):
         cache_server.shutdown()
 
 
+def test_services_expose_build_info_and_request_histograms(tmp_path):
+    from repro import __version__
+
+    cache_server = make_cache_server(tmp_path / "store", port=0)
+    threading.Thread(target=cache_server.serve_forever, daemon=True).start()
+    coordinator_server = start_coordinator_server(Coordinator(), port=0)
+    try:
+        for url, histogram in (
+            (cache_server.url, "repro_cache_request_seconds"),
+            (coordinator_server.url, "repro_coordinator_request_seconds"),
+        ):
+            _fetch(f"{url}/healthz")  # drive one GET through the timer
+            # The handler observes the duration *after* writing the response,
+            # so the sample can land a beat after the client returns: poll.
+            deadline = time.time() + 5.0
+            while True:
+                body = _fetch(f"{url}/metrics")[1]
+                samples = parse_prometheus(body)
+                count = metric_value(samples, f"{histogram}_count", method="GET")
+                if count is not None and count >= 1.0:
+                    break
+                assert time.time() < deadline, f"no GET sample in {histogram}"
+                time.sleep(0.05)
+            assert metric_value(samples, "repro_build_info", version=__version__) == 1.0
+            build_line = next(
+                line for line in body.splitlines()
+                if line.startswith("repro_build_info{")
+            )
+            assert 'python="' in build_line and build_line.endswith(" 1")
+            # Explicit buckets: the exposition must carry the fine-grained
+            # low end (1ms) and the +Inf catch-all, cumulatively ordered.
+            assert f'{histogram}_bucket{{method="GET",le="0.001"}}' in body
+            assert f'{histogram}_bucket{{method="GET",le="+Inf"}}' in body
+    finally:
+        coordinator_server.shutdown()
+        cache_server.shutdown()
+
+
 def test_cluster_status_summarises_live_services(tmp_path, capsys):
     cache_server = make_cache_server(tmp_path / "store", port=0)
     threading.Thread(target=cache_server.serve_forever, daemon=True).start()
@@ -401,6 +442,17 @@ def test_cluster_status_summarises_live_services(tmp_path, capsys):
         ])
         out, _ = capsys.readouterr()
         assert code == 0 and "coordinator http://" in out
+        # --json is machine-readable with a stable key order: re-serialising
+        # the parsed payload reproduces the output byte for byte.
+        code = main([
+            "cluster", "status", "--json",
+            "--coordinator", coordinator_server.url, "--cache", cache_server.url,
+        ])
+        out, _ = capsys.readouterr()
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["coordinator"]["workers"] == ["w1"]
+        assert out == json.dumps(payload, indent=2, sort_keys=True) + "\n"
     finally:
         coordinator_server.shutdown()
         cache_server.shutdown()
@@ -455,6 +507,76 @@ def test_repro_trace_on_missing_or_empty_file_fails_cleanly(tmp_path, capsys):
     assert main(["trace", str(tmp_path / "empty.jsonl")]) == 2
     _, err = capsys.readouterr()
     assert "REPRO_TRACE" in err
+
+
+def test_repro_trace_renders_orphans_and_multiple_traces(tmp_path, capsys):
+    other = _span("scheduler.run", "0c", None, 0.0, 1.0)
+    other["trace_id"] = "e" * 32
+    records = [
+        _span("scheduler.run", "0a", None, 0.0, 2.0),
+        _span("task:sweep:x", "02", "0a", 0.1, 1.0, worker="pid:1"),
+        # Parent "99" is not in the file (e.g. torn mid-write): the span must
+        # surface as a root with the ~orphan marker, not vanish.
+        _span("task:sweep:late", "0b", "99", 5.0, 6.0, worker="pid:9"),
+        other,
+    ]
+    trace_file = tmp_path / "trace.jsonl"
+    trace_file.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+
+    assert main(["trace", str(trace_file)]) == 0
+    tree, _ = capsys.readouterr()
+    assert "~orphan" in tree and "task:sweep:late" in tree
+    # Two distinct trace ids → two trace blocks, each with its own header.
+    assert f"trace {'f' * 32}" in tree and f"trace {'e' * 32}" in tree
+
+    assert main(["trace", str(trace_file), "--gantt"]) == 0
+    gantt, _ = capsys.readouterr()
+    assert "pid:9" in gantt and "█" in gantt
+
+    # Restricting to one trace id drops the other block entirely.
+    assert main(["trace", str(trace_file), "--trace-id", "e" * 32]) == 0
+    only, _ = capsys.readouterr()
+    assert f"trace {'e' * 32}" in only and f"trace {'f' * 32}" not in only
+
+
+def test_interrupted_run_still_leaves_a_valid_trace(tmp_path):
+    """Ctrl-C mid-run must flush every line: open spans land as interrupted."""
+    import subprocess
+    import sys as _sys
+
+    import repro
+
+    sink = tmp_path / "interrupted.jsonl"
+    script = tmp_path / "kb.py"
+    script.write_text(
+        "import threading, time\n"
+        "from repro.obs import tracing\n"
+        "held = threading.Event()\n"
+        "def hold():\n"
+        "    with tracing.span('background.hold', kind='test'):\n"
+        "        held.set()\n"
+        "        time.sleep(60)\n"
+        "threading.Thread(target=hold, daemon=True).start()\n"
+        "held.wait(10)\n"
+        "with tracing.span('main.work', kind='test'):\n"
+        "    raise KeyboardInterrupt\n"
+    )
+    env = dict(os.environ)
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    env[obs_tracing.TRACE_ENV] = str(sink)
+    subprocess.run(
+        [_sys.executable, str(script)], env=env, capture_output=True, timeout=60
+    )
+
+    lines = sink.read_text().splitlines()
+    spans = [json.loads(line) for line in lines]  # every line parses
+    by_name = {span["name"]: span for span in spans}
+    # The span that raised carries the error; the still-open daemon-thread
+    # span was force-closed by the shutdown hook and marked interrupted.
+    assert "KeyboardInterrupt" in by_name["main.work"]["attrs"]["error"]
+    assert by_name["background.hold"]["attrs"]["interrupted"] is True
+    assert by_name["background.hold"]["end"] >= by_name["background.hold"]["start"]
 
 
 def test_traced_ingest_is_byte_identical_and_captures_spans(tmp_path, capsys, monkeypatch):

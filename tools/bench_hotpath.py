@@ -221,6 +221,20 @@ def main(argv: list[str] | None = None) -> int:
         fh.write("\n")
     print(json.dumps(record, indent=2, sort_keys=True))
 
+    # Append the timings to the persistent run ledger so `repro history
+    # check` can flag regressions across CI runs (never fails the bench).
+    from repro.obs import history as obs_history
+
+    obs_history.record_run(
+        "bench_hotpath",
+        {
+            f"{leg}_{side}_seconds": record[leg][f"{side}_seconds"]
+            for leg in ("frontend", "replay", "explore")
+            for side in ("after", "before")
+        },
+        attrs={"repeats": args.repeats},
+    )
+
     failures = []
     for leg in ("frontend", "replay", "explore"):
         if not record[leg]["identical"]:

@@ -38,6 +38,7 @@ import tempfile
 import time
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 
 def run_report(cache_dir: str, parallel: int | None, benchmarks: str | None) -> tuple[float, str]:
@@ -149,6 +150,21 @@ def main(argv: list[str] | None = None) -> int:
         json.dump(record, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(json.dumps(record, indent=2, sort_keys=True))
+
+    # Append the timings to the persistent run ledger so `repro history
+    # check` can flag regressions across CI runs (never fails the bench).
+    from repro.obs import history as obs_history
+
+    obs_history.record_run(
+        "bench_report",
+        {
+            "cold_parallel_seconds": cold_seconds,
+            "warm_parallel_seconds": warm_seconds,
+            "warm_serial_seconds": serial_seconds,
+            "warm_fraction_of_cold": warm_fraction,
+        },
+        attrs={"benchmarks": args.benchmarks or "all", "parallel": parallel},
+    )
 
     if failures:
         for failure in failures:

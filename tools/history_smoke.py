@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Run-history smoke: the regression gate must fire, and only when it should.
+
+Seeds a temporary ``$REPRO_HISTORY`` ledger with a stable baseline of
+``repro report`` wall times (small deterministic jitter, no regression),
+then:
+
+1. ``repro history check`` on the seeded baseline must exit 0;
+2. after appending a synthetic 2x-slower run, ``repro history check`` must
+   exit non-zero and name the regressed metric;
+3. ``repro history show`` and ``repro history trend --svg-dir`` must render
+   (the trend step writes real SVG files).
+
+This is the CI proof that the regression detector both fires and stays
+quiet — a gate that can never fail, or never pass, protects nothing.
+
+Used by the ``obs-smoke`` CI job:
+
+    python tools/history_smoke.py
+
+Exits 0 on success, 1 with a diagnostic on any failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs import history as obs_history  # noqa: E402
+
+#: Baseline wall times: realistic jitter, well inside the 1.5x threshold.
+BASELINE_SECONDS = (10.0, 10.4, 9.8, 10.1, 10.2, 9.9)
+
+#: The synthetic regression: 2x the baseline median.
+REGRESSED_SECONDS = 20.2
+
+
+def fail(message: str) -> int:
+    print(f"history-smoke: FAIL — {message}", file=sys.stderr)
+    return 1
+
+
+def repro_history(history_dir: Path, *args: str) -> subprocess.CompletedProcess:
+    cmd: List[str] = [
+        sys.executable, "-m", "repro.cli", "history", *args, "--history", str(history_dir),
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_HISTORY", None)  # --history is explicit
+
+    return subprocess.run(cmd, env=env, capture_output=True, text=True, timeout=60.0)
+
+
+def seed(history_dir: Path, wall_seconds: float) -> None:
+    record = obs_history.record_run(
+        "report",
+        {"wall_seconds": wall_seconds, "cache_hit_rate": 0.9},
+        attrs={"benchmarks": "all", "workers": 2},
+        directory=str(history_dir),
+    )
+    if record is None:
+        raise AssertionError("record_run refused to write the seed record")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-history-smoke-") as tmp:
+        history_dir = Path(tmp) / "history"
+        for seconds in BASELINE_SECONDS:
+            seed(history_dir, seconds)
+
+        check = repro_history(history_dir, "check")
+        if check.returncode != 0:
+            return fail(
+                f"check flagged the clean baseline (exit {check.returncode}): "
+                f"{check.stdout or check.stderr}"
+            )
+        if "ok" not in check.stdout:
+            return fail(f"clean check did not report ok: {check.stdout!r}")
+        print("history-smoke: clean baseline passes", flush=True)
+
+        seed(history_dir, REGRESSED_SECONDS)
+        check = repro_history(history_dir, "check", "--json")
+        if check.returncode == 0:
+            return fail(f"check missed a 2x slowdown: {check.stdout}")
+        regressions = json.loads(check.stdout)["regressions"]
+        if not any(reg["metric"] == "wall_seconds" for reg in regressions):
+            return fail(f"regression list lacks wall_seconds: {regressions}")
+        ratio = regressions[0]["ratio"]
+        print(f"history-smoke: 2x slowdown flagged (ratio {ratio:.2f}x)", flush=True)
+
+        show = repro_history(history_dir, "show")
+        if show.returncode != 0 or "report" not in show.stdout:
+            return fail(f"history show failed: {show.stdout or show.stderr}")
+
+        svg_dir = Path(tmp) / "svg"
+        trend = repro_history(history_dir, "trend", "--svg-dir", str(svg_dir))
+        if trend.returncode != 0:
+            return fail(f"history trend failed: {trend.stderr}")
+        svgs = sorted(svg_dir.glob("*.svg"))
+        if not svgs:
+            return fail("history trend --svg-dir wrote no SVG files")
+        for svg in svgs:
+            if "<svg" not in svg.read_text(encoding="utf-8"):
+                return fail(f"{svg.name} is not an SVG document")
+        print(f"history-smoke: trend rendered {len(svgs)} SVG(s)", flush=True)
+
+    print("history-smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

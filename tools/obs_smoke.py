@@ -13,11 +13,19 @@ docs/OBSERVABILITY.md), in three acts:
    worker liveness, lease latency, cache hits/misses/puts).
 2. **Cluster status.** Runs ``repro cluster status`` against the live
    services and checks the summary reflects the traffic just driven.
-3. **Tracing.** Runs one ``repro report`` with ``$REPRO_TRACE`` set and
+3. **Tracing + profiling + history.** Runs one ``repro report`` with
+   ``$REPRO_TRACE``, ``$REPRO_PROFILE`` and ``$REPRO_HISTORY`` set and
    one without, asserts the two stdout payloads are byte-identical
-   (telemetry must be observe-only), asserts the captured JSONL trace
-   covers >= 95% of the executed task-graph nodes with valid parent
-   links, and renders it through ``repro trace`` (tree and Gantt views).
+   (telemetry must be observe-only) and that the observed run is at most
+   10% slower than the plain one (one retry soaks timing flakes), asserts
+   the captured JSONL trace covers >= 95% of the executed task-graph
+   nodes with valid parent links, and renders it through ``repro trace``
+   (tree, Gantt, ``--summary`` and ``--critical-path`` — the critical
+   path must cover >= 50% of the trace window).  The sampled profile must
+   parse and render as a flamegraph (``repro profile --from``, written to
+   ``--flame-out`` for CI artifacts), the history ledger must hold the
+   run's record, and ``repro report --html`` under the same telemetry
+   must emit the profile / trace-analytics / trends cards.
 
 Used by the ``obs-smoke`` CI job; handy manually:
 
@@ -202,27 +210,70 @@ def check_cluster_status(coordinator_url: str, cache_url: str) -> None:
     print("obs-smoke: repro cluster status OK", flush=True)
 
 
-def check_traced_report(benchmarks: str, timeout: float) -> None:
+#: Observed (trace + profile + history) cold runs may cost at most this
+#: much relative to a plain cold run; one retry soaks scheduler noise.
+MAX_OVERHEAD_RATIO = 1.10
+
+
+def _timed_report(benchmarks: str, cache_dir: Path, timeout: float,
+                  env: Dict[str, str]) -> "tuple[float, subprocess.CompletedProcess]":
+    start = time.perf_counter()
+    result = subprocess.run(
+        repro_cmd("report", "--json", "--benchmarks", benchmarks, "-j", "2",
+                  "--cache-dir", str(cache_dir)),
+        env=env, capture_output=True, text=True, timeout=timeout,
+    )
+    return time.perf_counter() - start, result
+
+
+def check_traced_report(benchmarks: str, timeout: float,
+                        flame_out: Optional[str] = None) -> None:
     with tempfile.TemporaryDirectory(prefix="repro-obs-smoke-") as tmp:
         trace_file = Path(tmp) / "trace.jsonl"
-        traced = subprocess.run(
-            repro_cmd("report", "--json", "--benchmarks", benchmarks, "-j", "2",
-                      "--cache-dir", str(Path(tmp) / "cache-a")),
-            env=repro_env(REPRO_TRACE=str(trace_file)),
-            capture_output=True, text=True, timeout=timeout,
+        profile_file = Path(tmp) / "profile.jsonl"
+        history_dir = Path(tmp) / "history"
+        observed_env = repro_env(
+            REPRO_TRACE=str(trace_file),
+            REPRO_PROFILE=str(profile_file),
+            REPRO_HISTORY=str(history_dir),
+        )
+        traced_seconds, traced = _timed_report(
+            benchmarks, Path(tmp) / "cache-a", timeout, observed_env
         )
         if traced.returncode != 0:
             raise AssertionError(f"traced report exited {traced.returncode}: {traced.stderr}")
-        plain = subprocess.run(
-            repro_cmd("report", "--json", "--benchmarks", benchmarks, "-j", "2",
-                      "--cache-dir", str(Path(tmp) / "cache-b")),
-            env=repro_env(), capture_output=True, text=True, timeout=timeout,
+        plain_seconds, plain = _timed_report(
+            benchmarks, Path(tmp) / "cache-b", timeout, repro_env()
         )
         if plain.returncode != 0:
             raise AssertionError(f"untraced report exited {plain.returncode}: {plain.stderr}")
         if traced.stdout != plain.stdout:
             raise AssertionError("traced report output differs from untraced output")
         print("obs-smoke: traced report byte-identical to untraced", flush=True)
+
+        ratio = traced_seconds / max(plain_seconds, 1e-9)
+        if ratio > MAX_OVERHEAD_RATIO:
+            # One retry on fresh caches: CI machines are noisy and a single
+            # descheduled second can swamp a short cold run.
+            retry_traced, result = _timed_report(
+                benchmarks, Path(tmp) / "cache-c", timeout, observed_env
+            )
+            if result.returncode != 0:
+                raise AssertionError(f"retry traced report failed: {result.stderr}")
+            retry_plain, result = _timed_report(
+                benchmarks, Path(tmp) / "cache-d", timeout, repro_env()
+            )
+            if result.returncode != 0:
+                raise AssertionError(f"retry untraced report failed: {result.stderr}")
+            ratio = retry_traced / max(retry_plain, 1e-9)
+            if ratio > MAX_OVERHEAD_RATIO:
+                raise AssertionError(
+                    f"telemetry overhead {ratio:.2f}x exceeds {MAX_OVERHEAD_RATIO:.2f}x "
+                    f"(traced {retry_traced:.2f}s vs plain {retry_plain:.2f}s, "
+                    f"first attempt {traced_seconds:.2f}s vs {plain_seconds:.2f}s)"
+                )
+        print(f"obs-smoke: telemetry overhead {ratio:.2f}x (budget "
+              f"{MAX_OVERHEAD_RATIO:.2f}x)", flush=True)
 
         spans = [
             json.loads(line)
@@ -265,11 +316,102 @@ def check_traced_report(benchmarks: str, timeout: float) -> None:
                 )
         print("obs-smoke: repro trace renders (tree + gantt)", flush=True)
 
+        summary = subprocess.run(
+            repro_cmd("trace", str(trace_file), "--summary", "--json"),
+            env=repro_env(), capture_output=True, text=True, timeout=60.0,
+        )
+        if summary.returncode != 0:
+            raise AssertionError(f"repro trace --summary failed: {summary.stderr}")
+        payload = json.loads(summary.stdout)
+        kinds = {row["kind"] for row in payload.get("summary", [])}
+        if "compile" not in kinds:
+            raise AssertionError(f"trace summary lacks compile spans (kinds: {sorted(kinds)})")
+        if payload.get("scheduler_overhead", {}).get("runs", 0) < 1:
+            raise AssertionError("trace summary saw no scheduler.run span")
+        critical = subprocess.run(
+            repro_cmd("trace", str(trace_file), "--critical-path", "--json"),
+            env=repro_env(), capture_output=True, text=True, timeout=60.0,
+        )
+        if critical.returncode != 0:
+            raise AssertionError(f"repro trace --critical-path failed: {critical.stderr}")
+        path = json.loads(critical.stdout)["critical_path"]
+        if not path.get("hops"):
+            raise AssertionError("critical path has no hops")
+        if path.get("coverage", 0.0) < 0.5:
+            raise AssertionError(
+                f"critical path covers {path.get('coverage', 0.0):.0%} of the "
+                "trace window (< 50%)"
+            )
+        print(
+            f"obs-smoke: trace analytics OK (critical path {len(path['hops'])} hops, "
+            f"{path['coverage']:.0%} coverage)", flush=True,
+        )
+
+        records = [
+            json.loads(line)
+            for line in profile_file.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+        if not records or any(rec.get("kind") != "profile" for rec in records):
+            raise AssertionError(f"profile file malformed ({len(records)} records)")
+        total_samples = sum(rec.get("samples", 0) for rec in records)
+        if total_samples < 1:
+            raise AssertionError("sampling profiler captured no samples on a cold report")
+        flame_path = Path(flame_out) if flame_out else Path(tmp) / "flame.svg"
+        flame = subprocess.run(
+            repro_cmd("profile", "--from", str(profile_file), "--flame", str(flame_path)),
+            env=repro_env(), capture_output=True, text=True, timeout=60.0,
+        )
+        if flame.returncode != 0:
+            raise AssertionError(f"repro profile --from --flame failed: {flame.stderr}")
+        if "<svg" not in flame_path.read_text(encoding="utf-8"):
+            raise AssertionError(f"{flame_path} is not an SVG")
+        print(
+            f"obs-smoke: profile OK ({len(records)} process(es), {total_samples} samples, "
+            f"flamegraph at {flame_path})", flush=True,
+        )
+
+        runs_file = history_dir / "runs.jsonl"
+        if not runs_file.exists():
+            raise AssertionError("observed report did not append to $REPRO_HISTORY")
+        runs = [json.loads(line) for line in
+                runs_file.read_text(encoding="utf-8").splitlines() if line.strip()]
+        if not any(run.get("command") == "report" and
+                   "wall_seconds" in run.get("metrics", {}) for run in runs):
+            raise AssertionError(f"history ledger lacks the report record: {runs}")
+        print("obs-smoke: run history ledger OK", flush=True)
+
+        html_dir = Path(tmp) / "html"
+        html_env = repro_env(
+            REPRO_TRACE=str(Path(tmp) / "trace-html.jsonl"),
+            REPRO_PROFILE=str(Path(tmp) / "profile-html.jsonl"),
+            REPRO_HISTORY=str(history_dir),
+        )
+        # Fresh cache: a cold run is long enough for the sampler to
+        # capture stacks, so the profile card is deterministically present.
+        html_run = subprocess.run(
+            repro_cmd("report", "--html", str(html_dir), "--benchmarks", benchmarks,
+                      "-j", "2", "--cache-dir", str(Path(tmp) / "cache-html")),
+            env=html_env, capture_output=True, text=True, timeout=timeout,
+        )
+        if html_run.returncode != 0:
+            raise AssertionError(f"observed --html report failed: {html_run.stderr}")
+        document = (html_dir / "report.html").read_text(encoding="utf-8")
+        for section in ('id="trace-analytics"', 'id="profile"', 'id="trends"'):
+            if section not in document:
+                raise AssertionError(f"observed report.html lacks {section}")
+        print("obs-smoke: observed report.html renders all telemetry cards", flush=True)
+
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--benchmarks", default="blowfish")
     parser.add_argument("--timeout", type=float, default=600.0, help="per-report budget (seconds)")
+    parser.add_argument(
+        "--flame-out",
+        metavar="FILE.svg",
+        help="also keep the rendered flamegraph here (CI artifact upload)",
+    )
     args = parser.parse_args(argv)
 
     with tempfile.TemporaryDirectory(prefix="repro-obs-services-") as tmp:
@@ -292,7 +434,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             cache_server.shutdown()
 
     try:
-        check_traced_report(args.benchmarks, args.timeout)
+        check_traced_report(args.benchmarks, args.timeout, flame_out=args.flame_out)
     except AssertionError as exc:
         return fail(str(exc))
     print("obs-smoke: OK")
