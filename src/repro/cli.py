@@ -64,11 +64,24 @@ suite use, so numbers never diverge between entry points:
 * ``repro cluster status --coordinator URL [--cache URL]`` — one live
   summary of a distributed run (workers, heartbeat ages, queue depth,
   throughput, cache hit rate), scraped from the services' ``/metrics``
-  endpoints.
+  endpoints;
+* ``repro collect serve --sink TRACE.jsonl`` — a standalone span
+  collector: processes started with ``REPRO_TRACE=http://HOST:PORT`` ship
+  their spans here in batches, yielding one merged trace for a multi-host
+  run;
+* ``repro dash --coordinator URL [--cache URL]`` — a live auto-refreshing
+  ops dashboard over a running cluster (worker liveness, queue/lease
+  sparklines, cache hit rate, run history, event feed); ``--snapshot
+  FILE.html`` writes one page and exits;
+* ``repro alerts check --coordinator URL`` — evaluate the declarative
+  alert rules the dashboard colours by, headlessly; exits non-zero when
+  anything fires (see docs/OBSERVABILITY.md "Live ops").
 
-The cache and coordinator services optionally require a shared secret on
-every request: set ``REPRO_SERVICE_TOKEN`` (or
-``RuntimeConfig.service_token``) on both ends — see docs/DISTRIBUTED.md
+The cache, coordinator, collector and dashboard services optionally
+require a shared secret on every request (set ``REPRO_SERVICE_TOKEN`` or
+``RuntimeConfig.service_token`` on both ends) and optionally serve TLS
+(``REPRO_SERVICE_TLS_CERT``/``REPRO_SERVICE_TLS_KEY``, clients trusting a
+private CA via ``REPRO_SERVICE_TLS_CA``) — see docs/DISTRIBUTED.md
 "Trust model".
 
 All experiment commands accept ``--benchmarks`` (restrict the workload set),
@@ -86,6 +99,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -475,6 +489,18 @@ def _record_run_history(
         "benchmarks": ",".join(getattr(harness, "benchmark_names", []) or []),
         "workers": args.parallel or 0,
     }
+    # Link the ledger row to its telemetry: a regression flagged by
+    # `repro history check` then points straight at the trace/profile that
+    # explains it (`repro history show` surfaces these).
+    trace_id = obs_tracing.last_trace_id()
+    if trace_id:
+        attrs["trace_id"] = trace_id
+    trace_sink = obs_tracing.sink_spec()
+    if trace_sink:
+        attrs["trace_sink"] = trace_sink
+    profile_path = (os.environ.get(obs_profile.PROFILE_ENV) or "").strip()
+    if profile_path:
+        attrs["profile"] = profile_path
     if extra_attrs:
         attrs.update(extra_attrs)
     obs_history.record_run(command, metrics, attrs=attrs)
@@ -485,7 +511,7 @@ def _write_report_html(
 ) -> int:
     """Assemble and write the self-contained ``report.html``."""
     from repro.viz.charts import Span
-    from repro.viz.report_html import build_report_html
+    from repro.viz.report_html import build_benchmark_page, build_report_html
 
     metadata = {
         "config_hash": harness.config.content_hash(),
@@ -568,12 +594,20 @@ def _write_report_html(
         analytics=analytics,
         profile=profile_card,
         trends=trends,
+        benchmark_pages=harness.benchmark_names,
     )
     out_dir = Path(args.html)
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / "report.html"
     path.write_text(document, encoding="utf-8")
-    print(f"wrote {path} ({len(figures)} figures)", file=sys.stderr)
+    for benchmark in harness.benchmark_names:
+        page = build_benchmark_page(benchmark, artefacts, metadata)
+        (out_dir / f"benchmark-{benchmark}.html").write_text(page, encoding="utf-8")
+    print(
+        f"wrote {path} ({len(figures)} figures, "
+        f"{len(harness.benchmark_names)} drill-down pages)",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -1143,6 +1177,90 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dash_state(args: argparse.Namespace):
+    """Shared ``repro dash`` / ``repro alerts`` state construction."""
+    from repro.obs import alerts as obs_alerts
+    from repro.obs.dash import DashState
+
+    rules = obs_alerts.load_rules(Path(args.rules) if args.rules else None)
+    return DashState(
+        coordinator_url=args.coordinator,
+        cache_url=args.cache,
+        history_dir=Path(args.history) if args.history else None,
+        rules=rules,
+        refresh=args.refresh,
+        timeout=args.timeout,
+    )
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    """``repro dash``: serve the live ops page (or snapshot it once)."""
+    from repro.obs.dash import make_dash_server, render_html, serve_dash
+
+    state = _dash_state(args)
+    if args.snapshot:
+        # One-shot mode (CI artifacts): poll, render, write, exit.
+        state.poll(force=True)
+        out = Path(args.snapshot)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(render_html(state), encoding="utf-8")
+        print(f"wrote dashboard snapshot to {out}", file=sys.stderr)
+        return 0
+    if args.port == 0:
+        # Port 0 is only useful to tests that need a free port and the
+        # bound URL; bind explicitly so we can print it before serving.
+        server = make_dash_server(state, host=args.host, port=0)
+        print(f"repro dash on {server.url} (Ctrl-C stops)", flush=True)
+        try:
+            server.serve_forever(poll_interval=0.2)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+        return 0
+    serve_dash(state, host=args.host, port=args.port)
+    return 0
+
+
+def _cmd_alerts(args: argparse.Namespace) -> int:
+    """``repro alerts check``: evaluate the rules once, exit non-zero on fire."""
+    from repro.obs import alerts as obs_alerts
+
+    state = _dash_state(args)
+    for index in range(max(1, args.samples)):
+        if index:
+            time.sleep(max(0.0, args.interval))
+        state.poll(force=True)
+    payload = state.status_payload()
+    alerts = [obs_alerts.Alert(**a) for a in payload["alerts"]]
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "ok": not alerts,
+                    "alerts": payload["alerts"],
+                    "rules": state.rules.to_dict(),
+                    "snapshot": payload["snapshot"],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(obs_alerts.render_alerts(alerts))
+    return 1 if alerts else 0
+
+
+def _cmd_collect(args: argparse.Namespace) -> int:
+    """``repro collect serve``: run the standalone span collector."""
+    from repro.obs import collect as obs_collect
+
+    obs_collect.serve_collector(
+        Path(args.sink), host=args.host, port=args.port, verbose=args.verbose
+    )
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # argument parsing
 # ---------------------------------------------------------------------------
@@ -1565,6 +1683,96 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request timeout (default: 5)",
     )
     p_cluster.set_defaults(func=_cmd_cluster)
+
+    scrape = argparse.ArgumentParser(add_help=False)
+    scrape.add_argument(
+        "--coordinator",
+        required=True,
+        metavar="URL",
+        help="coordinator URL printed by 'repro report --workers'",
+    )
+    scrape.add_argument("--cache", metavar="URL", help="also watch this cache service")
+    scrape.add_argument(
+        "--history",
+        metavar="DIR",
+        help="run-history directory (default: $REPRO_HISTORY or ./.repro_history)",
+    )
+    scrape.add_argument(
+        "--rules",
+        metavar="RULES.json",
+        help="alert-rule overrides as JSON (see docs/OBSERVABILITY.md)",
+    )
+    scrape.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="per-request scrape timeout (default: 5)",
+    )
+
+    p_dash = sub.add_parser(
+        "dash",
+        parents=[scrape],
+        help="serve a live auto-refreshing ops dashboard over a cluster",
+    )
+    p_dash.add_argument("--host", default="127.0.0.1", help="bind host (default: 127.0.0.1)")
+    p_dash.add_argument(
+        "--port", type=int, default=8912, metavar="PORT", help="bind port (default: 8912)"
+    )
+    p_dash.add_argument(
+        "--refresh",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="page refresh + scrape interval (default: 5)",
+    )
+    p_dash.add_argument(
+        "--snapshot",
+        metavar="FILE.html",
+        help="write one dashboard snapshot to FILE and exit (CI artifacts)",
+    )
+    p_dash.set_defaults(func=_cmd_dash)
+
+    p_alerts = sub.add_parser(
+        "alerts",
+        parents=[scrape],
+        help="evaluate the alert rules headlessly (CI gate: non-zero exit on fire)",
+    )
+    p_alerts.add_argument("action", choices=["check"])
+    p_alerts.add_argument(
+        "--samples",
+        type=int,
+        default=1,
+        metavar="N",
+        help="snapshots to take before evaluating (sustained rules need >= 3)",
+    )
+    p_alerts.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="pause between snapshots (default: 2)",
+    )
+    p_alerts.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    p_alerts.set_defaults(func=_cmd_alerts, refresh=1.0)
+
+    p_collect = sub.add_parser(
+        "collect",
+        help="run a standalone span collector (POST /spans -> one JSONL file)",
+    )
+    p_collect.add_argument("action", choices=["serve"])
+    p_collect.add_argument(
+        "--sink",
+        required=True,
+        metavar="TRACE.jsonl",
+        help="JSONL file the collector appends received spans to",
+    )
+    p_collect.add_argument("--host", default="127.0.0.1", help="bind host (default: 127.0.0.1)")
+    p_collect.add_argument(
+        "--port", type=int, default=8917, metavar="PORT", help="bind port (default: 8917)"
+    )
+    p_collect.add_argument("--verbose", action="store_true", help="log each request")
+    p_collect.set_defaults(func=_cmd_collect)
 
     return parser
 

@@ -71,6 +71,8 @@ from repro.eval.remote.protocol import (
     send_json,
     service_token,
     token_matches,
+    urlopen,
+    wrap_server_socket,
 )
 
 SERIALIZER_HEADER = "X-Repro-Serializer"
@@ -170,6 +172,7 @@ class CacheHTTPServer(ThreadingHTTPServer):
         self._reaper_stop = threading.Event()
         self._reaper = threading.Thread(target=self._reap_loop, daemon=True)
         self._reaper.start()
+        self.tls = wrap_server_socket(self)
 
     def _reap_loop(self) -> None:
         while not self._reaper_stop.wait(1.0):
@@ -186,7 +189,8 @@ class CacheHTTPServer(ThreadingHTTPServer):
     @property
     def url(self) -> str:
         host, port = self.server_address[0], self.server_address[1]
-        return f"http://{host}:{port}"
+        scheme = "https" if self.tls else "http"
+        return f"{scheme}://{host}:{port}"
 
     # -- lease table -------------------------------------------------------------
 
@@ -470,7 +474,7 @@ class HTTPCacheBackend:
             self._object_url(key), headers={**auth_headers(), **obs_tracing.trace_headers()}
         )
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            with urlopen(request, timeout=self.timeout) as response:
                 serializer = response.headers.get(SERIALIZER_HEADER, "pickle")
                 return serializer, response.read()
         except urllib.error.HTTPError as exc:
@@ -494,7 +498,7 @@ class HTTPCacheBackend:
             },
         )
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout):
+            with urlopen(request, timeout=self.timeout):
                 pass
         except urllib.error.HTTPError as exc:
             raise_for_auth(exc, self.base_url)
@@ -509,7 +513,7 @@ class HTTPCacheBackend:
             headers={**auth_headers(), **obs_tracing.trace_headers()},
         )
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout):
+            with urlopen(request, timeout=self.timeout):
                 return True
         except urllib.error.HTTPError as exc:
             if exc.code == 404:

@@ -50,8 +50,16 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro import __version__
-from repro.eval.remote.protocol import check_auth, read_json, send_json, service_token
+from repro.eval.remote.protocol import (
+    check_auth,
+    read_json,
+    send_json,
+    service_token,
+    wrap_server_socket,
+)
+from repro.obs import collect as obs_collect
 from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
 from repro.obs.logs import get_logger
 
 #: Default seconds a leased task may go without a heartbeat before it is
@@ -508,11 +516,29 @@ class CoordinatorHTTPServer(ThreadingHTTPServer):
         self.logger = get_logger("coordinator", verbose=verbose)
         obs_metrics.install_stage_observer()
         obs_metrics.set_build_info()
+        self.tls = wrap_server_socket(self)
 
     @property
     def url(self) -> str:
         host, port = self.server_address[0], self.server_address[1]
-        return f"http://{host}:{port}"
+        scheme = "https" if self.tls else "http"
+        return f"{scheme}://{host}:{port}"
+
+    def record_ingested_span(self, record: Dict[str, Any]) -> None:
+        """Merge one span POSTed by a worker/cache process into this
+        (client) process's own trace sink — the point of the collector.
+
+        Discarded when the client is untraced, or when its own sink is a
+        RemoteSink pointing back at this very server (re-recording would
+        ship the span to ourselves forever).
+        """
+        active = obs_tracing.tracer()
+        if active is None:
+            return
+        writer_url = getattr(active.writer, "base_url", None) if active.writer else None
+        if writer_url is not None and writer_url.rstrip("/") == self.url:
+            return
+        active.record(record)
 
 
 class _CoordinatorRequestHandler(BaseHTTPRequestHandler):
@@ -564,6 +590,13 @@ class _CoordinatorRequestHandler(BaseHTTPRequestHandler):
     @_timed_handler
     def do_POST(self) -> None:  # noqa: N802
         coordinator = self.server.coordinator
+        if self.path == "/spans":
+            # Span ingestion owns its own body handling: the batch byte cap
+            # must refuse oversized bodies without buffering them.
+            obs_collect.handle_spans_post(
+                self, self.server.record_ingested_span, self.server.token
+            )
+            return
         body = self._read_json()  # drain first (keep-alive safety), then auth
         if not check_auth(self, self.server.token):
             return

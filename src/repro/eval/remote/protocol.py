@@ -31,6 +31,7 @@ import hmac
 import http.client
 import json
 import os
+import ssl
 import urllib.error
 import urllib.request
 from typing import Any, Callable, Dict, Optional, Tuple
@@ -261,6 +262,82 @@ def raise_for_auth(exc: "urllib.error.HTTPError", url: str) -> None:
         ) from exc
 
 
+# -- TLS ------------------------------------------------------------------------
+
+#: Server certificate + key (PEM).  Setting the cert switches every repro
+#: service in the process — cache, coordinator, collector, dashboard — to
+#: HTTPS; the key variable may be omitted when the cert file bundles both.
+TLS_CERT_ENV = "REPRO_SERVICE_TLS_CERT"
+TLS_KEY_ENV = "REPRO_SERVICE_TLS_KEY"
+
+#: Client-side trust anchor for ``https://`` service URLs.  Point it at the
+#: (self-signed) service certificate or a private CA bundle; unset, clients
+#: verify against the system trust store.
+TLS_CA_ENV = "REPRO_SERVICE_TLS_CA"
+
+_client_ssl_context: Optional[ssl.SSLContext] = None
+_client_ssl_ca: Any = object()  # sentinel: not yet built
+
+
+def server_ssl_context() -> Optional[ssl.SSLContext]:
+    """The server-side TLS context from the env, or ``None`` (plain HTTP).
+
+    Misconfiguration (missing/unreadable cert or key) raises ``OSError`` or
+    ``ssl.SSLError`` loudly at service startup — silently serving the
+    shared token over plaintext would defeat the point.
+    """
+    cert = (os.environ.get(TLS_CERT_ENV) or "").strip()
+    if not cert:
+        return None
+    key = (os.environ.get(TLS_KEY_ENV) or "").strip() or None
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+    context.load_cert_chain(cert, key)
+    return context
+
+
+def wrap_server_socket(server: Any) -> bool:
+    """Wrap an ``HTTPServer``'s listening socket in TLS when configured.
+
+    Returns ``True`` when the server now speaks HTTPS (so callers can
+    advertise an ``https://`` URL).  Called once, before the serve loop.
+    """
+    context = server_ssl_context()
+    if context is None:
+        return False
+    server.socket = context.wrap_socket(server.socket, server_side=True)
+    return True
+
+
+def client_ssl_context() -> ssl.SSLContext:
+    """The (cached) client-side TLS context for ``https://`` service URLs."""
+    global _client_ssl_context, _client_ssl_ca
+    ca = (os.environ.get(TLS_CA_ENV) or "").strip() or None
+    if _client_ssl_context is None or ca != _client_ssl_ca:
+        context = ssl.create_default_context(cafile=ca)
+        # Service certs are addressed by IP/hostname ad hoc on lab networks;
+        # with a private CA configured, possession of the CA-signed cert is
+        # the identity — hostname matching would reject the common
+        # cert-per-cluster (rather than cert-per-host) deployment.
+        if ca is not None:
+            context.check_hostname = False
+        _client_ssl_context = context
+        _client_ssl_ca = ca
+    return _client_ssl_context
+
+
+def urlopen(request: Any, timeout: float = 30.0) -> Any:
+    """``urllib.request.urlopen`` with the repro client TLS context.
+
+    Every service client (coordinator, cache, collector, dashboard scraper)
+    funnels through here so ``https://`` URLs verify against
+    ``$REPRO_SERVICE_TLS_CA`` uniformly; plain ``http://`` requests pass an
+    explicit ``context=None`` and behave exactly as before.
+    """
+    url = request.full_url if hasattr(request, "full_url") else str(request)
+    context = client_ssl_context() if url.startswith("https://") else None
+    return urllib.request.urlopen(request, timeout=timeout, context=context)
+
+
 # -- JSON over HTTP -------------------------------------------------------------
 
 
@@ -306,7 +383,7 @@ def http_post_json(url: str, payload: Dict[str, Any], timeout: float = 30.0) -> 
         },
     )
     try:
-        with urllib.request.urlopen(request, timeout=timeout) as response:
+        with urlopen(request, timeout=timeout) as response:
             data = response.read()
     except urllib.error.HTTPError as exc:
         raise_for_auth(exc, url)
@@ -321,7 +398,7 @@ def http_get_json(url: str, timeout: float = 30.0) -> Dict[str, Any]:
         url, headers={**auth_headers(), **obs_tracing.trace_headers()}
     )
     try:
-        with urllib.request.urlopen(request, timeout=timeout) as response:
+        with urlopen(request, timeout=timeout) as response:
             data = response.read()
     except urllib.error.HTTPError as exc:
         raise_for_auth(exc, url)

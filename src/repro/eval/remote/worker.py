@@ -245,6 +245,10 @@ def run_worker(
                 break
     finally:
         stop.set()
+        # Flush telemetry now rather than trusting atexit: a pool child
+        # exits via sys.exit inside multiprocessing, and a remote span
+        # shipper needs its queue drained while the collector is still up.
+        obs_tracing.shutdown()
     return 0
 
 

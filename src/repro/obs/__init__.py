@@ -17,10 +17,27 @@ identical — is the design constraint, enforced by tests/test_obs.py):
   ``repro cluster status`` summarises a live cluster from those endpoints
   (:mod:`repro.obs.cluster`).
 
-:mod:`repro.obs.logs` supplies the ``logging``-based structured loggers the
-remote services use (level-filterable via ``$REPRO_LOG_LEVEL``), and
-:mod:`repro.obs.render` the text tree / per-worker Gantt views behind
-``repro trace``.  docs/OBSERVABILITY.md is the user-facing guide.
+On top of the pillars sits the central telemetry plane:
+
+* :mod:`repro.obs.collect` — span *collection*.  ``REPRO_TRACE`` may name a
+  collector URL instead of a file: spans then ship in batches to a
+  ``POST /spans`` endpoint (on the coordinator, or a standalone
+  ``repro collect serve``), so one client-side file captures an entire
+  distributed run without gathering per-host sinks.
+* :mod:`repro.obs.dash` — the live ops page (``repro dash``): worker
+  liveness, queue/latency/throughput sparklines, cache hit rate, recent run
+  history with the regression verdict, alerts and a rolling event feed.
+* :mod:`repro.obs.alerts` — the declarative threshold rules behind both the
+  dashboard and the CI-able ``repro alerts check``.
+
+:mod:`repro.obs.profile` (sampling profiler + exact counters),
+:mod:`repro.obs.analyze` (trace summary / critical path) and
+:mod:`repro.obs.history` (the run ledger + regression gate) complete the
+post-hoc side.  :mod:`repro.obs.logs` supplies the ``logging``-based
+structured loggers the remote services use (level-filterable via
+``$REPRO_LOG_LEVEL``), and :mod:`repro.obs.render` the text tree /
+per-worker Gantt views behind ``repro trace``.  docs/OBSERVABILITY.md is
+the user-facing guide.
 """
 
 from __future__ import annotations

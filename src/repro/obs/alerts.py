@@ -1,0 +1,235 @@
+"""Declarative threshold alerts over cluster snapshots and run history.
+
+The dashboard (:mod:`repro.obs.dash`) and the headless ``repro alerts
+check`` command share this engine so "the page shows red" and "CI fails"
+can never disagree.  A rule set is a plain :class:`AlertRules` value —
+every threshold JSON-overridable via ``--rules rules.json`` — and an
+evaluation folds the newest cluster snapshot(s) (from
+:func:`repro.obs.cluster.collect_status`) plus the run-history ledger into
+a list of :class:`Alert` records:
+
+* **coordinator-down / cache-down** — a configured service is unreachable
+  or reports not-ok;
+* **worker-dead** — a registered worker's heartbeat age exceeds
+  ``worker_dead_seconds`` (the coordinator will requeue its leases, but an
+  operator wants to know the fleet is shrinking);
+* **queue-sustained** — queue depth stayed above ``queue_depth_max`` for
+  ``queue_sustained_samples`` consecutive snapshots: the fleet is
+  underprovisioned, not merely bursty;
+* **cache-hit-rate** — the service-side hit rate fell below
+  ``cache_hit_rate_floor`` after at least ``cache_min_lookups`` lookups
+  (a cold store or a key-mismatch bug);
+* **history-regression** — the run-history rolling-median gate
+  (:func:`repro.obs.history.check_regressions`) flags the latest run.
+
+Evaluation is pure: snapshots in, alerts out.  Stateful concerns (keeping
+the last N snapshots, deduplicating the event feed) belong to the caller.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One fired rule: what, how bad, and the numbers behind it."""
+
+    rule: str
+    severity: str  # "critical" | "warning"
+    message: str
+    value: Optional[float] = None
+    threshold: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class AlertRules:
+    """The declarative rule set (every field overridable from JSON)."""
+
+    worker_dead_seconds: float = 30.0
+    queue_depth_max: int = 100
+    queue_sustained_samples: int = 3
+    cache_hit_rate_floor: float = 0.05
+    cache_min_lookups: int = 20
+    history_window: int = 8
+    history_threshold: float = 1.5
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+DEFAULT_RULES = AlertRules()
+
+
+def load_rules(path: Optional[Path]) -> AlertRules:
+    """Rules from a JSON file of ``{field: value}`` overrides (``None`` =
+    defaults).  Unknown keys are rejected loudly — a typo silently reverting
+    a threshold to its default is the worst failure mode for an alert."""
+    if path is None:
+        return DEFAULT_RULES
+    try:
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ReproError(f"cannot read alert rules {path}: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise ReproError(f"alert rules {path} must be a JSON object")
+    known = {f.name for f in fields(AlertRules)}
+    unknown = sorted(set(raw) - known)
+    if unknown:
+        raise ReproError(
+            f"alert rules {path}: unknown rule(s) {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+    return AlertRules(**raw)
+
+
+def _coordinator_alerts(
+    snapshots: Sequence[Dict[str, Any]], rules: AlertRules
+) -> List[Alert]:
+    latest = snapshots[-1]
+    coordinator = latest.get("coordinator") or {}
+    alerts: List[Alert] = []
+    if not coordinator.get("ok"):
+        alerts.append(
+            Alert(
+                rule="coordinator-down",
+                severity="critical",
+                message=f"coordinator {coordinator.get('url', '?')} is unreachable or not ok",
+            )
+        )
+        return alerts  # the detail rules below would only echo stale data
+    for worker, info in sorted((coordinator.get("worker_detail") or {}).items()):
+        age = info.get("heartbeat_age_seconds")
+        if age is not None and age > rules.worker_dead_seconds:
+            alerts.append(
+                Alert(
+                    rule="worker-dead",
+                    severity="critical",
+                    message=(
+                        f"worker {worker} last heartbeat {age:.1f}s ago "
+                        f"(threshold {rules.worker_dead_seconds:.0f}s)"
+                    ),
+                    value=float(age),
+                    threshold=float(rules.worker_dead_seconds),
+                )
+            )
+    window = snapshots[-rules.queue_sustained_samples :]
+    depths = [
+        (snap.get("coordinator") or {}).get("queued")
+        for snap in window
+        if (snap.get("coordinator") or {}).get("ok")
+    ]
+    if (
+        len(depths) >= rules.queue_sustained_samples
+        and all(d is not None and d > rules.queue_depth_max for d in depths)
+    ):
+        alerts.append(
+            Alert(
+                rule="queue-sustained",
+                severity="warning",
+                message=(
+                    f"queue depth above {rules.queue_depth_max} for "
+                    f"{len(depths)} consecutive samples (now {depths[-1]})"
+                ),
+                value=float(depths[-1]),
+                threshold=float(rules.queue_depth_max),
+            )
+        )
+    return alerts
+
+
+def _cache_alerts(snapshot: Dict[str, Any], rules: AlertRules) -> List[Alert]:
+    cache = snapshot.get("cache")
+    if not cache:
+        return []
+    if not cache.get("ok"):
+        return [
+            Alert(
+                rule="cache-down",
+                severity="critical",
+                message=f"cache service {cache.get('url', '?')} is unreachable or not ok",
+            )
+        ]
+    hits = float(cache.get("hits") or 0.0)
+    misses = float(cache.get("misses") or 0.0)
+    lookups = hits + misses
+    rate = cache.get("hit_rate")
+    if (
+        rate is not None
+        and lookups >= rules.cache_min_lookups
+        and rate < rules.cache_hit_rate_floor
+    ):
+        return [
+            Alert(
+                rule="cache-hit-rate",
+                severity="warning",
+                message=(
+                    f"cache hit rate {rate:.1%} below floor "
+                    f"{rules.cache_hit_rate_floor:.1%} after {lookups:.0f} lookups"
+                ),
+                value=float(rate),
+                threshold=float(rules.cache_hit_rate_floor),
+            )
+        ]
+    return []
+
+
+def _history_alerts(
+    history_runs: Optional[List[Dict[str, Any]]], rules: AlertRules
+) -> List[Alert]:
+    if not history_runs:
+        return []
+    from repro.obs import history as obs_history
+
+    flagged = obs_history.check_regressions(
+        history_runs, window=rules.history_window, threshold=rules.history_threshold
+    )
+    return [
+        Alert(
+            rule="history-regression",
+            severity="warning",
+            message=(
+                f"{item['command']}: {item['metric']} regressed to "
+                f"{item['latest']:.3f}s ({item['ratio']:.2f}x the median "
+                f"{item['baseline']:.3f}s of the last {rules.history_window} runs)"
+            ),
+            value=float(item["latest"]),
+            threshold=float(item["baseline"]) * rules.history_threshold,
+        )
+        for item in flagged
+    ]
+
+
+def evaluate(
+    snapshots: Sequence[Dict[str, Any]],
+    history_runs: Optional[List[Dict[str, Any]]] = None,
+    rules: AlertRules = DEFAULT_RULES,
+) -> List[Alert]:
+    """Evaluate every rule; *snapshots* are oldest → newest, and only the
+    newest drives the point-in-time rules (the older ones exist for the
+    sustained-queue rule).  Critical alerts sort first."""
+    if not snapshots:
+        return []
+    alerts = _coordinator_alerts(snapshots, rules)
+    alerts.extend(_cache_alerts(snapshots[-1], rules))
+    alerts.extend(_history_alerts(history_runs, rules))
+    severity_rank = {"critical": 0, "warning": 1}
+    return sorted(alerts, key=lambda a: (severity_rank.get(a.severity, 2), a.rule))
+
+
+def render_alerts(alerts: Sequence[Alert]) -> str:
+    """The human-readable block ``repro alerts check`` prints."""
+    if not alerts:
+        return "ok: no alerts firing"
+    lines = [f"{len(alerts)} alert(s) firing:"]
+    for alert in alerts:
+        lines.append(f"  [{alert.severity}] {alert.rule}: {alert.message}")
+    return "\n".join(lines)

@@ -22,7 +22,12 @@ import urllib.request
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import RemoteError
-from repro.eval.remote.protocol import TRANSPORT_ERRORS, auth_headers, http_get_json
+from repro.eval.remote.protocol import (
+    TRANSPORT_ERRORS,
+    auth_headers,
+    http_get_json,
+    urlopen,
+)
 
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
@@ -86,7 +91,7 @@ def _normalise_url(url: str) -> str:
 def fetch_metrics_text(base_url: str, timeout: float = 10.0) -> str:
     """GET ``/metrics`` (plain text; auth-exempt like ``/healthz``)."""
     request = urllib.request.Request(f"{base_url}/metrics", headers=auth_headers())
-    with urllib.request.urlopen(request, timeout=timeout) as response:
+    with urlopen(request, timeout=timeout) as response:
         return response.read().decode("utf-8")
 
 
@@ -106,6 +111,11 @@ def collect_status(
         raise RemoteError(f"coordinator at {coordinator_url} unreachable: {exc}") from exc
     uptime = float(health.get("uptime_seconds") or 0.0)
     completed = metric_value(samples, "repro_tasks_completed_total") or 0.0
+    lease_sum = metric_value(samples, "repro_lease_latency_seconds_sum") or 0.0
+    lease_count = metric_value(samples, "repro_lease_latency_seconds_count") or 0.0
+    summary["coordinator"]["lease_latency_mean_s"] = (
+        round(lease_sum / lease_count, 4) if lease_count else None
+    )
     summary["coordinator"].update(
         {
             "ok": bool(health.get("ok")),

@@ -1,0 +1,467 @@
+"""Central span collection: the client side (:class:`RemoteSink`) and the
+server side (batch ingestion + a standalone collector service).
+
+PR 8 gave every process a JSONL span sink, but a distributed run scatters
+those files across hosts: each worker appends to *its own* ``$REPRO_TRACE``
+path, and the operator has to gather and concatenate them before
+``repro trace`` can render the run.  This module centralises that: point
+``REPRO_TRACE`` at a URL instead of a file —
+
+```sh
+REPRO_TRACE=http://coordinator-host:8901 repro report --workers 0 ...
+```
+
+— and the process ships finished spans over HTTP to a ``POST /spans``
+endpoint instead of writing them locally.  The coordinator ingests such
+batches straight into the submitting client's own tracer (so one
+client-side ``$REPRO_TRACE`` file holds the whole distributed run), and a
+standalone collector (``repro collect serve``) does the same into a file of
+its own for runs with no coordinator.
+
+The client side is crash-safe and strictly observe-only:
+
+* spans park in a **bounded queue**; when the collector is slow or down the
+  queue fills and further spans are *dropped*, never blocking work — the
+  drop count is exported as the ``repro_trace_spans_dropped_total`` counter
+  and reported once on stderr at exit;
+* a background thread flushes the queue as size-capped JSON batches
+  (``{"spans": [...]}``); transport errors cost telemetry, never the run;
+* :meth:`RemoteSink.close` — reached via the tracer's ``atexit`` shutdown —
+  drains whatever is still queued, so short-lived processes (pool children,
+  ``--max-tasks`` workers) lose nothing on a clean exit.
+
+Wire format: ``POST /spans`` with a JSON object ``{"spans": [record, ...]}``
+where each record is one finished-span object exactly as the JSONL sink
+would have written it.  Responses: ``200 {"ok": true, "accepted": N,
+"rejected": M}``; ``413`` for oversized batches (> ``MAX_BATCH_BYTES``
+bytes or > ``MAX_BATCH_SPANS`` spans); ``401`` without the shared service
+token.  Batches are *whole-record atomic* on the server: a record either
+lands as one complete JSONL line or not at all, so a worker crashing
+mid-run can never leave a partial line in the merged trace.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.obs import metrics as obs_metrics
+
+#: Server-side batch caps: one POST may carry at most this much.
+MAX_BATCH_BYTES = 4 * 1024 * 1024
+MAX_BATCH_SPANS = 5_000
+
+#: Client-side defaults (see :class:`RemoteSink`).
+QUEUE_LIMIT = 4_096
+BATCH_SPANS = 250
+BATCH_BYTES = 1 * 1024 * 1024
+FLUSH_INTERVAL = 0.5
+
+#: Fields every ingested span record must carry to be accepted.
+REQUIRED_FIELDS = ("trace_id", "span_id", "name", "start", "end")
+
+_SPANS_SHIPPED = obs_metrics.counter(
+    "repro_trace_spans_shipped_total",
+    "Spans successfully POSTed to a remote span collector.",
+)
+_SPANS_DROPPED = obs_metrics.counter(
+    "repro_trace_spans_dropped_total",
+    "Spans dropped client-side: bounded queue full or collector unreachable.",
+)
+_SPANS_RECEIVED = obs_metrics.counter(
+    "repro_collector_spans_received_total",
+    "Span records accepted by this process's /spans endpoint.",
+)
+_SPANS_REJECTED = obs_metrics.counter(
+    "repro_collector_spans_rejected_total",
+    "Span records rejected by this process's /spans endpoint (malformed).",
+)
+_BATCHES_REJECTED = obs_metrics.counter(
+    "repro_collector_batches_rejected_total",
+    "Whole /spans batches refused (oversized or unparseable).",
+)
+
+
+def is_remote_spec(spec: str) -> bool:
+    """Whether a ``$REPRO_TRACE`` value names a collector URL, not a file."""
+    return spec.startswith(("http://", "https://"))
+
+
+class RemoteSink:
+    """Ships finished span records to a ``POST /spans`` collector endpoint.
+
+    Plugs into :class:`repro.obs.tracing.Tracer` as its writer: the tracer
+    calls :meth:`write_record` per finished span and :meth:`close` from its
+    (atexit-registered) shutdown.  All failure modes degrade to counted
+    drops — this object may never raise into the traced code.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        queue_limit: int = QUEUE_LIMIT,
+        batch_spans: int = BATCH_SPANS,
+        batch_bytes: int = BATCH_BYTES,
+        flush_interval: float = FLUSH_INTERVAL,
+        timeout: float = 10.0,
+    ):
+        self.base_url = base_url.rstrip("/")
+        self.endpoint = f"{self.base_url}/spans"
+        self.queue_limit = queue_limit
+        self.batch_spans = batch_spans
+        self.batch_bytes = batch_bytes
+        self.flush_interval = flush_interval
+        self.timeout = timeout
+        self._queue: Deque[Dict[str, Any]] = deque()
+        self._cond = threading.Condition()
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        self._inflight = 0  # records popped off the queue, POST not yet done
+        self.dropped = 0
+        self.shipped = 0
+
+    # -- tracer-facing API ------------------------------------------------------
+
+    def write_record(self, record: Dict[str, Any]) -> None:
+        """Queue one finished span for shipment (drops when the queue is full)."""
+        with self._cond:
+            if self._closed or len(self._queue) >= self.queue_limit:
+                self.dropped += 1
+                _SPANS_DROPPED.inc()
+                return
+            self._queue.append(record)
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run, name="repro-span-shipper", daemon=True
+                )
+                self._thread.start()
+            self._cond.notify()
+
+    def close(self) -> None:
+        """Stop the shipper thread and drain everything still queued."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+            thread = self._thread
+        if thread is not None:
+            thread.join(timeout=self.timeout + 1.0)
+        self._drain()
+        if self.dropped:
+            import sys
+
+            print(
+                f"repro: trace collector {self.base_url}: "
+                f"{self.dropped} span(s) dropped ({self.shipped} shipped)",
+                file=sys.stderr,
+            )
+
+    def flush(self, timeout: float = 10.0) -> bool:
+        """Block until queued *and in-flight* records are shipped (or
+        dropped); ``True`` when everything settled within *timeout*.  An
+        empty queue is not enough: a batch the shipper popped may still be
+        on the wire, and a caller about to hard-exit must outwait it."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._cond:
+                if not self._queue and not self._inflight:
+                    return True
+                self._cond.notify()
+            time.sleep(0.02)
+        return False
+
+    # -- shipper internals ------------------------------------------------------
+
+    def _take_batch(self) -> List[Dict[str, Any]]:
+        """Pop up to one batch off the queue (caller holds no lock)."""
+        batch: List[Dict[str, Any]] = []
+        size = 0
+        with self._cond:
+            while self._queue and len(batch) < self.batch_spans:
+                record = self._queue[0]
+                encoded = len(json.dumps(record, separators=(",", ":")))
+                if batch and size + encoded > self.batch_bytes:
+                    break
+                batch.append(self._queue.popleft())
+                size += encoded
+            self._inflight += len(batch)
+        return batch
+
+    def _post(self, batch: List[Dict[str, Any]]) -> bool:
+        """POST one batch; ``False`` (and counted drops) on any failure."""
+        # Lazy import: protocol pulls in the whole eval stack, which the
+        # tracing fast path must not pay for until a batch actually ships.
+        from repro.eval.remote import protocol
+
+        body = json.dumps({"spans": batch}, separators=(",", ":")).encode("utf-8")
+        request = urllib.request.Request(
+            self.endpoint,
+            data=body,
+            method="POST",
+            headers={"Content-Type": "application/json", **protocol.auth_headers()},
+        )
+        try:
+            with protocol.urlopen(request, timeout=self.timeout) as response:
+                response.read()
+            return True
+        except Exception:
+            # Observe-only: auth failures, refused connections, TLS errors —
+            # all cost telemetry, never the traced run.
+            return False
+
+    def _ship(self, batch: List[Dict[str, Any]]) -> None:
+        if not batch:
+            return
+        try:
+            if self._post(batch):
+                self.shipped += len(batch)
+                _SPANS_SHIPPED.inc(len(batch))
+            else:
+                self.dropped += len(batch)
+                _SPANS_DROPPED.inc(len(batch))
+        finally:
+            with self._cond:
+                self._inflight -= len(batch)
+                self._cond.notify_all()
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                if not self._queue and not self._closed:
+                    self._cond.wait(timeout=self.flush_interval)
+                if self._closed and not self._queue:
+                    return
+            self._ship(self._take_batch())
+
+    def _drain(self) -> None:
+        batch = self._take_batch()
+        while batch:
+            self._ship(batch)
+            batch = self._take_batch()
+
+
+# -- server-side ingestion ----------------------------------------------------
+
+
+def validate_record(record: Any) -> bool:
+    """Whether one wire record is an acceptable finished-span object."""
+    if not isinstance(record, dict):
+        return False
+    for field in REQUIRED_FIELDS:
+        if field not in record:
+            return False
+    if not isinstance(record["trace_id"], str) or not isinstance(record["span_id"], str):
+        return False
+    if not isinstance(record["start"], (int, float)) or not isinstance(
+        record["end"], (int, float)
+    ):
+        return False
+    return True
+
+
+def ingest_batch(payload: Any, write_record) -> Tuple[int, int]:
+    """Validate one decoded ``/spans`` payload and hand each acceptable
+    record to *write_record*.  Returns ``(accepted, rejected)``."""
+    spans = payload.get("spans") if isinstance(payload, dict) else None
+    if not isinstance(spans, list):
+        _BATCHES_REJECTED.inc()
+        return 0, 0
+    accepted = rejected = 0
+    for record in spans:
+        if validate_record(record):
+            write_record(record)
+            accepted += 1
+        else:
+            rejected += 1
+    if accepted:
+        _SPANS_RECEIVED.inc(accepted)
+    if rejected:
+        _SPANS_REJECTED.inc(rejected)
+    return accepted, rejected
+
+
+def batch_too_large(length: int, payload: Any = None) -> bool:
+    """Server-side cap check: body bytes, then (when decoded) span count."""
+    if length > MAX_BATCH_BYTES:
+        return True
+    if isinstance(payload, dict):
+        spans = payload.get("spans")
+        if isinstance(spans, list) and len(spans) > MAX_BATCH_SPANS:
+            return True
+    return False
+
+
+def _drain_body(handler: Any, length: int) -> None:
+    """Discard *length* request-body bytes in chunks (keep-alive safety)."""
+    remaining = length
+    while remaining > 0:
+        chunk = handler.rfile.read(min(65536, remaining))
+        if not chunk:
+            return
+        remaining -= len(chunk)
+
+
+def handle_spans_post(handler: Any, write_record, token: Optional[str]) -> None:
+    """The complete ``POST /spans`` route, shared by coordinator + collector.
+
+    Enforces the byte cap (413 without buffering the body), drains and
+    parses the request, authenticates it (401), enforces the span-count cap
+    (413), validates each record and responds with accepted/rejected
+    counts.  The body is always consumed before any response so keep-alive
+    connections stay usable.
+    """
+    from repro.eval.remote import protocol
+
+    length = int(handler.headers.get("Content-Length") or 0)
+    if length > MAX_BATCH_BYTES:
+        _drain_body(handler, length)
+        _BATCHES_REJECTED.inc()
+        protocol.send_json(
+            handler, 413, {"error": f"span batch exceeds {MAX_BATCH_BYTES} bytes"}
+        )
+        return
+    payload = protocol.read_json(handler)
+    if not protocol.check_auth(handler, token):
+        return
+    if batch_too_large(length, payload):
+        _BATCHES_REJECTED.inc()
+        protocol.send_json(
+            handler, 413, {"error": f"span batch exceeds {MAX_BATCH_SPANS} spans"}
+        )
+        return
+    accepted, rejected = ingest_batch(payload, write_record)
+    protocol.send_json(handler, 200, {"ok": True, "accepted": accepted, "rejected": rejected})
+
+
+# -- the standalone collector service -----------------------------------------
+
+
+class _SinkWriter:
+    """Append-only JSONL writer with whole-line atomicity (collector sink)."""
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._handle: Any = None
+        self.written = 0
+
+    def write_record(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if self._handle is None:
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self.written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
+
+
+def make_collector_server(
+    sink: Path,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    token: Optional[str] = None,
+    verbose: bool = False,
+):
+    """Build (not start) a standalone span-collector HTTP server.
+
+    Returns the ``ThreadingHTTPServer``; ``server.url`` is the address to
+    put in ``$REPRO_TRACE`` and ``server.sink_writer`` the JSONL writer.
+    Serves ``GET /healthz`` + ``GET /metrics`` (auth-exempt, like the other
+    services) and the authenticated ``POST /spans`` ingestion route; TLS is
+    enabled the same way as the other services (``REPRO_SERVICE_TLS_CERT``).
+    """
+    import time
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    from repro import __version__
+    from repro.eval.remote import protocol
+    from repro.obs import logs as obs_logs
+
+    writer = _SinkWriter(sink)
+    logger = obs_logs.get_logger("collector", verbose=verbose)
+
+    class _CollectorRequestHandler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-collector"
+
+        def log_message(self, format: str, *args: Any) -> None:
+            logger.debug("%s %s", self.address_string(), format % args)
+
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            if self.path == "/healthz":
+                protocol.send_json(
+                    self,
+                    200,
+                    {
+                        "ok": True,
+                        "role": "collector",
+                        "version": __version__,
+                        "uptime_seconds": round(time.monotonic() - server.start_time, 3),
+                        "spans_written": writer.written,
+                    },
+                )
+                return
+            if self.path == "/metrics":
+                body = obs_metrics.REGISTRY.render().encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+                return
+            protocol.send_json(self, 404, {"error": f"unknown path {self.path}"})
+
+        def do_POST(self) -> None:  # noqa: N802 (http.server API)
+            if self.path != "/spans":
+                _drain_body(self, int(self.headers.get("Content-Length") or 0))
+                protocol.send_json(self, 404, {"error": f"unknown path {self.path}"})
+                return
+            handle_spans_post(self, writer.write_record, server.token)
+
+    server = ThreadingHTTPServer((host, port), _CollectorRequestHandler)
+    server.daemon_threads = True
+    server.token = token if token is not None else protocol.service_token()
+    server.start_time = time.monotonic()
+    server.sink_writer = writer
+    scheme = "https" if protocol.wrap_server_socket(server) else "http"
+    bound_host, bound_port = server.server_address[:2]
+    server.url = f"{scheme}://{bound_host}:{bound_port}"
+    return server
+
+
+def serve_collector(
+    sink: Path,
+    host: str = "127.0.0.1",
+    port: int = 8917,
+    token: Optional[str] = None,
+    verbose: bool = False,
+) -> None:
+    """Run the standalone collector in the foreground (``repro collect serve``)."""
+    server = make_collector_server(sink, host=host, port=port, token=token, verbose=verbose)
+    print(f"repro collector on {server.url} -> {sink} (Ctrl-C stops)", flush=True)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.sink_writer.close()

@@ -1,0 +1,470 @@
+"""``repro dash``: a live, self-contained HTML ops page over a cluster.
+
+One small HTTP server polls the coordinator (and optionally the cache
+service) through :func:`repro.obs.cluster.collect_status`, keeps a rolling
+window of snapshots in memory, and renders everything an operator wants on
+one auto-refreshing page:
+
+* stat tiles — queue depth, live workers, throughput, cache hit rate;
+* sparklines (``repro.viz`` theme + engine) of queue depth, mean lease
+  latency and throughput across the retained snapshots;
+* the worker liveness table (heartbeat age, trace id being executed);
+* firing alerts, straight from the shared :mod:`repro.obs.alerts` engine —
+  the page and ``repro alerts check`` can never disagree;
+* recent ``.repro_history`` runs with the regression-gate verdict;
+* a rolling event feed derived from snapshot deltas (worker joined/left,
+  service down/up, alert fired/cleared).
+
+Routes: ``GET /`` (the page, ``<meta http-equiv=refresh>`` driven),
+``GET /status.json`` (the same state machine-readably: snapshot, series,
+alerts, history, events), ``GET /healthz``.  The dashboard is a read-only
+*consumer* of the services — it holds no state worth protecting, scrapes
+only the auth-exempt endpoints plus ``/status`` (for which it presents the
+usual shared token), and follows the services onto TLS via the same
+``REPRO_SERVICE_TLS_CERT``/``KEY`` variables.
+
+Scrapes are throttled to one per refresh interval no matter how many
+browsers poll, and a scrape failure renders a degraded page (service DOWN,
+alert firing) rather than an error — the dashboard must be at its best
+exactly when the cluster is at its worst.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import threading
+import time
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional
+
+from repro import __version__
+from repro.errors import RemoteError
+from repro.obs import alerts as obs_alerts
+from repro.obs import cluster as obs_cluster
+from repro.obs import history as obs_history
+from repro.viz import theme
+from repro.viz.trend import sparkline_svg
+
+#: How many snapshots the sparklines/series retain.
+MAX_POINTS = 120
+
+#: How many events the rolling feed retains.
+MAX_EVENTS = 60
+
+#: How many history rows the page shows.
+HISTORY_ROWS = 10
+
+
+class DashState:
+    """The dashboard's state machine: rolling snapshots, events, alerts."""
+
+    def __init__(
+        self,
+        coordinator_url: str,
+        cache_url: Optional[str] = None,
+        history_dir: Optional[Path] = None,
+        rules: obs_alerts.AlertRules = obs_alerts.DEFAULT_RULES,
+        refresh: float = 5.0,
+        timeout: float = 5.0,
+    ):
+        self.coordinator_url = coordinator_url
+        self.cache_url = cache_url
+        self.history_dir = history_dir
+        self.rules = rules
+        self.refresh = max(1.0, float(refresh))
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._snapshots: Deque[Dict[str, Any]] = deque(maxlen=MAX_POINTS)
+        self._events: Deque[Dict[str, Any]] = deque(maxlen=MAX_EVENTS)
+        self._alerts: List[obs_alerts.Alert] = []
+        self._history_runs: List[Dict[str, Any]] = []
+        self._last_poll = 0.0
+
+    # -- polling ----------------------------------------------------------------
+
+    def _scrape(self) -> Dict[str, Any]:
+        try:
+            return obs_cluster.collect_status(
+                self.coordinator_url, self.cache_url, timeout=self.timeout
+            )
+        except RemoteError as exc:
+            summary: Dict[str, Any] = {
+                "coordinator": {
+                    "url": self.coordinator_url,
+                    "ok": False,
+                    "error": str(exc),
+                }
+            }
+            if self.cache_url:
+                summary["cache"] = {"url": self.cache_url, "ok": False}
+            return summary
+
+    def _load_history(self) -> List[Dict[str, Any]]:
+        path = obs_history.history_path(self.history_dir)
+        return obs_history.load_runs(path) if path is not None else []
+
+    def poll(self, force: bool = False) -> None:
+        """Scrape + re-evaluate, at most once per refresh interval."""
+        with self._lock:
+            now = time.monotonic()
+            if not force and self._snapshots and now - self._last_poll < self.refresh:
+                return
+            self._last_poll = now
+            previous = self._snapshots[-1] if self._snapshots else None
+            previous_alerts = {a.rule for a in self._alerts}
+            summary = self._scrape()
+            self._snapshots.append(summary)
+            self._history_runs = self._load_history()
+            self._alerts = obs_alerts.evaluate(
+                list(self._snapshots), self._history_runs, self.rules
+            )
+            self._emit_events(previous, summary, previous_alerts)
+
+    def _emit_events(
+        self,
+        previous: Optional[Dict[str, Any]],
+        current: Dict[str, Any],
+        previous_alerts: set,
+    ) -> None:
+        stamp = time.strftime("%H:%M:%S")
+
+        def event(level: str, text: str) -> None:
+            self._events.appendleft({"at": stamp, "level": level, "text": text})
+
+        prev_coord = (previous or {}).get("coordinator") or {}
+        coord = current.get("coordinator") or {}
+        if previous is not None and bool(prev_coord.get("ok")) != bool(coord.get("ok")):
+            if coord.get("ok"):
+                event("info", "coordinator is back up")
+            else:
+                event("critical", "coordinator became unreachable")
+        before = set(prev_coord.get("workers") or [])
+        after = set(coord.get("workers") or [])
+        for worker in sorted(after - before):
+            event("info", f"worker {worker} joined")
+        for worker in sorted(before - after):
+            event("warning", f"worker {worker} left")
+        current_alerts = {a.rule: a for a in self._alerts}
+        for rule in sorted(set(current_alerts) - previous_alerts):
+            event(current_alerts[rule].severity, f"alert fired: {current_alerts[rule].message}")
+        for rule in sorted(previous_alerts - set(current_alerts)):
+            event("info", f"alert cleared: {rule}")
+
+    # -- series & payload -------------------------------------------------------
+
+    def _series(self) -> Dict[str, List[float]]:
+        queue: List[float] = []
+        lease: List[float] = []
+        throughput: List[float] = []
+        hit_rate: List[float] = []
+        for snap in self._snapshots:
+            coord = snap.get("coordinator") or {}
+            if coord.get("ok"):
+                queue.append(float(coord.get("queued") or 0))
+                throughput.append(float(coord.get("throughput_per_s") or 0.0))
+                if coord.get("lease_latency_mean_s") is not None:
+                    lease.append(float(coord["lease_latency_mean_s"]))
+            cache = snap.get("cache") or {}
+            if cache.get("ok") and cache.get("hit_rate") is not None:
+                hit_rate.append(float(cache["hit_rate"]))
+        return {
+            "queue_depth": queue,
+            "lease_latency_mean_s": lease,
+            "throughput_per_s": throughput,
+            "cache_hit_rate": hit_rate,
+        }
+
+    def status_payload(self) -> Dict[str, Any]:
+        """The ``GET /status.json`` body (also the page's data source)."""
+        with self._lock:
+            latest = dict(self._snapshots[-1]) if self._snapshots else {}
+            history = self._history_runs[-HISTORY_ROWS:]
+            regressions = obs_history.check_regressions(
+                self._history_runs,
+                window=self.rules.history_window,
+                threshold=self.rules.history_threshold,
+            )
+            return {
+                "version": __version__,
+                "refresh_seconds": self.refresh,
+                "snapshot": latest,
+                "series": self._series(),
+                "alerts": [a.to_dict() for a in self._alerts],
+                "events": list(self._events),
+                "history": {
+                    "recent": history,
+                    "regressions": regressions,
+                },
+            }
+
+
+# -- HTML rendering -----------------------------------------------------------
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _tile(label: str, value: str, tone: str = "") -> str:
+    return (
+        f'<div class="tile {tone}"><div class="tile-value">{_esc(value)}</div>'
+        f'<div class="tile-label">{_esc(label)}</div></div>'
+    )
+
+
+def _spark(label: str, values: List[float], fmt: str = "{:.0f}") -> str:
+    if len(values) >= 2:
+        chart = sparkline_svg(values, width=220, height=36)
+        last = fmt.format(values[-1])
+    else:
+        chart = '<span class="muted">collecting…</span>'
+        last = fmt.format(values[-1]) if values else "–"
+    return (
+        f'<div class="spark"><div class="spark-head">{_esc(label)}'
+        f'<span class="spark-last">{_esc(last)}</span></div>{chart}</div>'
+    )
+
+
+def _css() -> str:
+    light, dark = 0, 1
+    return f"""
+  body {{ font-family: {theme.FONT_STACK}; background: {theme.PAGE[light]};
+         color: {theme.INK_PRIMARY[light]}; margin: 0; padding: 1.2rem 1.6rem; }}
+  h1 {{ font-size: 1.15rem; margin: 0 0 0.2rem; }}
+  h2 {{ font-size: 0.95rem; margin: 1.4rem 0 0.5rem; color: {theme.INK_SECONDARY[light]}; }}
+  .sub {{ color: {theme.INK_MUTED[light]}; font-size: 0.8rem; margin-bottom: 1rem; }}
+  .tiles, .sparks {{ display: flex; flex-wrap: wrap; gap: 0.8rem; }}
+  .tile {{ background: {theme.SURFACE[light]}; border: 1px solid {theme.GRIDLINE[light]};
+          border-radius: 8px; padding: 0.7rem 1.1rem; min-width: 7.5rem; }}
+  .tile-value {{ font-size: 1.5rem; font-variant-numeric: tabular-nums; }}
+  .tile-label {{ font-size: 0.72rem; color: {theme.INK_MUTED[light]}; }}
+  .tile.bad .tile-value {{ color: {theme.SERIES_LIGHT[7]}; }}
+  .tile.ok .tile-value {{ color: {theme.SERIES_LIGHT[5]}; }}
+  .spark {{ background: {theme.SURFACE[light]}; border: 1px solid {theme.GRIDLINE[light]};
+           border-radius: 8px; padding: 0.55rem 0.8rem; }}
+  .spark-head {{ font-size: 0.75rem; color: {theme.INK_SECONDARY[light]}; margin-bottom: 0.25rem; }}
+  .spark-last {{ float: right; font-variant-numeric: tabular-nums; color: {theme.INK_PRIMARY[light]}; }}
+  table {{ border-collapse: collapse; font-size: 0.82rem; }}
+  th, td {{ text-align: left; padding: 0.3rem 0.9rem 0.3rem 0; border-bottom: 1px solid {theme.GRIDLINE[light]};
+           font-variant-numeric: tabular-nums; }}
+  th {{ color: {theme.INK_MUTED[light]}; font-weight: 500; }}
+  .alert {{ border-left: 4px solid; border-radius: 4px; padding: 0.4rem 0.8rem; margin: 0.3rem 0;
+           background: {theme.SURFACE[light]}; font-size: 0.85rem; }}
+  .alert.critical {{ border-color: {theme.SERIES_LIGHT[7]}; }}
+  .alert.warning {{ border-color: {theme.SERIES_LIGHT[3]}; }}
+  .alert.none {{ border-color: {theme.SERIES_LIGHT[5]}; color: {theme.INK_SECONDARY[light]}; }}
+  .feed {{ list-style: none; margin: 0; padding: 0; font-size: 0.8rem; }}
+  .feed li {{ padding: 0.15rem 0; color: {theme.INK_SECONDARY[light]}; }}
+  .feed .critical {{ color: {theme.SERIES_LIGHT[7]}; }}
+  .feed .warning {{ color: {theme.SERIES_LIGHT[3]}; }}
+  .muted {{ color: {theme.INK_MUTED[light]}; }}
+  .mono {{ font-family: ui-monospace, monospace; font-size: 0.78rem; }}
+  @media (prefers-color-scheme: dark) {{
+    body {{ background: {theme.PAGE[dark]}; color: {theme.INK_PRIMARY[dark]}; }}
+    h2 {{ color: {theme.INK_SECONDARY[dark]}; }}
+    .tile, .spark, .alert {{ background: {theme.SURFACE[dark]}; border-color: {theme.GRIDLINE[dark]}; }}
+    .spark-last {{ color: {theme.INK_PRIMARY[dark]}; }}
+    th, td {{ border-color: {theme.GRIDLINE[dark]}; }}
+  }}
+"""
+
+
+def _worker_table(coordinator: Dict[str, Any]) -> str:
+    workers = coordinator.get("workers") or []
+    if not workers:
+        return '<p class="muted">no workers registered</p>'
+    detail = coordinator.get("worker_detail") or {}
+    rows = ["<tr><th>worker</th><th>heartbeat age</th><th>tracing</th></tr>"]
+    for worker in workers:
+        info = detail.get(worker) or {}
+        age = info.get("heartbeat_age_seconds")
+        trace = info.get("trace_id")
+        rows.append(
+            "<tr><td>{}</td><td>{}</td><td class=\"mono\">{}</td></tr>".format(
+                _esc(worker),
+                f"{age:.1f}s" if age is not None else "?",
+                _esc(trace[:16] + "…") if trace else "–",
+            )
+        )
+    return "<table>" + "".join(rows) + "</table>"
+
+
+def _history_table(payload: Dict[str, Any]) -> str:
+    history = payload.get("history") or {}
+    recent = history.get("recent") or []
+    if not recent:
+        return '<p class="muted">no run history recorded</p>'
+    flagged = {(r["command"], r["metric"]) for r in history.get("regressions") or []}
+    flagged_commands = {command for command, _ in flagged}
+    rows = ["<tr><th>when</th><th>command</th><th>wall</th><th>trace</th><th>gate</th></tr>"]
+    for run in reversed(recent):
+        wall = (run.get("metrics") or {}).get("wall_seconds")
+        attrs = run.get("attrs") or {}
+        trace = attrs.get("trace_id")
+        when = time.strftime("%H:%M:%S", time.localtime(run.get("ts", 0)))
+        command = str(run.get("command", "?"))
+        verdict = "REGRESSED" if command in flagged_commands else "ok"
+        rows.append(
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td class=\"mono\">{}</td><td>{}</td></tr>".format(
+                _esc(when),
+                _esc(command),
+                f"{wall:.2f}s" if isinstance(wall, (int, float)) else "–",
+                _esc(str(trace)[:16] + "…") if trace else "–",
+                verdict,
+            )
+        )
+    return "<table>" + "".join(rows) + "</table>"
+
+
+def render_html(state: DashState) -> str:
+    """The complete dashboard document from the current state."""
+    payload = state.status_payload()
+    snapshot = payload.get("snapshot") or {}
+    coordinator = snapshot.get("coordinator") or {}
+    cache = snapshot.get("cache") or {}
+    series = payload.get("series") or {}
+    alerts = payload.get("alerts") or []
+
+    coord_up = bool(coordinator.get("ok"))
+    tiles = [
+        _tile("coordinator", "up" if coord_up else "DOWN", "ok" if coord_up else "bad"),
+        _tile("queue depth", str(coordinator.get("queued", "–"))),
+        _tile("leased", str(coordinator.get("leased", "–"))),
+        _tile("workers live", str(len(coordinator.get("workers") or []))),
+        _tile("throughput", f"{coordinator.get('throughput_per_s', 0.0):.2f}/s"),
+    ]
+    if cache:
+        rate = cache.get("hit_rate")
+        tiles.append(
+            _tile(
+                "cache hit rate",
+                f"{rate:.1%}" if rate is not None else "–",
+                "" if cache.get("ok") else "bad",
+            )
+        )
+    sparks = [
+        _spark("queue depth", series.get("queue_depth") or []),
+        _spark("lease latency (mean)", series.get("lease_latency_mean_s") or [], "{:.3f}s"),
+        _spark("throughput /s", series.get("throughput_per_s") or [], "{:.2f}"),
+    ]
+    if cache:
+        sparks.append(_spark("cache hit rate", series.get("cache_hit_rate") or [], "{:.1%}"))
+
+    if alerts:
+        alert_html = "".join(
+            f'<div class="alert {_esc(a["severity"])}">'
+            f'<strong>{_esc(a["rule"])}</strong> — {_esc(a["message"])}</div>'
+            for a in alerts
+        )
+    else:
+        alert_html = '<div class="alert none">no alerts firing</div>'
+
+    events = payload.get("events") or []
+    if events:
+        feed = "".join(
+            f'<li class="{_esc(e["level"])}">{_esc(e["at"])} · {_esc(e["text"])}</li>'
+            for e in events
+        )
+        feed_html = f'<ul class="feed">{feed}</ul>'
+    else:
+        feed_html = '<p class="muted">no events yet</p>'
+
+    refresh = int(round(state.refresh))
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta http-equiv="refresh" content="{refresh}">
+<title>repro dash · {_esc(coordinator.get('url', ''))}</title>
+<style>{_css()}</style>
+</head>
+<body>
+<h1>repro cluster dashboard</h1>
+<div class="sub">coordinator {_esc(coordinator.get('url', '?'))}
+{('· cache ' + _esc(cache.get('url'))) if cache else ''}
+· repro {_esc(payload.get('version', ''))}
+· refreshes every {refresh}s
+· <span class="mono">/status.json</span> for machines</div>
+<div class="tiles">{''.join(tiles)}</div>
+<h2>Trends ({len(series.get('queue_depth') or [])} samples)</h2>
+<div class="sparks">{''.join(sparks)}</div>
+<h2>Alerts</h2>
+{alert_html}
+<h2>Workers</h2>
+{_worker_table(coordinator)}
+<h2>Run history</h2>
+{_history_table(payload)}
+<h2>Events</h2>
+{feed_html}
+</body>
+</html>
+"""
+
+
+# -- the HTTP server ----------------------------------------------------------
+
+
+def make_dash_server(
+    state: DashState,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> ThreadingHTTPServer:
+    """Build (not start) the dashboard server over *state*."""
+    from repro.eval.remote.protocol import send_json, wrap_server_socket
+
+    class _DashRequestHandler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-dash"
+
+        def log_message(self, format: str, *args: Any) -> None:
+            pass
+
+        def _send_document(self, body: bytes, content_type: str) -> None:
+            self.send_response(200)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.send_header("Cache-Control", "no-store")
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            if self.path == "/healthz":
+                send_json(
+                    self, 200, {"ok": True, "role": "dash", "version": __version__}
+                )
+                return
+            if self.path in ("/", "/index.html"):
+                state.poll()
+                self._send_document(
+                    render_html(state).encode("utf-8"), "text/html; charset=utf-8"
+                )
+                return
+            if self.path == "/status.json":
+                state.poll()
+                body = json.dumps(state.status_payload(), sort_keys=True).encode("utf-8")
+                self._send_document(body, "application/json")
+                return
+            send_json(self, 404, {"error": f"unknown path {self.path}"})
+
+    server = ThreadingHTTPServer((host, port), _DashRequestHandler)
+    server.daemon_threads = True
+    scheme = "https" if wrap_server_socket(server) else "http"
+    bound_host, bound_port = server.server_address[:2]
+    server.url = f"{scheme}://{bound_host}:{bound_port}"
+    return server
+
+
+def serve_dash(state: DashState, host: str = "127.0.0.1", port: int = 8912) -> None:
+    """Run the dashboard in the foreground (``repro dash``)."""
+    server = make_dash_server(state, host=host, port=port)
+    print(f"repro dash on {server.url} (Ctrl-C stops)", flush=True)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()

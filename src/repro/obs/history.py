@@ -251,7 +251,12 @@ def sparkline(values: List[float]) -> str:
 
 
 def render_show(runs: List[Dict[str, Any]], limit: int = 20) -> str:
-    """One line per run, newest last: timestamp, command, key metrics."""
+    """One line per run, newest last: timestamp, command, key metrics.
+
+    Runs recorded under ``$REPRO_TRACE`` / ``$REPRO_PROFILE`` carry their
+    trace id and profile path in ``attrs``; showing them here links a
+    flagged regression straight to the telemetry that explains it.
+    """
     if not runs:
         return "no history"
     lines = []
@@ -263,6 +268,12 @@ def render_show(runs: List[Dict[str, Any]], limit: int = 20) -> str:
             for name in sorted(metrics)
             if name.endswith("_seconds") or name.endswith("_rate")
         ][:4]
+        attrs = run.get("attrs") or {}
+        trace_id = attrs.get("trace_id")
+        if trace_id:
+            shown.append(f"trace={str(trace_id)[:12]}")
+        if attrs.get("profile"):
+            shown.append(f"profile={attrs['profile']}")
         rev = (run.get("env") or {}).get("git_rev") or "-"
         lines.append(f"{ts}  {run.get('command', '?'):<14} {rev:<9} " + "  ".join(shown))
     return "\n".join(lines)

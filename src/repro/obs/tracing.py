@@ -102,18 +102,32 @@ NULL_SPAN = _NullSpan()
 
 
 class Tracer:
-    """Records finished spans to an in-memory buffer and a JSONL sink.
+    """Records finished spans to an in-memory buffer and a span writer.
 
-    The sink handle is opened once in append mode and **flushed after
-    every record**, so a process killed mid-run (KeyboardInterrupt, OOM,
-    SIGTERM) leaves a valid JSONL prefix — every line that was written is
-    complete and parseable.  :func:`shutdown` (registered ``atexit``)
-    additionally records any still-open spans as ``interrupted`` and
-    closes the handle.
+    The default writer is a JSONL file: the handle is opened once in append
+    mode and **flushed after every record**, so a process killed mid-run
+    (KeyboardInterrupt, OOM, SIGTERM) leaves a valid JSONL prefix — every
+    line that was written is complete and parseable.  When ``$REPRO_TRACE``
+    is an ``http(s)://`` URL the writer is instead a
+    :class:`repro.obs.collect.RemoteSink` shipping batches to a central
+    collector.  :func:`shutdown` (registered ``atexit``) additionally
+    records any still-open spans as ``interrupted`` and closes the writer.
     """
 
-    def __init__(self, sink: Optional[Path] = None, service: str = "cli"):
+    def __init__(
+        self,
+        sink: Optional[Path] = None,
+        service: str = "cli",
+        writer: Optional[Any] = None,
+    ):
         self.sink = Path(sink) if sink else None
+        self.writer = writer
+        #: The raw ``$REPRO_TRACE`` value this tracer writes to (file path
+        #: or collector URL) — recorded into the run-history ledger so a
+        #: flagged regression links back to its trace.
+        self.sink_spec: Optional[str] = str(sink) if sink else None
+        if writer is not None and self.sink_spec is None:
+            self.sink_spec = getattr(writer, "base_url", None)
         self.service = service
         self._lock = threading.Lock()
         self._spans: List[Dict[str, Any]] = []
@@ -121,10 +135,17 @@ class Tracer:
         self._sink_broken = False
 
     def record(self, record: Dict[str, Any]) -> None:
-        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
         with self._lock:
             if len(self._spans) < _BUFFER_LIMIT:
                 self._spans.append(record)
+        if self.writer is not None:
+            try:
+                self.writer.write_record(record)
+            except Exception:
+                pass  # observe-only: a broken shipper never fails work
+            return
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
             if self.sink is None or self._sink_broken:
                 return
             try:
@@ -138,7 +159,12 @@ class Tracer:
                 self._sink_broken = True  # observe-only: never fail work
 
     def close(self) -> None:
-        """Flush and close the sink handle (reopened on the next record)."""
+        """Flush and close the sink (a file handle reopens on next record)."""
+        if self.writer is not None:
+            try:
+                self.writer.close()
+            except Exception:
+                pass
         with self._lock:
             if self._handle is not None:
                 try:
@@ -158,6 +184,7 @@ _UNSET = object()
 _tracer: Any = _UNSET
 _service_name = "cli"
 _atexit_registered = False
+_last_trace_id: Optional[str] = None
 
 # Spans currently open anywhere in this process, so an interrupt can flush
 # them to the sink instead of silently dropping whatever was in flight.
@@ -238,14 +265,34 @@ _context = _Context()
 
 
 def tracer() -> Optional[Tracer]:
-    """The process tracer, lazily built from ``$REPRO_TRACE`` (``None`` = off)."""
+    """The process tracer, lazily built from ``$REPRO_TRACE`` (``None`` = off).
+
+    A plain value is a JSONL sink path; an ``http(s)://`` value selects a
+    :class:`~repro.obs.collect.RemoteSink` shipping spans to that central
+    collector instead (``POST /spans`` on the coordinator or a standalone
+    ``repro collect serve``).
+    """
     global _tracer
     if _tracer is _UNSET:
-        path = (os.environ.get(TRACE_ENV) or "").strip()
-        _tracer = Tracer(Path(path), service=_service_name) if path else None
+        spec = (os.environ.get(TRACE_ENV) or "").strip()
+        if not spec:
+            _tracer = None
+        elif spec.startswith(("http://", "https://")):
+            from repro.obs import collect
+
+            _tracer = Tracer(writer=collect.RemoteSink(spec), service=_service_name)
+            _tracer.sink_spec = spec
+        else:
+            _tracer = Tracer(Path(spec), service=_service_name)
         if _tracer is not None:
             _ensure_atexit()
     return _tracer
+
+
+def sink_spec() -> Optional[str]:
+    """The active tracer's sink (file path or collector URL), if tracing."""
+    active = tracer()
+    return active.sink_spec if active is not None else None
 
 
 def enabled() -> bool:
@@ -266,10 +313,11 @@ def enable(sink: Optional[Path] = None, service: Optional[str] = None) -> Tracer
 
 def reset() -> None:
     """Forget the process tracer so the next use re-reads ``$REPRO_TRACE``."""
-    global _tracer
+    global _tracer, _last_trace_id
     if isinstance(_tracer, Tracer):
         _tracer.close()
     _tracer = _UNSET
+    _last_trace_id = None
     _context.stack = []
     with _live_lock:
         _live_spans.clear()
@@ -355,6 +403,8 @@ def span(
     parent = current()
     trace_id = parent[0] if parent else new_trace_id()
     parent_id = parent[1] if parent else None
+    global _last_trace_id
+    _last_trace_id = trace_id
     live = _LiveSpan(trace_id, new_span_id(), parent_id, name, kind, worker, dict(attrs))
     stack = _context.stack
     stack.append((trace_id, live.span_id))
@@ -413,3 +463,13 @@ def current_trace_id() -> Optional[str]:
     """The active trace id on this thread (heartbeat attribution), if any."""
     active = current()
     return active[0] if active else None
+
+
+def last_trace_id() -> Optional[str]:
+    """The most recent trace id this process opened a span under, if any.
+
+    Unlike :func:`current_trace_id` this survives the end of the run — the
+    run-history recorder reads it *after* the harness span closed, so a
+    ledger row can link a flagged regression to its trace.
+    """
+    return _last_trace_id

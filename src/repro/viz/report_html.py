@@ -18,17 +18,26 @@ the viewer's system stack.  The document carries:
 * optionally, when the run was observed (``$REPRO_TRACE`` /
   ``$REPRO_PROFILE`` / ``$REPRO_HISTORY``), a trace-analytics card
   (per-kind statistics + critical path + scheduler overhead), a sampled
-  CPU-profile flamegraph, and run-history trend charts.
+  CPU-profile flamegraph, and run-history trend charts;
+* the raw artefact data as an embedded JSON island (``<script
+  type="application/json">`` — data, never executed), so scripted
+  consumers parse the numbers without scraping table markup;
+* links to the per-benchmark drill-down pages
+  (:func:`build_benchmark_page`) written beside it.
 
-Everything except the (explicitly opt-in) telemetry cards is a pure
-function of the artefact data: no clocks, no hostnames, no versions — so
-repeated warm runs, and serial vs parallel runs, produce byte-identical
-documents.
+"Self-contained" means **no external assets and no executable
+scripts** — the JSON islands are inert data (browsers do not run
+``application/json``), and ``tools/check_report_html.py`` enforces that
+no other ``<script`` form ever appears.  Everything except the
+(explicitly opt-in) telemetry cards is a pure function of the artefact
+data: no clocks, no hostnames, no versions — so repeated warm runs, and
+serial vs parallel runs, produce byte-identical documents.
 """
 
 from __future__ import annotations
 
 import html
+import json
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.report import format_cell
@@ -59,6 +68,48 @@ _TABLE_ARTEFACTS = (
 
 def _esc(value: Any) -> str:
     return html.escape(str(value), quote=True)
+
+
+def embed_json(payload: Any, element_id: str) -> str:
+    """*payload* as an inert ``<script type="application/json">`` island.
+
+    Browsers never execute ``application/json`` content, so the report's
+    no-active-content guarantee holds; ``</`` is escaped so the payload
+    can never close the element early, and keys are sorted so the island
+    is as deterministic as the rest of the document.
+    """
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return (
+        f'<script type="application/json" id="{_esc(element_id)}">'
+        + text.replace("</", "<\\/")
+        + "</script>"
+    )
+
+
+def benchmark_rows(
+    artefacts: Dict[str, Dict], benchmark: str
+) -> Dict[str, List[Dict[str, Any]]]:
+    """``artefact key -> rows`` restricted to *benchmark*.
+
+    Most artefacts carry a ``benchmark`` column per row; the split-figure
+    artefacts (6.3/6.4) are single-benchmark and carry the name at the
+    top level instead.  Artefacts with no matching rows are omitted.
+    """
+    out: Dict[str, List[Dict[str, Any]]] = {}
+    for key, data in artefacts.items():
+        if not isinstance(data, dict):
+            continue
+        rows = data.get("rows")
+        if not rows:
+            continue
+        if isinstance(data.get("benchmark"), str):
+            if data["benchmark"] == benchmark:
+                out[key] = [dict(row) for row in rows]
+            continue
+        matched = [dict(row) for row in rows if row.get("benchmark") == benchmark]
+        if matched:
+            out[key] = matched
+    return out
 
 
 def _css() -> str:
@@ -279,6 +330,65 @@ def _trends_section(trends: Sequence[Dict[str, Any]]) -> List[str]:
     return parts
 
 
+def build_benchmark_page(
+    benchmark: str,
+    artefacts: Dict[str, Dict],
+    metadata: Dict[str, Any],
+) -> str:
+    """One benchmark's drill-down document (``benchmark-<name>.html``).
+
+    Written beside ``report.html`` by ``repro report --html``: every
+    artefact row that mentions *benchmark*, grouped under the parent
+    artefact's own heading, plus the same rows as an embedded JSON island
+    (``id="benchmark-data"``) for scripted consumers.  Same contract as
+    the main report: deterministic, no external assets, no executable
+    scripts.
+    """
+    rows_by_artefact = benchmark_rows(artefacts, benchmark)
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en">',
+        "<head>",
+        '<meta charset="utf-8"/>',
+        '<meta name="viewport" content="width=device-width, initial-scale=1"/>',
+        f"<title>{_esc(benchmark)} — benchmark drill-down</title>",
+        f"<style>{_css()}</style>",
+        "</head>",
+        "<body>",
+        "<main>",
+        f"<h1>{_esc(benchmark)} — benchmark drill-down</h1>",
+        '<p class="subtitle">Every evaluation metric for this benchmark, '
+        'pulled from the same artefacts as the '
+        '<a href="report.html">full report</a>.</p>',
+    ]
+    if not rows_by_artefact:
+        parts.append(f"<p>(no artefact rows mention {_esc(benchmark)})</p>")
+    for key, rows in rows_by_artefact.items():
+        heading = (artefacts[key].get("table") or key).splitlines()[0]
+        parts.append(f'<section class="card" id="{_esc(key)}">')
+        parts.append(f"<h2>{_esc(heading)}</h2>")
+        parts.append(html_table(rows))
+        parts.append("</section>")
+    parts.append(
+        embed_json(
+            {
+                "benchmark": benchmark,
+                "config_hash": metadata.get("config_hash"),
+                "artefacts": rows_by_artefact,
+            },
+            "benchmark-data",
+        )
+    )
+    parts.append(
+        "<footer>Generated by <code>repro report --html</code>. "
+        "Self-contained: no external assets, no executable scripts.</footer>"
+    )
+    parts.append("</main>")
+    parts.append("</body>")
+    parts.append("</html>")
+    return "\n".join(parts) + "\n"
+
+
 def build_report_html(
     artefacts: Dict[str, Dict],
     figures: Dict[str, str],
@@ -288,6 +398,7 @@ def build_report_html(
     analytics: Optional[Dict[str, Any]] = None,
     profile: Optional[Dict[str, Any]] = None,
     trends: Optional[Sequence[Dict[str, Any]]] = None,
+    benchmark_pages: Optional[Sequence[str]] = None,
 ) -> str:
     """Assemble the complete, self-contained report document."""
     parts: List[str] = [
@@ -309,6 +420,20 @@ def build_report_html(
     summary = artefacts.get("summary")
     if summary:
         parts.append(_stat_tiles(summary))
+
+    if benchmark_pages:
+        links = " &middot; ".join(
+            f'<a href="benchmark-{_esc(name)}.html">{_esc(name)}</a>'
+            for name in benchmark_pages
+        )
+        parts.append('<section class="card" id="benchmarks">')
+        parts.append("<h2>Per-benchmark drill-down</h2>")
+        parts.append(
+            '<p class="caption">One page per benchmark with every metric row '
+            "that mentions it, plus the raw rows as embedded JSON: "
+            f"{links}</p>"
+        )
+        parts.append("</section>")
 
     parts.append('<section class="card" id="metadata">')
     parts.append("<h2>Run metadata</h2>")
@@ -396,8 +521,26 @@ def build_report_html(
     if trends:
         parts.extend(_trends_section(trends))
 
+    if artefacts:
+        # The numbers behind every table and figure, as inert data — a
+        # scripted consumer gets the same payload `repro report --json`
+        # prints, without re-running the evaluation or scraping markup.
+        parts.append(
+            embed_json(
+                {
+                    "config_hash": metadata.get("config_hash"),
+                    "benchmarks": list(metadata.get("benchmarks") or []),
+                    "artefacts": {
+                        key: {k: v for k, v in data.items() if k != "table"}
+                        for key, data in artefacts.items()
+                    },
+                },
+                "report-data",
+            )
+        )
+
     parts.append("<footer>Generated by <code>repro report --html</code>. "
-                 "Self-contained: no external assets, no scripts.</footer>")
+                 "Self-contained: no external assets, no executable scripts.</footer>")
     parts.append("</main>")
     parts.append("</body>")
     parts.append("</html>")

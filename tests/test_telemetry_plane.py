@@ -1,0 +1,531 @@
+"""Tests of the central telemetry plane (PR 10).
+
+Four layers, cheapest first:
+
+* pure-logic tests of the alert rule engine (:mod:`repro.obs.alerts`) and
+  of span-batch validation (:mod:`repro.obs.collect`);
+* live-socket tests of the standalone collector service and of the
+  coordinator's ``POST /spans`` ingestion route — batch caps, auth,
+  malformed records, concurrent ``GET /metrics`` scrapes;
+* crash-safety: a subprocess shipping spans through a :class:`RemoteSink`
+  that self-destructs mid-run must never leave a partial JSONL line in
+  the merged sink, and client-side drops must be counted, never raised;
+* a TLS round trip against an ``openssl``-minted self-signed certificate
+  (skipped when no ``openssl`` binary is available).
+
+The end-to-end distributed version (coordinator + workers + collector +
+``repro alerts check`` + dashboard snapshot) lives in
+``tools/dash_smoke.py``, mirroring the other smoke drivers.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ReproError
+from repro.eval.remote import protocol
+from repro.eval.remote.coordinator import Coordinator, start_coordinator_server
+from repro.obs import alerts as obs_alerts
+from repro.obs import collect as obs_collect
+from repro.obs import tracing as obs_tracing
+from repro.obs.dash import DashState, make_dash_server, render_html
+
+
+def make_record(i=0, trace_id="t" * 32, **extra):
+    record = {
+        "trace_id": trace_id,
+        "span_id": f"{i:016x}",
+        "parent_id": None,
+        "name": f"task:{i}",
+        "kind": "sweep",
+        "service": "worker",
+        "worker": "w1",
+        "start": 100.0 + i,
+        "end": 101.0 + i,
+        "attrs": {},
+    }
+    record.update(extra)
+    return record
+
+
+def post_spans(url, spans, headers=None):
+    body = json.dumps({"spans": spans}).encode("utf-8")
+    request = urllib.request.Request(
+        f"{url}/spans",
+        data=body,
+        method="POST",
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+@pytest.fixture
+def collector(tmp_path):
+    server = obs_collect.make_collector_server(tmp_path / "merged.jsonl", port=0)
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    server.sink_writer.close()
+
+
+# ---------------------------------------------------------------------------
+# span-batch validation and ingestion (no sockets)
+# ---------------------------------------------------------------------------
+
+
+def test_validate_record_requires_the_span_fields():
+    assert obs_collect.validate_record(make_record())
+    assert not obs_collect.validate_record("not a dict")
+    assert not obs_collect.validate_record({})
+    for missing in obs_collect.REQUIRED_FIELDS:
+        bad = make_record()
+        del bad[missing]
+        assert not obs_collect.validate_record(bad), missing
+    assert not obs_collect.validate_record(make_record(trace_id=123))
+    assert not obs_collect.validate_record(make_record(start="yesterday"))
+
+
+def test_ingest_batch_counts_accepted_and_rejected():
+    landed = []
+    accepted, rejected = obs_collect.ingest_batch(
+        {"spans": [make_record(0), {"junk": True}, make_record(1)]}, landed.append
+    )
+    assert (accepted, rejected) == (2, 1)
+    assert [r["span_id"] for r in landed] == [make_record(0)["span_id"],
+                                              make_record(1)["span_id"]]
+    # A non-list payload is a whole-batch rejection, nothing lands.
+    assert obs_collect.ingest_batch({"spans": "nope"}, landed.append) == (0, 0)
+    assert len(landed) == 2
+
+
+def test_batch_too_large_checks_bytes_then_span_count():
+    assert obs_collect.batch_too_large(obs_collect.MAX_BATCH_BYTES + 1)
+    assert not obs_collect.batch_too_large(10, {"spans": [make_record()]})
+    oversized = {"spans": [make_record(i) for i in range(3)]}
+    assert not obs_collect.batch_too_large(10, oversized)
+    too_many = {"spans": list(range(obs_collect.MAX_BATCH_SPANS + 1))}
+    assert obs_collect.batch_too_large(10, too_many)
+
+
+# ---------------------------------------------------------------------------
+# the standalone collector service
+# ---------------------------------------------------------------------------
+
+
+def test_collector_ingests_batches_and_reports_health(collector, tmp_path):
+    status, payload = post_spans(collector.url, [make_record(0), make_record(1)])
+    assert status == 200 and payload == {"ok": True, "accepted": 2, "rejected": 0}
+    status, payload = post_spans(collector.url, [make_record(2), {"junk": 1}])
+    assert payload == {"ok": True, "accepted": 1, "rejected": 1}
+    lines = (tmp_path / "merged.jsonl").read_text(encoding="utf-8").splitlines()
+    assert len(lines) == 3
+    assert all(json.loads(line)["trace_id"] == "t" * 32 for line in lines)
+    with urllib.request.urlopen(collector.url + "/healthz", timeout=5) as response:
+        health = json.loads(response.read())
+    assert health["ok"] and health["role"] == "collector"
+    assert health["spans_written"] == 3
+
+
+def test_collector_refuses_oversized_batches(collector):
+    too_many = [make_record(i) for i in range(obs_collect.MAX_BATCH_SPANS + 1)]
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        post_spans(collector.url, too_many)
+    assert excinfo.value.code == 413
+    # The keep-alive connection survives the refusal: the next post lands.
+    status, payload = post_spans(collector.url, [make_record(0)])
+    assert status == 200 and payload["accepted"] == 1
+
+
+def test_collector_requires_matching_token(tmp_path):
+    server = obs_collect.make_collector_server(
+        tmp_path / "merged.jsonl", port=0, token="s3cret"
+    )
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    thread.start()
+    try:
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_spans(server.url, [make_record(0)])
+        assert excinfo.value.code == 401
+        status, payload = post_spans(
+            server.url, [make_record(0)], headers={protocol.TOKEN_HEADER: "s3cret"}
+        )
+        assert status == 200 and payload["accepted"] == 1
+        # /healthz and /metrics stay auth-exempt (liveness probes, scrapers).
+        for path in ("/healthz", "/metrics"):
+            with urllib.request.urlopen(server.url + path, timeout=5) as response:
+                assert response.status == 200
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.sink_writer.close()
+
+
+def test_concurrent_metrics_scrapes_and_ingestion(collector):
+    """Satellite: /metrics must stay consistent under concurrent scrapes
+    while span batches land in parallel."""
+    errors = []
+    bodies = []
+    lock = threading.Lock()
+
+    def scrape():
+        try:
+            for _ in range(5):
+                with urllib.request.urlopen(collector.url + "/metrics", timeout=10) as r:
+                    text = r.read().decode("utf-8")
+                assert "repro_collector_spans_received_total" in text
+                with lock:
+                    bodies.append(text)
+        except Exception as exc:  # pragma: no cover - failure detail
+            errors.append(exc)
+
+    def ingest(base):
+        try:
+            for i in range(5):
+                post_spans(collector.url, [make_record(base * 100 + i)])
+        except Exception as exc:  # pragma: no cover - failure detail
+            errors.append(exc)
+
+    threads = [threading.Thread(target=scrape) for _ in range(4)]
+    threads += [threading.Thread(target=ingest, args=(n,)) for n in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert not errors
+    assert len(bodies) == 20
+    # Every scrape is a complete, parseable exposition: the counter line is
+    # present with a numeric value in each one.
+    for body in bodies:
+        line = next(
+            l for l in body.splitlines()
+            if l.startswith("repro_collector_spans_received_total")
+        )
+        float(line.split()[-1])
+
+
+# ---------------------------------------------------------------------------
+# the coordinator's /spans ingestion route
+# ---------------------------------------------------------------------------
+
+
+def test_coordinator_ingests_spans_into_the_client_tracer(tmp_path):
+    obs_tracing.reset()
+    obs_tracing.enable(tmp_path / "client.jsonl", service="cli")
+    server = start_coordinator_server(Coordinator(), port=0)
+    try:
+        status, payload = post_spans(server.url, [make_record(0), make_record(1)])
+        assert status == 200 and payload["accepted"] == 2
+        lines = (tmp_path / "client.jsonl").read_text(encoding="utf-8").splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["task:0", "task:1"]
+    finally:
+        server.shutdown()
+        server.server_close()
+        obs_tracing.reset()
+
+
+def test_coordinator_spans_route_is_a_noop_without_a_tracer(tmp_path):
+    obs_tracing.reset()  # no $REPRO_TRACE: ingestion accepts and discards
+    server = start_coordinator_server(Coordinator(), port=0)
+    try:
+        status, payload = post_spans(server.url, [make_record(0)])
+        assert status == 200 and payload["accepted"] == 1
+    finally:
+        server.shutdown()
+        server.server_close()
+        obs_tracing.reset()
+
+
+# ---------------------------------------------------------------------------
+# RemoteSink: bounded queue, counted drops, crash safety
+# ---------------------------------------------------------------------------
+
+
+def test_remote_sink_ships_batches(collector, tmp_path):
+    sink = obs_collect.RemoteSink(collector.url, flush_interval=0.05)
+    for i in range(7):
+        sink.write_record(make_record(i))
+    assert sink.flush(timeout=10.0)
+    sink.close()
+    assert sink.shipped == 7 and sink.dropped == 0
+    lines = (tmp_path / "merged.jsonl").read_text(encoding="utf-8").splitlines()
+    assert len(lines) == 7
+
+
+def test_remote_sink_counts_drops_when_collector_unreachable(capsys):
+    # A TCP reset port: every POST fails fast, every span becomes a drop.
+    sink = obs_collect.RemoteSink(
+        "http://127.0.0.1:9", queue_limit=4, flush_interval=0.05, timeout=0.5
+    )
+    before = obs_collect._SPANS_DROPPED.value()
+    for i in range(32):
+        sink.write_record(make_record(i))
+    sink.close()
+    assert sink.shipped == 0
+    assert sink.dropped == 32  # queue overflow + failed posts, all counted
+    assert obs_collect._SPANS_DROPPED.value() - before == 32
+    # The one-line loss report lands on stderr, never stdout.
+    captured = capsys.readouterr()
+    assert "32 span(s) dropped" in captured.err
+    assert captured.out == ""
+
+
+def test_remote_sink_never_leaves_partial_lines_on_crash(collector, tmp_path):
+    """Satellite: a worker dying mid-run (os._exit skips atexit) may lose
+    queued spans, but the merged sink must contain only whole JSONL lines."""
+    script = tmp_path / "crasher.py"
+    script.write_text(
+        """
+import os, sys
+from repro.obs import collect
+
+url = sys.argv[1]
+sink = collect.RemoteSink(url, flush_interval=0.01)
+big = {"pad": "x" * 512}
+for i in range(50):
+    sink.write_record({
+        "trace_id": "c" * 32, "span_id": "%016x" % i, "parent_id": None,
+        "name": "crash:%d" % i, "kind": "sweep", "service": "worker",
+        "worker": "w-crash", "start": 1.0 + i, "end": 2.0 + i, "attrs": big,
+    })
+sink.flush(timeout=10.0)
+# Queue more and die hard: these never ship, and nothing may corrupt
+# what already landed.
+for i in range(50, 80):
+    sink.write_record({
+        "trace_id": "c" * 32, "span_id": "%016x" % i, "parent_id": None,
+        "name": "crash:%d" % i, "kind": "sweep", "service": "worker",
+        "worker": "w-crash", "start": 1.0 + i, "end": 2.0 + i, "attrs": big,
+    })
+os._exit(17)
+""",
+        encoding="utf-8",
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(Path(__file__).resolve().parents[1] / "src"),
+         env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    proc = subprocess.run(
+        [sys.executable, str(script), collector.url],
+        env=env, capture_output=True, timeout=60,
+    )
+    assert proc.returncode == 17
+    raw = (tmp_path / "merged.jsonl").read_text(encoding="utf-8")
+    assert raw.endswith("\n")
+    lines = raw.splitlines()
+    records = [json.loads(line) for line in lines]  # every line parses whole
+    assert len(records) >= 50  # everything flushed before the crash landed
+    assert all(record["trace_id"] == "c" * 32 for record in records)
+
+
+def test_tracer_selects_remote_sink_for_http_trace_spec(collector, monkeypatch):
+    monkeypatch.setenv(obs_tracing.TRACE_ENV, collector.url)
+    obs_tracing.reset()
+    try:
+        with obs_tracing.span("remote-root", kind="harness"):
+            pass
+        active = obs_tracing.tracer()
+        assert isinstance(active.writer, obs_collect.RemoteSink)
+        assert active.sink_spec == collector.url
+        assert obs_tracing.sink_spec() == collector.url
+        assert active.writer.flush(timeout=10.0)
+    finally:
+        obs_tracing.reset()
+
+
+# ---------------------------------------------------------------------------
+# TLS (REPRO_SERVICE_TLS_CERT/KEY + client CA)
+# ---------------------------------------------------------------------------
+
+
+def _mint_self_signed(tmp_path):
+    openssl = shutil.which("openssl")
+    if openssl is None:
+        pytest.skip("no openssl binary available to mint a test certificate")
+    cert, key = tmp_path / "tls.crt", tmp_path / "tls.key"
+    subprocess.run(
+        [openssl, "req", "-x509", "-newkey", "rsa:2048", "-nodes",
+         "-keyout", str(key), "-out", str(cert), "-days", "1",
+         "-subj", "/CN=127.0.0.1",
+         "-addext", "subjectAltName=IP:127.0.0.1"],
+        check=True, capture_output=True, timeout=60,
+    )
+    return cert, key
+
+
+def test_collector_round_trip_over_tls(tmp_path, monkeypatch):
+    cert, key = _mint_self_signed(tmp_path)
+    monkeypatch.setenv(protocol.TLS_CERT_ENV, str(cert))
+    monkeypatch.setenv(protocol.TLS_KEY_ENV, str(key))
+    server = obs_collect.make_collector_server(tmp_path / "merged.jsonl", port=0)
+    assert server.url.startswith("https://")
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    thread.start()
+    # The server must not accept plaintext clients once TLS is on.
+    monkeypatch.delenv(protocol.TLS_CERT_ENV)
+    monkeypatch.delenv(protocol.TLS_KEY_ENV)
+    try:
+        plain = "http://" + server.url[len("https://"):]
+        with pytest.raises(OSError):
+            post_spans(plain, [make_record(0)])
+        # A client trusting the cert as its CA completes the round trip.
+        monkeypatch.setenv(protocol.TLS_CA_ENV, str(cert))
+        sink = obs_collect.RemoteSink(server.url, flush_interval=0.05)
+        for i in range(3):
+            sink.write_record(make_record(i))
+        assert sink.flush(timeout=10.0)
+        sink.close()
+        assert sink.shipped == 3 and sink.dropped == 0
+        lines = (tmp_path / "merged.jsonl").read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 3
+        # An untrusting client is refused (certificate verify failed).
+        monkeypatch.delenv(protocol.TLS_CA_ENV)
+        body = json.dumps({"spans": [make_record(9)]}).encode("utf-8")
+        request = urllib.request.Request(
+            f"{server.url}/spans", data=body, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.URLError):
+            protocol.urlopen(request, timeout=5)
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.sink_writer.close()
+
+
+# ---------------------------------------------------------------------------
+# alert rules
+# ---------------------------------------------------------------------------
+
+
+def healthy_snapshot(**coordinator_extra):
+    coordinator = {
+        "url": "http://c:1", "ok": True, "queued": 0, "running": 0,
+        "workers": 1, "worker_detail": {"w1": {"heartbeat_age_seconds": 1.0}},
+    }
+    coordinator.update(coordinator_extra)
+    return {"coordinator": coordinator}
+
+
+def test_no_alerts_on_a_healthy_cluster():
+    assert obs_alerts.evaluate([healthy_snapshot()]) == []
+    assert obs_alerts.render_alerts([]) == "ok: no alerts firing"
+
+
+def test_coordinator_down_short_circuits_detail_rules():
+    snapshot = {"coordinator": {"url": "http://c:1", "ok": False, "error": "boom"}}
+    alerts = obs_alerts.evaluate([snapshot])
+    assert [a.rule for a in alerts] == ["coordinator-down"]
+    assert alerts[0].severity == "critical"
+
+
+def test_worker_dead_rule_uses_heartbeat_age():
+    snapshot = healthy_snapshot(
+        worker_detail={"w1": {"heartbeat_age_seconds": 1.0},
+                       "w2": {"heartbeat_age_seconds": 99.0}}
+    )
+    alerts = obs_alerts.evaluate([snapshot])
+    assert [a.rule for a in alerts] == ["worker-dead"]
+    assert "w2" in alerts[0].message and alerts[0].value == 99.0
+
+
+def test_queue_sustained_rule_needs_consecutive_samples():
+    burst = healthy_snapshot(queued=500)
+    # One or two hot samples: bursty, not sustained — no alert.
+    assert obs_alerts.evaluate([burst]) == []
+    assert obs_alerts.evaluate([healthy_snapshot(), burst, burst]) == []
+    alerts = obs_alerts.evaluate([burst, burst, burst])
+    assert [a.rule for a in alerts] == ["queue-sustained"]
+    assert alerts[0].severity == "warning"
+
+
+def test_cache_hit_rate_floor_needs_minimum_lookups():
+    cold = dict(healthy_snapshot(),
+                cache={"url": "http://k:1", "ok": True, "hits": 0,
+                       "misses": 5, "hit_rate": 0.0})
+    assert obs_alerts.evaluate([cold]) == []  # too few lookups to judge
+    busy = dict(healthy_snapshot(),
+                cache={"url": "http://k:1", "ok": True, "hits": 0,
+                       "misses": 50, "hit_rate": 0.0})
+    alerts = obs_alerts.evaluate([busy])
+    assert [a.rule for a in alerts] == ["cache-hit-rate"]
+
+
+def test_history_regression_rule_fires_on_the_ledger():
+    runs = [
+        {"command": "report", "metrics": {"wall_seconds": 1.0}} for _ in range(6)
+    ] + [{"command": "report", "metrics": {"wall_seconds": 9.0}}]
+    alerts = obs_alerts.evaluate([healthy_snapshot()], history_runs=runs)
+    assert [a.rule for a in alerts] == ["history-regression"]
+    assert "wall_seconds" in alerts[0].message
+
+
+def test_alert_rules_load_rejects_unknown_keys(tmp_path):
+    rules_path = tmp_path / "rules.json"
+    rules_path.write_text(json.dumps({"worker_dead_seconds": 5}), encoding="utf-8")
+    assert obs_alerts.load_rules(rules_path).worker_dead_seconds == 5
+    rules_path.write_text(json.dumps({"worker_ded_seconds": 5}), encoding="utf-8")
+    with pytest.raises(ReproError, match="worker_ded_seconds"):
+        obs_alerts.load_rules(rules_path)
+    assert obs_alerts.load_rules(None) is obs_alerts.DEFAULT_RULES
+
+
+# ---------------------------------------------------------------------------
+# the live dashboard
+# ---------------------------------------------------------------------------
+
+
+def test_dash_serves_html_and_status_json(tmp_path):
+    coordinator = start_coordinator_server(Coordinator(), port=0)
+    # Isolated history dir: the default is ./.repro_history, and a real
+    # ledger in the working directory would leak alerts into this test.
+    state = DashState(coordinator.url, refresh=0.0, history_dir=tmp_path)
+    server = make_dash_server(state, port=0)
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    thread.start()
+    try:
+        with urllib.request.urlopen(server.url + "/status.json", timeout=10) as r:
+            payload = json.loads(r.read())
+        assert payload["snapshot"]["coordinator"]["ok"] is True
+        assert payload["alerts"] == []
+        assert set(payload["series"]) >= {"queue_depth", "throughput_per_s"}
+        with urllib.request.urlopen(server.url + "/", timeout=10) as r:
+            page = r.read().decode("utf-8")
+        assert "repro cluster dashboard" in page
+        assert 'http-equiv="refresh"' in page  # live page auto-refreshes
+    finally:
+        server.shutdown()
+        server.server_close()
+        coordinator.shutdown()
+        coordinator.server_close()
+
+
+def test_dash_degrades_and_alerts_when_coordinator_is_down(tmp_path):
+    state = DashState("http://127.0.0.1:9", refresh=0.0, timeout=0.5,
+                      history_dir=tmp_path)
+    state.poll(force=True)
+    payload = state.status_payload()
+    assert payload["snapshot"]["coordinator"]["ok"] is False
+    assert [a["rule"] for a in payload["alerts"]] == ["coordinator-down"]
+    page = render_html(state)
+    assert "coordinator-down" in page

@@ -219,11 +219,17 @@ def test_report_html_is_self_contained():
     document = build_report_html(artefacts, figures, metadata)
     assert 'id="figure-6.1"' in document and 'id="table_6.1"' in document
     assert "0 rendered, 1 from cache" in document
-    # Self-contained: no scripts, no external stylesheets, no fetched assets.
-    assert "<script" not in document
+    # Self-contained: no executable scripts, no external stylesheets, no
+    # fetched assets.  The only <script allowed is the inert data island.
+    assert "<script" not in document.replace('<script type="application/json"', "")
     assert "<link" not in document
     assert "src=" not in document
     assert "@import" not in document
+    # The raw artefact numbers ride along as machine-readable JSON.
+    assert 'id="report-data"' in document
+    island = document.split('id="report-data">', 1)[1].split("</script>", 1)[0]
+    payload = json.loads(island.replace("<\\/", "</"))
+    assert payload["artefacts"]["table_6.1"]["rows"][0]["benchmark"] == "mips"
     # Deterministic: same inputs, same bytes.
     assert build_report_html(artefacts, figures, metadata) == document
 
@@ -315,7 +321,14 @@ def test_cli_report_html_end_to_end(tmp_path, capsys):
         assert f'id="figure-{figure_id}"' in report
     assert 'id="figure-6.3"' not in report  # mips not in the benchmark set
     assert 'id="table_6.1"' in report and 'id="table_6.2"' in report
-    assert "<script" not in report and "<link" not in report and "src=" not in report
+    assert "<script" not in report.replace('<script type="application/json"', "")
+    assert "<link" not in report and "src=" not in report
+    # The per-benchmark drill-down page sits beside the report, is linked
+    # from it, and embeds its own raw-JSON island.
+    assert 'href="benchmark-blowfish.html"' in report
+    page = (tmp_path / "out" / "benchmark-blowfish.html").read_text(encoding="utf-8")
+    assert 'id="benchmark-data"' in page and 'id="table_6.1"' in page
+    assert "<script" not in page.replace('<script type="application/json"', "")
     # Two warm repeats into separate directories: byte-identical documents.
     # (The cold document legitimately differs in its cache-hit metadata.)
     for directory in ("out2", "out3"):

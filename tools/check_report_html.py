@@ -7,14 +7,22 @@ Asserts the produced ``report.html``
   (frontier scatter + search-progress figures and the best-found table)
   plus both tables as inline sections (requires the full benchmark set, or
   at least blowfish+mips);
-* is **self-contained** — no ``<script>``, no ``<link>``, no ``src=``
-  attributes, nothing to fetch;
-* carries the run-metadata card (configuration hash + cache-hit stats).
+* is **self-contained** — no executable ``<script>``, no ``<link>``, no
+  ``src=`` attributes, nothing to fetch.  The only ``<script`` form
+  allowed is the inert data island ``<script type="application/json"``
+  the report embeds its raw artefact numbers in (browsers never execute
+  ``application/json`` content);
+* carries the run-metadata card (configuration hash + cache-hit stats)
+  and the embedded ``report-data`` JSON island;
+* with ``--benchmark-pages a,b,...``: each ``benchmark-<name>.html``
+  drill-down page exists beside the report, passes the same
+  self-containment scan, and embeds its ``benchmark-data`` island.
 
 With ``--expect-warm`` it additionally asserts the run re-rendered nothing
 ("0 rendered" in the metadata card) — the render-task caching guarantee.
 
-Usage: ``python tools/check_report_html.py out/report.html [--expect-warm]``
+Usage: ``python tools/check_report_html.py out/report.html
+[--expect-warm] [--benchmark-pages blowfish,mips]``
 """
 
 from __future__ import annotations
@@ -25,10 +33,32 @@ from pathlib import Path
 
 REQUIRED_FIGURES = ("6.1", "6.2", "6.3", "6.4", "6.5", "6.6", "explore", "explore-progress")
 REQUIRED_SECTIONS = ("table_6.1", "table_6.2", "metadata", "exploration")
-FORBIDDEN_MARKUP = ("<script", "<link", "src=", "@import", "http-equiv")
+FORBIDDEN_MARKUP = ("<link", "src=", "@import", "http-equiv")
+
+#: The one ``<script`` form allowed: the inert raw-data island.
+DATA_ISLAND = '<script type="application/json"'
 
 
-def check(path: Path, expect_warm: bool = False) -> list:
+def scan_self_contained(document: str, label: str) -> list:
+    """Failure messages for external assets or executable script content."""
+    failures = []
+    for needle in FORBIDDEN_MARKUP:
+        if needle in document:
+            failures.append(f"{label} is not self-contained: found {needle!r}")
+    # Every <script occurrence must be the data island — anything else
+    # (bare <script>, type="text/javascript", a module) is executable.
+    executable = document.count("<script") - document.count(DATA_ISLAND)
+    if executable:
+        failures.append(
+            f"{label} carries {executable} executable <script> tag(s) "
+            f"(only {DATA_ISLAND!r} data islands are allowed)"
+        )
+    return failures
+
+
+def check(
+    path: Path, expect_warm: bool = False, benchmark_pages: tuple = ()
+) -> list:
     """Return a list of failure messages (empty = the report passes)."""
     failures = []
     if not path.is_file():
@@ -40,13 +70,26 @@ def check(path: Path, expect_warm: bool = False) -> list:
     for section in REQUIRED_SECTIONS:
         if f'id="{section}"' not in document:
             failures.append(f"section '{section}' missing from the report")
-    for needle in FORBIDDEN_MARKUP:
-        if needle in document:
-            failures.append(f"report is not self-contained: found {needle!r}")
+    failures.extend(scan_self_contained(document, "report"))
+    if 'id="report-data"' not in document:
+        failures.append("embedded report-data JSON island missing")
     if "configuration hash" not in document:
         failures.append("run metadata (configuration hash) missing")
     if expect_warm and "0 rendered" not in document:
         failures.append("expected a warm run (0 re-renders), but renders executed")
+    for benchmark in benchmark_pages:
+        page_path = path.parent / f"benchmark-{benchmark}.html"
+        if not page_path.is_file():
+            failures.append(f"drill-down page {page_path} does not exist")
+            continue
+        page = page_path.read_text(encoding="utf-8")
+        failures.extend(scan_self_contained(page, f"benchmark-{benchmark}.html"))
+        if 'id="benchmark-data"' not in page:
+            failures.append(f"benchmark-{benchmark}.html lacks its benchmark-data island")
+        if f'id="benchmark-{benchmark}.html"' not in document and (
+            f'href="benchmark-{benchmark}.html"' not in document
+        ):
+            failures.append(f"report does not link to benchmark-{benchmark}.html")
     return failures
 
 
@@ -58,14 +101,25 @@ def main(argv=None) -> int:
         action="store_true",
         help="also require the run to have re-rendered nothing (cache warm)",
     )
+    parser.add_argument(
+        "--benchmark-pages",
+        default="",
+        help="comma-separated benchmark names whose drill-down pages must "
+        "exist beside the report and pass the same self-containment scan",
+    )
     args = parser.parse_args(argv)
-    failures = check(args.report, expect_warm=args.expect_warm)
+    pages = tuple(n.strip() for n in args.benchmark_pages.split(",") if n.strip())
+    failures = check(args.report, expect_warm=args.expect_warm, benchmark_pages=pages)
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
     size_kib = args.report.stat().st_size / 1024
-    print(f"ok: {args.report} passes ({size_kib:.0f} KiB, all figures inline, no external assets)")
+    extra = f", {len(pages)} drill-down pages" if pages else ""
+    print(
+        f"ok: {args.report} passes ({size_kib:.0f} KiB, all figures inline, "
+        f"no external assets{extra})"
+    )
     return 0
 
 

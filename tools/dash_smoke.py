@@ -1,0 +1,336 @@
+#!/usr/bin/env python3
+"""Localhost telemetry-plane smoke: collector + dashboard + alerts end-to-end.
+
+Starts a miniature observed cluster on 127.0.0.1 — a standalone span
+collector (``repro collect serve``), one ``repro cache serve`` service and
+two ``repro worker serve`` daemons, every process pointed at the collector
+via ``REPRO_TRACE=http://…`` — and asserts, in two phases:
+
+* **live phase** — the smoke itself serves a coordinator on the port the
+  workers poll (the evaluation itself finishes in seconds, far too fast to
+  scrape mid-run, so the smoke holds the cluster open deliberately): both
+  workers register, ``repro alerts check --json`` is green, and ``repro
+  dash --snapshot`` writes a self-contained dashboard HTML page naming
+  both workers (the CI artifact);
+* **run phase** — the held coordinator is released and a distributed
+  ``repro report --workers`` binds the same port (the workers ride out the
+  hand-off on their retry budget).  Afterwards the collector's merged
+  trace must be **coherent**: every line parses, the report's spans share
+  a single trace id, and coordinator-side (``cli``), worker-side and
+  cache-service spans are all present in that one trace;
+  ``repro trace --summary`` renders the merged file unchanged; and the
+  report's JSON output is byte-identical to an untraced cold serial run —
+  shipping spans may never change computed results.
+
+Used by the ``dash-smoke`` CI job; handy manually:
+
+    python tools/dash_smoke.py --benchmarks blowfish,mips
+
+Exits 0 on success, 1 with a diagnostic on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def free_port() -> int:
+    """Ask the kernel for a currently free TCP port (slightly racy, fine here)."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def base_env(tmp: Path) -> Dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_WORKER_SELF_DESTRUCT", None)
+    env.pop("REPRO_TRACE", None)
+    env.pop("REPRO_PROFILE", None)
+    # A young, isolated ledger: the alerts run must not inherit whatever
+    # regression state the invoking checkout's .repro_history carries.
+    env["REPRO_HISTORY"] = str(tmp / "history")
+    return env
+
+
+def repro_cmd(*args: str) -> List[str]:
+    return [sys.executable, "-m", "repro.cli", *args]
+
+
+def wait_for_http(url: str, timeout: float) -> None:
+    deadline = time.time() + timeout
+    while True:
+        try:
+            with urllib.request.urlopen(url, timeout=2.0):
+                return
+        except OSError:
+            if time.time() >= deadline:
+                raise RuntimeError(f"{url} did not come up within {timeout:.0f}s")
+            time.sleep(0.2)
+
+
+def fail(message: str) -> int:
+    print(f"dash-smoke: FAIL — {message}", file=sys.stderr)
+    return 1
+
+
+def wait_for_workers(coordinator_url: str, expected: int, timeout: float) -> List[str]:
+    """Poll ``/status`` until *expected* workers are registered."""
+    from repro.eval.remote import protocol
+
+    deadline = time.time() + timeout
+    while True:
+        try:
+            status = protocol.http_get_json(f"{coordinator_url}/status", timeout=5.0)
+            workers = status.get("workers") or []
+            if len(workers) >= expected:
+                return workers
+        except protocol.TRANSPORT_ERRORS:
+            pass
+        if time.time() >= deadline:
+            raise RuntimeError(
+                f"only saw workers {workers} within {timeout:.0f}s, expected {expected}"
+            )
+        time.sleep(0.3)
+
+
+def check_merged_trace(sink: Path) -> Optional[str]:
+    """Assert the merged trace is coherent; returns an error or ``None``."""
+    if not sink.exists():
+        return f"collector sink {sink} was never written"
+    raw = sink.read_text(encoding="utf-8")
+    if not raw.endswith("\n"):
+        return "collector sink ends with a partial line"
+    records = []
+    for index, line in enumerate(raw.splitlines(), 1):
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            return f"collector sink line {index} is not valid JSON"
+    if not records:
+        return "collector sink is empty"
+    # The report's spans must share one trace: take the dominant trace id
+    # (service registrations and health probes are never traced, so in this
+    # single-run smoke the report *is* the dominant trace).
+    by_trace = Counter(record["trace_id"] for record in records)
+    trace_id, count = by_trace.most_common(1)[0]
+    if count < len(records) * 0.9:
+        return (
+            f"merged trace is incoherent: dominant trace {trace_id[:12]} covers "
+            f"only {count}/{len(records)} spans ({len(by_trace)} trace ids seen)"
+        )
+    services = {record.get("service") for record in records
+                if record["trace_id"] == trace_id}
+    for required in ("cli", "worker", "cache"):
+        if required not in services:
+            return (
+                f"merged trace {trace_id[:12]} has no '{required}' spans "
+                f"(saw {sorted(filter(None, services))})"
+            )
+    workers = {record.get("worker") for record in records
+               if record["trace_id"] == trace_id and record.get("service") == "worker"}
+    print(
+        f"dash-smoke: merged trace ok — {len(records)} spans, single trace "
+        f"{trace_id[:12]}, services {sorted(filter(None, services))}, "
+        f"{len(workers)} worker lane(s)",
+        flush=True,
+    )
+    return None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--benchmarks", default="blowfish,mips")
+    parser.add_argument("--timeout", type=float, default=900.0,
+                        help="overall budget (seconds)")
+    parser.add_argument("--artifact", default="dash_out",
+                        help="directory for the dashboard HTML snapshot artifact")
+    args = parser.parse_args(argv)
+
+    from repro.eval.remote.coordinator import Coordinator, start_coordinator_server
+
+    collector_port = free_port()
+    cache_port = free_port()
+    collector_url = f"http://127.0.0.1:{collector_port}"
+    cache_url = f"http://127.0.0.1:{cache_port}"
+    artifact_dir = Path(args.artifact)
+    artifact_dir.mkdir(parents=True, exist_ok=True)
+
+    processes: List[subprocess.Popen] = []
+    with tempfile.TemporaryDirectory(prefix="repro-dash-smoke-") as tmp_name:
+        tmp = Path(tmp_name)
+        env = base_env(tmp)
+        traced_env = dict(env)
+        traced_env["REPRO_TRACE"] = collector_url
+        sink = tmp / "merged.jsonl"
+        held_coordinator = None
+        try:
+            collector = subprocess.Popen(
+                repro_cmd("collect", "serve", "--sink", str(sink),
+                          "--port", str(collector_port)),
+                env=env,
+            )
+            processes.append(collector)
+            wait_for_http(f"{collector_url}/healthz", 30.0)
+            print(f"dash-smoke: collector up at {collector_url}", flush=True)
+
+            cache_server = subprocess.Popen(
+                repro_cmd("cache", "serve", "--cache-dir", str(tmp / "cache"),
+                          "--port", str(cache_port)),
+                env=traced_env,
+            )
+            processes.append(cache_server)
+            wait_for_http(f"{cache_url}/healthz", 30.0)
+            print(f"dash-smoke: cache service up at {cache_url}", flush=True)
+
+            # Live phase: hold a coordinator open on the port the workers
+            # poll, so alerts and the dashboard scrape a populated cluster.
+            held_coordinator = start_coordinator_server(Coordinator(), port=0)
+            coordinator_port = held_coordinator.server_address[1]
+            coordinator_url = held_coordinator.url
+            print(f"dash-smoke: holding coordinator open at {coordinator_url}",
+                  flush=True)
+
+            workers = [
+                subprocess.Popen(
+                    repro_cmd("worker", "serve",
+                              "--coordinator", coordinator_url,
+                              "--cache-dir", cache_url,
+                              "--name", f"dash-smoke-{index}",
+                              "--poll-wait", "2"),
+                    env=traced_env,
+                )
+                for index in (1, 2)
+            ]
+            processes.extend(workers)
+            registered = wait_for_workers(coordinator_url, expected=2, timeout=60.0)
+            print(f"dash-smoke: workers registered: {sorted(registered)}", flush=True)
+
+            alerts = subprocess.run(
+                repro_cmd("alerts", "check", "--json",
+                          "--coordinator", coordinator_url,
+                          "--cache", cache_url),
+                env=env, capture_output=True, text=True, timeout=60.0,
+            )
+            if alerts.returncode != 0:
+                print(alerts.stdout, file=sys.stderr)
+                print(alerts.stderr, file=sys.stderr)
+                return fail("`repro alerts check` fired on a healthy live cluster")
+            verdict = json.loads(alerts.stdout)
+            if not verdict.get("ok") or verdict.get("alerts"):
+                return fail(f"alerts check returned a non-green verdict: {verdict}")
+            print("dash-smoke: alerts check green against the live coordinator",
+                  flush=True)
+
+            snapshot_path = artifact_dir / "dashboard.html"
+            dash = subprocess.run(
+                repro_cmd("dash", "--coordinator", coordinator_url,
+                          "--cache", cache_url,
+                          "--snapshot", str(snapshot_path)),
+                env=env, capture_output=True, text=True, timeout=60.0,
+            )
+            if dash.returncode != 0:
+                print(dash.stderr, file=sys.stderr)
+                return fail("`repro dash --snapshot` exited non-zero")
+            page = snapshot_path.read_text(encoding="utf-8")
+            for needle in ("repro cluster dashboard", "dash-smoke-1", "dash-smoke-2"):
+                if needle not in page:
+                    return fail(f"dashboard snapshot lacks {needle!r}")
+            print(f"dash-smoke: dashboard snapshot written to {snapshot_path}",
+                  flush=True)
+
+            # Run phase: release the port; the report's embedded coordinator
+            # binds it and the workers ride the hand-off on their retry
+            # budget (5 consecutive failures, 1s apart).
+            held_coordinator.shutdown()
+            held_coordinator.server_close()
+            held_coordinator = None
+            print(f"dash-smoke: running distributed report ({args.benchmarks})",
+                  flush=True)
+            started = time.time()
+            report = subprocess.run(
+                repro_cmd("report", "--json",
+                          "--benchmarks", args.benchmarks,
+                          "--cache-dir", cache_url,
+                          "--workers", f"127.0.0.1:{coordinator_port}"),
+                env=traced_env, capture_output=True, text=True, timeout=args.timeout,
+            )
+            if report.returncode != 0:
+                print(report.stderr, file=sys.stderr)
+                return fail("distributed report exited non-zero")
+            print(f"dash-smoke: distributed report done in "
+                  f"{time.time() - started:.1f}s", flush=True)
+
+            # Stop the services cleanly: their atexit shutdown drains any
+            # spans still queued in their remote sinks.
+            for process in (cache_server, *workers):
+                process.terminate()
+            for process in (cache_server, *workers):
+                try:
+                    process.wait(timeout=15)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+
+            error = check_merged_trace(sink)
+            if error:
+                return fail(error)
+
+            summary = subprocess.run(
+                repro_cmd("trace", "--summary", str(sink)),
+                env=env, capture_output=True, text=True, timeout=60.0,
+            )
+            if summary.returncode != 0 or not summary.stdout.strip():
+                print(summary.stderr, file=sys.stderr)
+                return fail("`repro trace --summary` could not render the merged trace")
+            print("dash-smoke: `repro trace --summary` renders the merged trace",
+                  flush=True)
+
+            print("dash-smoke: running untraced cold serial report for comparison",
+                  flush=True)
+            serial = subprocess.run(
+                repro_cmd("report", "--json",
+                          "--benchmarks", args.benchmarks,
+                          "--cache-dir", str(tmp / "serial-cache")),
+                env=env, capture_output=True, text=True,
+                timeout=max(60.0, args.timeout - (time.time() - started)),
+            )
+            if serial.returncode != 0:
+                print(serial.stderr, file=sys.stderr)
+                return fail("serial report exited non-zero")
+            if report.stdout != serial.stdout:
+                return fail("traced distributed output differs from untraced serial output")
+            json.loads(report.stdout)  # well-formed, not just equal
+
+            print("dash-smoke: OK — collector, dashboard, alerts and "
+                  "byte-identity all hold")
+            return 0
+        finally:
+            if held_coordinator is not None:
+                held_coordinator.shutdown()
+                held_coordinator.server_close()
+            for process in processes:
+                if process.poll() is None:
+                    process.terminate()
+            for process in processes:
+                try:
+                    process.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
